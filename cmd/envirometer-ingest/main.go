@@ -1,0 +1,165 @@
+// Command envirometer-ingest generates the synthetic lausanne-data
+// equivalent and writes it out — as a CSV file for inspection and external
+// tooling, or as durable store segments a server can recover directly.
+//
+// Usage:
+//
+//	envirometer-ingest -out lausanne.csv [-days 30] [-seed 1]
+//	envirometer-ingest -out lausanne.csv -pollutants CO2,CO,PM [-days 30]
+//	envirometer-ingest -segments dir/ [-window 14400] [-days 30] [-seed 1]
+//
+// With -pollutants, one file (or segment directory) per pollutant is
+// written, suffixed with the pollutant name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/tuple"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "", "write raw tuples as CSV to this file")
+		segments = flag.String("segments", "", "write raw tuples as durable segments into this directory")
+		window   = flag.Float64("window", 4*3600, "window length H in seconds (segments mode)")
+		days     = flag.Float64("days", 30, "deployment duration in days")
+		seed     = flag.Int64("seed", 1, "deterministic simulation seed")
+		polls    = flag.String("pollutants", "", "comma-separated pollutants (CO2,CO,PM); empty = CO2 only")
+	)
+	flag.Parse()
+	if *out == "" && *segments == "" {
+		fmt.Fprintln(os.Stderr, "envirometer-ingest: need -out or -segments")
+		os.Exit(2)
+	}
+	if err := run(*out, *segments, *window, *days, *seed, *polls); err != nil {
+		fmt.Fprintln(os.Stderr, "envirometer-ingest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, segments string, window, days float64, seed int64, polls string) error {
+	cfg := sim.DefaultLausanne(seed)
+	cfg.Duration = days * 86400
+	if polls != "" {
+		return runMulti(out, segments, window, cfg, polls)
+	}
+	data, err := sim.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d raw tuples (%.1f days, %d vehicles, seed %d)\n",
+		len(data), days, len(cfg.Vehicles), seed)
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := tuple.WriteCSV(f, data); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote CSV to %s\n", out)
+	}
+	if segments != "" {
+		st, err := store.Open(store.Config{WindowLength: window, Dir: segments})
+		if err != nil {
+			return err
+		}
+		// Append in day-sized batches so segment frames stay reasonable.
+		const batch = 86400 / 60 * 4
+		for start := 0; start < len(data); start += batch {
+			end := start + batch
+			if end > len(data) {
+				end = len(data)
+			}
+			if err := st.Append(data[start:end]); err != nil {
+				st.Close()
+				return err
+			}
+		}
+		if err := st.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote durable segments to %s (window H = %.0f s)\n", segments, window)
+	}
+	return nil
+}
+
+// parsePollutants resolves a comma-separated pollutant list.
+func parsePollutants(polls string) ([]tuple.Pollutant, error) {
+	var out []tuple.Pollutant
+	for _, name := range strings.Split(polls, ",") {
+		switch strings.TrimSpace(strings.ToUpper(name)) {
+		case "CO2":
+			out = append(out, tuple.CO2)
+		case "CO":
+			out = append(out, tuple.CO)
+		case "PM":
+			out = append(out, tuple.PM)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown pollutant %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no pollutants in %q", polls)
+	}
+	return out, nil
+}
+
+// runMulti writes one dataset per pollutant, suffixing each destination.
+func runMulti(out, segments string, window float64, cfg sim.Config, polls string) error {
+	pollutants, err := parsePollutants(polls)
+	if err != nil {
+		return err
+	}
+	data, err := sim.GenerateMulti(cfg, pollutants)
+	if err != nil {
+		return err
+	}
+	for _, p := range pollutants {
+		b := data[p]
+		fmt.Printf("generated %d %s tuples\n", len(b), p)
+		if out != "" {
+			path := out + "." + p.String()
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tuple.WriteCSV(f, b); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote CSV to %s\n", path)
+		}
+		if segments != "" {
+			dir := segments + "." + p.String()
+			st, err := store.Open(store.Config{WindowLength: window, Dir: dir})
+			if err != nil {
+				return err
+			}
+			if err := st.Append(b); err != nil {
+				st.Close()
+				return err
+			}
+			if err := st.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote durable segments to %s\n", dir)
+		}
+	}
+	return nil
+}

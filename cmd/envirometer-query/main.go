@@ -1,0 +1,160 @@
+// Command envirometer-query is the CLI client of an EnviroMeter server —
+// the terminal equivalent of the Android app's point and route queries.
+//
+// Usage:
+//
+//	envirometer-query -server http://localhost:8080 point -t 7200 -x 1200 -y 800
+//	envirometer-query -server http://localhost:8080 route -t 7200 -points "0,500 300,550 600,620"
+//	envirometer-query -server http://localhost:8080 models -t 7200
+//	envirometer-query -server http://localhost:8080 stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "EnviroMeter server base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(*server, args[0], args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "envirometer-query:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: envirometer-query [-server URL] <command> [args]
+
+commands:
+  point  -t T -x X -y Y            interpolate the pollutant value at one position
+  route  -t T -points "x,y x,y …"  continuous query along a route (60 s per point)
+  models -t T                       download the model cover valid at T
+  stats                             server statistics`)
+}
+
+func run(server, cmd string, args []string) error {
+	switch cmd {
+	case "point":
+		return runPoint(server, args)
+	case "route":
+		return runRoute(server, args)
+	case "models":
+		return runModels(server, args)
+	case "stats":
+		return get(server + "/v1/stats")
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func runPoint(server string, args []string) error {
+	fs := flag.NewFlagSet("point", flag.ContinueOnError)
+	t := fs.Float64("t", 0, "stream time (seconds)")
+	x := fs.Float64("x", 0, "x position (meters)")
+	y := fs.Float64("y", 0, "y position (meters)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u := fmt.Sprintf("%s/v1/query/point?t=%v&x=%v&y=%v", server, *t, *x, *y)
+	return get(u)
+}
+
+func runRoute(server string, args []string) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	t := fs.Float64("t", 0, "stream time of the first point (seconds)")
+	points := fs.String("points", "", `route points as "x,y x,y …"`)
+	interval := fs.Float64("interval", 60, "seconds between consecutive points")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *points == "" {
+		return fmt.Errorf("route: -points is required")
+	}
+	type qt struct {
+		T float64 `json:"t"`
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	}
+	var pts []qt
+	for i, tok := range strings.Fields(*points) {
+		xy := strings.Split(tok, ",")
+		if len(xy) != 2 {
+			return fmt.Errorf("route: bad point %q", tok)
+		}
+		x, err := strconv.ParseFloat(xy[0], 64)
+		if err != nil {
+			return fmt.Errorf("route: point %q: %v", tok, err)
+		}
+		y, err := strconv.ParseFloat(xy[1], 64)
+		if err != nil {
+			return fmt.Errorf("route: point %q: %v", tok, err)
+		}
+		pts = append(pts, qt{T: *t + float64(i)*(*interval), X: x, Y: y})
+	}
+	body, err := json.Marshal(map[string]interface{}{"points": pts})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(server+"/v1/query/continuous", "application/json",
+		strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return dump(resp)
+}
+
+func runModels(server string, args []string) error {
+	fs := flag.NewFlagSet("models", flag.ContinueOnError)
+	t := fs.Float64("t", 0, "stream time (seconds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return get(server + "/v1/models?t=" + url.QueryEscape(strconv.FormatFloat(*t, 'g', -1, 64)))
+}
+
+func get(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return dump(resp)
+}
+
+// dump pretty-prints a JSON response to stdout.
+func dump(resp *http.Response) error {
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	var v interface{}
+	if err := json.Unmarshal(data, &v); err != nil {
+		// Not JSON; print raw.
+		fmt.Println(string(data))
+		return nil
+	}
+	pretty, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(pretty))
+	return nil
+}

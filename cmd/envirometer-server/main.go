@@ -1,0 +1,158 @@
+// Command envirometer-server runs the EnviroMeter platform server: it
+// loads (or simulates) a community-sensed dataset and serves both the
+// web/JSON API — point queries, continuous route queries, model-cover
+// downloads, heatmaps — and, optionally, the binary TCP wire protocol
+// that smartphone model-cache clients use.
+//
+// Usage:
+//
+//	envirometer-server [-addr :8080] [-tcp :8081] [-window 14400]
+//	                   [-days 2] [-data file.csv] [-dir segments/]
+//	                   [-covers covers.emcv] [-live] [-speedup 3600]
+//	                   [-seed 1]
+//
+// With -data, raw tuples are loaded from a CSV file ("t,x,y,s" header);
+// otherwise a synthetic Lausanne deployment of -days days is generated.
+// With -dir, ingestion is durable and previous segments are recovered.
+// With -covers, built model covers are snapshotted for warm restarts.
+// With -live, data is streamed in via the ingestion service at -speedup×
+// real time instead of being bulk-loaded, so covers appear as windows
+// fill — the demo-floor mode.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro"
+	"repro/internal/ingest"
+	"repro/internal/tuple"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		tcp     = flag.String("tcp", "", "TCP wire-protocol listen address (empty = disabled)")
+		window  = flag.Float64("window", 4*3600, "modeling window length H in seconds")
+		days    = flag.Float64("days", 2, "days of synthetic data when -data is unset")
+		data    = flag.String("data", "", "CSV file of raw tuples to load instead of simulating")
+		dir     = flag.String("dir", "", "directory for durable segment files (empty = memory only)")
+		covers  = flag.String("covers", "", "model-cover snapshot file for warm restarts")
+		live    = flag.Bool("live", false, "stream data in via the ingestion service instead of bulk loading")
+		speedup = flag.Float64("speedup", 3600, "stream seconds per wall second in -live mode")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	if err := run(options{
+		addr: *addr, tcp: *tcp, window: *window, days: *days,
+		data: *data, dir: *dir, covers: *covers,
+		live: *live, speedup: *speedup, seed: *seed,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "envirometer-server:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr, tcp, data, dir, covers string
+	window, days, speedup        float64
+	seed                         int64
+	live                         bool
+}
+
+func run(o options) error {
+	p, err := repro.Open(repro.Config{
+		WindowSeconds: o.window,
+		Dir:           o.dir,
+		CoverSnapshot: o.covers,
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	readings, err := loadReadings(o)
+	if err != nil {
+		return err
+	}
+
+	if o.live {
+		go runLive(p, readings, o.speedup)
+		fmt.Printf("live mode: streaming %d tuples at %.0fx real time\n", len(readings), o.speedup)
+	} else {
+		if err := p.Ingest(readings); err != nil {
+			return err
+		}
+		fmt.Printf("bulk loaded %d raw tuples\n", len(readings))
+	}
+
+	if o.tcp != "" {
+		srv, tcpAddr, err := p.ListenTCP(o.tcp)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("serving binary wire protocol on %s\n", tcpAddr)
+	}
+
+	fmt.Printf("serving EnviroMeter API on %s (window H = %.0f s)\n", o.addr, o.window)
+	fmt.Println("  GET  /v1/query/point?t=&x=&y=")
+	fmt.Println("  POST /v1/query/continuous")
+	fmt.Println("  GET  /v1/models?t=")
+	fmt.Println("  GET  /v1/heatmap?t=&cols=&rows=   (and /v1/heatmap.png)")
+	fmt.Println("  POST /v1/ingest")
+	fmt.Println("  GET  /v1/stats")
+	return http.ListenAndServe(o.addr, p.Handler())
+}
+
+func loadReadings(o options) ([]repro.Reading, error) {
+	if o.data != "" {
+		f, err := os.Open(o.data)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		b, err := tuple.ReadCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", o.data, err)
+		}
+		fmt.Printf("loaded %d raw tuples from %s\n", len(b), o.data)
+		return []repro.Reading(b), nil
+	}
+	readings, err := repro.SimulateLausanne(o.seed, o.days*86400)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("simulated %d raw tuples (%.1f days, seed %d)\n", len(readings), o.days, o.seed)
+	return readings, nil
+}
+
+// runLive pumps readings through the ingestion service at the configured
+// speedup; ingestion errors terminate the stream but not the server.
+func runLive(p *repro.Platform, readings []repro.Reading, speedup float64) {
+	replayer, err := ingest.NewReplayer(tuple.Batch(readings), 60)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "live ingest:", err)
+		return
+	}
+	svc, err := ingest.NewService(replayer, platformSink{p}, ingest.Config{Speedup: speedup})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "live ingest:", err)
+		return
+	}
+	if err := svc.Run(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "live ingest stopped:", err)
+		return
+	}
+	st := svc.Stats()
+	fmt.Printf("live ingest complete: %d tuples in %d batches (%d rejected)\n",
+		st.Tuples, st.Batches, st.Rejected)
+}
+
+// platformSink adapts the public facade to the ingest.Sink interface.
+type platformSink struct{ p *repro.Platform }
+
+func (s platformSink) Ingest(b tuple.Batch) error { return s.p.Ingest([]repro.Reading(b)) }

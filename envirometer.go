@@ -1,0 +1,265 @@
+// Package repro is EnviroMeter: a platform for querying community-sensed
+// data, reproducing Sathe, Oviedo, Chakraborty and Aberer, "EnviroMeter: A
+// Platform for Querying Community-Sensed Data", PVLDB 6(12), 2013.
+//
+// The platform ingests raw sensor tuples from a large-area community-driven
+// sensor network (pollution sensors on public-transport buses), maintains
+// an adaptive multi-model abstraction over each time window (the Ad-KMN
+// model cover), and answers point and continuous pollution queries by
+// evaluating the nearest region model — orders of magnitude faster and
+// smaller than querying indexed raw data. A model-cache wire protocol ships
+// whole covers to mobile clients so they answer queries locally.
+//
+// Quick start:
+//
+//	p, err := repro.Open(repro.Config{WindowSeconds: 4 * 3600})
+//	...
+//	err = p.Ingest(readings)                  // raw (t, x, y, s) tuples
+//	v, err := p.PointQuery(t, x, y)           // interpolated concentration
+//	http.ListenAndServe(addr, p.Handler())    // the web/JSON API
+//
+// The deeper layers (spatial indexes, k-means, regression, wire codecs,
+// the simulated deployment) live in internal/ packages; this package
+// re-exports the surface a downstream user needs.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/coverio"
+	"repro/internal/eval"
+	"repro/internal/geo"
+	"repro/internal/heatmap"
+	"repro/internal/proto"
+	"repro/internal/query"
+	"repro/internal/regress"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Reading is one raw sensor tuple b = (t, x, y, s): stream time in
+// seconds, local-frame position in meters, and the sensed value.
+type Reading = tuple.Raw
+
+// Pollutant identifies a sensed phenomenon (CO2, CO, PM).
+type Pollutant = tuple.Pollutant
+
+// Pollutants supported by the platform.
+const (
+	CO2 = tuple.CO2
+	CO  = tuple.CO
+	PM  = tuple.PM
+)
+
+// Query is one query tuple q = (t, x, y) of a continuous value query.
+type Query = query.Q
+
+// Cover is a model cover: the (t_n, µ, M) triple of §2.1.
+type Cover = core.Cover
+
+// AdKMNConfig tunes the adaptive model-cover construction.
+type AdKMNConfig = core.Config
+
+// ModelResponse is the wire form of a cover, as served to model-cache
+// clients.
+type ModelResponse = wire.ModelResponse
+
+// CO2Band classifies a concentration for display (OSHA-anchored).
+type CO2Band = eval.CO2Band
+
+// LatLon is a WGS84 coordinate; Point is a local metric position.
+type (
+	LatLon = geo.LatLon
+	Point  = geo.Point
+)
+
+// Config configures a Platform.
+type Config struct {
+	// WindowSeconds is the modeling window length H in stream seconds.
+	// Covers are rebuilt per window and expire at the window edge.
+	WindowSeconds float64
+	// Dir, when non-empty, makes ingestion durable: appended batches are
+	// persisted to checksummed segment files and recovered on reopen.
+	Dir string
+	// Retain bounds in-memory windows (0 = keep all).
+	Retain int
+	// AdKMN tunes the model cover construction; the zero value uses the
+	// paper's defaults (k0 = 2, τn = 2%, linear regression models).
+	AdKMN AdKMNConfig
+	// CoverSnapshot, when non-empty, is a file the platform loads built
+	// model covers from at Open (warm restart) and saves them to at
+	// Close, so a restarted server answers immediately instead of
+	// re-running Ad-KMN per window.
+	CoverSnapshot string
+}
+
+// Platform is the EnviroMeter server-side platform: storage, adaptive
+// modeling, and query processing behind one handle. It is safe for
+// concurrent use.
+type Platform struct {
+	st       *store.Store
+	engine   *server.Engine
+	api      *server.API
+	snapshot string
+}
+
+// Open creates a platform (recovering durable state if Config.Dir is set).
+func Open(cfg Config) (*Platform, error) {
+	st, err := store.Open(store.Config{
+		WindowLength: cfg.WindowSeconds,
+		Retain:       cfg.Retain,
+		Dir:          cfg.Dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	engine := server.NewEngine(st, cfg.AdKMN)
+	p := &Platform{
+		st:       st,
+		engine:   engine,
+		api:      server.NewAPI(engine),
+		snapshot: cfg.CoverSnapshot,
+	}
+	if cfg.CoverSnapshot != "" {
+		covers, err := coverio.Load(cfg.CoverSnapshot)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("repro: load cover snapshot: %w", err)
+		}
+		engine.Maintainer().Prime(covers)
+	}
+	return p, nil
+}
+
+// Close persists the cover snapshot (if configured), then syncs and
+// releases durable resources.
+func (p *Platform) Close() error {
+	var snapErr error
+	if p.snapshot != "" {
+		snapErr = coverio.Save(p.snapshot, p.engine.Maintainer().Snapshot())
+	}
+	if err := p.st.Close(); err != nil {
+		return err
+	}
+	return snapErr
+}
+
+// SaveCovers persists the built covers to the configured snapshot file
+// immediately (Close also does this).
+func (p *Platform) SaveCovers() error {
+	if p.snapshot == "" {
+		return errors.New("repro: no CoverSnapshot configured")
+	}
+	return coverio.Save(p.snapshot, p.engine.Maintainer().Snapshot())
+}
+
+// ListenTCP serves the binary wire protocol on addr — the transport
+// smartphone model-cache clients use over cellular data. It returns a
+// closer that stops the server and the bound address (useful with
+// addr ":0").
+func (p *Platform) ListenTCP(addr string) (io.Closer, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := proto.Serve(ln, p.engine, proto.ServerConfig{})
+	return srv, srv.Addr(), nil
+}
+
+// Ingest appends raw readings to the platform. Late data transparently
+// invalidates any already-built cover of its window.
+func (p *Platform) Ingest(readings []Reading) error {
+	return p.engine.Ingest(tuple.Batch(readings))
+}
+
+// Len returns the number of retained readings.
+func (p *Platform) Len() int { return p.st.Len() }
+
+// PointQuery interpolates the sensed value at position (x, y) and stream
+// time t using the model cover of t's window.
+func (p *Platform) PointQuery(t, x, y float64) (float64, error) {
+	return p.engine.PointQuery(t, x, y)
+}
+
+// ContinuousQuery answers a registered route of query tuples, returning
+// one interpolated value per tuple (Query 1 of the paper).
+func (p *Platform) ContinuousQuery(qs []Query) ([]float64, error) {
+	if len(qs) == 0 {
+		return nil, errors.New("repro: empty continuous query")
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		v, err := p.engine.PointQuery(q.T, q.X, q.Y)
+		if err != nil {
+			return nil, fmt.Errorf("repro: query %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Cover returns the model cover valid at stream time t, building it on
+// first use.
+func (p *Platform) Cover(t float64) (*Cover, error) {
+	return p.engine.CoverAt(t)
+}
+
+// ModelResponse returns the wire form of the cover at t — what a
+// model-cache client downloads once per validity window.
+func (p *Platform) ModelResponse(t float64) (ModelResponse, error) {
+	cv, err := p.engine.CoverAt(t)
+	if err != nil {
+		return ModelResponse{}, err
+	}
+	return wire.ModelResponseFromCover(cv)
+}
+
+// Heatmap rasterizes the cover at time t over the window's data region;
+// see the heatmap endpoints of Handler for rendered output.
+func (p *Platform) Heatmap(t float64, cols, rows int) (*heatmap.Grid, error) {
+	return p.engine.Heatmap(t, cols, rows)
+}
+
+// Handler returns the HTTP/JSON API (point queries, continuous queries,
+// model downloads, heatmaps, ingestion, stats).
+func (p *Platform) Handler() http.Handler { return p.api }
+
+// ClassifyCO2 returns the display band for a CO2 concentration in ppm.
+func ClassifyCO2(ppm float64) CO2Band { return eval.ClassifyCO2(ppm) }
+
+// SimulateLausanne generates the synthetic equivalent of the paper's
+// lausanne-data deployment: durationSeconds of two bus lines (four
+// vehicles) sampling CO2 every 60 s. The same seed always produces the
+// same data.
+func SimulateLausanne(seed int64, durationSeconds float64) ([]Reading, error) {
+	cfg := sim.DefaultLausanne(seed)
+	if durationSeconds > 0 {
+		cfg.Duration = durationSeconds
+	}
+	b, err := sim.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []Reading(b), nil
+}
+
+// LausanneProjection returns the projection between WGS84 and the local
+// metric frame used by the simulated deployment.
+func LausanneProjection() *geo.Projection { return geo.MustProjection(geo.Lausanne) }
+
+// Model feature families, re-exported for AdKMNConfig.Features.
+var (
+	FeaturesConstant    = regress.Constant
+	FeaturesLinearT     = regress.LinearT
+	FeaturesLinearXY    = regress.LinearXY
+	FeaturesLinearXYT   = regress.LinearXYT
+	FeaturesQuadraticXY = regress.QuadraticXY
+)

@@ -1,0 +1,72 @@
+// Busroute: the Android application scenario (§3 of the paper).
+//
+// A user records a commute across Lausanne; EnviroMeter answers a
+// continuous query along the recorded route, shows each point's CO2 level
+// with its green-to-red marker band, and reports the route average with
+// the OSHA guideline text — exactly what the demo app displayed after a
+// recorded ride.
+//
+// Run with: go run ./examples/busroute
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	platform, err := repro.Open(repro.Config{WindowSeconds: 4 * 3600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	readings, err := repro.SimulateLausanne(7, 12*3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := platform.Ingest(readings); err != nil {
+		log.Fatal(err)
+	}
+
+	// The recorded route: a commute from the western district through the
+	// center to the hill, one position update per minute starting at
+	// 08:00. These are local-frame meters; the app records GPS and
+	// projects with repro.LausanneProjection().
+	waypoints := []repro.Point{
+		{X: -800, Y: 350},
+		{X: -200, Y: 450},
+		{X: 400, Y: 560},
+		{X: 900, Y: 700},
+		{X: 1200, Y: 800}, // city-center hotspot
+		{X: 1150, Y: 1100},
+		{X: 1000, Y: 1500},
+		{X: 800, Y: 1900},
+		{X: 700, Y: 2200},
+	}
+	const start = 8 * 3600
+	queries := make([]repro.Query, len(waypoints))
+	for i, wp := range waypoints {
+		queries[i] = repro.Query{T: start + float64(i)*60, X: wp.X, Y: wp.Y}
+	}
+
+	values, err := platform.ContinuousQuery(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("recorded route, 08:00, one update per minute:")
+	var sum float64
+	for i, v := range values {
+		band := repro.ClassifyCO2(v)
+		fmt.Printf("  %2d. (%6.0f, %6.0f)  %6.0f ppm  %-10s\n",
+			i+1, queries[i].X, queries[i].Y, v, band)
+		sum += v
+	}
+	avg := sum / float64(len(values))
+	band := repro.ClassifyCO2(avg)
+	fmt.Printf("\nroute average: %.0f ppm [%s]\n", avg, band)
+	fmt.Println(band.Advice())
+}

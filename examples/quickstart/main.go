@@ -1,0 +1,55 @@
+// Quickstart: the minimal end-to-end EnviroMeter flow.
+//
+// Simulate a morning of community-sensed CO2 data, ingest it into the
+// platform, and ask for the pollution at a position — first as a raw
+// value, then with the OSHA classification the app displays.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A platform with one-hour modeling windows, in memory.
+	platform, err := repro.Open(repro.Config{WindowSeconds: 3600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	// Six hours of the simulated Lausanne deployment: two bus lines, four
+	// vehicles, one CO2 sample per vehicle per minute.
+	readings, err := repro.SimulateLausanne(42, 6*3600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := platform.Ingest(readings); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d raw tuples\n", platform.Len())
+
+	// Point query: the CO2 concentration near the city-center plume at
+	// 05:30 into the stream (t = 19800 s), answered from the window's
+	// Ad-KMN model cover.
+	const t, x, y = 19800.0, 1200.0, 800.0
+	value, err := platform.PointQuery(t, x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	band := repro.ClassifyCO2(value)
+	fmt.Printf("CO2 at (%.0f m, %.0f m) at t=%.0fs: %.0f ppm [%s]\n", x, y, t, value, band)
+	fmt.Println(band.Advice())
+
+	// The model cover behind that answer.
+	cover, err := platform.Cover(t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model cover: %d regions, valid until t=%.0fs, built in %d adaptive rounds\n",
+		cover.Size(), cover.ValidUntil, cover.Rounds)
+}

@@ -1,0 +1,126 @@
+package repro
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/proto"
+	"repro/internal/route"
+	"repro/internal/wire"
+)
+
+func TestCoverSnapshotWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "covers.emcv")
+
+	p, err := Open(Config{WindowSeconds: 3600, Dir: dir, CoverSnapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, err := SimulateLausanne(9, 2*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(readings); err != nil {
+		t.Fatal(err)
+	}
+	// Build covers for both windows, then close (which snapshots).
+	v1, err := p.PointQuery(1800, 500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PointQuery(5400, 500, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SaveCovers(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the primed cover must answer identically without rebuild.
+	p2, err := Open(Config{WindowSeconds: 3600, Dir: dir, CoverSnapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	v2, err := p2.PointQuery(1800, 500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1-v2) > 1e-9 {
+		t.Errorf("warm restart answer %v differs from original %v", v2, v1)
+	}
+}
+
+func TestSaveCoversWithoutConfig(t *testing.T) {
+	p, err := Open(Config{WindowSeconds: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.SaveCovers(); err == nil {
+		t.Error("SaveCovers without CoverSnapshot should error")
+	}
+}
+
+func TestListenTCPServesClients(t *testing.T) {
+	p := openWithData(t)
+	defer p.Close()
+	srv, addr, err := p.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := proto.Dial(addr.String(), proto.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Exchange(wire.QueryRequest{T: 7200, X: 800, Y: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, ok := resp.(wire.QueryResponse)
+	if !ok {
+		t.Fatalf("got %T", resp)
+	}
+	want, err := p.PointQuery(7200, 800, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qr.Value-want) > 1e-9 {
+		t.Errorf("TCP answer %v vs direct %v", qr.Value, want)
+	}
+}
+
+func TestRouteSummaryAgainstPlatform(t *testing.T) {
+	// The app-side flow: record a route, summarize it against the
+	// platform's query engine as the oracle.
+	p := openWithData(t)
+	defer p.Close()
+	rec := route.NewRecorder(route.RecorderConfig{})
+	for i := 0; i < 10; i++ {
+		rec.Add(route.Fix{
+			T:   7200 + float64(i)*60,
+			Pos: Point{X: 200 + float64(i)*120, Y: 450 + float64(i)*60},
+		})
+	}
+	rt, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := route.Summarize(rt, p.PointQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Points) != rt.Len() {
+		t.Fatalf("summary points = %d, route fixes = %d", len(sum.Points), rt.Len())
+	}
+	if sum.Average <= 0 || sum.Advice == "" {
+		t.Errorf("summary incomplete: %+v", sum)
+	}
+}

@@ -1,0 +1,180 @@
+// Package bench contains the experiment drivers that regenerate every
+// figure of the paper's evaluation (§4):
+//
+//   - Figure 6(a): query-processing efficiency — elapsed time for 5000
+//     point queries vs window size H, for Ad-KMN, VP-tree, R-tree, naive.
+//   - Figure 6(b): accuracy — NRMSE vs H for Ad-KMN and naive.
+//   - Figure 7(a): memory — bytes retained by each method at H = 5000,
+//     averaged over 10 independent runs.
+//   - Figure 7(b): bandwidth — bytes sent/received and total time for a
+//     100-tuple continuous query, baseline vs model-cache.
+//
+// Plus the ablation experiments DESIGN.md calls out. Each driver returns
+// typed rows; Print* functions render the same tables/series the paper
+// plots.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/regress"
+	"repro/internal/sim"
+	"repro/internal/tuple"
+)
+
+// PaperConfig is the Ad-KMN configuration used throughout the evaluation
+// reproduction: τn as given, per-region linear regression over time
+// (linear-t), and a 6-tuple minimum region support. The model-family
+// ablation (RunAblationModelFamily) documents why linear-t: spatial-slope
+// families fit corridor-constrained samples better in-sample but
+// extrapolate worse at query positions a jitter off the routes.
+func PaperConfig(tau float64, seed int64) core.Config {
+	return core.Config{
+		ErrThreshold:    tau,
+		Features:        regress.LinearT,
+		MinRegionTuples: 6,
+		Cluster:         cluster.Config{Seed: seed},
+	}
+}
+
+// Dataset bundles the synthetic lausanne-data with its ground-truth field.
+type Dataset struct {
+	// Data is the community-sensed raw tuple stream, time sorted.
+	Data tuple.Batch
+	// Field is the ground truth the data sampled (with noise).
+	Field sim.Field
+	// Cfg is the deployment that generated it.
+	Cfg sim.Config
+}
+
+// LoadDataset generates the synthetic deployment. durationSeconds trims
+// the default one-month deployment for fast runs; pass 0 for the full
+// month (172,800 scheduled samples).
+func LoadDataset(seed int64, durationSeconds float64) (*Dataset, error) {
+	cfg := sim.DefaultLausanne(seed)
+	if durationSeconds > 0 {
+		cfg.Duration = durationSeconds
+	}
+	data, err := sim.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, errors.New("bench: generated empty dataset")
+	}
+	return &Dataset{Data: data, Field: cfg.Field, Cfg: cfg}, nil
+}
+
+// WindowOfSize returns a window of exactly h consecutive raw tuples
+// starting at tuple offset start — the paper's H-raw-tuple windows (§4.1
+// uses "a varying window size H from 40 to 240 raw tuples").
+func (d *Dataset) WindowOfSize(start, h int) (tuple.Batch, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("bench: window size %d, want > 0", h)
+	}
+	if start < 0 || start+h > len(d.Data) {
+		return nil, fmt.Errorf("bench: window [%d,%d) outside dataset of %d tuples",
+			start, start+h, len(d.Data))
+	}
+	// Clone so the window owns exactly its own tuples: the memory
+	// experiment sizes windows, and a sub-slice would drag the whole
+	// dataset's backing array into the measurement.
+	return d.Data[start : start+h].Clone(), nil
+}
+
+// Workload is a set of point queries with ground-truth answers.
+type Workload struct {
+	Queries []query.Q
+	Truth   []float64
+}
+
+// MakeWorkload samples n point queries against window w: positions are
+// drawn near the window's tuples (a Gaussian jitter of sigma meters keeps
+// them in the sensed corridors, mimicking users who query where buses
+// drive), times are uniform over the window's time span. Ground truth
+// comes from the dataset's field.
+func (d *Dataset) MakeWorkload(w tuple.Batch, n int, sigma float64, seed int64) (*Workload, error) {
+	if len(w) == 0 {
+		return nil, errors.New("bench: empty window")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("bench: workload size %d, want > 0", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tMin, tMax, _ := w.TimeSpan()
+	wl := &Workload{
+		Queries: make([]query.Q, n),
+		Truth:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		anchor := w[rng.Intn(len(w))]
+		q := query.Q{
+			T: tMin + rng.Float64()*(tMax-tMin),
+			X: anchor.X + rng.NormFloat64()*sigma,
+			Y: anchor.Y + rng.NormFloat64()*sigma,
+		}
+		wl.Queries[i] = q
+		wl.Truth[i] = d.Field.TrueValue(q.T, q.X, q.Y)
+	}
+	return wl, nil
+}
+
+// Method identifies a query-processing method in results.
+type Method string
+
+// The four §2.2 methods.
+const (
+	MethodAdKMN  Method = "ad-kmn"
+	MethodNaive  Method = "naive"
+	MethodRTree  Method = "r-tree"
+	MethodVPTree Method = "vp-tree"
+)
+
+// AllMethods lists the methods in the paper's plotting order.
+var AllMethods = []Method{MethodAdKMN, MethodVPTree, MethodRTree, MethodNaive}
+
+// BuildProcessor constructs the processor for a method over window w. It
+// is exported for the root-level figure benchmarks.
+func BuildProcessor(m Method, w tuple.Batch, radius, tau float64, seed int64) (query.Processor, error) {
+	switch m {
+	case MethodNaive:
+		return query.NewNaive(w, radius)
+	case MethodRTree:
+		return query.NewRTree(w, radius)
+	case MethodVPTree:
+		return query.NewVPTree(w, radius)
+	case MethodAdKMN:
+		cv, err := core.BuildCover(w, 0, 1e18, PaperConfig(tau, seed))
+		if err != nil {
+			return nil, err
+		}
+		return query.NewCover(cv)
+	default:
+		return nil, fmt.Errorf("bench: unknown method %q", m)
+	}
+}
+
+// timeQueries runs all workload queries through p and returns the elapsed
+// wall time and the answers (NaN-free; failed queries fall back to the
+// window mean so accuracy metrics stay defined, and are counted).
+func timeQueries(p query.Processor, wl *Workload, w tuple.Batch) (time.Duration, []float64, int) {
+	fallback, _ := w.MeanValue()
+	est := make([]float64, len(wl.Queries))
+	misses := 0
+	start := time.Now()
+	for i, q := range wl.Queries {
+		v, err := p.Interpolate(q)
+		if err != nil {
+			v = fallback
+			misses++
+		}
+		est[i] = v
+	}
+	return time.Since(start), est, misses
+}

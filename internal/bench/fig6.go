@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/query"
+	"repro/internal/tuple"
+)
+
+// Fig6Config parameterizes the Figure 6 experiments. The defaults are the
+// paper's settings: H from 40 to 240 raw tuples, 5000 point queries,
+// r = 1 km, τn = 2%.
+type Fig6Config struct {
+	// WindowSizes are the H values to sweep.
+	WindowSizes []int
+	// NumQueries is the point-query count per H (paper: 5000).
+	NumQueries int
+	// Radius is r in meters (paper: 1 km).
+	Radius float64
+	// Tau is τn (paper: 0.02).
+	Tau float64
+	// JitterSigma controls how far query positions stray from the sensed
+	// corridors, in meters.
+	JitterSigma float64
+	// Repeats re-runs each timing measurement and keeps the fastest, which
+	// suppresses scheduler noise in the elapsed-time series.
+	Repeats int
+	// Seed drives workload sampling and clustering.
+	Seed int64
+}
+
+// DefaultFig6Config returns the paper's evaluation settings.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		WindowSizes: []int{40, 80, 120, 160, 200, 240},
+		NumQueries:  5000,
+		Radius:      1000,
+		Tau:         0.02,
+		JitterSigma: 150,
+		Repeats:     3,
+		Seed:        1,
+	}
+}
+
+// Fig6Row is one H value's measurements across methods.
+type Fig6Row struct {
+	H int
+	// Elapsed is the time to process all queries, per method (Fig 6a).
+	Elapsed map[Method]time.Duration
+	// BuildTime is the one-off construction cost per method (index build
+	// or Ad-KMN model estimation), reported for context.
+	BuildTime map[Method]time.Duration
+	// NRMSE is the accuracy against ground truth, in percent, for the
+	// methods Figure 6(b) plots (Ad-KMN and naive).
+	NRMSE map[Method]float64
+	// CoverSize is the number of models Ad-KMN produced.
+	CoverSize int
+	// Misses counts queries with no data in radius (fallback answered).
+	Misses map[Method]int
+}
+
+// RunFig6 executes the Figure 6 sweep over the dataset.
+func RunFig6(d *Dataset, cfg Fig6Config) ([]Fig6Row, error) {
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	rows := make([]Fig6Row, 0, len(cfg.WindowSizes))
+	for _, h := range cfg.WindowSizes {
+		// Anchor each H's window at the same stream position (just after
+		// the first day) so methods see comparable data.
+		start := len(d.Data) / 3
+		if start+h > len(d.Data) {
+			start = len(d.Data) - h
+		}
+		w, err := d.WindowOfSize(start, h)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := d.MakeWorkload(w, cfg.NumQueries, cfg.JitterSigma, cfg.Seed+int64(h))
+		if err != nil {
+			return nil, err
+		}
+		row := Fig6Row{
+			H:         h,
+			Elapsed:   make(map[Method]time.Duration),
+			BuildTime: make(map[Method]time.Duration),
+			NRMSE:     make(map[Method]float64),
+			Misses:    make(map[Method]int),
+		}
+		for _, m := range AllMethods {
+			buildStart := time.Now()
+			p, err := BuildProcessor(m, w, cfg.Radius, cfg.Tau, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("bench: H=%d method %s: %w", h, m, err)
+			}
+			row.BuildTime[m] = time.Since(buildStart)
+
+			best := time.Duration(0)
+			var est []float64
+			var misses int
+			for rep := 0; rep < cfg.Repeats; rep++ {
+				elapsed, e, miss := timeQueries(p, wl, w)
+				if rep == 0 || elapsed < best {
+					best = elapsed
+				}
+				est, misses = e, miss
+			}
+			row.Elapsed[m] = best
+			row.Misses[m] = misses
+			nrmse, err := eval.NRMSE(est, wl.Truth)
+			if err != nil {
+				return nil, err
+			}
+			row.NRMSE[m] = nrmse
+			if cp, ok := p.(*query.Cover); ok {
+				row.CoverSize = cp.CoverModel().Size()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Speedup returns how much faster Ad-KMN processed the workload than the
+// given method at this row's H.
+func (r Fig6Row) Speedup(m Method) float64 {
+	ad := r.Elapsed[MethodAdKMN]
+	if ad <= 0 {
+		return 0
+	}
+	return float64(r.Elapsed[m]) / float64(ad)
+}
+
+// PrintFig6a writes the efficiency series (Figure 6a: elapsed time vs H,
+// log-scale y in the paper).
+func PrintFig6a(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "# Figure 6(a): query-processing efficiency")
+	fmt.Fprintln(w, "# elapsed seconds for the full point-query workload")
+	fmt.Fprintf(w, "%-6s %12s %12s %12s %12s %10s %10s\n",
+		"H", "ad-kmn", "vp-tree", "r-tree", "naive", "vs vp", "vs naive")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %12.6f %12.6f %12.6f %12.6f %9.1fx %9.1fx\n",
+			r.H,
+			r.Elapsed[MethodAdKMN].Seconds(),
+			r.Elapsed[MethodVPTree].Seconds(),
+			r.Elapsed[MethodRTree].Seconds(),
+			r.Elapsed[MethodNaive].Seconds(),
+			r.Speedup(MethodVPTree),
+			r.Speedup(MethodNaive))
+	}
+}
+
+// PrintFig6b writes the accuracy series (Figure 6b: NRMSE vs H for Ad-KMN
+// and naive; the index methods match naive exactly and are omitted, as in
+// the paper).
+func PrintFig6b(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "# Figure 6(b): accuracy (NRMSE %, lower is better)")
+	fmt.Fprintf(w, "%-6s %10s %10s %8s\n", "H", "ad-kmn", "naive", "models")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %10.2f %10.2f %8d\n",
+			r.H, r.NRMSE[MethodAdKMN], r.NRMSE[MethodNaive], r.CoverSize)
+	}
+}
+
+// windowMeanAbsolute is a tiny helper kept for tests.
+func windowMeanAbsolute(w tuple.Batch) float64 {
+	m, _ := w.MeanValue()
+	return m
+}

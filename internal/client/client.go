@@ -1,0 +1,176 @@
+// Package client implements the mobile object v_q: the smartphone (or
+// vehicle) that registers a continuous query and receives pollution values
+// as it moves (§2.2–2.3). Two strategies are provided, matching the two
+// arms of the bandwidth experiment (Figure 7b):
+//
+//   - Baseline: every query tuple is a request/response round trip; the
+//     server interpolates and returns ŝ_l.
+//   - ModelCache: the client fetches the model cover (t_n, µ, M) once,
+//     answers locally while t_l ≤ t_n, and refreshes only on expiry.
+//
+// Both strategies run over a Transport, normally the simulated cellular
+// link, which accounts every byte and second the device would spend.
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/netsim"
+	"repro/internal/query"
+	"repro/internal/wire"
+)
+
+// Handler is the server side of the protocol (implemented by
+// server.Engine).
+type Handler interface {
+	HandleMessage(req wire.Message) wire.Message
+}
+
+// Transport carries protocol messages between client and server,
+// accounting link usage.
+type Transport interface {
+	// Exchange performs one request/response round trip.
+	Exchange(req wire.Message) (wire.Message, error)
+}
+
+// LinkTransport is a Transport over a simulated cellular link: requests
+// and responses are encoded with a codec, their sizes charged to the link,
+// and the handler invoked in-process.
+type LinkTransport struct {
+	Link    *netsim.Link
+	Codec   wire.Codec
+	Handler Handler
+}
+
+// Exchange implements Transport.
+func (t *LinkTransport) Exchange(req wire.Message) (wire.Message, error) {
+	reqData, err := t.Codec.Encode(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	resp := t.Handler.HandleMessage(req)
+	respData, err := t.Codec.Encode(resp)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode response: %w", err)
+	}
+	if _, err := t.Link.Exchange(len(reqData), len(respData)); err != nil {
+		return nil, err
+	}
+	// Decode the response as the device would, so malformed server output
+	// surfaces as an error rather than silently passing a Go value along.
+	decoded, err := t.Codec.Decode(respData)
+	if err != nil {
+		return nil, fmt.Errorf("client: decode response: %w", err)
+	}
+	return decoded, nil
+}
+
+// Answer is one delivered pollution update.
+type Answer struct {
+	Q     query.Q
+	Value float64
+	// Local reports whether the value was computed on the device from the
+	// cached model cover (true) or by the server (false).
+	Local bool
+}
+
+// Strategy answers a stream of query tuples.
+type Strategy interface {
+	// Name labels the strategy in reports.
+	Name() string
+	// Query answers one query tuple.
+	Query(q query.Q) (Answer, error)
+}
+
+// Baseline is the §2.3 baseline: one round trip per query tuple.
+type Baseline struct {
+	transport Transport
+}
+
+// NewBaseline returns the baseline strategy over a transport.
+func NewBaseline(t Transport) *Baseline { return &Baseline{transport: t} }
+
+// Name implements Strategy.
+func (b *Baseline) Name() string { return "baseline" }
+
+// Query implements Strategy.
+func (b *Baseline) Query(q query.Q) (Answer, error) {
+	resp, err := b.transport.Exchange(wire.QueryRequest{T: q.T, X: q.X, Y: q.Y})
+	if err != nil {
+		return Answer{}, err
+	}
+	switch m := resp.(type) {
+	case wire.QueryResponse:
+		return Answer{Q: q, Value: m.Value, Local: false}, nil
+	case wire.ErrorResponse:
+		return Answer{}, fmt.Errorf("client: server error: %s", m.Msg)
+	default:
+		return Answer{}, fmt.Errorf("client: unexpected response %T", resp)
+	}
+}
+
+// ModelCache is the paper's bandwidth-optimized strategy.
+type ModelCache struct {
+	transport Transport
+	cache     *cache.Cache
+}
+
+// NewModelCache returns the model-cache strategy over a transport.
+func NewModelCache(t Transport) *ModelCache {
+	return &ModelCache{transport: t, cache: cache.New()}
+}
+
+// Name implements Strategy.
+func (m *ModelCache) Name() string { return "model-cache" }
+
+// CacheStats exposes hit/miss counters.
+func (m *ModelCache) CacheStats() cache.Stats { return m.cache.Stats() }
+
+// Query implements Strategy: answer locally when the cached cover is valid
+// at t_l, otherwise send a model request e_l and refresh.
+func (m *ModelCache) Query(q query.Q) (Answer, error) {
+	cv, ok := m.cache.Lookup(q.T)
+	if !ok {
+		resp, err := m.transport.Exchange(wire.ModelRequest{T: q.T})
+		if err != nil {
+			return Answer{}, err
+		}
+		switch r := resp.(type) {
+		case wire.ModelResponse:
+			cv, err = wire.CoverFromModelResponse(r)
+			if err != nil {
+				return Answer{}, err
+			}
+			m.cache.Store(cv)
+		case wire.ErrorResponse:
+			return Answer{}, fmt.Errorf("client: server error: %s", r.Msg)
+		default:
+			return Answer{}, fmt.Errorf("client: unexpected response %T", resp)
+		}
+	}
+	v, err := cv.Interpolate(q.T, q.X, q.Y)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{Q: q, Value: v, Local: ok}, nil
+}
+
+// RunContinuous drives a strategy through a full continuous query — the
+// mobile object transmitting query tuples at its uniform interval — and
+// returns the answers.
+func RunContinuous(s Strategy, qs []query.Q) ([]Answer, error) {
+	if len(qs) == 0 {
+		return nil, errors.New("client: empty query stream")
+	}
+	out := make([]Answer, len(qs))
+	for i, q := range qs {
+		a, err := s.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("client: query %d: %w", i, err)
+		}
+		out[i] = a
+	}
+	return out, nil
+}

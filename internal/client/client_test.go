@@ -1,0 +1,211 @@
+package client
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// newStack builds a server engine over synthetic data and a link transport
+// in front of it.
+func newStack(t *testing.T, codec wire.Codec) (*server.Engine, *netsim.Link, Transport) {
+	t.Helper()
+	st := store.MustOpenMemory(3600)
+	rng := rand.New(rand.NewSource(1))
+	var b tuple.Batch
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 400; i++ {
+			x, y := rng.Float64()*2000, rng.Float64()*2000
+			b = append(b, tuple.Raw{
+				T: float64(c)*3600 + rng.Float64()*3600,
+				X: x, Y: y,
+				S: 430 + 0.04*x + 0.01*y,
+			})
+		}
+	}
+	if err := st.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	eng := server.NewEngine(st, core.Config{Cluster: cluster.Config{Seed: 3}})
+	link, err := netsim.NewLink(netsim.GPRS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, link, &LinkTransport{Link: link, Codec: codec, Handler: eng}
+}
+
+// walkQueries generates n query tuples pacing through time at dt seconds,
+// walking within the data region.
+func walkQueries(n int, dt float64) []query.Q {
+	qs := make([]query.Q, n)
+	rng := rand.New(rand.NewSource(9))
+	x, y := 500.0, 500.0
+	for i := range qs {
+		x += rng.NormFloat64() * 30
+		y += rng.NormFloat64() * 30
+		x = math.Max(0, math.Min(2000, x))
+		y = math.Max(0, math.Min(2000, y))
+		qs[i] = query.Q{T: float64(i) * dt, X: x, Y: y}
+	}
+	return qs
+}
+
+func TestBaselineAnswersMatchServer(t *testing.T) {
+	eng, _, tr := newStack(t, wire.Binary)
+	b := NewBaseline(tr)
+	qs := walkQueries(50, 60)
+	answers, err := RunContinuous(b, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range answers {
+		want, err := eng.PointQuery(qs[i].T, qs[i].X, qs[i].Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Value-want) > 1e-9 {
+			t.Fatalf("query %d: %v vs server %v", i, a.Value, want)
+		}
+		if a.Local {
+			t.Fatalf("baseline answer %d claims to be local", i)
+		}
+	}
+}
+
+func TestModelCacheAnswersMatchServer(t *testing.T) {
+	eng, _, tr := newStack(t, wire.Binary)
+	mc := NewModelCache(tr)
+	qs := walkQueries(50, 60)
+	answers, err := RunContinuous(mc, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range answers {
+		want, err := eng.PointQuery(qs[i].T, qs[i].X, qs[i].Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Value-want) > 1e-9 {
+			t.Fatalf("query %d: %v vs server %v", i, a.Value, want)
+		}
+	}
+	// First answer is a fetch; the rest of the same window are local.
+	if answers[0].Local {
+		t.Error("first query should have fetched")
+	}
+	if !answers[1].Local {
+		t.Error("second query should be local")
+	}
+}
+
+func TestModelCacheRefetchesAcrossWindows(t *testing.T) {
+	_, _, tr := newStack(t, wire.Binary)
+	mc := NewModelCache(tr)
+	// 90 queries spaced 120 s apart cross from window 0 (0..3600) into
+	// windows 1 and 2 (data ends at 10800): exactly 3 fetches.
+	qs := walkQueries(90, 120)
+	if _, err := RunContinuous(mc, qs); err != nil {
+		t.Fatal(err)
+	}
+	st := mc.CacheStats()
+	if st.Refreshes != 3 {
+		t.Errorf("Refreshes = %d, want 3 (one per window crossed)", st.Refreshes)
+	}
+	if st.Misses != 3 || st.Hits != 87 {
+		t.Errorf("hits/misses = %d/%d, want 87/3", st.Hits, st.Misses)
+	}
+}
+
+func TestModelCacheSavesBandwidth(t *testing.T) {
+	// The Figure 7(b) property, at unit-test scale: two orders of
+	// magnitude fewer bytes sent, and far less air time.
+	_, linkB, trB := newStack(t, wire.Binary)
+	qs := walkQueries(100, 30) // all within window 0
+	if _, err := RunContinuous(NewBaseline(trB), qs); err != nil {
+		t.Fatal(err)
+	}
+	baseStats := linkB.Stats()
+
+	_, linkM, trM := newStack(t, wire.Binary)
+	if _, err := RunContinuous(NewModelCache(trM), qs); err != nil {
+		t.Fatal(err)
+	}
+	cacheStats := linkM.Stats()
+
+	if cacheStats.Exchanges != 1 {
+		t.Fatalf("model-cache exchanges = %d, want 1", cacheStats.Exchanges)
+	}
+	if baseStats.Exchanges != 100 {
+		t.Fatalf("baseline exchanges = %d, want 100", baseStats.Exchanges)
+	}
+	sentRatio := float64(baseStats.SentBytes) / float64(cacheStats.SentBytes)
+	if sentRatio < 50 {
+		t.Errorf("sent ratio = %.1f, want ≥ 50", sentRatio)
+	}
+	timeRatio := baseStats.SimSeconds / cacheStats.SimSeconds
+	if timeRatio < 50 {
+		t.Errorf("time ratio = %.1f, want ≥ 50", timeRatio)
+	}
+	if baseStats.ReceivedBytes <= cacheStats.ReceivedBytes {
+		t.Errorf("baseline received %d should exceed model-cache %d",
+			baseStats.ReceivedBytes, cacheStats.ReceivedBytes)
+	}
+}
+
+func TestServerErrorPropagates(t *testing.T) {
+	_, _, tr := newStack(t, wire.Binary)
+	b := NewBaseline(tr)
+	if _, err := b.Query(query.Q{T: 1e12}); err == nil {
+		t.Error("query in empty window should error")
+	}
+	mc := NewModelCache(tr)
+	if _, err := mc.Query(query.Q{T: 1e12}); err == nil {
+		t.Error("model fetch for empty window should error")
+	}
+}
+
+func TestRunContinuousEmpty(t *testing.T) {
+	_, _, tr := newStack(t, wire.Binary)
+	if _, err := RunContinuous(NewBaseline(tr), nil); err == nil {
+		t.Error("empty stream should error")
+	}
+}
+
+func TestJSONCodecWorksEndToEnd(t *testing.T) {
+	eng, link, tr := newStack(t, wire.JSON)
+	mc := NewModelCache(tr)
+	qs := walkQueries(10, 30)
+	answers, err := RunContinuous(mc, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.PointQuery(qs[5].T, qs[5].X, qs[5].Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(answers[5].Value-want) > 1e-9 {
+		t.Errorf("JSON stack: %v vs %v", answers[5].Value, want)
+	}
+	if link.Stats().Exchanges != 1 {
+		t.Errorf("exchanges = %d, want 1", link.Stats().Exchanges)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	_, _, tr := newStack(t, wire.Binary)
+	if NewBaseline(tr).Name() != "baseline" {
+		t.Error("baseline name")
+	}
+	if NewModelCache(tr).Name() != "model-cache" {
+		t.Error("model-cache name")
+	}
+}

@@ -1,0 +1,237 @@
+// Package cluster implements the k-means machinery underlying the paper's
+// Ad-KMN algorithm (§2.1): k-means++ seeding, Lloyd iterations, nearest-
+// centroid assignment, and incremental centroid addition (Ad-KMN grows the
+// centroid set by "introducing an additional cluster centroid" in regions
+// whose model error exceeds the threshold and then re-estimating all
+// centroids).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+)
+
+// Config controls a k-means run.
+type Config struct {
+	// MaxIterations bounds the Lloyd iterations (default 50).
+	MaxIterations int
+	// Tolerance stops iteration when no centroid moves more than this many
+	// meters (default 0.5 m).
+	Tolerance float64
+	// Seed makes runs deterministic; the same seed yields the same
+	// clustering for the same input.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 50
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.5
+	}
+	return c
+}
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	// Centroids are the final cluster centers µ_1..µ_k.
+	Centroids []geo.Point
+	// Assign maps each input point index to its centroid index.
+	Assign []int
+	// Sizes counts points per cluster.
+	Sizes []int
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	// Inertia is the sum of squared point-to-centroid distances.
+	Inertia float64
+}
+
+// Run clusters pts into k clusters using k-means++ seeding followed by
+// Lloyd iterations. It requires 1 ≤ k ≤ len(pts).
+func Run(pts []geo.Point, k int, cfg Config) (*Result, error) {
+	if err := validate(pts, k); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centroids := seedPlusPlus(pts, k, rng)
+	return lloyd(pts, centroids, cfg)
+}
+
+// Refine runs Lloyd iterations starting from the provided centroids. This
+// is the Ad-KMN "re-estimate all the centroids" step: after new centroids
+// are injected at high-error positions, the full set is refined together.
+// Empty clusters are re-seeded at the point farthest from its centroid, so
+// the result always has exactly len(start) non-empty clusters when
+// len(pts) ≥ len(start).
+func Refine(pts []geo.Point, start []geo.Point, cfg Config) (*Result, error) {
+	if err := validate(pts, len(start)); err != nil {
+		return nil, err
+	}
+	centroids := make([]geo.Point, len(start))
+	copy(centroids, start)
+	return lloyd(pts, centroids, cfg.withDefaults())
+}
+
+func validate(pts []geo.Point, k int) error {
+	if len(pts) == 0 {
+		return errors.New("cluster: no points")
+	}
+	if k < 1 {
+		return fmt.Errorf("cluster: k = %d, want ≥ 1", k)
+	}
+	if k > len(pts) {
+		return fmt.Errorf("cluster: k = %d exceeds point count %d", k, len(pts))
+	}
+	return nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ strategy:
+// the first uniformly, each subsequent one with probability proportional
+// to its squared distance from the nearest chosen centroid.
+func seedPlusPlus(pts []geo.Point, k int, rng *rand.Rand) []geo.Point {
+	centroids := make([]geo.Point, 0, k)
+	centroids = append(centroids, pts[rng.Intn(len(pts))])
+	d2 := make([]float64, len(pts))
+	for i, p := range pts {
+		d2[i] = p.Dist2(centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next geo.Point
+		if total <= 0 {
+			// All points coincide with existing centroids; any point works.
+			next = pts[rng.Intn(len(pts))]
+		} else {
+			target := rng.Float64() * total
+			idx := len(pts) - 1
+			var acc float64
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+			next = pts[idx]
+		}
+		centroids = append(centroids, next)
+		for i, p := range pts {
+			if d := p.Dist2(next); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// lloyd iterates assignment and centroid-update steps until convergence.
+func lloyd(pts []geo.Point, centroids []geo.Point, cfg Config) (*Result, error) {
+	k := len(centroids)
+	assign := make([]int, len(pts))
+	sizes := make([]int, k)
+	sumX := make([]float64, k)
+	sumY := make([]float64, k)
+
+	var iter int
+	for iter = 0; iter < cfg.MaxIterations; iter++ {
+		// Assignment step.
+		for i := range sizes {
+			sizes[i], sumX[i], sumY[i] = 0, 0, 0
+		}
+		for i, p := range pts {
+			assign[i] = Nearest(centroids, p)
+			c := assign[i]
+			sizes[c]++
+			sumX[c] += p.X
+			sumY[c] += p.Y
+		}
+		// Update step.
+		maxMove := 0.0
+		for c := 0; c < k; c++ {
+			var next geo.Point
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster at the globally worst-served
+				// point to keep exactly k active clusters.
+				next = farthestPoint(pts, centroids, assign)
+			} else {
+				next = geo.Point{X: sumX[c] / float64(sizes[c]), Y: sumY[c] / float64(sizes[c])}
+			}
+			if move := next.Dist(centroids[c]); move > maxMove {
+				maxMove = move
+			}
+			centroids[c] = next
+		}
+		if maxMove <= cfg.Tolerance {
+			iter++
+			break
+		}
+	}
+
+	// Final assignment with the converged centroids.
+	for i := range sizes {
+		sizes[i] = 0
+	}
+	var inertia float64
+	for i, p := range pts {
+		assign[i] = Nearest(centroids, p)
+		sizes[assign[i]]++
+		inertia += p.Dist2(centroids[assign[i]])
+	}
+	return &Result{
+		Centroids:  centroids,
+		Assign:     assign,
+		Sizes:      sizes,
+		Iterations: iter,
+		Inertia:    inertia,
+	}, nil
+}
+
+// farthestPoint returns the point with the largest distance to its
+// currently assigned centroid.
+func farthestPoint(pts []geo.Point, centroids []geo.Point, assign []int) geo.Point {
+	best := pts[0]
+	bestD := -1.0
+	for i, p := range pts {
+		d := p.Dist2(centroids[assign[i]])
+		if d > bestD {
+			bestD, best = d, p
+		}
+	}
+	return best
+}
+
+// Nearest returns the index of the centroid closest to p. It is the
+// primitive both the server-side model-cover lookup and the smartphone
+// model-cache use to pick M* (§2.2, §2.3). centroids must be non-empty.
+func Nearest(centroids []geo.Point, p geo.Point) int {
+	best := 0
+	bestD := centroids[0].Dist2(p)
+	for i := 1; i < len(centroids); i++ {
+		if d := centroids[i].Dist2(p); d < bestD {
+			bestD, best = d, i
+		}
+	}
+	return best
+}
+
+// Inertia computes the sum of squared distances from each point to its
+// nearest centroid — the k-means objective.
+func Inertia(pts []geo.Point, centroids []geo.Point) float64 {
+	if len(centroids) == 0 {
+		return math.Inf(1)
+	}
+	var total float64
+	for _, p := range pts {
+		total += p.Dist2(centroids[Nearest(centroids, p)])
+	}
+	return total
+}

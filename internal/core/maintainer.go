@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// Maintainer keeps model covers for the windows of a store, building each
+// window's cover at most once and serving cached covers afterwards. It is
+// the component at the center of Figure 1: raw tuples flow into the
+// database, and the adaptive modeling layer maintains the `model_cover`
+// abstraction the query processor reads.
+//
+// Maintainer is safe for concurrent use; concurrent requests for the same
+// window build the cover once.
+type Maintainer struct {
+	st  *store.Store
+	cfg Config
+
+	mu       sync.Mutex
+	covers   map[int]*Cover
+	building map[int]*buildState
+}
+
+type buildState struct {
+	done  chan struct{}
+	cover *Cover
+	err   error
+}
+
+// NewMaintainer returns a maintainer over st with the given Ad-KMN
+// configuration.
+func NewMaintainer(st *store.Store, cfg Config) *Maintainer {
+	return &Maintainer{
+		st:       st,
+		cfg:      cfg,
+		covers:   make(map[int]*Cover),
+		building: make(map[int]*buildState),
+	}
+}
+
+// CoverFor returns the model cover for window c, building it on first use.
+func (m *Maintainer) CoverFor(c int) (*Cover, error) {
+	m.mu.Lock()
+	if cv, ok := m.covers[c]; ok {
+		m.mu.Unlock()
+		return cv, nil
+	}
+	if bs, ok := m.building[c]; ok {
+		m.mu.Unlock()
+		<-bs.done
+		return bs.cover, bs.err
+	}
+	bs := &buildState{done: make(chan struct{})}
+	m.building[c] = bs
+	m.mu.Unlock()
+
+	w := m.st.Window(c)
+	var cv *Cover
+	var err error
+	if len(w) == 0 {
+		err = fmt.Errorf("core: window %d is empty", c)
+	} else {
+		cv, err = BuildCover(w, c, m.st.WindowLength(), m.cfg)
+	}
+	bs.cover, bs.err = cv, err
+
+	m.mu.Lock()
+	if err == nil {
+		m.covers[c] = cv
+	}
+	delete(m.building, c)
+	m.mu.Unlock()
+	close(bs.done)
+	return cv, err
+}
+
+// CoverAt returns the cover for the window containing stream time t.
+func (m *Maintainer) CoverAt(t float64) (*Cover, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("core: negative query time %v", t)
+	}
+	_, c := m.st.WindowAt(t)
+	return m.CoverFor(c)
+}
+
+// Invalidate drops the cached cover for window c (e.g. after late tuples
+// arrive for a window that was already modeled).
+func (m *Maintainer) Invalidate(c int) {
+	m.mu.Lock()
+	delete(m.covers, c)
+	m.mu.Unlock()
+}
+
+// Snapshot returns the currently cached covers keyed by window index, for
+// persistence.
+func (m *Maintainer) Snapshot() map[int]*Cover {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]*Cover, len(m.covers))
+	for c, cv := range m.covers {
+		out[c] = cv
+	}
+	return out
+}
+
+// Prime seeds the cache with previously persisted covers (warm restart).
+// Existing entries for the same windows are replaced.
+func (m *Maintainer) Prime(covers map[int]*Cover) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for c, cv := range covers {
+		if cv != nil && cv.Size() > 0 {
+			m.covers[c] = cv
+		}
+	}
+}
+
+// CachedWindows returns the indexes of windows with cached covers.
+func (m *Maintainer) CachedWindows() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.covers))
+	for c := range m.covers {
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
+	"repro/internal/tuple"
+)
+
+func clusterSeed(seed int64) cluster.Config { return cluster.Config{Seed: seed} }
+
+func fillStore(t *testing.T, h float64, windows int, perWindow int) *store.Store {
+	t.Helper()
+	st := store.MustOpenMemory(h)
+	rng := rand.New(rand.NewSource(42))
+	for c := 0; c < windows; c++ {
+		b := make(tuple.Batch, perWindow)
+		start := float64(c) * h
+		for i := range b {
+			b[i] = tuple.Raw{
+				T: start + rng.Float64()*h,
+				X: rng.Float64() * 2000,
+				Y: rng.Float64() * 2000,
+				S: 400 + rng.Float64()*100,
+			}
+		}
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestMaintainerBuildsAndCaches(t *testing.T) {
+	st := fillStore(t, 100, 3, 50)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(1)})
+	cv1, err := m.CoverFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv1.WindowIndex != 1 {
+		t.Errorf("WindowIndex = %d, want 1", cv1.WindowIndex)
+	}
+	cv1b, err := m.CoverFor(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv1 != cv1b {
+		t.Error("second CoverFor should return the cached pointer")
+	}
+	if got := m.CachedWindows(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("CachedWindows = %v", got)
+	}
+}
+
+func TestMaintainerCoverAt(t *testing.T) {
+	st := fillStore(t, 100, 3, 50)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(2)})
+	cv, err := m.CoverAt(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.WindowIndex != 2 {
+		t.Errorf("WindowIndex = %d, want 2", cv.WindowIndex)
+	}
+	if !cv.ValidAt(250) {
+		t.Error("cover must be valid at its query time")
+	}
+	if _, err := m.CoverAt(-5); err == nil {
+		t.Error("expected error for negative time")
+	}
+}
+
+func TestMaintainerEmptyWindow(t *testing.T) {
+	st := fillStore(t, 100, 2, 10)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(3)})
+	if _, err := m.CoverFor(99); err == nil {
+		t.Error("expected error for empty window")
+	}
+	// Errors are not cached: a later fill must succeed.
+	b := tuple.Batch{{T: 9950, X: 1, Y: 1, S: 400}}
+	if err := st.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CoverFor(99); err != nil {
+		t.Errorf("cover after late fill: %v", err)
+	}
+}
+
+func TestMaintainerInvalidate(t *testing.T) {
+	st := fillStore(t, 100, 1, 30)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(4)})
+	cv1, err := m.CoverFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Invalidate(0)
+	cv2, err := m.CoverFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv1 == cv2 {
+		t.Error("Invalidate should force a rebuild")
+	}
+}
+
+func TestMaintainerConcurrentSingleBuild(t *testing.T) {
+	st := fillStore(t, 100, 1, 2000)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(5)})
+	const goroutines = 16
+	covers := make([]*Cover, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cv, err := m.CoverFor(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			covers[g] = cv
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if covers[g] != covers[0] {
+			t.Fatal("concurrent CoverFor returned different covers; build must be deduplicated")
+		}
+	}
+}

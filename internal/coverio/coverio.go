@@ -1,0 +1,169 @@
+// Package coverio persists model covers to disk so a restarted server
+// serves queries immediately instead of re-running Ad-KMN over every
+// window — the model_cover table of Figure 1 made durable, next to the
+// store's raw-tuple segments.
+//
+// File format (little endian):
+//
+//	magic   uint32  "EMCV"
+//	count   uint32
+//	count × {
+//	    window  int64    window index c
+//	    length  uint32   payload bytes
+//	    payload []byte   wire.Binary-encoded ModelResponse
+//	    crc     uint32   CRC-32 (IEEE) of payload
+//	}
+//
+// Covers round-trip through the same wire form the model-cache protocol
+// ships, so persistence exercises exactly one serialization path.
+package coverio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+const magic = 0x454d4356 // "EMCV"
+
+// ErrCorrupt is returned for malformed snapshot files.
+var ErrCorrupt = errors.New("coverio: corrupt snapshot")
+
+// Write serializes covers (keyed by window index) to w.
+func Write(w io.Writer, covers map[int]*core.Cover) error {
+	idxs := make([]int, 0, len(covers))
+	for c := range covers {
+		idxs = append(idxs, c)
+	}
+	sort.Ints(idxs)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(idxs)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, c := range idxs {
+		resp, err := wire.ModelResponseFromCover(covers[c])
+		if err != nil {
+			return fmt.Errorf("coverio: window %d: %w", c, err)
+		}
+		payload, err := wire.Binary.Encode(resp)
+		if err != nil {
+			return fmt.Errorf("coverio: window %d: %w", c, err)
+		}
+		var rec [12]byte
+		binary.LittleEndian.PutUint64(rec[0:], uint64(int64(c)))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(len(payload)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+		if _, err := w.Write(crc[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read deserializes a snapshot.
+func Read(r io.Reader) (map[int]*core.Cover, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	count := binary.LittleEndian.Uint32(hdr[4:])
+	const maxCovers = 1 << 20
+	if count > maxCovers {
+		return nil, fmt.Errorf("%w: %d covers", ErrCorrupt, count)
+	}
+	out := make(map[int]*core.Cover, count)
+	for i := uint32(0); i < count; i++ {
+		var rec [12]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d header: %v", ErrCorrupt, i, err)
+		}
+		c := int(int64(binary.LittleEndian.Uint64(rec[0:])))
+		n := binary.LittleEndian.Uint32(rec[8:])
+		if n > 16<<20 {
+			return nil, fmt.Errorf("%w: record %d claims %d bytes", ErrCorrupt, i, n)
+		}
+		payload := make([]byte, n+4)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("%w: record %d payload: %v", ErrCorrupt, i, err)
+		}
+		body := payload[:n]
+		wantCRC := binary.LittleEndian.Uint32(payload[n:])
+		if crc32.ChecksumIEEE(body) != wantCRC {
+			return nil, fmt.Errorf("%w: record %d checksum", ErrCorrupt, i)
+		}
+		msg, err := wire.Binary.Decode(body)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrCorrupt, i, err)
+		}
+		resp, ok := msg.(wire.ModelResponse)
+		if !ok {
+			return nil, fmt.Errorf("%w: record %d is a %T", ErrCorrupt, i, msg)
+		}
+		cv, err := wire.CoverFromModelResponse(resp)
+		if err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrCorrupt, i, err)
+		}
+		cv.WindowIndex = c
+		out[c] = cv
+	}
+	return out, nil
+}
+
+// Save writes a snapshot atomically: to a temp file in the same
+// directory, fsynced, then renamed over path.
+func Save(path string, covers map[int]*core.Cover) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, covers); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a snapshot from path. A missing file yields an empty map and
+// no error: a cold start is not a failure.
+func Load(path string) (map[int]*core.Cover, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return map[int]*core.Cover{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,218 @@
+package coverio
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/tuple"
+)
+
+func buildCovers(t *testing.T, windows int) map[int]*core.Cover {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	out := make(map[int]*core.Cover, windows)
+	for c := 0; c < windows; c++ {
+		w := make(tuple.Batch, 150)
+		for i := range w {
+			x, y := rng.Float64()*2000, rng.Float64()*2000
+			w[i] = tuple.Raw{
+				T: float64(c)*600 + rng.Float64()*600,
+				X: x, Y: y,
+				S: 420 + 0.04*x + 0.01*y,
+			}
+		}
+		cv, err := core.BuildCover(w, c, 600, core.Config{Cluster: cluster.Config{Seed: int64(c)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[c] = cv
+	}
+	return out
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	covers := buildCovers(t, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, covers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(covers) {
+		t.Fatalf("got %d covers, want %d", len(got), len(covers))
+	}
+	for c, want := range covers {
+		cv, ok := got[c]
+		if !ok {
+			t.Fatalf("window %d missing", c)
+		}
+		if cv.WindowIndex != c || cv.Size() != want.Size() {
+			t.Fatalf("window %d: index=%d size=%d want size=%d",
+				c, cv.WindowIndex, cv.Size(), want.Size())
+		}
+		if cv.ValidUntil != want.ValidUntil {
+			t.Errorf("window %d: t_n %v vs %v", c, cv.ValidUntil, want.ValidUntil)
+		}
+		// Interpolation must agree with the original.
+		for trial := 0; trial < 10; trial++ {
+			x, y := float64(trial*150), float64(trial*120)
+			tm := float64(c)*600 + float64(trial)*50
+			a, err1 := want.Interpolate(tm, x, y)
+			b, err2 := cv.Interpolate(tm, x, y)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("interpolate: %v %v", err1, err2)
+			}
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("window %d: %v vs %v", c, a, b)
+			}
+		}
+	}
+}
+
+func TestEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty snapshot read %d covers", len(got))
+	}
+}
+
+func TestReadCorruption(t *testing.T) {
+	covers := buildCovers(t, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, covers); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string]func([]byte) []byte{
+		"bad magic":    func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"flipped byte": func(b []byte) []byte { b[30] ^= 0xFF; return b },
+		"truncated":    func(b []byte) []byte { return b[:len(b)-7] },
+		"short header": func(b []byte) []byte { return b[:5] },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			bad := corrupt(append([]byte(nil), good...))
+			if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("want ErrCorrupt, got %v", err)
+			}
+		})
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "covers.emcv")
+	covers := buildCovers(t, 2)
+	if err := Save(path, covers); err != nil {
+		t.Fatal(err)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("temp file not cleaned up")
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("loaded %d covers", len(got))
+	}
+	// Overwrite with fewer covers; load reflects the new snapshot.
+	if err := Save(path, map[int]*core.Cover{0: covers[0]}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("after overwrite loaded %d covers", len(got))
+	}
+}
+
+func TestLoadMissingFileIsColdStart(t *testing.T) {
+	got, err := Load(filepath.Join(t.TempDir(), "absent.emcv"))
+	if err != nil {
+		t.Fatalf("missing file should not error: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d covers from nothing", len(got))
+	}
+}
+
+func TestMaintainerPrimeIntegration(t *testing.T) {
+	// Persist covers from one maintainer, prime another, and confirm the
+	// primed one serves them without rebuilding.
+	covers := buildCovers(t, 2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "covers.emcv")
+	if err := Save(path, covers); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.MustOpenMemory(600)
+	m := core.NewMaintainer(st, core.Config{})
+	m.Prime(loaded)
+	// The store is empty, so a cache miss would fail; a hit proves the
+	// primed cover was used.
+	cv, err := m.CoverFor(1)
+	if err != nil {
+		t.Fatalf("primed cover not served: %v", err)
+	}
+	if cv.Size() != covers[1].Size() {
+		t.Errorf("size %d, want %d", cv.Size(), covers[1].Size())
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	covers := buildCovers(t, 1)
+	// Destination directory does not exist.
+	if err := Save(filepath.Join(t.TempDir(), "no", "such", "dir", "c.emcv"), covers); err == nil {
+		t.Error("Save into missing directory should error")
+	}
+	// A cover that cannot be serialized (no regions) aborts the write and
+	// cleans up the temp file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.emcv")
+	if err := Save(path, map[int]*core.Cover{0: {}}); err == nil {
+		t.Error("Save of empty cover should error")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Error("failed Save left the destination file")
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("failed Save left the temp file")
+	}
+}
+
+func TestLoadUnreadable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.emcv")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("loading garbage should error")
+	}
+}

@@ -1,0 +1,62 @@
+package eval
+
+import "repro/internal/tuple"
+
+// This file generalizes the CO2 display classification to the other
+// pollutants the OpenSense buses carry (§2.2: "the sensor value could be
+// any of the pollutants that are typically monitored: carbon dioxide,
+// carbon monoxide, suspended particulate matter").
+
+// ClassifyPollutant returns the display band for a concentration of the
+// given pollutant, on the same five-band green-to-red scale as CO2.
+//
+// CO bands follow the EPA AQI breakpoints for 8-hour CO (ppm); PM bands
+// follow the 24-hour PM10 breakpoints (µg/m³). Unknown pollutants
+// classify conservatively by fraction of their normal range.
+func ClassifyPollutant(p tuple.Pollutant, value float64) CO2Band {
+	switch p {
+	case tuple.CO2:
+		return ClassifyCO2(value)
+	case tuple.CO:
+		switch {
+		case value < 4.5:
+			return BandFresh
+		case value < 9.5:
+			return BandAcceptable
+		case value < 12.5:
+			return BandDrowsy
+		case value < 15.5:
+			return BandPoor
+		default:
+			return BandHazardous
+		}
+	case tuple.PM:
+		switch {
+		case value < 55:
+			return BandFresh
+		case value < 155:
+			return BandAcceptable
+		case value < 255:
+			return BandDrowsy
+		case value < 355:
+			return BandPoor
+		default:
+			return BandHazardous
+		}
+	default:
+		lo, hi := p.NormalRange()
+		f := (value - lo) / (hi - lo)
+		switch {
+		case f < 0.2:
+			return BandFresh
+		case f < 0.4:
+			return BandAcceptable
+		case f < 0.6:
+			return BandDrowsy
+		case f < 0.8:
+			return BandPoor
+		default:
+			return BandHazardous
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestClassifyPollutantCO(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want CO2Band
+	}{
+		{0, BandFresh},
+		{4.4, BandFresh},
+		{4.5, BandAcceptable},
+		{9.4, BandAcceptable},
+		{9.5, BandDrowsy},
+		{12.4, BandDrowsy},
+		{12.5, BandPoor},
+		{15.4, BandPoor},
+		{15.5, BandHazardous},
+		{100, BandHazardous},
+	}
+	for _, tt := range cases {
+		if got := ClassifyPollutant(tuple.CO, tt.v); got != tt.want {
+			t.Errorf("CO %v: %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyPollutantPM(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want CO2Band
+	}{
+		{10, BandFresh},
+		{54, BandFresh},
+		{55, BandAcceptable},
+		{154, BandAcceptable},
+		{155, BandDrowsy},
+		{254, BandDrowsy},
+		{255, BandPoor},
+		{354, BandPoor},
+		{355, BandHazardous},
+	}
+	for _, tt := range cases {
+		if got := ClassifyPollutant(tuple.PM, tt.v); got != tt.want {
+			t.Errorf("PM %v: %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyPollutantCO2Delegates(t *testing.T) {
+	for _, v := range []float64{400, 800, 1500, 3000, 8000} {
+		if got, want := ClassifyPollutant(tuple.CO2, v), ClassifyCO2(v); got != want {
+			t.Errorf("CO2 %v: %v vs %v", v, got, want)
+		}
+	}
+}
+
+func TestClassifyPollutantUnknownRangeFractions(t *testing.T) {
+	// Unknown pollutants fall back to range-fraction bands over the
+	// pollutant's nominal [0, 1] range.
+	p := tuple.Pollutant(9)
+	cases := []struct {
+		v    float64
+		want CO2Band
+	}{
+		{0.1, BandFresh},
+		{0.3, BandAcceptable},
+		{0.5, BandDrowsy},
+		{0.7, BandPoor},
+		{0.9, BandHazardous},
+	}
+	for _, tt := range cases {
+		if got := ClassifyPollutant(p, tt.v); got != tt.want {
+			t.Errorf("unknown %v: %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestClassifyPollutantMonotone(t *testing.T) {
+	// Bands must be monotone in concentration for every pollutant.
+	for _, p := range []tuple.Pollutant{tuple.CO2, tuple.CO, tuple.PM} {
+		lo, hi := p.NormalRange()
+		prev := BandFresh
+		steps := 200
+		for i := 0; i <= steps; i++ {
+			v := lo + (hi-lo)*float64(i)/float64(steps)
+			b := ClassifyPollutant(p, v)
+			if b < prev {
+				t.Fatalf("%v: band decreased at %v: %v -> %v", p, v, prev, b)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestUnknownBandFallbacks(t *testing.T) {
+	b := CO2Band(42)
+	if b.Advice() != "Unknown CO2 level." {
+		t.Errorf("unknown Advice = %q", b.Advice())
+	}
+	r, g, bl := b.Color()
+	if r != 0x80 || g != 0x80 || bl != 0x80 {
+		t.Errorf("unknown Color = %v,%v,%v, want gray", r, g, bl)
+	}
+	// Every defined band's color is distinct.
+	seen := map[[3]uint8]bool{}
+	for _, band := range []CO2Band{BandFresh, BandAcceptable, BandDrowsy, BandPoor, BandHazardous} {
+		r, g, bl := band.Color()
+		key := [3]uint8{r, g, bl}
+		if seen[key] {
+			t.Errorf("duplicate color for %v", band)
+		}
+		seen[key] = true
+	}
+}

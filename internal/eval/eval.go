@@ -1,0 +1,182 @@
+// Package eval provides the evaluation metrics of the paper's experiments
+// — NRMSE for the accuracy comparison (Figure 6b) — together with general
+// error statistics and the OSHA CO2 classification the EnviroMeter Android
+// application displays ("an informative text indicating whether this value
+// is acceptable according to the OSHA guidelines", §3).
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors for malformed metric inputs.
+var (
+	ErrEmpty    = errors.New("eval: empty input")
+	ErrMismatch = errors.New("eval: estimate/truth length mismatch")
+)
+
+// RMSE returns the root-mean-square error of est against truth.
+func RMSE(est, truth []float64) (float64, error) {
+	if len(est) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(est) != len(truth) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrMismatch, len(est), len(truth))
+	}
+	var sse float64
+	for i := range est {
+		d := est[i] - truth[i]
+		sse += d * d
+	}
+	return math.Sqrt(sse / float64(len(est))), nil
+}
+
+// NRMSE returns the normalized root-mean-square error in percent, as
+// plotted in Figure 6(b): RMSE divided by the range of the ground-truth
+// values. For constant truth (zero range) it normalizes by |mean| instead,
+// and returns an error if that is also zero.
+func NRMSE(est, truth []float64) (float64, error) {
+	rmse, err := RMSE(est, truth)
+	if err != nil {
+		return 0, err
+	}
+	min, max := truth[0], truth[0]
+	var mean float64
+	for _, v := range truth {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+		mean += v
+	}
+	mean /= float64(len(truth))
+	span := max - min
+	if span == 0 {
+		span = math.Abs(mean)
+	}
+	if span == 0 {
+		return 0, errors.New("eval: cannot normalize against all-zero truth")
+	}
+	return 100 * rmse / span, nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(est, truth []float64) (float64, error) {
+	if len(est) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(est) != len(truth) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrMismatch, len(est), len(truth))
+	}
+	var sum float64
+	for i := range est {
+		sum += math.Abs(est[i] - truth[i])
+	}
+	return sum / float64(len(est)), nil
+}
+
+// MeanAbsPctOfRange returns the mean absolute error as a percentage of the
+// given range span — the paper's "approximation error" metric for Ad-KMN's
+// τn threshold.
+func MeanAbsPctOfRange(est, truth []float64, span float64) (float64, error) {
+	if span <= 0 {
+		return 0, fmt.Errorf("eval: span %v, want > 0", span)
+	}
+	mae, err := MAE(est, truth)
+	if err != nil {
+		return 0, err
+	}
+	return 100 * mae / span, nil
+}
+
+// CO2Band classifies a CO2 concentration for user display, green-to-red as
+// in the Android app's route markers.
+type CO2Band int
+
+// The bands follow common indoor-air-quality practice anchored on the OSHA
+// 8-hour TWA permissible exposure limit of 5000 ppm referenced by the
+// paper, with the IDLH at 40000 ppm.
+const (
+	// BandFresh is outdoor-like air (< 600 ppm).
+	BandFresh CO2Band = iota
+	// BandAcceptable is typical occupied-space air (< 1000 ppm).
+	BandAcceptable
+	// BandDrowsy is air associated with complaints of drowsiness (< 2500 ppm).
+	BandDrowsy
+	// BandPoor is air approaching the OSHA TWA limit (< 5000 ppm).
+	BandPoor
+	// BandHazardous exceeds the OSHA 8-hour TWA limit (≥ 5000 ppm).
+	BandHazardous
+)
+
+// ClassifyCO2 returns the display band for a CO2 concentration in ppm.
+func ClassifyCO2(ppm float64) CO2Band {
+	switch {
+	case ppm < 600:
+		return BandFresh
+	case ppm < 1000:
+		return BandAcceptable
+	case ppm < 2500:
+		return BandDrowsy
+	case ppm < 5000:
+		return BandPoor
+	default:
+		return BandHazardous
+	}
+}
+
+// String returns the user-facing label.
+func (b CO2Band) String() string {
+	switch b {
+	case BandFresh:
+		return "fresh"
+	case BandAcceptable:
+		return "acceptable"
+	case BandDrowsy:
+		return "drowsy"
+	case BandPoor:
+		return "poor"
+	case BandHazardous:
+		return "hazardous"
+	default:
+		return fmt.Sprintf("CO2Band(%d)", int(b))
+	}
+}
+
+// Advice returns the informative text the app shows for the band,
+// referencing the OSHA guideline the paper cites.
+func (b CO2Band) Advice() string {
+	switch b {
+	case BandFresh:
+		return "CO2 at outdoor background levels."
+	case BandAcceptable:
+		return "CO2 within typical occupied-space levels; acceptable per OSHA guidelines."
+	case BandDrowsy:
+		return "Elevated CO2; prolonged exposure may cause drowsiness."
+	case BandPoor:
+		return "High CO2, approaching the OSHA 8-hour exposure limit (5000 ppm)."
+	case BandHazardous:
+		return "CO2 exceeds the OSHA 8-hour exposure limit (5000 ppm); avoid prolonged exposure."
+	default:
+		return "Unknown CO2 level."
+	}
+}
+
+// Color returns the marker color on the app's green→red scale as an RGB
+// triple.
+func (b CO2Band) Color() (r, g, bl uint8) {
+	switch b {
+	case BandFresh:
+		return 0x2e, 0xcc, 0x40
+	case BandAcceptable:
+		return 0xa8, 0xd0, 0x2c
+	case BandDrowsy:
+		return 0xff, 0xc1, 0x07
+	case BandPoor:
+		return 0xff, 0x6d, 0x00
+	case BandHazardous:
+		return 0xd9, 0x1e, 0x18
+	default:
+		return 0x80, 0x80, 0x80
+	}
+}

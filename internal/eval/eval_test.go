@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Errorf("exact RMSE = %v, %v", got, err)
+	}
+	got, err = RMSE([]float64{3, 5}, []float64{0, 1}) // errors 3 and 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RMSE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrMismatch) {
+		t.Errorf("mismatch: %v", err)
+	}
+}
+
+func TestNRMSE(t *testing.T) {
+	// Truth spans 0..10; constant error 1 → RMSE 1 → NRMSE 10%.
+	truth := []float64{0, 5, 10}
+	est := []float64{1, 6, 11}
+	got, err := NRMSE(est, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("NRMSE = %v, want 10", got)
+	}
+	// Constant truth falls back to |mean|.
+	got, err = NRMSE([]float64{9, 11}, []float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("constant-truth NRMSE = %v, want 10", got)
+	}
+	if _, err := NRMSE([]float64{1}, []float64{0}); err == nil {
+		t.Error("all-zero truth must error")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{1, -1}, []float64{0, 0})
+	if err != nil || got != 1 {
+		t.Errorf("MAE = %v, %v", got, err)
+	}
+	if _, err := MAE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty should error")
+	}
+}
+
+func TestMeanAbsPctOfRange(t *testing.T) {
+	got, err := MeanAbsPctOfRange([]float64{465}, []float64{400}, 650)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("pct = %v, want 10", got)
+	}
+	if _, err := MeanAbsPctOfRange([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("zero span should error")
+	}
+}
+
+func TestNRMSENonNegativeProperty(t *testing.T) {
+	f := func(est, truth []float64) bool {
+		n := len(est)
+		if len(truth) < n {
+			n = len(truth)
+		}
+		if n == 0 {
+			return true
+		}
+		e, tr := make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			e[i] = math.Mod(est[i], 1e6)
+			tr[i] = math.Mod(truth[i], 1e6)
+			if math.IsNaN(e[i]) {
+				e[i] = 0
+			}
+			if math.IsNaN(tr[i]) {
+				tr[i] = 0
+			}
+		}
+		v, err := NRMSE(e, tr)
+		if err != nil {
+			return true // all-zero truth case
+		}
+		return v >= 0 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassifyCO2(t *testing.T) {
+	tests := []struct {
+		ppm  float64
+		want CO2Band
+	}{
+		{400, BandFresh},
+		{599, BandFresh},
+		{600, BandAcceptable},
+		{999, BandAcceptable},
+		{1000, BandDrowsy},
+		{2499, BandDrowsy},
+		{2500, BandPoor},
+		{4999, BandPoor},
+		{5000, BandHazardous},
+		{40000, BandHazardous},
+	}
+	for _, tt := range tests {
+		if got := ClassifyCO2(tt.ppm); got != tt.want {
+			t.Errorf("ClassifyCO2(%v) = %v, want %v", tt.ppm, got, tt.want)
+		}
+	}
+}
+
+func TestBandStringsAndColors(t *testing.T) {
+	bands := []CO2Band{BandFresh, BandAcceptable, BandDrowsy, BandPoor, BandHazardous}
+	seen := map[string]bool{}
+	for _, b := range bands {
+		s := b.String()
+		if s == "" || seen[s] {
+			t.Errorf("band %d has empty/duplicate label %q", b, s)
+		}
+		seen[s] = true
+		if b.Advice() == "" {
+			t.Errorf("band %v has no advice", b)
+		}
+	}
+	// The scale runs green → red: green channel decreases, red increases.
+	rF, gF, _ := BandFresh.Color()
+	rH, gH, _ := BandHazardous.Color()
+	if !(rF < rH && gF > gH) {
+		t.Errorf("color scale not green→red: fresh=(%d,%d) hazardous=(%d,%d)", rF, gF, rH, gH)
+	}
+	if CO2Band(99).String() != "CO2Band(99)" {
+		t.Error("unknown band String")
+	}
+}

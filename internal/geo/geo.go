@@ -1,0 +1,239 @@
+// Package geo provides the geographic primitives used throughout
+// EnviroMeter: WGS84 coordinates, a local metric projection suitable for
+// city-scale regions (the paper's region R is the city of Lausanne),
+// great-circle distances, bounding boxes, and polylines used to model bus
+// routes.
+//
+// All query processing in the paper operates on planar positions (x_i, y_i)
+// with metric radii (r = 1 km), so sensor positions are projected once at
+// ingestion time into a local equirectangular frame and all downstream code
+// works with Point values in meters.
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by the haversine formula.
+const EarthRadiusMeters = 6371008.8
+
+// LatLon is a WGS84 coordinate in degrees.
+type LatLon struct {
+	Lat float64 // degrees, positive north
+	Lon float64 // degrees, positive east
+}
+
+// Lausanne is the reference origin of the paper's deployment region: the
+// OpenSense buses operate in Lausanne, Switzerland.
+var Lausanne = LatLon{Lat: 46.5197, Lon: 6.6323}
+
+// Valid reports whether the coordinate lies in the WGS84 domain.
+func (c LatLon) Valid() bool {
+	return c.Lat >= -90 && c.Lat <= 90 && c.Lon >= -180 && c.Lon <= 180 &&
+		!math.IsNaN(c.Lat) && !math.IsNaN(c.Lon)
+}
+
+func (c LatLon) String() string {
+	return fmt.Sprintf("(%.6f, %.6f)", c.Lat, c.Lon)
+}
+
+// HaversineMeters returns the great-circle distance between two coordinates.
+func HaversineMeters(a, b LatLon) float64 {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// Point is a position in the local projected frame, in meters.
+type Point struct {
+	X float64 // meters east of the projection origin
+	Y float64 // meters north of the projection origin
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Dist returns the Euclidean distance between p and q in meters.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root on hot paths (clustering, index traversal).
+func (p Point) Dist2(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("(%.1fm, %.1fm)", p.X, p.Y)
+}
+
+// Projection converts between WGS84 coordinates and the local metric frame.
+// It is an equirectangular projection around a fixed origin, accurate to
+// well under 0.1% over a city-scale region (tens of kilometers), which is
+// ample for the paper's 1 km query radii.
+type Projection struct {
+	origin       LatLon
+	metersPerLat float64
+	metersPerLon float64
+}
+
+// NewProjection returns a projection centered at origin.
+func NewProjection(origin LatLon) (*Projection, error) {
+	if !origin.Valid() {
+		return nil, fmt.Errorf("geo: invalid projection origin %v", origin)
+	}
+	if math.Abs(origin.Lat) > 85 {
+		return nil, errors.New("geo: equirectangular projection unusable near the poles")
+	}
+	const degToRad = math.Pi / 180
+	return &Projection{
+		origin:       origin,
+		metersPerLat: EarthRadiusMeters * degToRad,
+		metersPerLon: EarthRadiusMeters * degToRad * math.Cos(origin.Lat*degToRad),
+	}, nil
+}
+
+// MustProjection is like NewProjection but panics on error. It is intended
+// for package-level defaults with known-good origins.
+func MustProjection(origin LatLon) *Projection {
+	p, err := NewProjection(origin)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Origin returns the projection origin.
+func (pr *Projection) Origin() LatLon { return pr.origin }
+
+// ToPoint projects a WGS84 coordinate into the local metric frame.
+func (pr *Projection) ToPoint(c LatLon) Point {
+	return Point{
+		X: (c.Lon - pr.origin.Lon) * pr.metersPerLon,
+		Y: (c.Lat - pr.origin.Lat) * pr.metersPerLat,
+	}
+}
+
+// ToLatLon unprojects a local point back to WGS84.
+func (pr *Projection) ToLatLon(p Point) LatLon {
+	return LatLon{
+		Lat: pr.origin.Lat + p.Y/pr.metersPerLat,
+		Lon: pr.origin.Lon + p.X/pr.metersPerLon,
+	}
+}
+
+// Rect is an axis-aligned bounding box in the local frame. Min is the
+// lower-left corner, Max the upper-right. A Rect with Min==Max is a point;
+// Rects are closed on all sides.
+type Rect struct {
+	Min, Max Point
+}
+
+// RectFromPoints returns the tightest Rect enclosing pts. It returns an
+// error for an empty slice.
+func RectFromPoints(pts []Point) (Rect, error) {
+	if len(pts) == 0 {
+		return Rect{}, errors.New("geo: RectFromPoints on empty slice")
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r = r.ExpandToPoint(p)
+	}
+	return r, nil
+}
+
+// Valid reports whether Min <= Max on both axes.
+func (r Rect) Valid() bool {
+	return r.Min.X <= r.Max.X && r.Min.Y <= r.Max.Y
+}
+
+// Contains reports whether p lies inside the (closed) rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// Union returns the smallest Rect containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// ExpandToPoint returns r grown just enough to contain p.
+func (r Rect) ExpandToPoint(p Point) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, p.X), math.Min(r.Min.Y, p.Y)},
+		Max: Point{math.Max(r.Max.X, p.X), math.Max(r.Max.Y, p.Y)},
+	}
+}
+
+// Inflate returns r grown by d meters on every side. Negative d shrinks.
+func (r Rect) Inflate(d float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - d, r.Min.Y - d},
+		Max: Point{r.Max.X + d, r.Max.Y + d},
+	}
+}
+
+// Area returns the rectangle's area in square meters.
+func (r Rect) Area() float64 {
+	if !r.Valid() {
+		return 0
+	}
+	return (r.Max.X - r.Min.X) * (r.Max.Y - r.Min.Y)
+}
+
+// Perimeter returns half the rectangle's perimeter (the classic R-tree
+// "margin" metric).
+func (r Rect) Perimeter() float64 {
+	if !r.Valid() {
+		return 0
+	}
+	return (r.Max.X - r.Min.X) + (r.Max.Y - r.Min.Y)
+}
+
+// Center returns the rectangle's center.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// DistToPoint returns the minimum distance from p to the rectangle
+// (0 if p is inside). Used to prune index subtrees during radius search.
+func (r Rect) DistToPoint(p Point) float64 {
+	dx := math.Max(0, math.Max(r.Min.X-p.X, p.X-r.Max.X))
+	dy := math.Max(0, math.Max(r.Min.Y-p.Y, p.Y-r.Max.Y))
+	return math.Hypot(dx, dy)
+}
+
+// CircleRect returns the bounding box of a circle with the given center and
+// radius in meters.
+func CircleRect(center Point, radius float64) Rect {
+	return Rect{
+		Min: Point{center.X - radius, center.Y - radius},
+		Max: Point{center.X + radius, center.Y + radius},
+	}
+}

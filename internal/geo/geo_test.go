@@ -1,0 +1,406 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestLatLonValid(t *testing.T) {
+	tests := []struct {
+		name string
+		c    LatLon
+		want bool
+	}{
+		{"lausanne", Lausanne, true},
+		{"origin", LatLon{0, 0}, true},
+		{"north pole", LatLon{90, 0}, true},
+		{"lat too big", LatLon{90.01, 0}, false},
+		{"lat too small", LatLon{-90.01, 0}, false},
+		{"lon too big", LatLon{0, 180.5}, false},
+		{"lon too small", LatLon{0, -180.5}, false},
+		{"nan lat", LatLon{math.NaN(), 0}, false},
+		{"nan lon", LatLon{0, math.NaN()}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.c.Valid(); got != tt.want {
+				t.Errorf("Valid(%v) = %v, want %v", tt.c, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// Lausanne to Geneva is roughly 50 km.
+	geneva := LatLon{46.2044, 6.1432}
+	d := HaversineMeters(Lausanne, geneva)
+	if d < 45000 || d > 55000 {
+		t.Errorf("Lausanne-Geneva = %.0f m, want ~50 km", d)
+	}
+	// Symmetry.
+	if d2 := HaversineMeters(geneva, Lausanne); !almostEqual(d, d2, 1e-6) {
+		t.Errorf("haversine not symmetric: %v vs %v", d, d2)
+	}
+	// Identity.
+	if d := HaversineMeters(Lausanne, Lausanne); d != 0 {
+		t.Errorf("distance to self = %v, want 0", d)
+	}
+}
+
+func TestHaversineOneDegreeLat(t *testing.T) {
+	a := LatLon{46, 6}
+	b := LatLon{47, 6}
+	d := HaversineMeters(a, b)
+	// One degree of latitude is ~111.2 km.
+	if !almostEqual(d, 111195, 100) {
+		t.Errorf("one degree latitude = %.0f m, want ~111195 m", d)
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := MustProjection(Lausanne)
+	coords := []LatLon{
+		Lausanne,
+		{46.53, 6.60},
+		{46.50, 6.70},
+		{46.55, 6.58},
+	}
+	for _, c := range coords {
+		back := pr.ToLatLon(pr.ToPoint(c))
+		if !almostEqual(back.Lat, c.Lat, 1e-9) || !almostEqual(back.Lon, c.Lon, 1e-9) {
+			t.Errorf("round trip %v -> %v", c, back)
+		}
+	}
+}
+
+func TestProjectionDistanceAccuracy(t *testing.T) {
+	// Projected Euclidean distance should agree with haversine to within
+	// 0.5% over city scale (< 15 km).
+	pr := MustProjection(Lausanne)
+	pairs := [][2]LatLon{
+		{{46.52, 6.63}, {46.54, 6.66}},
+		{{46.50, 6.58}, {46.55, 6.70}},
+		{{46.515, 6.625}, {46.52, 6.64}},
+	}
+	for _, pair := range pairs {
+		hd := HaversineMeters(pair[0], pair[1])
+		ed := pr.ToPoint(pair[0]).Dist(pr.ToPoint(pair[1]))
+		if math.Abs(hd-ed)/hd > 0.005 {
+			t.Errorf("distance mismatch %v: haversine %.1f vs projected %.1f", pair, hd, ed)
+		}
+	}
+}
+
+func TestNewProjectionErrors(t *testing.T) {
+	if _, err := NewProjection(LatLon{91, 0}); err == nil {
+		t.Error("expected error for invalid origin")
+	}
+	if _, err := NewProjection(LatLon{89, 0}); err == nil {
+		t.Error("expected error near pole")
+	}
+	if _, err := NewProjection(Lausanne); err != nil {
+		t.Errorf("unexpected error for Lausanne: %v", err)
+	}
+}
+
+func TestMustProjectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProjection did not panic on invalid origin")
+		}
+	}()
+	MustProjection(LatLon{123, 0})
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{3, 4}
+	q := Point{1, 2}
+	if got := p.Add(q); got != (Point{4, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{2, 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dist(Point{0, 0}); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := p.Dist2(Point{0, 0}); got != 25 {
+		t.Errorf("Dist2 = %v, want 25", got)
+	}
+}
+
+func TestDist2ConsistentWithDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Constrain to a sane numeric range to avoid overflow artifacts.
+		a := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		b := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		d := a.Dist(b)
+		return almostEqual(d*d, a.Dist2(b), 1e-3*(1+a.Dist2(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectFromPoints(t *testing.T) {
+	pts := []Point{{1, 5}, {-2, 3}, {4, -1}}
+	r, err := RectFromPoints(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rect{Min: Point{-2, -1}, Max: Point{4, 5}}
+	if r != want {
+		t.Errorf("RectFromPoints = %v, want %v", r, want)
+	}
+	if _, err := RectFromPoints(nil); err == nil {
+		t.Error("expected error for empty slice")
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{10, 10}}
+	tests := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 5}, true},
+		{Point{0, 0}, true},   // boundary is inside
+		{Point{10, 10}, true}, // boundary is inside
+		{Point{10.001, 5}, false},
+		{Point{-0.001, 5}, false},
+		{Point{5, 11}, false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.p); got != tt.want {
+			t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRectIntersectsUnion(t *testing.T) {
+	a := Rect{Min: Point{0, 0}, Max: Point{4, 4}}
+	b := Rect{Min: Point{3, 3}, Max: Point{6, 6}}
+	c := Rect{Min: Point{5, 5}, Max: Point{7, 7}}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b should intersect")
+	}
+	if a.Intersects(c) {
+		t.Error("a and c should not intersect")
+	}
+	// Touching edges count as intersecting (closed rects).
+	d := Rect{Min: Point{4, 0}, Max: Point{8, 4}}
+	if !a.Intersects(d) {
+		t.Error("touching rects should intersect")
+	}
+	u := a.Union(b)
+	want := Rect{Min: Point{0, 0}, Max: Point{6, 6}}
+	if u != want {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+}
+
+func TestRectMetrics(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{3, 4}}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area = %v, want 12", got)
+	}
+	if got := r.Perimeter(); got != 7 {
+		t.Errorf("Perimeter = %v, want 7", got)
+	}
+	if got := r.Center(); got != (Point{1.5, 2}) {
+		t.Errorf("Center = %v", got)
+	}
+	bad := Rect{Min: Point{1, 1}, Max: Point{0, 0}}
+	if bad.Valid() {
+		t.Error("inverted rect should be invalid")
+	}
+	if bad.Area() != 0 || bad.Perimeter() != 0 {
+		t.Error("invalid rect should have zero area/perimeter")
+	}
+}
+
+func TestRectDistToPoint(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{10, 10}}
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 5}, 0},   // inside
+		{Point{15, 5}, 5},  // right
+		{Point{5, -3}, 3},  // below
+		{Point{13, 14}, 5}, // corner: 3-4-5 triangle
+		{Point{0, 0}, 0},   // on boundary
+		{Point{-6, 10}, 6}, // left, level with top
+	}
+	for _, tt := range tests {
+		if got := r.DistToPoint(tt.p); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("DistToPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestRectInflate(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{2, 2}}
+	got := r.Inflate(1)
+	want := Rect{Min: Point{-1, -1}, Max: Point{3, 3}}
+	if got != want {
+		t.Errorf("Inflate = %v, want %v", got, want)
+	}
+}
+
+func TestCircleRect(t *testing.T) {
+	r := CircleRect(Point{1, 2}, 3)
+	want := Rect{Min: Point{-2, -1}, Max: Point{4, 5}}
+	if r != want {
+		t.Errorf("CircleRect = %v, want %v", r, want)
+	}
+}
+
+func TestRectUnionProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		a := Rect{Min: Point{math.Min(ax, bx), math.Min(ay, by)}, Max: Point{math.Max(ax, bx), math.Max(ay, by)}}
+		b := Rect{Min: Point{math.Min(cx, dx), math.Min(cy, dy)}, Max: Point{math.Max(cx, dx), math.Max(cy, dy)}}
+		u := a.Union(b)
+		// Union contains the corners of both rects.
+		return u.Contains(a.Min) && u.Contains(a.Max) && u.Contains(b.Min) && u.Contains(b.Max) &&
+			u.Area() >= a.Area() && u.Area() >= b.Area()
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineBasics(t *testing.T) {
+	pl, err := NewPolyline([]Point{{0, 0}, {3, 0}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Length(); got != 7 {
+		t.Errorf("Length = %v, want 7", got)
+	}
+	tests := []struct {
+		d    float64
+		want Point
+	}{
+		{-1, Point{0, 0}}, // clamp low
+		{0, Point{0, 0}},
+		{1.5, Point{1.5, 0}},
+		{3, Point{3, 0}},  // vertex
+		{5, Point{3, 2}},  // second segment
+		{7, Point{3, 4}},  // end
+		{99, Point{3, 4}}, // clamp high
+	}
+	for _, tt := range tests {
+		got := pl.At(tt.d)
+		if !almostEqual(got.X, tt.want.X, 1e-9) || !almostEqual(got.Y, tt.want.Y, 1e-9) {
+			t.Errorf("At(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestPolylineErrors(t *testing.T) {
+	if _, err := NewPolyline([]Point{{0, 0}}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := NewPolyline([]Point{{0, 0}, {0, 0}}); err == nil {
+		t.Error("expected error for duplicate consecutive points")
+	}
+}
+
+func TestPolylineAtLoop(t *testing.T) {
+	pl, err := NewPolyline([]Point{{0, 0}, {10, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		d    float64
+		want Point
+	}{
+		{0, Point{0, 0}},
+		{5, Point{5, 0}},
+		{10, Point{10, 0}},
+		{15, Point{5, 0}}, // coming back
+		{20, Point{0, 0}}, // full cycle
+		{25, Point{5, 0}}, // second lap
+		{-5, Point{5, 0}}, // negative wraps
+	}
+	for _, tt := range tests {
+		got := pl.AtLoop(tt.d)
+		if !almostEqual(got.X, tt.want.X, 1e-9) || !almostEqual(got.Y, tt.want.Y, 1e-9) {
+			t.Errorf("AtLoop(%v) = %v, want %v", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestPolylineAtLoopStaysOnRoute(t *testing.T) {
+	pl, err := NewPolyline([]Point{{0, 0}, {100, 0}, {100, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(d float64) bool {
+		d = math.Mod(d, 1e7)
+		p := pl.AtLoop(d)
+		return pl.NearestDist(p) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineBounds(t *testing.T) {
+	pl, err := NewPolyline([]Point{{0, 0}, {10, 5}, {-3, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rect{Min: Point{-3, 0}, Max: Point{10, 8}}
+	if got := pl.Bounds(); got != want {
+		t.Errorf("Bounds = %v, want %v", got, want)
+	}
+}
+
+func TestPolylineNearestDist(t *testing.T) {
+	pl, err := NewPolyline([]Point{{0, 0}, {10, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 3}, 3},   // above segment interior
+		{Point{-4, 3}, 5},  // before start: 3-4-5
+		{Point{14, -3}, 5}, // past end
+		{Point{7, 0}, 0},   // on segment
+	}
+	for _, tt := range tests {
+		if got := pl.NearestDist(tt.p); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("NearestDist(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPolylinePointsIsCopy(t *testing.T) {
+	orig := []Point{{0, 0}, {1, 1}}
+	pl, err := NewPolyline(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pl.Points()
+	got[0] = Point{99, 99}
+	if pl.Points()[0] != (Point{0, 0}) {
+		t.Error("Points() must return a copy")
+	}
+	orig[1] = Point{55, 55}
+	if pl.Points()[1] != (Point{1, 1}) {
+		t.Error("NewPolyline must copy its input")
+	}
+}

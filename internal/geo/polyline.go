@@ -1,0 +1,122 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Polyline is an ordered sequence of points in the local frame. Bus routes
+// (the mobility substrate of the OpenSense deployment) are modeled as
+// polylines that vehicles traverse at constant speed, looping back and
+// forth between the endpoints.
+type Polyline struct {
+	pts    []Point
+	cumLen []float64 // cumLen[i] = distance from pts[0] to pts[i]
+}
+
+// NewPolyline builds a polyline from at least two points. Consecutive
+// duplicate points are rejected because they produce degenerate segments.
+func NewPolyline(pts []Point) (*Polyline, error) {
+	if len(pts) < 2 {
+		return nil, errors.New("geo: polyline needs at least two points")
+	}
+	cum := make([]float64, len(pts))
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].Dist(pts[i-1])
+		if d == 0 {
+			return nil, fmt.Errorf("geo: polyline has duplicate consecutive point at index %d", i)
+		}
+		cum[i] = cum[i-1] + d
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	return &Polyline{pts: cp, cumLen: cum}, nil
+}
+
+// Length returns the total length of the polyline in meters.
+func (pl *Polyline) Length() float64 { return pl.cumLen[len(pl.cumLen)-1] }
+
+// Points returns a copy of the polyline's vertices.
+func (pl *Polyline) Points() []Point {
+	cp := make([]Point, len(pl.pts))
+	copy(cp, pl.pts)
+	return cp
+}
+
+// At returns the point at arc-length distance d from the start. Distances
+// below 0 clamp to the start; distances beyond Length clamp to the end.
+func (pl *Polyline) At(d float64) Point {
+	if d <= 0 {
+		return pl.pts[0]
+	}
+	total := pl.Length()
+	if d >= total {
+		return pl.pts[len(pl.pts)-1]
+	}
+	// Binary search for the segment containing d.
+	lo, hi := 0, len(pl.cumLen)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if pl.cumLen[mid] <= d {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	segLen := pl.cumLen[hi] - pl.cumLen[lo]
+	f := (d - pl.cumLen[lo]) / segLen
+	a, b := pl.pts[lo], pl.pts[hi]
+	return Point{a.X + f*(b.X-a.X), a.Y + f*(b.Y-a.Y)}
+}
+
+// AtLoop returns the point at distance d along an endless back-and-forth
+// traversal of the polyline (start → end → start → ...). This models a bus
+// shuttling along its route.
+func (pl *Polyline) AtLoop(d float64) Point {
+	total := pl.Length()
+	if total == 0 {
+		return pl.pts[0]
+	}
+	d = math.Mod(d, 2*total)
+	if d < 0 {
+		d += 2 * total
+	}
+	if d > total {
+		d = 2*total - d
+	}
+	return pl.At(d)
+}
+
+// Bounds returns the bounding box of the polyline.
+func (pl *Polyline) Bounds() Rect {
+	r, _ := RectFromPoints(pl.pts) // never errors: len >= 2 by construction
+	return r
+}
+
+// NearestDist returns the distance from p to the nearest point on the
+// polyline (considering segment interiors, not only vertices).
+func (pl *Polyline) NearestDist(p Point) float64 {
+	best := math.Inf(1)
+	for i := 1; i < len(pl.pts); i++ {
+		d := distPointSegment(p, pl.pts[i-1], pl.pts[i])
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// distPointSegment returns the distance from p to segment ab.
+func distPointSegment(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	ap := p.Sub(a)
+	den := ab.X*ab.X + ab.Y*ab.Y
+	if den == 0 {
+		return p.Dist(a)
+	}
+	t := (ap.X*ab.X + ap.Y*ab.Y) / den
+	t = math.Max(0, math.Min(1, t))
+	proj := Point{a.X + t*ab.X, a.Y + t*ab.Y}
+	return p.Dist(proj)
+}

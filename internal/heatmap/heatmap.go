@@ -1,0 +1,151 @@
+// Package heatmap renders pollutant heatmaps from a model cover — the
+// programmatic equivalent of the EnviroMeter web interface's heatmap
+// visualization (§3, Figure 5b), where "the emitting points are the
+// centroids computed by the Ad-KMN algorithm with its pollution level" on
+// a green-to-red scale.
+package heatmap
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/geo"
+)
+
+// Grid is a rasterized heatmap: cell (i, j) covers a rectangle of the
+// region, with Values[j*Cols+i] holding the interpolated concentration at
+// the cell center.
+type Grid struct {
+	// Region is the geographic extent.
+	Region geo.Rect
+	// Cols and Rows are the raster dimensions.
+	Cols, Rows int
+	// T is the stream time the map was evaluated at.
+	T float64
+	// Values holds concentrations in row-major order, bottom row first
+	// (south at index 0).
+	Values []float64
+}
+
+// FromCover rasterizes the cover over region at stream time t.
+func FromCover(cv *core.Cover, region geo.Rect, cols, rows int, t float64) (*Grid, error) {
+	if cv == nil || cv.Size() == 0 {
+		return nil, errors.New("heatmap: nil or empty cover")
+	}
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("heatmap: grid %dx%d, want ≥ 1x1", cols, rows)
+	}
+	if !region.Valid() || region.Area() == 0 {
+		return nil, fmt.Errorf("heatmap: degenerate region %v", region)
+	}
+	g := &Grid{Region: region, Cols: cols, Rows: rows, T: t,
+		Values: make([]float64, cols*rows)}
+	dx := (region.Max.X - region.Min.X) / float64(cols)
+	dy := (region.Max.Y - region.Min.Y) / float64(rows)
+	for j := 0; j < rows; j++ {
+		y := region.Min.Y + (float64(j)+0.5)*dy
+		for i := 0; i < cols; i++ {
+			x := region.Min.X + (float64(i)+0.5)*dx
+			v, err := cv.Interpolate(t, x, y)
+			if err != nil {
+				return nil, err
+			}
+			g.Values[j*cols+i] = v
+		}
+	}
+	return g, nil
+}
+
+// At returns the value of cell (i, j).
+func (g *Grid) At(i, j int) (float64, error) {
+	if i < 0 || i >= g.Cols || j < 0 || j >= g.Rows {
+		return 0, fmt.Errorf("heatmap: cell (%d,%d) outside %dx%d", i, j, g.Cols, g.Rows)
+	}
+	return g.Values[j*g.Cols+i], nil
+}
+
+// MinMax returns the smallest and largest cell values.
+func (g *Grid) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range g.Values {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	return min, max
+}
+
+// WritePNG renders the grid as a PNG image on the app's green→red band
+// scale. North is at the top of the image.
+func (g *Grid) WritePNG(w io.Writer) error {
+	img := image.NewRGBA(image.Rect(0, 0, g.Cols, g.Rows))
+	for j := 0; j < g.Rows; j++ {
+		for i := 0; i < g.Cols; i++ {
+			v := g.Values[j*g.Cols+i]
+			r, gr, b := eval.ClassifyCO2(v).Color()
+			// Flip vertically: row 0 is south, image origin is north-west.
+			img.SetRGBA(i, g.Rows-1-j, color.RGBA{R: r, G: gr, B: b, A: 0xFF})
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// WritePGM renders the grid as a portable graymap normalized to the value
+// range — a dependency-free format convenient for golden-file tests and
+// terminal tooling.
+func (g *Grid) WritePGM(w io.Writer) error {
+	min, max := g.MinMax()
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", g.Cols, g.Rows); err != nil {
+		return err
+	}
+	for j := g.Rows - 1; j >= 0; j-- {
+		for i := 0; i < g.Cols; i++ {
+			v := g.Values[j*g.Cols+i]
+			level := int(255 * (v - min) / span)
+			sep := " "
+			if i == g.Cols-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprintf(w, "%d%s", level, sep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CentroidMarker is one emitting point of the web UI: a cover centroid
+// with its local pollution level and display band.
+type CentroidMarker struct {
+	Pos   geo.Point `json:"pos"`
+	Value float64   `json:"value"`
+	Band  string    `json:"band"`
+}
+
+// Markers returns the cover's centroids evaluated at time t — the emitting
+// points of Figure 5(b).
+func Markers(cv *core.Cover, t float64) ([]CentroidMarker, error) {
+	if cv == nil || cv.Size() == 0 {
+		return nil, errors.New("heatmap: nil or empty cover")
+	}
+	out := make([]CentroidMarker, cv.Size())
+	for i, r := range cv.Regions {
+		v := r.Model.Predict(t, r.Centroid.X, r.Centroid.Y)
+		out[i] = CentroidMarker{
+			Pos:   r.Centroid,
+			Value: v,
+			Band:  eval.ClassifyCO2(v).String(),
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package heatmap
+
+import (
+	"bytes"
+	"image/png"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/tuple"
+)
+
+func testCover(t *testing.T) *core.Cover {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	w := make(tuple.Batch, 400)
+	for i := range w {
+		x, y := rng.Float64()*2000, rng.Float64()*2000
+		// A gradient from ~420 to ~2000 ppm across the region so multiple
+		// display bands appear.
+		w[i] = tuple.Raw{T: rng.Float64() * 600, X: x, Y: y, S: 420 + 0.8*x}
+	}
+	cv, err := core.BuildCover(w, 0, 600, core.Config{Cluster: cluster.Config{Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cv
+}
+
+func region() geo.Rect {
+	return geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 2000, Y: 2000}}
+}
+
+func TestFromCoverValidation(t *testing.T) {
+	cv := testCover(t)
+	if _, err := FromCover(nil, region(), 8, 8, 0); err == nil {
+		t.Error("nil cover should error")
+	}
+	if _, err := FromCover(cv, region(), 0, 8, 0); err == nil {
+		t.Error("zero cols should error")
+	}
+	if _, err := FromCover(cv, geo.Rect{}, 8, 8, 0); err == nil {
+		t.Error("degenerate region should error")
+	}
+}
+
+func TestGridValuesFollowGradient(t *testing.T) {
+	cv := testCover(t)
+	g, err := FromCover(cv, region(), 16, 16, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Values) != 256 {
+		t.Fatalf("values = %d, want 256", len(g.Values))
+	}
+	// West edge (low x) must be lower than east edge (high x).
+	west, err := g.At(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	east, err := g.At(15, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if west >= east {
+		t.Errorf("gradient not reproduced: west %v, east %v", west, east)
+	}
+	min, max := g.MinMax()
+	if min >= max {
+		t.Errorf("MinMax = %v,%v", min, max)
+	}
+}
+
+func TestGridAtBounds(t *testing.T) {
+	cv := testCover(t)
+	g, err := FromCover(cv, region(), 4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{{-1, 0}, {0, -1}, {4, 0}, {0, 4}} {
+		if _, err := g.At(bad[0], bad[1]); err == nil {
+			t.Errorf("At(%d,%d) should error", bad[0], bad[1])
+		}
+	}
+}
+
+func TestWritePNG(t *testing.T) {
+	cv := testCover(t)
+	g, err := FromCover(cv, region(), 32, 24, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("output is not a valid PNG: %v", err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 32 || b.Dy() != 24 {
+		t.Errorf("image is %dx%d, want 32x24", b.Dx(), b.Dy())
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	cv := testCover(t)
+	g, err := FromCover(cv, region(), 8, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P2\n8 4\n255\n") {
+		t.Errorf("bad PGM header: %q", out[:20])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3+4 {
+		t.Errorf("PGM has %d lines, want 7", len(lines))
+	}
+	for _, line := range lines[3:] {
+		if got := len(strings.Fields(line)); got != 8 {
+			t.Errorf("PGM row has %d values, want 8", got)
+		}
+	}
+}
+
+func TestMarkers(t *testing.T) {
+	cv := testCover(t)
+	ms, err := Markers(cv, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != cv.Size() {
+		t.Fatalf("markers = %d, want %d", len(ms), cv.Size())
+	}
+	for i, m := range ms {
+		if m.Band == "" {
+			t.Errorf("marker %d has no band", i)
+		}
+		if m.Pos != cv.Regions[i].Centroid {
+			t.Errorf("marker %d at %v, want centroid %v", i, m.Pos, cv.Regions[i].Centroid)
+		}
+	}
+	if _, err := Markers(nil, 0); err == nil {
+		t.Error("nil cover should error")
+	}
+}

@@ -1,0 +1,50 @@
+package vptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func BenchmarkSearchRadius5000(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, 5000)
+	items := make([]Item, 5000)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
+		items[i] = Item(i)
+	}
+	t, err := Build(pts, items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]geo.Point, 1024)
+	for i := range queries {
+		queries[i] = geo.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		t.SearchRadius(queries[i%len(queries)], 1000, func(geo.Point, Item) bool {
+			count++
+			return true
+		})
+	}
+}
+
+func BenchmarkBuild5000(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geo.Point, 5000)
+	items := make([]Item, 5000)
+	for i := range pts {
+		pts[i] = geo.Point{X: rng.Float64() * 10000, Y: rng.Float64() * 10000}
+		items[i] = Item(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(pts, items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package memsize
+
+import "testing"
+
+func TestArrayOfSlices(t *testing.T) {
+	var v [2][]float64
+	v[0] = make([]float64, 4)
+	v[1] = make([]float64, 6)
+	got := Of(v)
+	// Two inline headers (counted by the array's own size: 48) plus the
+	// two backing arrays.
+	want := int64(48 + 32 + 48)
+	if got != want {
+		t.Errorf("Of = %d, want %d", got, want)
+	}
+}
+
+func TestMapWithStringKeysAndSliceValues(t *testing.T) {
+	m := map[string][]int64{
+		"alpha": make([]int64, 10),
+		"beta":  make([]int64, 20),
+	}
+	got := Of(m)
+	// At least: key bytes (9) + slice backing (240). Entry accounting adds
+	// headers and bucket slack on top.
+	if got < 249 {
+		t.Errorf("Of = %d, want ≥ 249", got)
+	}
+}
+
+func TestChanAndFuncAreOpaque(t *testing.T) {
+	type holder struct {
+		C chan int
+		F func()
+	}
+	h := holder{C: make(chan int, 100), F: func() {}}
+	got := Of(h)
+	// Headers only: the runtime objects behind them are not walked.
+	if got != 16 {
+		t.Errorf("Of = %d, want 16 (two pointers)", got)
+	}
+}
+
+func TestNilInterfaceField(t *testing.T) {
+	type holder struct {
+		V interface{}
+	}
+	if got := Of(holder{}); got != 16 {
+		t.Errorf("Of = %d, want 16", got)
+	}
+}
+
+func TestNilMapAndSliceFields(t *testing.T) {
+	type holder struct {
+		M map[int]int
+		S []int
+	}
+	got := Of(holder{})
+	want := int64(8 + 24) // map header + slice header, nothing behind them
+	if got != want {
+		t.Errorf("Of = %d, want %d", got, want)
+	}
+}
+
+func TestPointerToStructWithMap(t *testing.T) {
+	type inner struct {
+		M map[int64]int64
+	}
+	v := &inner{M: map[int64]int64{1: 2, 3: 4}}
+	got := Of(v)
+	// Pointer (8) + struct (8, the map header) + ~2 entries.
+	if got < 16+32 {
+		t.Errorf("Of = %d, too small", got)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	// A linked list of 1000 nodes must be fully walked.
+	type nodeT struct {
+		Next *nodeT
+		Val  [3]float64
+	}
+	var head *nodeT
+	for i := 0; i < 1000; i++ {
+		head = &nodeT{Next: head}
+	}
+	got := Of(head)
+	want := int64(8 + 1000*32) // head pointer + 1000 × (ptr + 24B array)
+	if got != want {
+		t.Errorf("Of = %d, want %d", got, want)
+	}
+}
+
+func TestStringInsideSlice(t *testing.T) {
+	v := []string{"ab", "cdef"}
+	got := Of(v)
+	want := int64(24 + 2*16 + 6) // slice header + 2 string headers + bytes
+	if got != want {
+		t.Errorf("Of = %d, want %d", got, want)
+	}
+}

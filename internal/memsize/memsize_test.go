@@ -1,0 +1,160 @@
+package memsize
+
+import (
+	"testing"
+)
+
+func TestFlatValues(t *testing.T) {
+	tests := []struct {
+		name string
+		v    interface{}
+		want int64
+	}{
+		{"int64", int64(5), 8},
+		{"float64", 3.14, 8},
+		{"bool", true, 1},
+		{"struct of floats", struct{ A, B, C float64 }{}, 24},
+		{"array", [4]int64{}, 32},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Of(tt.v); got != tt.want {
+				t.Errorf("Of(%v) = %d, want %d", tt.v, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNil(t *testing.T) {
+	if got := Of(nil); got != 0 {
+		t.Errorf("Of(nil) = %d, want 0", got)
+	}
+	var p *int
+	// A nil pointer still has its own 8-byte header.
+	if got := Of(p); got != PointerSize {
+		t.Errorf("Of(nil *int) = %d, want %d", got, PointerSize)
+	}
+}
+
+func TestSliceCountsCapacity(t *testing.T) {
+	s := make([]float64, 10, 100)
+	got := Of(s)
+	// Header (24) + backing array 100*8.
+	want := int64(24 + 800)
+	if got != want {
+		t.Errorf("Of(slice) = %d, want %d", got, want)
+	}
+}
+
+func TestSliceOfPointers(t *testing.T) {
+	a, b := new(float64), new(float64)
+	s := []*float64{a, b, a} // a shared twice: counted once
+	got := Of(s)
+	// Header 24 + 3 pointer slots + 2 distinct float64s.
+	want := int64(24 + 3*PointerSize + 16)
+	if got != want {
+		t.Errorf("Of = %d, want %d", got, want)
+	}
+}
+
+func TestStructWithSlice(t *testing.T) {
+	type inner struct {
+		Vals []float64
+	}
+	v := inner{Vals: make([]float64, 5)}
+	got := Of(v)
+	want := int64(24 + 40) // header inline in struct, + 5 floats
+	if got != want {
+		t.Errorf("Of = %d, want %d", got, want)
+	}
+}
+
+func TestPointerCycle(t *testing.T) {
+	type nodeT struct {
+		Next *nodeT
+		Val  int64
+	}
+	a := &nodeT{Val: 1}
+	b := &nodeT{Val: 2}
+	a.Next = b
+	b.Next = a
+	got := Of(a)
+	// Pointer header 8 + two 16-byte nodes, cycle terminated.
+	want := int64(8 + 32)
+	if got != want {
+		t.Errorf("Of(cycle) = %d, want %d", got, want)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := "hello world"
+	got := Of(s)
+	want := int64(16 + len(s)) // header + bytes
+	if got != want {
+		t.Errorf("Of(string) = %d, want %d", got, want)
+	}
+}
+
+func TestInterfaceField(t *testing.T) {
+	type holder struct {
+		V interface{}
+	}
+	h := holder{V: int64(7)}
+	got := Of(h)
+	// iface header 16 + boxed int64 8.
+	want := int64(16 + 8)
+	if got != want {
+		t.Errorf("Of = %d, want %d", got, want)
+	}
+}
+
+func TestMapApproximation(t *testing.T) {
+	m := map[int64]float64{}
+	for i := int64(0); i < 100; i++ {
+		m[i] = float64(i)
+	}
+	got := Of(m)
+	// At minimum the entries themselves: 100 * 16 bytes.
+	if got < 1600 {
+		t.Errorf("Of(map) = %d, want ≥ 1600", got)
+	}
+	// And not absurdly more than 4x that.
+	if got > 6400+8 {
+		t.Errorf("Of(map) = %d, implausibly large", got)
+	}
+}
+
+func TestTreeLikeStructure(t *testing.T) {
+	// A binary tree of 2^d - 1 pointer-linked nodes must grow linearly in
+	// node count — the property the Fig 7a experiment relies on.
+	type nodeT struct {
+		L, R *nodeT
+		Val  float64
+	}
+	var build func(d int) *nodeT
+	build = func(d int) *nodeT {
+		if d == 0 {
+			return nil
+		}
+		return &nodeT{L: build(d - 1), R: build(d - 1)}
+	}
+	size7 := Of(build(7)) // 127 nodes
+	size8 := Of(build(8)) // 255 nodes
+	ratio := float64(size8) / float64(size7)
+	if ratio < 1.9 || ratio > 2.2 {
+		t.Errorf("doubling nodes scaled size by %.2f, want ~2.0", ratio)
+	}
+}
+
+func TestSharedBackingArrayCountedOnce(t *testing.T) {
+	base := make([]float64, 100)
+	type two struct {
+		A, B []float64
+	}
+	v := two{A: base, B: base}
+	got := Of(v)
+	want := int64(48 + 800) // two headers + one shared array
+	if got != want {
+		t.Errorf("Of = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,141 @@
+// Package netsim models the cellular data link between the smartphone and
+// the EnviroMeter server. The paper's bandwidth experiment (§4.2, Figure
+// 7b) measures bytes transmitted/received by the mobile device and total
+// query time over GPRS or 3G; this package reproduces that measurement
+// with a deterministic link model: per-exchange round-trip latency,
+// asymmetric throughput, and per-message protocol overhead.
+//
+// Time is simulated, not wall-clock, so experiments are exact and fast:
+// a 100-tuple continuous query over simulated GPRS completes in
+// microseconds of real time while reporting the seconds it would take on
+// air.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// LinkConfig describes a cellular bearer.
+type LinkConfig struct {
+	// Name labels the bearer in reports ("gprs", "3g").
+	Name string
+	// RTTSeconds is the round-trip latency of one exchange.
+	RTTSeconds float64
+	// UplinkBytesPerSec and DownlinkBytesPerSec are sustained throughputs.
+	UplinkBytesPerSec   float64
+	DownlinkBytesPerSec float64
+	// OverheadBytes is the per-message protocol overhead (IP + TCP +
+	// transport framing) added to every request and every response.
+	OverheadBytes int
+}
+
+// Validate checks the configuration.
+func (c LinkConfig) Validate() error {
+	if c.RTTSeconds < 0 {
+		return fmt.Errorf("netsim: negative RTT %v", c.RTTSeconds)
+	}
+	if c.UplinkBytesPerSec <= 0 || c.DownlinkBytesPerSec <= 0 {
+		return errors.New("netsim: throughput must be positive")
+	}
+	if c.OverheadBytes < 0 {
+		return errors.New("netsim: negative overhead")
+	}
+	return nil
+}
+
+// GPRS returns a typical GPRS (2.5G) bearer: ~600 ms RTT, ~5 KB/s up,
+// ~10 KB/s down, and 120 bytes of per-message protocol overhead (IP + TCP
+// plus the minimal HTTP framing a 2013-era smartphone client used). This
+// is the default bearer for the Figure 7(b) reproduction: the paper demos
+// over "GPRS or 3G data services".
+func GPRS() LinkConfig {
+	return LinkConfig{
+		Name:                "gprs",
+		RTTSeconds:          0.6,
+		UplinkBytesPerSec:   5 * 1024,
+		DownlinkBytesPerSec: 10 * 1024,
+		OverheadBytes:       120,
+	}
+}
+
+// ThreeG returns a typical UMTS bearer: ~150 ms RTT, ~48 KB/s up,
+// ~175 KB/s down.
+func ThreeG() LinkConfig {
+	return LinkConfig{
+		Name:                "3g",
+		RTTSeconds:          0.15,
+		UplinkBytesPerSec:   48 * 1024,
+		DownlinkBytesPerSec: 175 * 1024,
+		OverheadBytes:       120,
+	}
+}
+
+// Stats accumulates what the mobile device observed on the link — the
+// quantities Figure 7(b) plots.
+type Stats struct {
+	// SentBytes and ReceivedBytes include protocol overhead.
+	SentBytes     int64
+	ReceivedBytes int64
+	// Exchanges counts request/response round trips.
+	Exchanges int64
+	// SimSeconds is the total simulated air time.
+	SimSeconds float64
+}
+
+// Link is a simulated bearer accumulating Stats. It is safe for concurrent
+// use.
+type Link struct {
+	cfg LinkConfig
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewLink creates a link with the given bearer configuration.
+func NewLink(cfg LinkConfig) (*Link, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Link{cfg: cfg}, nil
+}
+
+// Config returns the bearer configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Exchange accounts one request/response round trip with the given payload
+// sizes (codec bytes, excluding protocol overhead) and returns the
+// simulated duration of the exchange in seconds.
+func (l *Link) Exchange(requestBytes, responseBytes int) (float64, error) {
+	if requestBytes < 0 || responseBytes < 0 {
+		return 0, fmt.Errorf("netsim: negative payload size (%d, %d)", requestBytes, responseBytes)
+	}
+	up := requestBytes + l.cfg.OverheadBytes
+	down := responseBytes + l.cfg.OverheadBytes
+	dur := l.cfg.RTTSeconds +
+		float64(up)/l.cfg.UplinkBytesPerSec +
+		float64(down)/l.cfg.DownlinkBytesPerSec
+
+	l.mu.Lock()
+	l.stats.SentBytes += int64(up)
+	l.stats.ReceivedBytes += int64(down)
+	l.stats.Exchanges++
+	l.stats.SimSeconds += dur
+	l.mu.Unlock()
+	return dur, nil
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (l *Link) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Reset zeroes the counters (between experiment arms).
+func (l *Link) Reset() {
+	l.mu.Lock()
+	l.stats = Stats{}
+	l.mu.Unlock()
+}

@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := GPRS().Validate(); err != nil {
+		t.Errorf("GPRS invalid: %v", err)
+	}
+	if err := ThreeG().Validate(); err != nil {
+		t.Errorf("3G invalid: %v", err)
+	}
+	bad := []LinkConfig{
+		{RTTSeconds: -1, UplinkBytesPerSec: 1, DownlinkBytesPerSec: 1},
+		{UplinkBytesPerSec: 0, DownlinkBytesPerSec: 1},
+		{UplinkBytesPerSec: 1, DownlinkBytesPerSec: 0},
+		{UplinkBytesPerSec: 1, DownlinkBytesPerSec: 1, OverheadBytes: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewLink(LinkConfig{}); err == nil {
+		t.Error("NewLink should validate")
+	}
+}
+
+func TestExchangeAccounting(t *testing.T) {
+	cfg := LinkConfig{
+		Name:                "test",
+		RTTSeconds:          1,
+		UplinkBytesPerSec:   100,
+		DownlinkBytesPerSec: 200,
+		OverheadBytes:       10,
+	}
+	l, err := NewLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, err := l.Exchange(90, 190)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + (90+10)/100 + (190+10)/200 = 1 + 1 + 1 = 3.
+	if math.Abs(dur-3) > 1e-12 {
+		t.Errorf("duration = %v, want 3", dur)
+	}
+	st := l.Stats()
+	if st.SentBytes != 100 || st.ReceivedBytes != 200 || st.Exchanges != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.SimSeconds-3) > 1e-12 {
+		t.Errorf("SimSeconds = %v", st.SimSeconds)
+	}
+}
+
+func TestExchangeErrors(t *testing.T) {
+	l, err := NewLink(GPRS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Exchange(-1, 0); err == nil {
+		t.Error("negative request size should error")
+	}
+	if _, err := l.Exchange(0, -1); err == nil {
+		t.Error("negative response size should error")
+	}
+}
+
+func TestReset(t *testing.T) {
+	l, err := NewLink(GPRS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Exchange(100, 100); err != nil {
+		t.Fatal(err)
+	}
+	l.Reset()
+	if st := l.Stats(); st != (Stats{}) {
+		t.Errorf("after Reset stats = %+v", st)
+	}
+}
+
+func TestGPRSSlowerThan3G(t *testing.T) {
+	g, err := NewLink(GPRS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewLink(ThreeG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, _ := g.Exchange(500, 2000)
+	du, _ := u.Exchange(500, 2000)
+	if dg <= du {
+		t.Errorf("GPRS %vs should be slower than 3G %vs", dg, du)
+	}
+}
+
+func TestConcurrentExchanges(t *testing.T) {
+	l, err := NewLink(GPRS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const n = 64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := l.Exchange(10, 10); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Exchanges != n {
+		t.Errorf("Exchanges = %d, want %d", st.Exchanges, n)
+	}
+	wantSent := int64(n * (10 + GPRS().OverheadBytes))
+	if st.SentBytes != wantSent {
+		t.Errorf("SentBytes = %d, want %d", st.SentBytes, wantSent)
+	}
+}

@@ -1,0 +1,174 @@
+package regress
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinearTFamily(t *testing.T) {
+	if LinearT.Dim() != 2 || LinearT.Name() != "linear-t" {
+		t.Fatalf("LinearT dim=%d name=%q", LinearT.Dim(), LinearT.Name())
+	}
+	dst := make([]float64, 2)
+	LinearT.Eval(dst, 7, 100, 200)
+	if dst[0] != 1 || dst[1] != 7 {
+		t.Errorf("Eval = %v, want [1 7]", dst)
+	}
+	got, err := FeaturesByName("linear-t")
+	if err != nil || got.Name() != "linear-t" {
+		t.Errorf("FeaturesByName: %v %v", got, err)
+	}
+}
+
+func TestLinearTFitRecoversDrift(t *testing.T) {
+	// s = 500 + 0.2 t, positions irrelevant.
+	n := 100
+	ts := make([]float64, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	ss := make([]float64, n)
+	for i := range ts {
+		ts[i] = float64(i * 10)
+		xs[i] = float64(i % 7)
+		ys[i] = float64(i % 5)
+		ss[i] = 500 + 0.2*ts[i]
+	}
+	m, err := Fit(LinearT, ts, xs, ys, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coef := m.Coef()
+	if math.Abs(coef[0]-500) > 1e-6 || math.Abs(coef[1]-0.2) > 1e-9 {
+		t.Errorf("coef = %v, want [500 0.2]", coef)
+	}
+	// Predict at an unseen time, arbitrary position.
+	if got := m.Predict(2000, 99, 99); math.Abs(got-900) > 1e-6 {
+		t.Errorf("Predict = %v, want 900", got)
+	}
+}
+
+func TestMeanModel(t *testing.T) {
+	ss := []float64{10, 20, 30}
+	for _, f := range []Features{Constant, LinearT, LinearXY, LinearXYT, QuadraticXY} {
+		m, err := MeanModel(f, ss)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		// Predicts the mean everywhere, regardless of inputs.
+		for _, in := range [][3]float64{{0, 0, 0}, {100, -50, 7}, {1e6, 1e6, 1e6}} {
+			if got := m.Predict(in[0], in[1], in[2]); math.Abs(got-20) > 1e-12 {
+				t.Errorf("%s: Predict(%v) = %v, want 20", f.Name(), in, got)
+			}
+		}
+		if m.N() != 3 {
+			t.Errorf("%s: N = %d", f.Name(), m.N())
+		}
+		// RSS is the variance sum: (10-20)² + 0 + (30-20)² = 200.
+		if math.Abs(m.RSS()-200) > 1e-12 {
+			t.Errorf("%s: RSS = %v, want 200", f.Name(), m.RSS())
+		}
+	}
+	if _, err := MeanModel(Constant, nil); err == nil {
+		t.Error("empty MeanModel should error")
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	ts := []float64{0, 1, 2, 3}
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{0, 0, 0, 0}
+	ss := []float64{1, 3, 5, 7} // exactly 1 + 2x
+	m, err := Fit(LinearXY, ts, xs, ys, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Features().Name() != "linear-xy" {
+		t.Errorf("Features = %v", m.Features().Name())
+	}
+	if m.RSS() > 1e-9 {
+		t.Errorf("RSS = %v, want ~0", m.RSS())
+	}
+	if m.RMSE() > 1e-6 {
+		t.Errorf("RMSE = %v", m.RMSE())
+	}
+	if r2 := m.R2(); math.Abs(r2-1) > 1e-9 {
+		t.Errorf("R2 = %v, want 1", r2)
+	}
+	s := m.String()
+	if !strings.Contains(s, "linear-xy") || !strings.Contains(s, "n=4") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestR2ConstantTarget(t *testing.T) {
+	// tss == 0: R² is 1 for an exact fit, 0 otherwise.
+	exact, err := MeanModel(Constant, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.R2() != 1 {
+		t.Errorf("exact constant fit R2 = %v, want 1", exact.R2())
+	}
+	// A reconstructed model with the wrong constant against constant data
+	// has rss > 0; emulate by fitting then checking the branch via a model
+	// whose fit is imperfect on a constant target.
+	m := &Model{features: Constant, coef: []float64{4}, n: 3, rss: 3, tss: 0}
+	if m.R2() != 0 {
+		t.Errorf("imperfect constant fit R2 = %v, want 0", m.R2())
+	}
+}
+
+func TestRMSEZeroObservations(t *testing.T) {
+	m, err := NewModel(Constant, []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RMSE() != 0 {
+		t.Errorf("reconstructed model RMSE = %v, want 0", m.RMSE())
+	}
+	if m.N() != 0 {
+		t.Errorf("reconstructed model N = %d, want 0", m.N())
+	}
+}
+
+// customFeatures exercises the generic (non-type-switched) Predict path.
+type customFeatures struct{}
+
+func (customFeatures) Dim() int     { return 2 }
+func (customFeatures) Name() string { return "custom" }
+func (customFeatures) Eval(dst []float64, t, x, y float64) {
+	dst[0], dst[1] = 1, x*y
+}
+
+func TestPredictGenericFallback(t *testing.T) {
+	m, err := NewModel(customFeatures{}, []float64{10, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict(0, 3, 4); math.Abs(got-34) > 1e-12 {
+		t.Errorf("Predict = %v, want 34 (10 + 2·12)", got)
+	}
+}
+
+func TestFitCustomFeatures(t *testing.T) {
+	// Fit with an external family: s = 5 + 3·x·y.
+	n := 50
+	ts := make([]float64, n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	ss := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%10) - 5
+		ys[i] = float64(i%7) - 3
+		ss[i] = 5 + 3*xs[i]*ys[i]
+	}
+	m, err := Fit(customFeatures{}, ts, xs, ys, ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coef := m.Coef()
+	if math.Abs(coef[0]-5) > 1e-6 || math.Abs(coef[1]-3) > 1e-6 {
+		t.Errorf("coef = %v, want [5 3]", coef)
+	}
+}

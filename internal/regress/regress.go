@@ -1,0 +1,344 @@
+// Package regress implements ordinary-least-squares linear regression on
+// configurable feature maps. It is the model-fitting substrate behind the
+// paper's model cover: for each sub-region R_j produced by Ad-KMN, a linear
+// regression model M_j is estimated over the raw tuples assigned to R_j
+// (§2.1) and later evaluated at query positions (§2.2).
+//
+// The solver is a dense normal-equations solve via Gaussian elimination
+// with partial pivoting and a small ridge fallback for rank-deficient
+// designs (which occur naturally when a cluster's tuples are collinear —
+// e.g. sampled along a straight road segment).
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Features maps an input (t, x, y) to a feature vector. The first feature
+// is conventionally the intercept term 1.
+type Features interface {
+	// Dim returns the length of the feature vector.
+	Dim() int
+	// Eval writes the feature vector for (t, x, y) into dst, which has
+	// length Dim. Using a caller-provided buffer keeps fitting allocation
+	// free on the hot path.
+	Eval(dst []float64, t, x, y float64)
+	// Name identifies the feature family for diagnostics and wire encoding.
+	Name() string
+}
+
+// The feature families used by EnviroMeter. Linear on (x, y, t) is the
+// paper's choice; the others support the model-family ablation.
+var (
+	// Constant fits only an intercept: the cluster mean.
+	Constant Features = constantFeatures{}
+	// LinearT fits s = β0 + β1·t: per-region temporal drift. For data
+	// sampled along 1-D bus corridors this is the family that generalizes
+	// best — spatial structure is captured by the region partitioning
+	// itself, while spatial slopes fitted on corridor-constrained samples
+	// are ill-determined perpendicular to the route.
+	LinearT Features = linearTFeatures{}
+	// LinearXY fits s = β0 + β1·x + β2·y.
+	LinearXY Features = linearXYFeatures{}
+	// LinearXYT fits s = β0 + β1·x + β2·y + β3·t. This is the model family
+	// the paper's Ad-KMN uses ("we estimate linear regression models").
+	LinearXYT Features = linearXYTFeatures{}
+	// QuadraticXY fits a full second-order polynomial in x and y plus a
+	// linear time term.
+	QuadraticXY Features = quadraticXYFeatures{}
+)
+
+type constantFeatures struct{}
+
+func (constantFeatures) Dim() int     { return 1 }
+func (constantFeatures) Name() string { return "constant" }
+func (constantFeatures) Eval(dst []float64, t, x, y float64) {
+	dst[0] = 1
+}
+
+type linearTFeatures struct{}
+
+func (linearTFeatures) Dim() int     { return 2 }
+func (linearTFeatures) Name() string { return "linear-t" }
+func (linearTFeatures) Eval(dst []float64, t, x, y float64) {
+	dst[0], dst[1] = 1, t
+}
+
+type linearXYFeatures struct{}
+
+func (linearXYFeatures) Dim() int     { return 3 }
+func (linearXYFeatures) Name() string { return "linear-xy" }
+func (linearXYFeatures) Eval(dst []float64, t, x, y float64) {
+	dst[0], dst[1], dst[2] = 1, x, y
+}
+
+type linearXYTFeatures struct{}
+
+func (linearXYTFeatures) Dim() int     { return 4 }
+func (linearXYTFeatures) Name() string { return "linear-xyt" }
+func (linearXYTFeatures) Eval(dst []float64, t, x, y float64) {
+	dst[0], dst[1], dst[2], dst[3] = 1, x, y, t
+}
+
+type quadraticXYFeatures struct{}
+
+func (quadraticXYFeatures) Dim() int     { return 7 }
+func (quadraticXYFeatures) Name() string { return "quadratic-xy" }
+func (quadraticXYFeatures) Eval(dst []float64, t, x, y float64) {
+	dst[0], dst[1], dst[2], dst[3] = 1, x, y, t
+	dst[4], dst[5], dst[6] = x*x, y*y, x*y
+}
+
+// FeaturesByName resolves a feature family from its wire name.
+func FeaturesByName(name string) (Features, error) {
+	switch name {
+	case "constant":
+		return Constant, nil
+	case "linear-t":
+		return LinearT, nil
+	case "linear-xy":
+		return LinearXY, nil
+	case "linear-xyt":
+		return LinearXYT, nil
+	case "quadratic-xy":
+		return QuadraticXY, nil
+	default:
+		return nil, fmt.Errorf("regress: unknown feature family %q", name)
+	}
+}
+
+// Model is a fitted linear model: Predict = coef · features(t, x, y).
+type Model struct {
+	features Features
+	coef     []float64
+
+	// Fit diagnostics.
+	n   int     // number of observations used
+	rss float64 // residual sum of squares
+	tss float64 // total sum of squares around the mean
+}
+
+// Fit estimates an OLS model of the observations. ts, xs, ys and ss must
+// have equal length n ≥ 1. Rank-deficient designs are regularized with a
+// tiny ridge term so that degenerate clusters (single point, collinear
+// points) still yield a usable model rather than an error: the paper's
+// Ad-KMN routinely creates very small clusters while splitting.
+func Fit(f Features, ts, xs, ys, ss []float64) (*Model, error) {
+	n := len(ss)
+	if n == 0 {
+		return nil, errors.New("regress: no observations")
+	}
+	if len(ts) != n || len(xs) != n || len(ys) != n {
+		return nil, fmt.Errorf("regress: length mismatch t=%d x=%d y=%d s=%d",
+			len(ts), len(xs), len(ys), n)
+	}
+	d := f.Dim()
+
+	// Accumulate the normal equations XᵀX β = Xᵀs.
+	xtx := make([]float64, d*d)
+	xty := make([]float64, d)
+	row := make([]float64, d)
+	var mean float64
+	for i := 0; i < n; i++ {
+		f.Eval(row, ts[i], xs[i], ys[i])
+		for a := 0; a < d; a++ {
+			xty[a] += row[a] * ss[i]
+			for b := a; b < d; b++ {
+				xtx[a*d+b] += row[a] * row[b]
+			}
+		}
+		mean += ss[i]
+	}
+	mean /= float64(n)
+	// Mirror the upper triangle.
+	for a := 0; a < d; a++ {
+		for b := 0; b < a; b++ {
+			xtx[a*d+b] = xtx[b*d+a]
+		}
+	}
+
+	coef, err := solveSPD(xtx, xty, d)
+	if err != nil {
+		// Rank deficient: retry with a small ridge proportional to the
+		// trace, which always succeeds.
+		var trace float64
+		for a := 0; a < d; a++ {
+			trace += xtx[a*d+a]
+		}
+		ridge := 1e-9 * (trace + 1)
+		for a := 0; a < d; a++ {
+			xtx[a*d+a] += ridge
+		}
+		coef, err = solveSPD(xtx, xty, d)
+		if err != nil {
+			return nil, fmt.Errorf("regress: singular design even with ridge: %w", err)
+		}
+	}
+
+	m := &Model{features: f, coef: coef, n: n}
+	for i := 0; i < n; i++ {
+		pred := m.Predict(ts[i], xs[i], ys[i])
+		r := ss[i] - pred
+		m.rss += r * r
+		dm := ss[i] - mean
+		m.tss += dm * dm
+	}
+	return m, nil
+}
+
+// solveSPD solves A β = b for a d×d system via Gaussian elimination with
+// partial pivoting. A is row-major and is clobbered.
+func solveSPD(a, b []float64, d int) ([]float64, error) {
+	// Work on copies so the caller can retry with regularization.
+	m := make([]float64, len(a))
+	copy(m, a)
+	rhs := make([]float64, d)
+	copy(rhs, b)
+
+	for col := 0; col < d; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col*d+col])
+		for r := col + 1; r < d; r++ {
+			if v := math.Abs(m[r*d+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("regress: pivot %d below tolerance (%.3g)", col, best)
+		}
+		if pivot != col {
+			for c := 0; c < d; c++ {
+				m[col*d+c], m[pivot*d+c] = m[pivot*d+c], m[col*d+c]
+			}
+			rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		}
+		inv := 1 / m[col*d+col]
+		for r := col + 1; r < d; r++ {
+			f := m[r*d+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < d; c++ {
+				m[r*d+c] -= f * m[col*d+c]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	// Back substitution.
+	out := make([]float64, d)
+	for r := d - 1; r >= 0; r-- {
+		sum := rhs[r]
+		for c := r + 1; c < d; c++ {
+			sum -= m[r*d+c] * out[c]
+		}
+		out[r] = sum / m[r*d+r]
+	}
+	return out, nil
+}
+
+// MeanModel builds a constant-prediction model expressed in family f: the
+// intercept carries the mean of ss and all other coefficients are zero.
+// All built-in families place the intercept first, so the model predicts
+// the mean everywhere. Ad-KMN falls back to this for clusters too small to
+// support a full regression.
+func MeanModel(f Features, ss []float64) (*Model, error) {
+	if len(ss) == 0 {
+		return nil, errors.New("regress: no observations")
+	}
+	var mean float64
+	for _, s := range ss {
+		mean += s
+	}
+	mean /= float64(len(ss))
+	coef := make([]float64, f.Dim())
+	coef[0] = mean
+	m := &Model{features: f, coef: coef, n: len(ss)}
+	for _, s := range ss {
+		d := s - mean
+		m.rss += d * d
+	}
+	m.tss = m.rss
+	return m, nil
+}
+
+// NewModel reconstructs a model from its feature family and coefficients,
+// as received over the wire by the model-cache client. Fit diagnostics are
+// unavailable on reconstructed models.
+func NewModel(f Features, coef []float64) (*Model, error) {
+	if len(coef) != f.Dim() {
+		return nil, fmt.Errorf("regress: %s wants %d coefficients, got %d",
+			f.Name(), f.Dim(), len(coef))
+	}
+	cp := make([]float64, len(coef))
+	copy(cp, coef)
+	return &Model{features: f, coef: cp}, nil
+}
+
+// Predict evaluates the model at (t, x, y).
+func (m *Model) Predict(t, x, y float64) float64 {
+	switch m.features.(type) {
+	case constantFeatures:
+		return m.coef[0]
+	case linearTFeatures:
+		return m.coef[0] + m.coef[1]*t
+	case linearXYFeatures:
+		return m.coef[0] + m.coef[1]*x + m.coef[2]*y
+	case linearXYTFeatures:
+		return m.coef[0] + m.coef[1]*x + m.coef[2]*y + m.coef[3]*t
+	case quadraticXYFeatures:
+		return m.coef[0] + m.coef[1]*x + m.coef[2]*y + m.coef[3]*t +
+			m.coef[4]*x*x + m.coef[5]*y*y + m.coef[6]*x*y
+	}
+	// Generic fallback for external feature families.
+	row := make([]float64, m.features.Dim())
+	m.features.Eval(row, t, x, y)
+	var sum float64
+	for i, c := range m.coef {
+		sum += c * row[i]
+	}
+	return sum
+}
+
+// Coef returns a copy of the model coefficients.
+func (m *Model) Coef() []float64 {
+	cp := make([]float64, len(m.coef))
+	copy(cp, m.coef)
+	return cp
+}
+
+// Features returns the model's feature family.
+func (m *Model) Features() Features { return m.features }
+
+// N returns the number of observations used to fit the model (0 for
+// reconstructed models).
+func (m *Model) N() int { return m.n }
+
+// RSS returns the residual sum of squares from fitting.
+func (m *Model) RSS() float64 { return m.rss }
+
+// R2 returns the coefficient of determination. For constant targets
+// (tss == 0) it returns 1 if the fit is exact and 0 otherwise.
+func (m *Model) R2() float64 {
+	if m.tss == 0 {
+		if m.rss < 1e-12 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - m.rss/m.tss
+}
+
+// RMSE returns the root-mean-square error over the fitting data.
+func (m *Model) RMSE() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return math.Sqrt(m.rss / float64(m.n))
+}
+
+func (m *Model) String() string {
+	return fmt.Sprintf("Model(%s, coef=%v, n=%d)", m.features.Name(), m.coef, m.n)
+}

@@ -1,0 +1,115 @@
+// Package server implements the EnviroMeter server: the query-processing
+// engine that answers protocol messages (used both by the simulated
+// cellular transport and the HTTP API), and the HTTP/JSON interface that
+// replaces the demo's web UI.
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/heatmap"
+	"repro/internal/store"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Engine binds a tuple store to a model-cover maintainer and answers the
+// wire protocol: query tuples with interpolated values (Query 1) and model
+// requests with the full (t_n, µ, M) payload.
+type Engine struct {
+	st         *store.Store
+	maintainer *core.Maintainer
+}
+
+// NewEngine creates an engine over st with the given Ad-KMN configuration.
+func NewEngine(st *store.Store, cfg core.Config) *Engine {
+	return &Engine{st: st, maintainer: core.NewMaintainer(st, cfg)}
+}
+
+// Store returns the underlying tuple store (for ingestion endpoints).
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Maintainer returns the cover maintainer (for diagnostics).
+func (e *Engine) Maintainer() *core.Maintainer { return e.maintainer }
+
+// PointQuery interpolates the sensor value at (x, y) at stream time t
+// using the model cover of t's window — the server side of Query 1.
+func (e *Engine) PointQuery(t, x, y float64) (float64, error) {
+	cv, err := e.maintainer.CoverAt(t)
+	if err != nil {
+		return 0, err
+	}
+	return cv.Interpolate(t, x, y)
+}
+
+// CoverAt returns the model cover valid at stream time t.
+func (e *Engine) CoverAt(t float64) (*core.Cover, error) {
+	return e.maintainer.CoverAt(t)
+}
+
+// Ingest appends a batch of raw tuples, invalidating any cached cover
+// whose window received late data.
+func (e *Engine) Ingest(b tuple.Batch) error {
+	if err := e.st.Append(b); err != nil {
+		return err
+	}
+	touched := map[int]bool{}
+	for _, r := range b {
+		touched[tuple.WindowIndex(r.T, e.st.WindowLength())] = true
+	}
+	for c := range touched {
+		e.maintainer.Invalidate(c)
+	}
+	return nil
+}
+
+// Heatmap rasterizes the cover at time t over the data's bounding region.
+func (e *Engine) Heatmap(t float64, cols, rows int) (*heatmap.Grid, error) {
+	cv, err := e.maintainer.CoverAt(t)
+	if err != nil {
+		return nil, err
+	}
+	w, _ := e.st.WindowAt(t)
+	region, ok := w.Bounds()
+	if !ok {
+		return nil, errors.New("server: no data in window")
+	}
+	// A corridor of bus samples can be degenerate in one axis; inflate so
+	// the raster region always has area.
+	region = region.Inflate(100)
+	return heatmap.FromCover(cv, region, cols, rows, t)
+}
+
+// HandleMessage implements the request/response protocol over any
+// transport: it maps a request message to its response message. Server
+// failures become ErrorResponse rather than Go errors, since they must
+// travel back over the link.
+func (e *Engine) HandleMessage(req wire.Message) wire.Message {
+	switch m := req.(type) {
+	case wire.QueryRequest:
+		v, err := e.PointQuery(m.T, m.X, m.Y)
+		if err != nil {
+			return wire.ErrorResponse{Msg: err.Error()}
+		}
+		return wire.QueryResponse{Value: v}
+	case wire.ModelRequest:
+		cv, err := e.maintainer.CoverAt(m.T)
+		if err != nil {
+			return wire.ErrorResponse{Msg: err.Error()}
+		}
+		resp, err := wire.ModelResponseFromCover(cv)
+		if err != nil {
+			return wire.ErrorResponse{Msg: err.Error()}
+		}
+		return resp
+	default:
+		return wire.ErrorResponse{Msg: fmt.Sprintf("unsupported request type %T", req)}
+	}
+}
+
+// Classify returns the display band for a CO2 value, exposed here so both
+// the HTTP layer and clients share one classification.
+func Classify(ppm float64) eval.CO2Band { return eval.ClassifyCO2(ppm) }

@@ -1,0 +1,393 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/geo"
+	"repro/internal/heatmap"
+	"repro/internal/route"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// API wraps an Engine with the HTTP/JSON interface of the EnviroMeter web
+// application (§3): point queries, continuous route queries, model-cover
+// downloads for smartphone clients, heatmaps, and ingestion.
+type API struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewAPI builds the HTTP API around engine.
+func NewAPI(engine *Engine) *API {
+	a := &API{engine: engine, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/v1/query/point", a.handlePointQuery)
+	a.mux.HandleFunc("/v1/query/continuous", a.handleContinuous)
+	a.mux.HandleFunc("/v1/models", a.handleModels)
+	a.mux.HandleFunc("/v1/heatmap", a.handleHeatmap)
+	a.mux.HandleFunc("/v1/heatmap.png", a.handleHeatmapPNG)
+	a.mux.HandleFunc("/v1/route/summary", a.handleRouteSummary)
+	a.mux.HandleFunc("/v1/ingest", a.handleIngest)
+	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func queryFloat(r *http.Request, name string) (float64, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+// pointResponse is the single point query answer shown by the web UI: the
+// interpolated ppm plus the OSHA band and advice text.
+type pointResponse struct {
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	Band   string  `json:"band"`
+	Advice string  `json:"advice"`
+}
+
+// handlePointQuery serves GET /v1/query/point?t=&x=&y= — the "single point
+// query mode" of the web interface.
+func (a *API) handlePointQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	var t, x, y float64
+	var err error
+	if t, err = queryFloat(r, "t"); err == nil {
+		if x, err = queryFloat(r, "x"); err == nil {
+			y, err = queryFloat(r, "y")
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := a.engine.PointQuery(t, x, y)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	band := Classify(v)
+	writeJSON(w, http.StatusOK, pointResponse{
+		Value:  v,
+		Unit:   tuple.CO2.Unit(),
+		Band:   band.String(),
+		Advice: band.Advice(),
+	})
+}
+
+// continuousRequest is the recorded route: the sequence of query tuples.
+type continuousRequest struct {
+	Points []wire.QueryRequest `json:"points"`
+}
+
+// continuousResponse mirrors the app's route view: one value per point,
+// the route average, and its band.
+type continuousResponse struct {
+	Values  []pointResponse `json:"values"`
+	Average float64         `json:"average"`
+	Band    string          `json:"band"`
+	Advice  string          `json:"advice"`
+}
+
+// handleContinuous serves POST /v1/query/continuous — the "continuous
+// query mode" where users select the points of a route and the app shows
+// per-point values and the route average (§3).
+func (a *API) handleContinuous(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req continuousRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %v", err))
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty route"))
+		return
+	}
+	resp := continuousResponse{Values: make([]pointResponse, 0, len(req.Points))}
+	var sum float64
+	for _, p := range req.Points {
+		v, err := a.engine.PointQuery(p.T, p.X, p.Y)
+		if err != nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("point (%v,%v): %v", p.X, p.Y, err))
+			return
+		}
+		band := Classify(v)
+		resp.Values = append(resp.Values, pointResponse{
+			Value: v, Unit: tuple.CO2.Unit(), Band: band.String(), Advice: band.Advice(),
+		})
+		sum += v
+	}
+	resp.Average = sum / float64(len(req.Points))
+	avgBand := Classify(resp.Average)
+	resp.Band = avgBand.String()
+	resp.Advice = avgBand.Advice()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleModels serves GET /v1/models?t= — the model request e_l of the
+// model-cache protocol, returning (t_n, µ, M) as JSON.
+func (a *API) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	t, err := queryFloat(r, "t")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cv, err := a.engine.CoverAt(t)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp, err := wire.ModelResponseFromCover(cv)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// heatmapResponse carries the raster and the centroid markers.
+type heatmapResponse struct {
+	Grid    *heatmap.Grid            `json:"grid"`
+	Markers []heatmap.CentroidMarker `json:"markers"`
+}
+
+// handleHeatmap serves GET /v1/heatmap?t=&cols=&rows= — the web UI's
+// heatmap visualization data.
+func (a *API) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	t, err := queryFloat(r, "t")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cols, err := queryInt(r, "cols", 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows, err := queryInt(r, "rows", 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	grid, err := a.engine.Heatmap(t, cols, rows)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	cv, err := a.engine.CoverAt(t)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	markers, err := heatmap.Markers(cv, t)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, heatmapResponse{Grid: grid, Markers: markers})
+}
+
+// handleHeatmapPNG serves GET /v1/heatmap.png?t=&cols=&rows= — the
+// rendered image.
+func (a *API) handleHeatmapPNG(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	t, err := queryFloat(r, "t")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cols, err := queryInt(r, "cols", 256)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rows, err := queryInt(r, "rows", 256)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	grid, err := a.engine.Heatmap(t, cols, rows)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	// Headers are already written; a mid-stream encode failure cannot be
+	// reported to the client.
+	_ = grid.WritePNG(w)
+}
+
+// routeSummaryRequest is a recorded route uploaded for review: the
+// Android app's "view recorded route" flow, server side.
+type routeSummaryRequest struct {
+	Fixes []struct {
+		T float64 `json:"t"`
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	} `json:"fixes"`
+}
+
+// routeSummaryResponse mirrors the app's recorded-route screen.
+type routeSummaryResponse struct {
+	Points []struct {
+		T     float64 `json:"t"`
+		X     float64 `json:"x"`
+		Y     float64 `json:"y"`
+		Value float64 `json:"value"`
+		Band  string  `json:"band"`
+	} `json:"points"`
+	Average  float64 `json:"average"`
+	Band     string  `json:"band"`
+	Advice   string  `json:"advice"`
+	Worst    int     `json:"worst"`
+	LengthM  float64 `json:"lengthMeters"`
+	Duration float64 `json:"durationSeconds"`
+}
+
+// handleRouteSummary serves POST /v1/route/summary.
+func (a *API) handleRouteSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req routeSummaryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %v", err))
+		return
+	}
+	rec := route.NewRecorder(route.RecorderConfig{})
+	for _, f := range req.Fixes {
+		rec.Add(route.Fix{T: f.T, Pos: geo.Point{X: f.X, Y: f.Y}})
+	}
+	rt, err := rec.Finish()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sum, err := route.Summarize(rt, a.engine.PointQuery)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	resp := routeSummaryResponse{
+		Average:  sum.Average,
+		Band:     sum.Band.String(),
+		Advice:   sum.Advice,
+		Worst:    sum.Worst,
+		LengthM:  rt.Length(),
+		Duration: rt.Duration(),
+	}
+	for _, pt := range sum.Points {
+		resp.Points = append(resp.Points, struct {
+			T     float64 `json:"t"`
+			X     float64 `json:"x"`
+			Y     float64 `json:"y"`
+			Value float64 `json:"value"`
+			Band  string  `json:"band"`
+		}{pt.Fix.T, pt.Fix.Pos.X, pt.Fix.Pos.Y, pt.Value, pt.Band.String()})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ingestRequest is a batch of raw tuples from the sensing pipeline.
+type ingestRequest struct {
+	Tuples []tuple.Raw `json:"tuples"`
+}
+
+// handleIngest serves POST /v1/ingest.
+func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %v", err))
+		return
+	}
+	if err := a.engine.Ingest(req.Tuples); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"ingested": len(req.Tuples)})
+}
+
+// statsResponse summarizes server state.
+type statsResponse struct {
+	Tuples       int     `json:"tuples"`
+	Windows      int     `json:"windows"`
+	WindowLength float64 `json:"windowLength"`
+	MaxTime      float64 `json:"maxTime"`
+	CachedCovers int     `json:"cachedCovers"`
+}
+
+// handleStats serves GET /v1/stats.
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	st := a.engine.Store()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Tuples:       st.Len(),
+		Windows:      len(st.WindowIndexes()),
+		WindowLength: st.WindowLength(),
+		MaxTime:      st.MaxTime(),
+		CachedCovers: len(a.engine.Maintainer().CachedWindows()),
+	})
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestEndpointMethodDiscipline sweeps wrong HTTP methods across all
+// endpoints.
+func TestEndpointMethodDiscipline(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	cases := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/v1/models?t=1"},
+		{http.MethodPost, "/v1/heatmap?t=1"},
+		{http.MethodPost, "/v1/heatmap.png?t=1"},
+		{http.MethodGet, "/v1/ingest"},
+		{http.MethodPost, "/v1/stats"},
+		{http.MethodPut, "/v1/query/continuous"},
+	}
+	for _, tt := range cases {
+		req, err := http.NewRequest(tt.method, srv.URL+tt.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tt.method, tt.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestEndpointParameterErrors sweeps missing/invalid parameters.
+func TestEndpointParameterErrors(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	cases := []string{
+		"/v1/models",                     // missing t
+		"/v1/models?t=zzz",               // bad t
+		"/v1/heatmap",                    // missing t
+		"/v1/heatmap?t=100&cols=abc",     // bad cols
+		"/v1/heatmap?t=100&rows=abc",     // bad rows
+		"/v1/heatmap.png",                // missing t
+		"/v1/heatmap.png?t=100&cols=abc", // bad cols
+		"/v1/heatmap.png?t=100&rows=x",   // bad rows
+	}
+	for _, path := range cases {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestEndpointEmptyWindowErrors sweeps queries into windows with no data.
+func TestEndpointEmptyWindowErrors(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	cases := []string{
+		"/v1/models?t=999999999",
+		"/v1/heatmap?t=999999999",
+		"/v1/heatmap.png?t=999999999",
+	}
+	for _, path := range cases {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestIngestBadBody covers malformed ingestion payloads.
+func TestIngestBadBody(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/ingest", "application/json",
+		strings.NewReader("this is not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body: status %d", resp.StatusCode)
+	}
+}
+
+// TestContinuousQueryOutsideData covers the not-found path of the
+// continuous endpoint.
+func TestContinuousQueryOutsideData(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	body := `{"points":[{"t":999999999,"x":0,"y":0}]}`
+	resp, err := http.Post(srv.URL+"/v1/query/continuous", "application/json",
+		strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHeatmapDefaults covers the default cols/rows path.
+func TestHeatmapDefaults(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/heatmap?t=300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHTTPRouteSummary(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	body := []byte(`{"fixes":[
+		{"t":100,"x":100,"y":100},
+		{"t":160,"x":400,"y":200},
+		{"t":220,"x":800,"y":400},
+		{"t":280,"x":1200,"y":700}
+	]}`)
+	resp, err := http.Post(srv.URL+"/v1/route/summary", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var sum struct {
+		Points []struct {
+			Value float64 `json:"value"`
+			Band  string  `json:"band"`
+		} `json:"points"`
+		Average  float64 `json:"average"`
+		Band     string  `json:"band"`
+		Advice   string  `json:"advice"`
+		Worst    int     `json:"worst"`
+		LengthM  float64 `json:"lengthMeters"`
+		Duration float64 `json:"durationSeconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(sum.Points))
+	}
+	// The test field grows with x+y, so the last point is worst.
+	if sum.Worst != 3 {
+		t.Errorf("worst = %d, want 3", sum.Worst)
+	}
+	if sum.Duration != 180 {
+		t.Errorf("duration = %v, want 180", sum.Duration)
+	}
+	if sum.LengthM < 1000 || sum.Band == "" || sum.Advice == "" {
+		t.Errorf("summary incomplete: %+v", sum)
+	}
+	for i, pt := range sum.Points {
+		if pt.Band == "" || pt.Value <= 0 {
+			t.Errorf("point %d incomplete: %+v", i, pt)
+		}
+	}
+}
+
+func TestHTTPRouteSummaryErrors(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"not json", "zzz", http.StatusBadRequest},
+		{"too few fixes", `{"fixes":[{"t":1,"x":0,"y":0}]}`, http.StatusBadRequest},
+		{"empty window", `{"fixes":[{"t":1e12,"x":0,"y":0},{"t":1e12,"x":100,"y":0}]}`, http.StatusBadRequest},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Post(srv.URL+"/v1/route/summary", "application/json",
+				bytes.NewReader([]byte(tt.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tt.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tt.want)
+			}
+		})
+	}
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/v1/route/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d", resp.StatusCode)
+	}
+}

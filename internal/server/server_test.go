@@ -1,0 +1,387 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"image/png"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// newTestEngine builds an engine over a small two-window dataset with a
+// known linear field s = 420 + 0.05x + 0.02y.
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	st := store.MustOpenMemory(600)
+	rng := rand.New(rand.NewSource(1))
+	var b tuple.Batch
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 300; i++ {
+			x, y := rng.Float64()*2000, rng.Float64()*2000
+			b = append(b, tuple.Raw{
+				T: float64(c)*600 + rng.Float64()*600,
+				X: x, Y: y,
+				S: 420 + 0.05*x + 0.02*y,
+			})
+		}
+	}
+	if err := st.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(st, core.Config{Cluster: cluster.Config{Seed: 7}})
+}
+
+func TestEnginePointQuery(t *testing.T) {
+	e := newTestEngine(t)
+	v, err := e.PointQuery(300, 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 420 + 0.05*1000 + 0.02*1000
+	if math.Abs(v-want) > 20 {
+		t.Errorf("PointQuery = %v, want ~%v", v, want)
+	}
+	if _, err := e.PointQuery(1e9, 0, 0); err == nil {
+		t.Error("query in empty window should error")
+	}
+}
+
+func TestEngineHandleMessage(t *testing.T) {
+	e := newTestEngine(t)
+	resp := e.HandleMessage(wire.QueryRequest{T: 300, X: 500, Y: 500})
+	qr, ok := resp.(wire.QueryResponse)
+	if !ok {
+		t.Fatalf("got %T, want QueryResponse", resp)
+	}
+	want := 420 + 0.05*500 + 0.02*500
+	if math.Abs(qr.Value-want) > 20 {
+		t.Errorf("value = %v, want ~%v", qr.Value, want)
+	}
+
+	resp = e.HandleMessage(wire.ModelRequest{T: 300})
+	mr, ok := resp.(wire.ModelResponse)
+	if !ok {
+		t.Fatalf("got %T, want ModelResponse", resp)
+	}
+	if mr.ValidUntil != 600 {
+		t.Errorf("t_n = %v, want 600", mr.ValidUntil)
+	}
+	if len(mr.Centroids) == 0 {
+		t.Error("model response has no centroids")
+	}
+
+	resp = e.HandleMessage(wire.QueryRequest{T: 1e9})
+	if _, ok := resp.(wire.ErrorResponse); !ok {
+		t.Errorf("empty window should yield ErrorResponse, got %T", resp)
+	}
+	resp = e.HandleMessage(wire.QueryResponse{})
+	if _, ok := resp.(wire.ErrorResponse); !ok {
+		t.Errorf("unsupported request should yield ErrorResponse, got %T", resp)
+	}
+}
+
+func TestEngineIngestInvalidatesCover(t *testing.T) {
+	e := newTestEngine(t)
+	before, err := e.CoverAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Late data for window 0 must invalidate its cover.
+	late := tuple.Batch{{T: 50, X: 1, Y: 1, S: 500}}
+	if err := e.Ingest(late); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.CoverAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Error("cover not rebuilt after late ingest")
+	}
+}
+
+func TestHTTPPointQuery(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/query/point?t=300&x=1000&y=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var pr struct {
+		Value  float64 `json:"value"`
+		Unit   string  `json:"unit"`
+		Band   string  `json:"band"`
+		Advice string  `json:"advice"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Unit != "ppm" || pr.Band == "" || pr.Advice == "" {
+		t.Errorf("response incomplete: %+v", pr)
+	}
+	want := 420 + 0.05*1000 + 0.02*1000
+	if math.Abs(pr.Value-want) > 20 {
+		t.Errorf("value = %v, want ~%v", pr.Value, want)
+	}
+}
+
+func TestHTTPPointQueryErrors(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/v1/query/point", http.StatusBadRequest},                   // missing params
+		{"/v1/query/point?t=abc&x=1&y=1", http.StatusBadRequest},     // bad float
+		{"/v1/query/point?t=999999999&x=1&y=1", http.StatusNotFound}, // empty window
+	}
+	for _, tt := range cases {
+		resp, err := http.Get(srv.URL + tt.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tt.want {
+			t.Errorf("%s: status %d, want %d", tt.url, resp.StatusCode, tt.want)
+		}
+	}
+	// Wrong method.
+	resp, err := http.Post(srv.URL+"/v1/query/point", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST point query: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPContinuous(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	body, err := json.Marshal(map[string]interface{}{
+		"points": []map[string]float64{
+			{"t": 100, "x": 200, "y": 200},
+			{"t": 200, "x": 800, "y": 800},
+			{"t": 300, "x": 1500, "y": 1500},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/query/continuous", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var cr struct {
+		Values  []struct{ Value float64 } `json:"values"`
+		Average float64                   `json:"average"`
+		Band    string                    `json:"band"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Values) != 3 {
+		t.Fatalf("values = %d, want 3", len(cr.Values))
+	}
+	wantAvg := (cr.Values[0].Value + cr.Values[1].Value + cr.Values[2].Value) / 3
+	if math.Abs(cr.Average-wantAvg) > 1e-9 {
+		t.Errorf("average = %v, want %v", cr.Average, wantAvg)
+	}
+	if cr.Band == "" {
+		t.Error("route band missing")
+	}
+
+	// Empty route is a bad request.
+	resp2, err := http.Post(srv.URL+"/v1/query/continuous", "application/json",
+		bytes.NewReader([]byte(`{"points":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty route: status %d", resp2.StatusCode)
+	}
+}
+
+func TestHTTPModels(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/models?t=300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var mr wire.ModelResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.ValidUntil != 600 || len(mr.Centroids) == 0 || len(mr.Centroids) != len(mr.Coefs) {
+		t.Errorf("model response malformed: %+v", mr)
+	}
+	// The response reconstructs into a working cover.
+	cv, err := wire.CoverFromModelResponse(mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cv.Interpolate(300, 500, 500); err != nil {
+		t.Errorf("reconstructed cover: %v", err)
+	}
+}
+
+func TestHTTPHeatmap(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/heatmap?t=300&cols=16&rows=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var hr struct {
+		Grid struct {
+			Cols   int       `json:"Cols"`
+			Rows   int       `json:"Rows"`
+			Values []float64 `json:"Values"`
+		} `json:"grid"`
+		Markers []struct {
+			Band string `json:"band"`
+		} `json:"markers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Grid.Cols != 16 || hr.Grid.Rows != 16 || len(hr.Grid.Values) != 256 {
+		t.Errorf("grid malformed: cols=%d rows=%d values=%d",
+			hr.Grid.Cols, hr.Grid.Rows, len(hr.Grid.Values))
+	}
+	if len(hr.Markers) == 0 {
+		t.Error("no centroid markers")
+	}
+
+	// PNG variant decodes as an image.
+	resp2, err := http.Get(srv.URL + "/v1/heatmap.png?t=300&cols=32&rows=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("png status = %d", resp2.StatusCode)
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "image/png" {
+		t.Errorf("content type = %q", ct)
+	}
+	img, err := png.Decode(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 32 {
+		t.Errorf("png width = %d", img.Bounds().Dx())
+	}
+}
+
+func TestHTTPIngestAndStats(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	before := fetchStats(t, srv.URL)
+	body := []byte(`{"tuples":[{"T":1250,"X":10,"Y":10,"S":500}]}`)
+	resp, err := http.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	after := fetchStats(t, srv.URL)
+	if after.Tuples != before.Tuples+1 {
+		t.Errorf("tuples %d -> %d, want +1", before.Tuples, after.Tuples)
+	}
+
+	// Invalid tuple rejected.
+	resp2, err := http.Post(srv.URL+"/v1/ingest", "application/json",
+		bytes.NewReader([]byte(`{"tuples":[{"T":-5,"X":0,"Y":0,"S":0}]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid tuple: status %d", resp2.StatusCode)
+	}
+}
+
+type statsR struct {
+	Tuples       int     `json:"tuples"`
+	Windows      int     `json:"windows"`
+	WindowLength float64 `json:"windowLength"`
+}
+
+func fetchStats(t *testing.T, base string) statsR {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var s statsR
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHTTPStatsShape(t *testing.T) {
+	api := NewAPI(newTestEngine(t))
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+	s := fetchStats(t, srv.URL)
+	if s.Tuples != 600 || s.Windows != 2 || s.WindowLength != 600 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestClassifyReexport(t *testing.T) {
+	if Classify(400).String() != "fresh" {
+		t.Error("Classify mismatch")
+	}
+	_ = fmt.Sprintf // keep fmt for future use in this test file
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tuple"
+)
+
+// This file extends the deployment simulator to all pollutants the
+// OpenSense buses sense. Every vehicle carries one sensor per pollutant
+// sampling the same trajectory, so the per-pollutant datasets share
+// positions and times but sample different fields with different noise —
+// exactly the structure a multi-gas sensor box produces.
+
+// DefaultFieldFor returns a plausible ground-truth field for the
+// pollutant, sharing the CO2 field's plume geography (traffic causes all
+// three) with pollutant-appropriate baselines and magnitudes.
+func DefaultFieldFor(p tuple.Pollutant) (Field, error) {
+	co2 := DefaultLausanneField()
+	switch p {
+	case tuple.CO2:
+		return co2, nil
+	case tuple.CO:
+		// CO tracks traffic with a near-zero background: scale each CO2
+		// plume down to single-digit ppm.
+		f := &CO2Field{
+			Baseline:         0.4,
+			DiurnalAmplitude: 3.5,
+			GradientX:        co2.GradientX / 50,
+			GradientY:        co2.GradientY / 50,
+		}
+		for _, s := range co2.Sources {
+			s.Peak /= 60
+			f.Sources = append(f.Sources, s)
+		}
+		return f, nil
+	case tuple.PM:
+		// Particulates: modest urban background, strong plumes near the
+		// industrial source, slower temporal modulation.
+		f := &CO2Field{
+			Baseline:         18,
+			DiurnalAmplitude: 25,
+			GradientX:        co2.GradientX / 10,
+			GradientY:        co2.GradientY / 10,
+		}
+		for _, s := range co2.Sources {
+			s.Peak /= 8
+			s.Scale *= 1.2
+			f.Sources = append(f.Sources, s)
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("sim: no default field for pollutant %v", p)
+	}
+}
+
+// noiseFor returns the per-pollutant sensor noise (standard deviation).
+func noiseFor(p tuple.Pollutant) float64 {
+	switch p {
+	case tuple.CO2:
+		return 12
+	case tuple.CO:
+		return 0.3
+	case tuple.PM:
+		return 2.5
+	default:
+		return 0
+	}
+}
+
+// GenerateMulti produces one dataset per pollutant from a single fleet
+// trajectory: shared positions and times, per-pollutant fields and noise.
+// The base config's Field and NoiseStdDev are ignored in favor of the
+// per-pollutant defaults.
+func GenerateMulti(base Config, pollutants []tuple.Pollutant) (map[tuple.Pollutant]tuple.Batch, error) {
+	if len(pollutants) == 0 {
+		return nil, fmt.Errorf("sim: no pollutants requested")
+	}
+	// Validate using a throwaway field (base.Field may be nil).
+	probe := base
+	probe.Field = DefaultLausanneField()
+	probe.NoiseStdDev = 0
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+
+	fields := make(map[tuple.Pollutant]Field, len(pollutants))
+	for _, p := range pollutants {
+		f, err := DefaultFieldFor(p)
+		if err != nil {
+			return nil, err
+		}
+		fields[p] = f
+	}
+
+	rng := rand.New(rand.NewSource(base.Seed))
+	samplesPerVehicle := int(base.Duration / base.SamplingInterval)
+	out := make(map[tuple.Pollutant]tuple.Batch, len(pollutants))
+	for _, p := range pollutants {
+		out[p] = make(tuple.Batch, 0, samplesPerVehicle*len(base.Vehicles))
+	}
+	for step := 0; step < samplesPerVehicle; step++ {
+		t := float64(step) * base.SamplingInterval
+		for _, v := range base.Vehicles {
+			if base.DropoutProb > 0 && rng.Float64() < base.DropoutProb {
+				continue // the whole sensor box misses the report
+			}
+			pos := v.Route.AtLoop(v.StartOffset + v.SpeedMPS*t)
+			for _, p := range pollutants {
+				s := fields[p].TrueValue(t, pos.X, pos.Y) + rng.NormFloat64()*noiseFor(p)
+				if s < 0 {
+					s = 0 // concentrations cannot be negative
+				}
+				out[p] = append(out[p], tuple.Raw{T: t, X: pos.X, Y: pos.Y, S: s})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FieldsFor returns the ground-truth fields used by GenerateMulti, for
+// accuracy evaluation.
+func FieldsFor(pollutants []tuple.Pollutant) (map[tuple.Pollutant]Field, error) {
+	out := make(map[tuple.Pollutant]Field, len(pollutants))
+	for _, p := range pollutants {
+		f, err := DefaultFieldFor(p)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestDefaultFieldFor(t *testing.T) {
+	for _, p := range []tuple.Pollutant{tuple.CO2, tuple.CO, tuple.PM} {
+		f, err := DefaultFieldFor(p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		v := f.TrueValue(30000, 1200, 800)
+		lo, hi := p.NormalRange()
+		if v < lo-hi*0.1 || v > hi {
+			t.Errorf("%v: value %v outside plausible range [%v, %v]", p, v, lo, hi)
+		}
+	}
+	if _, err := DefaultFieldFor(tuple.Pollutant(9)); err == nil {
+		t.Error("unknown pollutant should error")
+	}
+}
+
+func TestMagnitudeOrdering(t *testing.T) {
+	co2, _ := DefaultFieldFor(tuple.CO2)
+	co, _ := DefaultFieldFor(tuple.CO)
+	pm, _ := DefaultFieldFor(tuple.PM)
+	for _, tv := range []float64{0, 20000, 50000} {
+		for _, pos := range [][2]float64{{0, 0}, {1200, 800}, {3000, 1000}} {
+			vCO2 := co2.TrueValue(tv, pos[0], pos[1])
+			vCO := co.TrueValue(tv, pos[0], pos[1])
+			vPM := pm.TrueValue(tv, pos[0], pos[1])
+			if !(vCO2 > vPM && vPM > vCO) {
+				t.Errorf("t=%v pos=%v: ordering broken co2=%v pm=%v co=%v",
+					tv, pos, vCO2, vPM, vCO)
+			}
+		}
+	}
+}
+
+func TestGenerateMulti(t *testing.T) {
+	cfg := DefaultLausanne(5)
+	cfg.Duration = 3600
+	cfg.DropoutProb = 0
+	pollutants := []tuple.Pollutant{tuple.CO2, tuple.CO, tuple.PM}
+	out, err := GenerateMulti(cfg, pollutants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := int(cfg.Duration/cfg.SamplingInterval) * len(cfg.Vehicles)
+	for _, p := range pollutants {
+		b := out[p]
+		if len(b) != wantN {
+			t.Fatalf("%v: %d tuples, want %d", p, len(b), wantN)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		for i, r := range b {
+			if r.S < 0 {
+				t.Fatalf("%v tuple %d: negative concentration %v", p, i, r.S)
+			}
+		}
+	}
+	// Shared trajectory: positions and times match across pollutants.
+	for i := range out[tuple.CO2] {
+		a, b := out[tuple.CO2][i], out[tuple.CO][i]
+		if a.T != b.T || a.X != b.X || a.Y != b.Y {
+			t.Fatalf("tuple %d: trajectories diverge", i)
+		}
+	}
+	// But values differ (different fields).
+	same := 0
+	for i := range out[tuple.CO2] {
+		if out[tuple.CO2][i].S == out[tuple.CO][i].S {
+			same++
+		}
+	}
+	if same > len(out[tuple.CO2])/10 {
+		t.Errorf("%d identical values across pollutants", same)
+	}
+}
+
+func TestGenerateMultiValidation(t *testing.T) {
+	cfg := DefaultLausanne(1)
+	cfg.Duration = 600
+	if _, err := GenerateMulti(cfg, nil); err == nil {
+		t.Error("no pollutants should error")
+	}
+	bad := cfg
+	bad.Vehicles = nil
+	if _, err := GenerateMulti(bad, []tuple.Pollutant{tuple.CO2}); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := GenerateMulti(cfg, []tuple.Pollutant{tuple.Pollutant(9)}); err == nil {
+		t.Error("unknown pollutant should error")
+	}
+}
+
+func TestFieldsFor(t *testing.T) {
+	fields, err := FieldsFor([]tuple.Pollutant{tuple.CO2, tuple.PM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 2 {
+		t.Fatalf("fields = %d", len(fields))
+	}
+	if _, err := FieldsFor([]tuple.Pollutant{tuple.Pollutant(42)}); err == nil {
+		t.Error("unknown pollutant should error")
+	}
+}

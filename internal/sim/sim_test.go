@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/tuple"
+)
+
+func TestCO2FieldBasics(t *testing.T) {
+	f := DefaultLausanneField()
+	// Values over the deployment region and a full day stay in a physical
+	// range: above outdoor baseline, below the OSHA ceiling.
+	for hour := 0; hour < 24; hour++ {
+		for _, p := range []geo.Point{{X: 0, Y: 0}, {X: 1200, Y: 800}, {X: 3000, Y: 1000}, {X: -1000, Y: 300}} {
+			v := f.TrueValue(float64(hour)*3600, p.X, p.Y)
+			if v < 300 || v > 5000 {
+				t.Errorf("hour %d at %v: value %v outside physical range", hour, p, v)
+			}
+		}
+	}
+}
+
+func TestCO2FieldHotspotShape(t *testing.T) {
+	f := DefaultLausanneField()
+	// The city-center plume (1200, 800) must dominate its surroundings at
+	// the same instant.
+	at := func(x, y float64) float64 { return f.TrueValue(30000, x, y) }
+	center := at(1200, 800)
+	far := at(1200+2500, 800+2500)
+	if center <= far {
+		t.Errorf("plume center %v should exceed far field %v", center, far)
+	}
+	// The plume must dominate points well outside its length scale in a
+	// direction away from the other sources.
+	if away := at(1200-1800, 800-1500); center <= away+50 {
+		t.Errorf("plume center %v should decisively exceed off-plume %v", center, away)
+	}
+}
+
+func TestCO2FieldDiurnalCycle(t *testing.T) {
+	f := &CO2Field{Baseline: 420, DiurnalAmplitude: 100}
+	var min, max float64 = math.Inf(1), math.Inf(-1)
+	for s := 0.0; s < secondsPerDay; s += 600 {
+		v := f.TrueValue(s, 0, 0)
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if max-min < 50 {
+		t.Errorf("diurnal swing %v too small", max-min)
+	}
+	// Periodicity: same time next day gives the same value.
+	a := f.TrueValue(4000, 0, 0)
+	b := f.TrueValue(4000+secondsPerDay, 0, 0)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("field not diurnal-periodic: %v vs %v", a, b)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultLausanne(1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil field", func(c *Config) { c.Field = nil }},
+		{"no vehicles", func(c *Config) { c.Vehicles = nil }},
+		{"nil route", func(c *Config) { c.Vehicles[0].Route = nil }},
+		{"zero speed", func(c *Config) { c.Vehicles[0].SpeedMPS = 0 }},
+		{"zero interval", func(c *Config) { c.SamplingInterval = 0 }},
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"dropout 1", func(c *Config) { c.DropoutProb = 1 }},
+		{"dropout negative", func(c *Config) { c.DropoutProb = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultLausanne(1)
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultLausanne(7)
+	cfg.Duration = 3600 // keep the test fast
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tuple %d differs across identical runs", i)
+		}
+	}
+	// Different seed changes the noise.
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := Generate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range c {
+		if i < len(a) && a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultLausanne(1)
+	cfg.Duration = 6 * 3600 // 6 hours
+	cfg.DropoutProb = 0
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := int(cfg.Duration/cfg.SamplingInterval) * len(cfg.Vehicles)
+	if len(b) != wantN {
+		t.Fatalf("generated %d tuples, want %d", len(b), wantN)
+	}
+	if !b.SortedByTime() {
+		t.Error("dataset must be time sorted")
+	}
+	if err := b.Validate(); err != nil {
+		t.Errorf("generated tuples invalid: %v", err)
+	}
+	// All positions must lie on a route corridor.
+	routes := lausanneRoutes()
+	for i, r := range b {
+		onRoute := false
+		for _, pl := range routes {
+			if pl.NearestDist(r.Pos()) < 1 {
+				onRoute = true
+				break
+			}
+		}
+		if !onRoute {
+			t.Fatalf("tuple %d at %v is off route", i, r.Pos())
+		}
+	}
+}
+
+func TestGenerateDropout(t *testing.T) {
+	cfg := DefaultLausanne(1)
+	cfg.Duration = 24 * 3600
+	cfg.DropoutProb = 0.3
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := int(cfg.Duration/cfg.SamplingInterval) * len(cfg.Vehicles)
+	frac := float64(len(b)) / float64(full)
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("dropout 0.3 kept fraction %v, want ~0.7", frac)
+	}
+}
+
+func TestDefaultLausanneMatchesPaperScale(t *testing.T) {
+	cfg := DefaultLausanne(1)
+	// Don't generate a month of data in a unit test; check the arithmetic.
+	wantScheduled := int(cfg.Duration/cfg.SamplingInterval) * len(cfg.Vehicles)
+	if wantScheduled != 172800 {
+		t.Errorf("scheduled samples = %d, want 172800 (≈ the paper's 176K)", wantScheduled)
+	}
+	if cfg.SamplingInterval != 60 {
+		t.Errorf("sampling interval = %v, want the paper's 60 s", cfg.SamplingInterval)
+	}
+}
+
+func TestGenerateValuesTrackField(t *testing.T) {
+	cfg := DefaultLausanne(2)
+	cfg.Duration = 2 * 3600
+	cfg.NoiseStdDev = 0
+	cfg.DropoutProb = 0
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cfg.Field
+	for i := 0; i < len(b); i += 37 {
+		r := b[i]
+		want := f.TrueValue(r.T, r.X, r.Y)
+		if math.Abs(r.S-want) > 1e-9 {
+			t.Fatalf("noiseless tuple %d: S=%v, field=%v", i, r.S, want)
+		}
+	}
+}
+
+func TestLausanneRegionCoversData(t *testing.T) {
+	region := LausanneRegion(500)
+	cfg := DefaultLausanne(3)
+	cfg.Duration = 3600
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range b {
+		if !region.Contains(r.Pos()) {
+			t.Fatalf("tuple %d at %v outside region %v", i, r.Pos(), region)
+		}
+	}
+	_ = tuple.CO2 // the dataset is CO2 by construction
+}

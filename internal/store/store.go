@@ -1,0 +1,297 @@
+// Package store implements the server-side raw-tuple database of the
+// EnviroMeter architecture (Figure 1: the `raw_tuples` table). Sensed data
+// arrives as a stream of raw tuples and is organized into the paper's time
+// windows W_c = [cH, (c+1)H): all query processing — naive scans, index
+// builds, and model-cover estimation — operates on one window at a time.
+//
+// The store keeps recent windows in memory and optionally persists every
+// appended batch to checksummed segment files for crash recovery, giving
+// the platform the durability a real deployment ingesting a month of bus
+// data needs.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/tuple"
+)
+
+// Config configures a Store.
+type Config struct {
+	// WindowLength is H, in seconds of stream time. Must be positive.
+	WindowLength float64
+	// Retain bounds how many windows are kept in memory; older windows are
+	// evicted. Zero means keep everything (the benchmark setting).
+	Retain int
+	// Dir, when non-empty, enables durability: every appended batch is
+	// written to a segment file under Dir before being acknowledged.
+	Dir string
+}
+
+// Store is a windowed, optionally durable raw-tuple store. It is safe for
+// concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	cfg     Config
+	windows map[int]tuple.Batch // window index c -> tuples in W_c
+	total   int                 // tuples currently held
+	maxTime float64             // largest timestamp ever appended
+
+	seg    *os.File // open segment file, nil when durability is off
+	segSeq int
+}
+
+// Open creates a store. If cfg.Dir is non-empty, existing segment files in
+// it are replayed (recovery) and a new segment is opened for appends.
+func Open(cfg Config) (*Store, error) {
+	if cfg.WindowLength <= 0 {
+		return nil, fmt.Errorf("store: WindowLength = %v, want > 0", cfg.WindowLength)
+	}
+	if cfg.Retain < 0 {
+		return nil, fmt.Errorf("store: Retain = %d, want ≥ 0", cfg.Retain)
+	}
+	s := &Store{cfg: cfg, windows: make(map[int]tuple.Batch)}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: create dir: %w", err)
+		}
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+		if err := s.openSegment(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustOpenMemory returns an in-memory store or panics; a convenience for
+// tests and examples where the config is a known-good literal.
+func MustOpenMemory(windowLength float64) *Store {
+	s, err := Open(Config{WindowLength: windowLength})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// recover replays all segment files in cfg.Dir in sequence order. A
+// trailing corrupt frame (torn write) is tolerated on the last segment;
+// corruption elsewhere is an error.
+func (s *Store) recover() error {
+	names, err := segmentNames(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		last := i == len(names)-1
+		if err := s.replaySegment(filepath.Join(s.cfg.Dir, name), last); err != nil {
+			return err
+		}
+	}
+	if len(names) > 0 {
+		fmt.Sscanf(names[len(names)-1], "segment-%06d.emt", &s.segSeq)
+		s.segSeq++
+	}
+	return nil
+}
+
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".emt" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (s *Store) replaySegment(path string, tolerateTail bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: open segment: %w", err)
+	}
+	defer f.Close()
+	for {
+		b, err := tuple.ReadBinary(f)
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, tuple.ErrCorrupt) {
+			if tolerateTail {
+				// Torn tail write from a crash: everything before it is
+				// intact, so recovery succeeds with what we have.
+				return nil
+			}
+			return fmt.Errorf("store: segment %s: %w", path, err)
+		}
+		if err != nil {
+			return fmt.Errorf("store: segment %s: %w", path, err)
+		}
+		s.addToWindows(b)
+	}
+}
+
+func (s *Store) openSegment() error {
+	path := filepath.Join(s.cfg.Dir, fmt.Sprintf("segment-%06d.emt", s.segSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open segment for append: %w", err)
+	}
+	s.seg = f
+	return nil
+}
+
+// Append validates and ingests a batch of raw tuples. With durability on,
+// the batch is persisted before the in-memory state is updated.
+func (s *Store) Append(b tuple.Batch) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg != nil {
+		if err := tuple.WriteBinary(s.seg, b); err != nil {
+			return fmt.Errorf("store: persist batch: %w", err)
+		}
+	}
+	s.addToWindows(b)
+	s.evictLocked()
+	return nil
+}
+
+// addToWindows distributes tuples into their windows. Caller holds mu (or
+// is single-threaded recovery).
+func (s *Store) addToWindows(b tuple.Batch) {
+	for _, r := range b {
+		c := tuple.WindowIndex(r.T, s.cfg.WindowLength)
+		s.windows[c] = append(s.windows[c], r)
+		s.total++
+		if r.T > s.maxTime {
+			s.maxTime = r.T
+		}
+	}
+}
+
+// evictLocked drops the oldest windows beyond the retention bound.
+func (s *Store) evictLocked() {
+	if s.cfg.Retain == 0 || len(s.windows) <= s.cfg.Retain {
+		return
+	}
+	idxs := make([]int, 0, len(s.windows))
+	for c := range s.windows {
+		idxs = append(idxs, c)
+	}
+	sort.Ints(idxs)
+	for _, c := range idxs[:len(idxs)-s.cfg.Retain] {
+		s.total -= len(s.windows[c])
+		delete(s.windows, c)
+	}
+}
+
+// Window returns a copy of the tuples in window W_c, sorted by time.
+func (s *Store) Window(c int) tuple.Batch {
+	s.mu.RLock()
+	b := s.windows[c].Clone()
+	s.mu.RUnlock()
+	b.SortByTime()
+	return b
+}
+
+// WindowAt returns the window containing stream time t, along with its
+// index.
+func (s *Store) WindowAt(t float64) (tuple.Batch, int) {
+	c := tuple.WindowIndex(t, s.cfg.WindowLength)
+	return s.Window(c), c
+}
+
+// LatestWindowIndex returns the index of the newest non-empty window.
+// ok is false when the store is empty.
+func (s *Store) LatestWindowIndex() (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.windows) == 0 {
+		return 0, false
+	}
+	best := 0
+	first := true
+	for c := range s.windows {
+		if first || c > best {
+			best, first = c, false
+		}
+	}
+	return best, true
+}
+
+// WindowIndexes returns the indexes of all retained windows in ascending
+// order.
+func (s *Store) WindowIndexes() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := make([]int, 0, len(s.windows))
+	for c := range s.windows {
+		idxs = append(idxs, c)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+// Len returns the total number of retained tuples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.total
+}
+
+// MaxTime returns the largest timestamp ever appended (0 for an empty
+// store).
+func (s *Store) MaxTime() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maxTime
+}
+
+// WindowLength returns H.
+func (s *Store) WindowLength() float64 { return s.cfg.WindowLength }
+
+// Sync flushes the open segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	return s.seg.Sync()
+}
+
+// Close syncs and closes the segment file. The in-memory state remains
+// readable but further Appends with durability will fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg == nil {
+		return nil
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.seg.Close()
+		s.seg = nil
+		return err
+	}
+	err := s.seg.Close()
+	s.seg = nil
+	return err
+}

@@ -1,0 +1,304 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func mkBatch(ts ...float64) tuple.Batch {
+	b := make(tuple.Batch, len(ts))
+	for i, t := range ts {
+		b[i] = tuple.Raw{T: t, X: float64(i), Y: float64(i), S: 400 + t}
+	}
+	return b
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{WindowLength: 0}); err == nil {
+		t.Error("expected error for zero window length")
+	}
+	if _, err := Open(Config{WindowLength: -5}); err == nil {
+		t.Error("expected error for negative window length")
+	}
+	if _, err := Open(Config{WindowLength: 10, Retain: -1}); err == nil {
+		t.Error("expected error for negative retain")
+	}
+}
+
+func TestAppendAndWindowing(t *testing.T) {
+	s := MustOpenMemory(100)
+	if err := s.Append(mkBatch(0, 50, 99.9, 100, 150, 250)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d, want 6", s.Len())
+	}
+	if got := len(s.Window(0)); got != 3 {
+		t.Errorf("window 0 has %d tuples, want 3", got)
+	}
+	if got := len(s.Window(1)); got != 2 {
+		t.Errorf("window 1 has %d tuples, want 2", got)
+	}
+	if got := len(s.Window(2)); got != 1 {
+		t.Errorf("window 2 has %d tuples, want 1", got)
+	}
+	if got := len(s.Window(99)); got != 0 {
+		t.Errorf("missing window has %d tuples, want 0", got)
+	}
+	latest, ok := s.LatestWindowIndex()
+	if !ok || latest != 2 {
+		t.Errorf("LatestWindowIndex = %d,%v want 2,true", latest, ok)
+	}
+	if got := s.WindowIndexes(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("WindowIndexes = %v", got)
+	}
+	if s.MaxTime() != 250 {
+		t.Errorf("MaxTime = %v, want 250", s.MaxTime())
+	}
+}
+
+func TestWindowReturnsSortedCopy(t *testing.T) {
+	s := MustOpenMemory(100)
+	if err := s.Append(mkBatch(50, 10, 30)); err != nil {
+		t.Fatal(err)
+	}
+	w := s.Window(0)
+	if !w.SortedByTime() {
+		t.Error("window not sorted by time")
+	}
+	w[0].S = -999
+	if s.Window(0)[0].S == -999 {
+		t.Error("Window must return a copy")
+	}
+}
+
+func TestWindowAt(t *testing.T) {
+	s := MustOpenMemory(60)
+	if err := s.Append(mkBatch(10, 70, 130)); err != nil {
+		t.Fatal(err)
+	}
+	b, c := s.WindowAt(65)
+	if c != 1 || len(b) != 1 || b[0].T != 70 {
+		t.Errorf("WindowAt(65) = (%v, %d)", b, c)
+	}
+}
+
+func TestAppendValidates(t *testing.T) {
+	s := MustOpenMemory(100)
+	bad := tuple.Batch{{T: -1}}
+	if err := s.Append(bad); err == nil {
+		t.Error("expected validation error")
+	}
+	if s.Len() != 0 {
+		t.Error("failed append must not change state")
+	}
+	if err := s.Append(nil); err != nil {
+		t.Errorf("empty append should be a no-op, got %v", err)
+	}
+}
+
+func TestRetentionEviction(t *testing.T) {
+	s, err := Open(Config{WindowLength: 10, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(5, 15, 25, 35)); err != nil { // windows 0..3
+		t.Fatal(err)
+	}
+	if got := s.WindowIndexes(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("retained windows = %v, want [2 3]", got)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if len(s.Window(0)) != 0 {
+		t.Error("evicted window still readable")
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	s := MustOpenMemory(10)
+	if _, ok := s.LatestWindowIndex(); ok {
+		t.Error("empty store should have no latest window")
+	}
+	if s.MaxTime() != 0 {
+		t.Error("empty MaxTime should be 0")
+	}
+	if s.Len() != 0 {
+		t.Error("empty Len should be 0")
+	}
+}
+
+func TestDurabilityAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(1, 2, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(250)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: all tuples must come back.
+	s2, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 4 {
+		t.Fatalf("recovered Len = %d, want 4", s2.Len())
+	}
+	if got := len(s2.Window(0)); got != 2 {
+		t.Errorf("recovered window 0 = %d tuples, want 2", got)
+	}
+	if s2.MaxTime() != 250 {
+		t.Errorf("recovered MaxTime = %v, want 250", s2.MaxTime())
+	}
+	// New appends go to a fresh segment.
+	if err := s2.Append(mkBatch(300)); err != nil {
+		t.Fatal(err)
+	}
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Errorf("segments = %v, want 2 files", names)
+	}
+}
+
+func TestRecoveryToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: append garbage to the segment.
+	names, _ := segmentNames(dir)
+	path := filepath.Join(dir, names[0])
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x45, 0x4d, 0x54}); err != nil { // partial magic
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery should tolerate torn tail: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 3 {
+		t.Errorf("recovered Len = %d, want 3", s2.Len())
+	}
+}
+
+func TestRecoveryRejectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Corrupt the FIRST segment, then create a second one so the corrupt
+	// file is not the tail.
+	names, _ := segmentNames(dir)
+	path := filepath.Join(dir, names[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "segment-999999.emt"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{WindowLength: 100, Dir: dir}); err == nil {
+		t.Error("expected error for mid-stream corruption")
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	s := MustOpenMemory(50)
+	var wg sync.WaitGroup
+	const writers = 8
+	const perWriter = 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				b := tuple.Batch{{T: rng.Float64() * 1000, S: 400}}
+				if err := s.Append(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = s.Len()
+				_, _ = s.LatestWindowIndex()
+				_ = s.Window(i % 20)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != writers*perWriter {
+		t.Errorf("Len = %d, want %d", s.Len(), writers*perWriter)
+	}
+	// Every tuple landed in its correct window.
+	total := 0
+	for _, c := range s.WindowIndexes() {
+		w := s.Window(c)
+		total += len(w)
+		for _, r := range w {
+			if tuple.WindowIndex(r.T, 50) != c {
+				t.Fatalf("tuple %v in wrong window %d", r, c)
+			}
+		}
+	}
+	if total != writers*perWriter {
+		t.Errorf("window sum = %d, want %d", total, writers*perWriter)
+	}
+}
+
+func TestCloseIdempotentWithoutDurability(t *testing.T) {
+	s := MustOpenMemory(10)
+	if err := s.Close(); err != nil {
+		t.Errorf("Close on memory store: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Errorf("Sync on memory store: %v", err)
+	}
+}

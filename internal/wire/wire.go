@@ -1,0 +1,404 @@
+// Package wire defines the client↔server protocol of the EnviroMeter
+// framework (§2.2–2.3): the query tuples a mobile object transmits, the
+// interpolated values the server returns, and the model request/response
+// pair that ships the whole model cover (t_n, µ, M) to model-cache
+// clients.
+//
+// Two codecs are provided. The compact binary codec is what the bandwidth
+// experiment (Figure 7b) uses — every byte matters on GPRS/3G — while the
+// JSON codec serves the web interface and supports the codec ablation.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/regress"
+	"repro/internal/tuple"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Message type tags.
+const (
+	TypeQueryRequest MsgType = iota + 1
+	TypeQueryResponse
+	TypeModelRequest
+	TypeModelResponse
+	TypeError
+)
+
+// Message is any protocol message.
+type Message interface {
+	// Type returns the message's wire tag.
+	Type() MsgType
+}
+
+// QueryRequest is the query tuple q_l = (t_l, x_l, y_l) sent by the mobile
+// object for one position update.
+type QueryRequest struct {
+	T float64 `json:"t"`
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Type implements Message.
+func (QueryRequest) Type() MsgType { return TypeQueryRequest }
+
+// QueryResponse carries the interpolated value ŝ_l back to the client.
+type QueryResponse struct {
+	Value float64 `json:"value"`
+}
+
+// Type implements Message.
+func (QueryResponse) Type() MsgType { return TypeQueryResponse }
+
+// ModelRequest is e_l: the model-cache client asking for the current model
+// cover. T lets the server pick the window containing the client's clock.
+type ModelRequest struct {
+	T float64 `json:"t"`
+}
+
+// Type implements Message.
+func (ModelRequest) Type() MsgType { return TypeModelRequest }
+
+// ModelResponse ships (t_n, µ, M): validity, centroids, and model
+// coefficients for every region of the cover (§2.3 items i–iii).
+type ModelResponse struct {
+	ValidFrom  float64     `json:"validFrom"`
+	ValidUntil float64     `json:"validUntil"` // t_n
+	ValueLo    float64     `json:"valueLo"`    // clamp range low bound
+	ValueHi    float64     `json:"valueHi"`    // clamp range high bound
+	Pollutant  uint8       `json:"pollutant"`
+	Features   string      `json:"features"`
+	Centroids  []geo.Point `json:"centroids"`
+	Coefs      [][]float64 `json:"coefs"`
+}
+
+// Type implements Message.
+func (ModelResponse) Type() MsgType { return TypeModelResponse }
+
+// ErrorResponse reports a server-side failure.
+type ErrorResponse struct {
+	Msg string `json:"error"`
+}
+
+// Type implements Message.
+func (ErrorResponse) Type() MsgType { return TypeError }
+
+// Protocol errors.
+var (
+	ErrMalformed = errors.New("wire: malformed message")
+	ErrUnknown   = errors.New("wire: unknown message type")
+)
+
+// Codec serializes protocol messages.
+type Codec interface {
+	// Name identifies the codec ("binary", "json").
+	Name() string
+	// Encode serializes m.
+	Encode(m Message) ([]byte, error)
+	// Decode parses one message.
+	Decode(data []byte) (Message, error)
+}
+
+// Binary is the compact binary codec: a 1-byte type tag followed by
+// fixed-width little-endian fields. This is the deployment codec.
+var Binary Codec = binaryCodec{}
+
+// JSON is the self-describing JSON codec used by the web interface.
+var JSON Codec = jsonCodec{}
+
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string { return "binary" }
+
+func (binaryCodec) Encode(m Message) ([]byte, error) {
+	switch v := m.(type) {
+	case QueryRequest:
+		buf := make([]byte, 1+24)
+		buf[0] = byte(TypeQueryRequest)
+		putF64(buf[1:], v.T)
+		putF64(buf[9:], v.X)
+		putF64(buf[17:], v.Y)
+		return buf, nil
+	case QueryResponse:
+		buf := make([]byte, 1+8)
+		buf[0] = byte(TypeQueryResponse)
+		putF64(buf[1:], v.Value)
+		return buf, nil
+	case ModelRequest:
+		buf := make([]byte, 1+8)
+		buf[0] = byte(TypeModelRequest)
+		putF64(buf[1:], v.T)
+		return buf, nil
+	case ModelResponse:
+		return encodeModelResponse(v)
+	case ErrorResponse:
+		if len(v.Msg) > math.MaxUint16 {
+			return nil, fmt.Errorf("wire: error message too long (%d bytes)", len(v.Msg))
+		}
+		buf := make([]byte, 1+2+len(v.Msg))
+		buf[0] = byte(TypeError)
+		binary.LittleEndian.PutUint16(buf[1:], uint16(len(v.Msg)))
+		copy(buf[3:], v.Msg)
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknown, m)
+	}
+}
+
+func encodeModelResponse(v ModelResponse) ([]byte, error) {
+	if len(v.Centroids) != len(v.Coefs) {
+		return nil, fmt.Errorf("wire: %d centroids vs %d coefficient sets",
+			len(v.Centroids), len(v.Coefs))
+	}
+	if len(v.Centroids) > math.MaxUint16 {
+		return nil, fmt.Errorf("wire: cover too large (%d regions)", len(v.Centroids))
+	}
+	if len(v.Features) > math.MaxUint8 {
+		return nil, errors.New("wire: feature name too long")
+	}
+	size := 1 + 8 + 8 + 8 + 8 + 1 + 1 + len(v.Features) + 2
+	for _, c := range v.Coefs {
+		if len(c) > math.MaxUint8 {
+			return nil, errors.New("wire: too many coefficients")
+		}
+		size += 16 + 1 + 8*len(c)
+	}
+	buf := make([]byte, size)
+	buf[0] = byte(TypeModelResponse)
+	putF64(buf[1:], v.ValidFrom)
+	putF64(buf[9:], v.ValidUntil)
+	putF64(buf[17:], v.ValueLo)
+	putF64(buf[25:], v.ValueHi)
+	buf[33] = v.Pollutant
+	buf[34] = byte(len(v.Features))
+	off := 35 + copy(buf[35:], v.Features)
+	binary.LittleEndian.PutUint16(buf[off:], uint16(len(v.Centroids)))
+	off += 2
+	for i, c := range v.Centroids {
+		putF64(buf[off:], c.X)
+		putF64(buf[off+8:], c.Y)
+		off += 16
+		buf[off] = byte(len(v.Coefs[i]))
+		off++
+		for _, co := range v.Coefs[i] {
+			putF64(buf[off:], co)
+			off += 8
+		}
+	}
+	return buf, nil
+}
+
+func (binaryCodec) Decode(data []byte) (Message, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrMalformed)
+	}
+	switch MsgType(data[0]) {
+	case TypeQueryRequest:
+		if len(data) != 25 {
+			return nil, fmt.Errorf("%w: QueryRequest length %d", ErrMalformed, len(data))
+		}
+		return QueryRequest{T: getF64(data[1:]), X: getF64(data[9:]), Y: getF64(data[17:])}, nil
+	case TypeQueryResponse:
+		if len(data) != 9 {
+			return nil, fmt.Errorf("%w: QueryResponse length %d", ErrMalformed, len(data))
+		}
+		return QueryResponse{Value: getF64(data[1:])}, nil
+	case TypeModelRequest:
+		if len(data) != 9 {
+			return nil, fmt.Errorf("%w: ModelRequest length %d", ErrMalformed, len(data))
+		}
+		return ModelRequest{T: getF64(data[1:])}, nil
+	case TypeModelResponse:
+		return decodeModelResponse(data)
+	case TypeError:
+		if len(data) < 3 {
+			return nil, fmt.Errorf("%w: ErrorResponse header", ErrMalformed)
+		}
+		n := int(binary.LittleEndian.Uint16(data[1:]))
+		if len(data) != 3+n {
+			return nil, fmt.Errorf("%w: ErrorResponse length", ErrMalformed)
+		}
+		return ErrorResponse{Msg: string(data[3:])}, nil
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, data[0])
+	}
+}
+
+func decodeModelResponse(data []byte) (Message, error) {
+	if len(data) < 35 {
+		return nil, fmt.Errorf("%w: ModelResponse header", ErrMalformed)
+	}
+	v := ModelResponse{
+		ValidFrom:  getF64(data[1:]),
+		ValidUntil: getF64(data[9:]),
+		ValueLo:    getF64(data[17:]),
+		ValueHi:    getF64(data[25:]),
+		Pollutant:  data[33],
+	}
+	nameLen := int(data[34])
+	off := 35
+	if len(data) < off+nameLen+2 {
+		return nil, fmt.Errorf("%w: ModelResponse name", ErrMalformed)
+	}
+	v.Features = string(data[off : off+nameLen])
+	off += nameLen
+	count := int(binary.LittleEndian.Uint16(data[off:]))
+	off += 2
+	v.Centroids = make([]geo.Point, 0, count)
+	v.Coefs = make([][]float64, 0, count)
+	for i := 0; i < count; i++ {
+		if len(data) < off+17 {
+			return nil, fmt.Errorf("%w: ModelResponse region %d", ErrMalformed, i)
+		}
+		c := geo.Point{X: getF64(data[off:]), Y: getF64(data[off+8:])}
+		off += 16
+		nc := int(data[off])
+		off++
+		if len(data) < off+8*nc {
+			return nil, fmt.Errorf("%w: ModelResponse coefficients %d", ErrMalformed, i)
+		}
+		coefs := make([]float64, nc)
+		for j := 0; j < nc; j++ {
+			coefs[j] = getF64(data[off:])
+			off += 8
+		}
+		v.Centroids = append(v.Centroids, c)
+		v.Coefs = append(v.Coefs, coefs)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(data)-off)
+	}
+	return v, nil
+}
+
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+func getF64(b []byte) float64    { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string { return "json" }
+
+// envelope wraps messages with a type tag for JSON transport.
+type envelope struct {
+	Type    MsgType         `json:"type"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (jsonCodec) Encode(m Message) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal payload: %w", err)
+	}
+	return json.Marshal(envelope{Type: m.Type(), Payload: payload})
+}
+
+func (jsonCodec) Decode(data []byte) (Message, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	var target Message
+	switch env.Type {
+	case TypeQueryRequest:
+		var v QueryRequest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeQueryResponse:
+		var v QueryResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeModelRequest:
+		var v ModelRequest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeModelResponse:
+		var v ModelResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeError:
+		var v ErrorResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, env.Type)
+	}
+	return target, nil
+}
+
+// ModelResponseFromCover serializes a built cover into the wire form the
+// server sends in response to e_l.
+func ModelResponseFromCover(cv *core.Cover) (ModelResponse, error) {
+	if cv == nil || cv.Size() == 0 {
+		return ModelResponse{}, errors.New("wire: nil or empty cover")
+	}
+	resp := ModelResponse{
+		ValidFrom:  cv.ValidFrom,
+		ValidUntil: cv.ValidUntil,
+		ValueLo:    cv.ValueLo,
+		ValueHi:    cv.ValueHi,
+		Pollutant:  uint8(cv.Pollutant),
+		Features:   cv.Regions[0].Model.Features().Name(),
+		Centroids:  make([]geo.Point, cv.Size()),
+		Coefs:      make([][]float64, cv.Size()),
+	}
+	for i, r := range cv.Regions {
+		if r.Model.Features().Name() != resp.Features {
+			return ModelResponse{}, errors.New("wire: mixed feature families in one cover")
+		}
+		resp.Centroids[i] = r.Centroid
+		resp.Coefs[i] = r.Model.Coef()
+	}
+	return resp, nil
+}
+
+// CoverFromModelResponse reconstructs a queryable cover on the client from
+// a received model response — the (t_n, µ, M) triple the smartphone stores
+// in local memory.
+func CoverFromModelResponse(resp ModelResponse) (*core.Cover, error) {
+	if len(resp.Centroids) != len(resp.Coefs) {
+		return nil, fmt.Errorf("wire: %d centroids vs %d coefficient sets",
+			len(resp.Centroids), len(resp.Coefs))
+	}
+	if len(resp.Centroids) == 0 {
+		return nil, errors.New("wire: empty model response")
+	}
+	f, err := regress.FeaturesByName(resp.Features)
+	if err != nil {
+		return nil, err
+	}
+	cv := &core.Cover{
+		Pollutant:  tuple.Pollutant(resp.Pollutant),
+		ValidFrom:  resp.ValidFrom,
+		ValidUntil: resp.ValidUntil,
+		ValueLo:    resp.ValueLo,
+		ValueHi:    resp.ValueHi,
+		Regions:    make([]core.RegionModel, len(resp.Centroids)),
+	}
+	for i := range resp.Centroids {
+		m, err := regress.NewModel(f, resp.Coefs[i])
+		if err != nil {
+			return nil, fmt.Errorf("wire: region %d: %w", i, err)
+		}
+		cv.Regions[i] = core.RegionModel{Centroid: resp.Centroids[i], Model: m}
+	}
+	return cv, nil
+}

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/tuple"
+)
+
+func sampleMessages() []Message {
+	return []Message{
+		QueryRequest{T: 123.5, X: -45.25, Y: 900},
+		QueryResponse{Value: 512.75},
+		ModelRequest{T: 42},
+		ModelResponse{
+			ValidFrom:  100,
+			ValidUntil: 200,
+			Pollutant:  0,
+			Features:   "linear-xyt",
+			Centroids:  []geo.Point{{X: 1, Y: 2}, {X: 3, Y: 4}},
+			Coefs:      [][]float64{{400, 0.1, 0.2, 0.3}, {500, -0.1, -0.2, -0.3}},
+		},
+		ErrorResponse{Msg: "window 3 is empty"},
+	}
+}
+
+func TestRoundTripBothCodecs(t *testing.T) {
+	for _, codec := range []Codec{Binary, JSON} {
+		for _, m := range sampleMessages() {
+			data, err := codec.Encode(m)
+			if err != nil {
+				t.Fatalf("%s: encode %T: %v", codec.Name(), m, err)
+			}
+			got, err := codec.Decode(data)
+			if err != nil {
+				t.Fatalf("%s: decode %T: %v", codec.Name(), m, err)
+			}
+			if !reflect.DeepEqual(got, m) {
+				t.Errorf("%s: round trip %T: got %+v, want %+v", codec.Name(), m, got, m)
+			}
+		}
+	}
+}
+
+func TestBinaryIsSmallerThanJSON(t *testing.T) {
+	// The deployment codec must actually be more compact — the premise of
+	// running binary over GPRS.
+	for _, m := range sampleMessages() {
+		b, err := Binary.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := JSON.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) >= len(j) {
+			t.Errorf("%T: binary %d bytes ≥ json %d bytes", m, len(b), len(j))
+		}
+	}
+}
+
+func TestBinaryQueryRequestSize(t *testing.T) {
+	// Query tuples ride on every position update; their size is the
+	// baseline method's per-query uplink cost. 1 tag + 3 float64s.
+	data, err := Binary.Encode(QueryRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 25 {
+		t.Errorf("QueryRequest = %d bytes, want 25", len(data))
+	}
+	data, err = Binary.Encode(QueryResponse{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 9 {
+		t.Errorf("QueryResponse = %d bytes, want 9", len(data))
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"unknown tag", []byte{0xEE, 0, 0}},
+		{"short query request", []byte{byte(TypeQueryRequest), 1, 2}},
+		{"long query response", make([]byte, 50)},
+		{"short model response", []byte{byte(TypeModelResponse), 1}},
+		{"short error", []byte{byte(TypeError), 9}},
+	}
+	// Give "long query response" a valid tag.
+	tests[3].data[0] = byte(TypeQueryResponse)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Binary.Decode(tt.data); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestBinaryModelResponseTruncation(t *testing.T) {
+	m := sampleMessages()[3]
+	data, err := Binary.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail to decode, never panic.
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := Binary.Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	// Trailing garbage must also fail.
+	if _, err := Binary.Decode(append(append([]byte{}, data...), 0x00)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestJSONDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		[]byte(`not json`),
+		[]byte(`{"type":99,"payload":{}}`),
+		[]byte(`{"type":1,"payload":"not an object"}`),
+	}
+	for _, data := range cases {
+		if _, err := JSON.Decode(data); err == nil {
+			t.Errorf("decode %q: expected error", data)
+		}
+	}
+}
+
+func TestEncodeMismatchedModelResponse(t *testing.T) {
+	m := ModelResponse{
+		Centroids: []geo.Point{{X: 1, Y: 2}},
+		Coefs:     [][]float64{{1}, {2}},
+	}
+	if _, err := Binary.Encode(m); err == nil {
+		t.Error("expected centroid/coef mismatch error")
+	}
+}
+
+func TestCoverRoundTripThroughWire(t *testing.T) {
+	// Build a real cover, ship it, reconstruct it, and verify the client
+	// side interpolates identically to the server side — the property the
+	// model-cache correctness rests on.
+	rng := rand.New(rand.NewSource(1))
+	w := make(tuple.Batch, 300)
+	for i := range w {
+		x, y := rng.Float64()*3000, rng.Float64()*3000
+		w[i] = tuple.Raw{T: rng.Float64() * 600, X: x, Y: y, S: 420 + 0.05*x - 0.02*y}
+	}
+	cv, err := core.BuildCover(w, 0, 600, core.Config{Cluster: cluster.Config{Seed: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ModelResponseFromCover(cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ValidUntil != cv.ValidUntil {
+		t.Errorf("t_n = %v, want %v", resp.ValidUntil, cv.ValidUntil)
+	}
+	// Through the binary codec.
+	data, err := Binary.Encode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Binary.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCover, err := CoverFromModelResponse(decoded.(ModelResponse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clientCover.Size() != cv.Size() {
+		t.Fatalf("client cover size %d, want %d", clientCover.Size(), cv.Size())
+	}
+	for trial := 0; trial < 50; trial++ {
+		qt, qx, qy := rng.Float64()*600, rng.Float64()*3000, rng.Float64()*3000
+		sv, err1 := cv.Interpolate(qt, qx, qy)
+		lv, err2 := clientCover.Interpolate(qt, qx, qy)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("interpolate errors: %v %v", err1, err2)
+		}
+		if math.Abs(sv-lv) > 1e-12 {
+			t.Fatalf("server %v vs client %v", sv, lv)
+		}
+	}
+}
+
+func TestCoverFromModelResponseErrors(t *testing.T) {
+	if _, err := CoverFromModelResponse(ModelResponse{}); err == nil {
+		t.Error("empty response should error")
+	}
+	bad := ModelResponse{
+		Features:  "no-such-family",
+		Centroids: []geo.Point{{}},
+		Coefs:     [][]float64{{1}},
+	}
+	if _, err := CoverFromModelResponse(bad); err == nil {
+		t.Error("unknown family should error")
+	}
+	mismatch := ModelResponse{
+		Features:  "constant",
+		Centroids: []geo.Point{{}},
+		Coefs:     [][]float64{{1, 2, 3}},
+	}
+	if _, err := CoverFromModelResponse(mismatch); err == nil {
+		t.Error("wrong coefficient count should error")
+	}
+	short := ModelResponse{
+		Features:  "constant",
+		Centroids: []geo.Point{{}, {}},
+		Coefs:     [][]float64{{1}},
+	}
+	if _, err := CoverFromModelResponse(short); err == nil {
+		t.Error("centroid/coef mismatch should error")
+	}
+}
+
+func TestModelResponseFromCoverErrors(t *testing.T) {
+	if _, err := ModelResponseFromCover(nil); err == nil {
+		t.Error("nil cover should error")
+	}
+	if _, err := ModelResponseFromCover(&core.Cover{}); err == nil {
+		t.Error("empty cover should error")
+	}
+}
+
+func TestUnknownMessageEncode(t *testing.T) {
+	type fake struct{ Message }
+	if _, err := Binary.Encode(fake{}); !errors.Is(err, ErrUnknown) {
+		t.Errorf("want ErrUnknown, got %v", err)
+	}
+}

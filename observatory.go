@@ -1,0 +1,160 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/sim"
+)
+
+// Observatory manages one Platform per pollutant over a shared fleet —
+// the multi-gas sensor boxes of the OpenSense buses (§2.2: CO2, CO,
+// suspended particulate matter). Each pollutant gets its own store and
+// model covers; queries name the pollutant.
+type Observatory struct {
+	platforms map[Pollutant]*Platform
+}
+
+// OpenObservatory opens one platform per pollutant with the shared
+// configuration. With Config.Dir set, each pollutant persists into its
+// own subdirectory; with CoverSnapshot set, into per-pollutant files.
+func OpenObservatory(cfg Config, pollutants []Pollutant) (*Observatory, error) {
+	if len(pollutants) == 0 {
+		return nil, errors.New("repro: no pollutants")
+	}
+	o := &Observatory{platforms: make(map[Pollutant]*Platform, len(pollutants))}
+	for _, pol := range pollutants {
+		if !pol.Valid() {
+			o.Close()
+			return nil, fmt.Errorf("repro: invalid pollutant %v", pol)
+		}
+		if _, dup := o.platforms[pol]; dup {
+			o.Close()
+			return nil, fmt.Errorf("repro: duplicate pollutant %v", pol)
+		}
+		sub := cfg
+		if cfg.Dir != "" {
+			sub.Dir = filepath.Join(cfg.Dir, pol.String())
+		}
+		if cfg.CoverSnapshot != "" {
+			sub.CoverSnapshot = cfg.CoverSnapshot + "." + pol.String()
+		}
+		sub.AdKMN.Pollutant = pol
+		p, err := Open(sub)
+		if err != nil {
+			o.Close()
+			return nil, fmt.Errorf("repro: open %v platform: %w", pol, err)
+		}
+		o.platforms[pol] = p
+	}
+	return o, nil
+}
+
+// Close closes every platform, returning the first error.
+func (o *Observatory) Close() error {
+	var first error
+	for _, p := range o.platforms {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Pollutants lists the monitored pollutants in stable order.
+func (o *Observatory) Pollutants() []Pollutant {
+	out := make([]Pollutant, 0, len(o.platforms))
+	for p := range o.platforms {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Platform returns the per-pollutant platform.
+func (o *Observatory) Platform(p Pollutant) (*Platform, error) {
+	pl, ok := o.platforms[p]
+	if !ok {
+		return nil, fmt.Errorf("repro: pollutant %v not monitored", p)
+	}
+	return pl, nil
+}
+
+// Ingest appends readings for one pollutant.
+func (o *Observatory) Ingest(p Pollutant, readings []Reading) error {
+	pl, err := o.Platform(p)
+	if err != nil {
+		return err
+	}
+	return pl.Ingest(readings)
+}
+
+// PointQuery interpolates one pollutant at a position and time.
+func (o *Observatory) PointQuery(p Pollutant, t, x, y float64) (float64, error) {
+	pl, err := o.Platform(p)
+	if err != nil {
+		return 0, err
+	}
+	return pl.PointQuery(t, x, y)
+}
+
+// Classify returns the display band for a value of pollutant p.
+func (o *Observatory) Classify(p Pollutant, value float64) CO2Band {
+	return eval.ClassifyPollutant(p, value)
+}
+
+// Handler routes per-pollutant APIs under /<pollutant>/v1/... (e.g.
+// GET /CO2/v1/query/point) and lists the monitored pollutants at
+// /v1/pollutants.
+func (o *Observatory) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for pol, p := range o.platforms {
+		prefix := "/" + pol.String()
+		mux.Handle(prefix+"/", http.StripPrefix(prefix, p.Handler()))
+	}
+	mux.HandleFunc("/v1/pollutants", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		names := make([]string, 0, len(o.platforms))
+		for _, p := range o.Pollutants() {
+			names = append(names, p.String())
+		}
+		fmt.Fprintf(w, `{"pollutants":[`)
+		for i, n := range names {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "%q", n)
+		}
+		fmt.Fprint(w, "]}\n")
+	})
+	return mux
+}
+
+// SimulateLausanneMulti generates the synthetic deployment for several
+// pollutants at once: shared bus trajectories, per-pollutant fields and
+// sensor noise.
+func SimulateLausanneMulti(seed int64, durationSeconds float64, pollutants []Pollutant) (map[Pollutant][]Reading, error) {
+	cfg := sim.DefaultLausanne(seed)
+	if durationSeconds > 0 {
+		cfg.Duration = durationSeconds
+	}
+	batches, err := sim.GenerateMulti(cfg, pollutants)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Pollutant][]Reading, len(batches))
+	for p, b := range batches {
+		out[p] = []Reading(b)
+	}
+	return out, nil
+}
+
+// ClassifyPollutant returns the display band for a value of any monitored
+// pollutant (package-level convenience mirroring ClassifyCO2).
+func ClassifyPollutant(p Pollutant, value float64) CO2Band {
+	return eval.ClassifyPollutant(p, value)
+}

@@ -1,0 +1,181 @@
+package repro
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func openObservatory(t *testing.T) *Observatory {
+	t.Helper()
+	o, err := OpenObservatory(Config{WindowSeconds: 3600}, []Pollutant{CO2, CO, PM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { o.Close() })
+	data, err := SimulateLausanneMulti(4, 2*3600, []Pollutant{CO2, CO, PM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, readings := range data {
+		if err := o.Ingest(p, readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+func TestOpenObservatoryValidation(t *testing.T) {
+	if _, err := OpenObservatory(Config{WindowSeconds: 10}, nil); err == nil {
+		t.Error("no pollutants should error")
+	}
+	if _, err := OpenObservatory(Config{WindowSeconds: 10}, []Pollutant{CO2, CO2}); err == nil {
+		t.Error("duplicate pollutants should error")
+	}
+	if _, err := OpenObservatory(Config{WindowSeconds: 10}, []Pollutant{Pollutant(77)}); err == nil {
+		t.Error("invalid pollutant should error")
+	}
+	if _, err := OpenObservatory(Config{WindowSeconds: 0}, []Pollutant{CO2}); err == nil {
+		t.Error("bad platform config should error")
+	}
+}
+
+func TestObservatoryPerPollutantQueries(t *testing.T) {
+	o := openObservatory(t)
+	co2, err := o.PointQuery(CO2, 1800, 1200, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := o.PointQuery(CO, 1800, 1200, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := o.PointQuery(PM, 1800, 1200, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Magnitudes must be pollutant-appropriate: CO2 in the hundreds of
+	// ppm, CO in single-digit-to-tens ppm, PM in tens of µg/m³.
+	if co2 < 300 || co2 > 3000 {
+		t.Errorf("CO2 = %v, implausible", co2)
+	}
+	if co < 0 || co > 40 {
+		t.Errorf("CO = %v, implausible", co)
+	}
+	if pm < 0 || pm > 400 {
+		t.Errorf("PM = %v, implausible", pm)
+	}
+	if co >= co2 || pm >= co2 {
+		t.Errorf("magnitude ordering broken: co2=%v co=%v pm=%v", co2, co, pm)
+	}
+	if _, err := o.PointQuery(Pollutant(9), 1800, 0, 0); err == nil {
+		t.Error("unmonitored pollutant should error")
+	}
+}
+
+func TestObservatoryPollutantsSorted(t *testing.T) {
+	o := openObservatory(t)
+	got := o.Pollutants()
+	if len(got) != 3 || got[0] != CO2 || got[1] != CO || got[2] != PM {
+		t.Errorf("Pollutants = %v", got)
+	}
+}
+
+func TestObservatoryHTTPRouting(t *testing.T) {
+	o := openObservatory(t)
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	// Pollutant discovery.
+	resp, err := http.Get(srv.URL + "/v1/pollutants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var disc struct {
+		Pollutants []string `json:"pollutants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&disc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if strings.Join(disc.Pollutants, ",") != "CO2,CO,PM" {
+		t.Errorf("pollutants = %v", disc.Pollutants)
+	}
+
+	// Per-pollutant point queries route to the right platform.
+	values := map[string]float64{}
+	for _, name := range disc.Pollutants {
+		resp, err := http.Get(srv.URL + "/" + name + "/v1/query/point?t=1800&x=1200&y=800")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", name, resp.StatusCode)
+		}
+		var pr struct {
+			Value float64 `json:"value"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		values[name] = pr.Value
+	}
+	if !(values["CO2"] > values["PM"] && values["PM"] > values["CO"]) {
+		t.Errorf("per-pollutant values not distinct: %v", values)
+	}
+
+	// Unknown pollutant prefix 404s.
+	resp, err = http.Get(srv.URL + "/NO2/v1/query/point?t=1800&x=0&y=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown pollutant: status %d", resp.StatusCode)
+	}
+}
+
+func TestObservatoryClassify(t *testing.T) {
+	o := openObservatory(t)
+	if o.Classify(CO2, 450).String() != "fresh" {
+		t.Error("CO2 450 should be fresh")
+	}
+	if o.Classify(CO, 20).String() != "hazardous" {
+		t.Error("CO 20 should be hazardous")
+	}
+	if o.Classify(PM, 100).String() != "acceptable" {
+		t.Error("PM 100 should be acceptable")
+	}
+}
+
+func TestClassifyPollutantBands(t *testing.T) {
+	cases := []struct {
+		p    Pollutant
+		v    float64
+		want string
+	}{
+		{CO, 2, "fresh"},
+		{CO, 8, "acceptable"},
+		{CO, 11, "drowsy"},
+		{CO, 14, "poor"},
+		{CO, 30, "hazardous"},
+		{PM, 20, "fresh"},
+		{PM, 100, "acceptable"},
+		{PM, 200, "drowsy"},
+		{PM, 300, "poor"},
+		{PM, 500, "hazardous"},
+		{CO2, 450, "fresh"},
+	}
+	for _, tt := range cases {
+		if got := ClassifyPollutant(tt.p, tt.v).String(); got != tt.want {
+			t.Errorf("ClassifyPollutant(%v, %v) = %s, want %s", tt.p, tt.v, got, tt.want)
+		}
+	}
+	// Unknown pollutant classifies by range fraction without panicking.
+	if got := ClassifyPollutant(Pollutant(8), 0.5); got.String() == "" {
+		t.Error("unknown pollutant should still classify")
+	}
+}
