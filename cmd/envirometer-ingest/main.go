@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -95,31 +94,9 @@ func run(out, segments string, window, days float64, seed int64, polls string) e
 	return nil
 }
 
-// parsePollutants resolves a comma-separated pollutant list.
-func parsePollutants(polls string) ([]tuple.Pollutant, error) {
-	var out []tuple.Pollutant
-	for _, name := range strings.Split(polls, ",") {
-		switch strings.TrimSpace(strings.ToUpper(name)) {
-		case "CO2":
-			out = append(out, tuple.CO2)
-		case "CO":
-			out = append(out, tuple.CO)
-		case "PM":
-			out = append(out, tuple.PM)
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown pollutant %q", name)
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no pollutants in %q", polls)
-	}
-	return out, nil
-}
-
 // runMulti writes one dataset per pollutant, suffixing each destination.
 func runMulti(out, segments string, window float64, cfg sim.Config, polls string) error {
-	pollutants, err := parsePollutants(polls)
+	pollutants, err := tuple.ParsePollutantList(polls)
 	if err != nil {
 		return err
 	}

@@ -1,11 +1,14 @@
 // Command envirometer-query is the CLI client of an EnviroMeter server —
-// the terminal equivalent of the Android app's point and route queries.
+// the terminal equivalent of the Android app's point and route queries,
+// speaking the v1 pollutant-aware API.
 //
 // Usage:
 //
-//	envirometer-query -server http://localhost:8080 point -t 7200 -x 1200 -y 800
-//	envirometer-query -server http://localhost:8080 route -t 7200 -points "0,500 300,550 600,620"
-//	envirometer-query -server http://localhost:8080 models -t 7200
+//	envirometer-query -server http://localhost:8080 point -t 7200 -x 1200 -y 800 [-pollutant co2] [-processor naive -radius 250]
+//	envirometer-query -server http://localhost:8080 batch -requests "7200,1200,800,co2 7200,1200,800,pm"
+//	envirometer-query -server http://localhost:8080 route -t 7200 -points "0,500 300,550 600,620" [-pollutant co2]
+//	envirometer-query -server http://localhost:8080 models -t 7200 [-pollutant co2]
+//	envirometer-query -server http://localhost:8080 pollutants
 //	envirometer-query -server http://localhost:8080 stats
 package main
 
@@ -39,9 +42,14 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: envirometer-query [-server URL] <command> [args]
 
 commands:
-  point  -t T -x X -y Y            interpolate the pollutant value at one position
-  route  -t T -points "x,y x,y …"  continuous query along a route (60 s per point)
-  models -t T                       download the model cover valid at T
+  point  -t T -x X -y Y [-pollutant P] [-processor K] [-radius R]
+                                    interpolate one pollutant at one position
+  batch  -requests "t,x,y[,pollutant] …"
+                                    one round trip, many (mixed-pollutant) requests
+  route  -t T -points "x,y x,y …" [-pollutant P]
+                                    continuous query along a route (60 s per point)
+  models -t T [-pollutant P]        download the model cover valid at T
+  pollutants                        list monitored pollutants
   stats                             server statistics`)
 }
 
@@ -49,10 +57,14 @@ func run(server, cmd string, args []string) error {
 	switch cmd {
 	case "point":
 		return runPoint(server, args)
+	case "batch":
+		return runBatch(server, args)
 	case "route":
 		return runRoute(server, args)
 	case "models":
 		return runModels(server, args)
+	case "pollutants":
+		return get(server + "/v1/pollutants")
 	case "stats":
 		return get(server + "/v1/stats")
 	default:
@@ -66,11 +78,68 @@ func runPoint(server string, args []string) error {
 	t := fs.Float64("t", 0, "stream time (seconds)")
 	x := fs.Float64("x", 0, "x position (meters)")
 	y := fs.Float64("y", 0, "y position (meters)")
+	pollutant := fs.String("pollutant", "", "pollutant (co2, co, pm; empty = server default)")
+	processor := fs.String("processor", "", "query method (cover, naive, rtree, vptree)")
+	radius := fs.Float64("radius", 0, "radius in meters for radius-based processors")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	u := fmt.Sprintf("%s/v1/query/point?t=%v&x=%v&y=%v", server, *t, *x, *y)
-	return get(u)
+	v := url.Values{}
+	v.Set("t", formatFloat(*t))
+	v.Set("x", formatFloat(*x))
+	v.Set("y", formatFloat(*y))
+	if *pollutant != "" {
+		v.Set("pollutant", *pollutant)
+	}
+	if *processor != "" {
+		v.Set("processor", *processor)
+	}
+	if *radius > 0 {
+		v.Set("radius", formatFloat(*radius))
+	}
+	return get(server + "/v1/query?" + v.Encode())
+}
+
+func runBatch(server string, args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
+	requests := fs.String("requests", "", `requests as "t,x,y[,pollutant] …"`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *requests == "" {
+		return fmt.Errorf("batch: -requests is required")
+	}
+	type req struct {
+		T         float64 `json:"t"`
+		X         float64 `json:"x"`
+		Y         float64 `json:"y"`
+		Pollutant string  `json:"pollutant,omitempty"`
+	}
+	var reqs []req
+	for _, tok := range strings.Fields(*requests) {
+		parts := strings.Split(tok, ",")
+		if len(parts) != 3 && len(parts) != 4 {
+			return fmt.Errorf("batch: bad request %q (want t,x,y[,pollutant])", tok)
+		}
+		var vals [3]float64
+		for i := 0; i < 3; i++ {
+			f, err := strconv.ParseFloat(parts[i], 64)
+			if err != nil {
+				return fmt.Errorf("batch: request %q: %v", tok, err)
+			}
+			vals[i] = f
+		}
+		r := req{T: vals[0], X: vals[1], Y: vals[2]}
+		if len(parts) == 4 {
+			r.Pollutant = parts[3]
+		}
+		reqs = append(reqs, r)
+	}
+	body, err := json.Marshal(map[string]interface{}{"requests": reqs})
+	if err != nil {
+		return err
+	}
+	return post(server+"/v1/query/batch", body)
 }
 
 func runRoute(server string, args []string) error {
@@ -78,6 +147,7 @@ func runRoute(server string, args []string) error {
 	t := fs.Float64("t", 0, "stream time of the first point (seconds)")
 	points := fs.String("points", "", `route points as "x,y x,y …"`)
 	interval := fs.Float64("interval", 60, "seconds between consecutive points")
+	pollutant := fs.String("pollutant", "", "pollutant (co2, co, pm; empty = server default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,8 +179,32 @@ func runRoute(server string, args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(server+"/v1/query/continuous", "application/json",
-		strings.NewReader(string(body)))
+	u := server + "/v1/query/continuous"
+	if *pollutant != "" {
+		u += "?pollutant=" + url.QueryEscape(*pollutant)
+	}
+	return post(u, body)
+}
+
+func runModels(server string, args []string) error {
+	fs := flag.NewFlagSet("models", flag.ContinueOnError)
+	t := fs.Float64("t", 0, "stream time (seconds)")
+	pollutant := fs.String("pollutant", "", "pollutant (co2, co, pm; empty = server default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	v := url.Values{}
+	v.Set("t", formatFloat(*t))
+	if *pollutant != "" {
+		v.Set("pollutant", *pollutant)
+	}
+	return get(server + "/v1/models?" + v.Encode())
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func get(u string) error {
+	resp, err := http.Get(u)
 	if err != nil {
 		return err
 	}
@@ -118,17 +212,8 @@ func runRoute(server string, args []string) error {
 	return dump(resp)
 }
 
-func runModels(server string, args []string) error {
-	fs := flag.NewFlagSet("models", flag.ContinueOnError)
-	t := fs.Float64("t", 0, "stream time (seconds)")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	return get(server + "/v1/models?t=" + url.QueryEscape(strconv.FormatFloat(*t, 'g', -1, 64)))
-}
-
-func get(u string) error {
-	resp, err := http.Get(u)
+func post(u string, body []byte) error {
+	resp, err := http.Post(u, "application/json", strings.NewReader(string(body)))
 	if err != nil {
 		return err
 	}

@@ -1,23 +1,25 @@
 // Command envirometer-server runs the EnviroMeter platform server: it
-// loads (or simulates) a community-sensed dataset and serves both the
-// web/JSON API — point queries, continuous route queries, model-cover
-// downloads, heatmaps — and, optionally, the binary TCP wire protocol
-// that smartphone model-cache clients use.
+// loads (or simulates) a community-sensed dataset for one or more
+// pollutants and serves both the web/JSON API — point, batch, and
+// continuous queries, model-cover downloads, heatmaps — and, optionally,
+// the binary TCP wire protocol that smartphone model-cache clients use.
 //
 // Usage:
 //
 //	envirometer-server [-addr :8080] [-tcp :8081] [-window 14400]
-//	                   [-days 2] [-data file.csv] [-dir segments/]
-//	                   [-covers covers.emcv] [-live] [-speedup 3600]
-//	                   [-seed 1]
+//	                   [-pollutants CO2,CO,PM] [-days 2] [-data file.csv]
+//	                   [-dir segments/] [-covers covers.emcv] [-live]
+//	                   [-speedup 3600] [-seed 1]
 //
 // With -data, raw tuples are loaded from a CSV file ("t,x,y,s" header);
-// otherwise a synthetic Lausanne deployment of -days days is generated.
-// With -dir, ingestion is durable and previous segments are recovered.
-// With -covers, built model covers are snapshotted for warm restarts.
-// With -live, data is streamed in via the ingestion service at -speedup×
-// real time instead of being bulk-loaded, so covers appear as windows
-// fill — the demo-floor mode.
+// since the CSV carries one pollutant, -data requires a single-entry
+// -pollutants. Otherwise a synthetic Lausanne deployment of -days days
+// is generated for every pollutant of -pollutants. With -dir,
+// ingestion is durable and previous segments are recovered. With -covers,
+// built model covers are snapshotted for warm restarts. With -live, data
+// is streamed in via the ingestion service at -speedup× real time instead
+// of being bulk-loaded, so covers appear as windows fill — the demo-floor
+// mode.
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
 		tcp     = flag.String("tcp", "", "TCP wire-protocol listen address (empty = disabled)")
 		window  = flag.Float64("window", 4*3600, "modeling window length H in seconds")
+		polls   = flag.String("pollutants", "CO2", "comma-separated pollutants to monitor (CO2,CO,PM)")
 		days    = flag.Float64("days", 2, "days of synthetic data when -data is unset")
 		data    = flag.String("data", "", "CSV file of raw tuples to load instead of simulating")
 		dir     = flag.String("dir", "", "directory for durable segment files (empty = memory only)")
@@ -47,7 +50,7 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(options{
-		addr: *addr, tcp: *tcp, window: *window, days: *days,
+		addr: *addr, tcp: *tcp, window: *window, polls: *polls, days: *days,
 		data: *data, dir: *dir, covers: *covers,
 		live: *live, speedup: *speedup, seed: *seed,
 	}); err != nil {
@@ -57,15 +60,20 @@ func main() {
 }
 
 type options struct {
-	addr, tcp, data, dir, covers string
-	window, days, speedup        float64
-	seed                         int64
-	live                         bool
+	addr, tcp, data, dir, covers, polls string
+	window, days, speedup               float64
+	seed                                int64
+	live                                bool
 }
 
 func run(o options) error {
+	pollutants, err := tuple.ParsePollutantList(o.polls)
+	if err != nil {
+		return err
+	}
 	p, err := repro.Open(repro.Config{
 		WindowSeconds: o.window,
+		Pollutants:    pollutants,
 		Dir:           o.dir,
 		CoverSnapshot: o.covers,
 	})
@@ -74,19 +82,25 @@ func run(o options) error {
 	}
 	defer p.Close()
 
-	readings, err := loadReadings(o)
+	ctx := context.Background()
+	datasets, err := loadReadings(o, pollutants)
 	if err != nil {
 		return err
 	}
 
 	if o.live {
-		go runLive(p, readings, o.speedup)
-		fmt.Printf("live mode: streaming %d tuples at %.0fx real time\n", len(readings), o.speedup)
-	} else {
-		if err := p.Ingest(readings); err != nil {
-			return err
+		for pol, readings := range datasets {
+			go runLive(p, pol, readings, o.speedup)
+			fmt.Printf("live mode: streaming %d %s tuples at %.0fx real time\n",
+				len(readings), pol, o.speedup)
 		}
-		fmt.Printf("bulk loaded %d raw tuples\n", len(readings))
+	} else {
+		for pol, readings := range datasets {
+			if err := p.Ingest(ctx, pol, readings); err != nil {
+				return err
+			}
+			fmt.Printf("bulk loaded %d %s raw tuples\n", len(readings), pol)
+		}
 	}
 
 	if o.tcp != "" {
@@ -98,18 +112,24 @@ func run(o options) error {
 		fmt.Printf("serving binary wire protocol on %s\n", tcpAddr)
 	}
 
-	fmt.Printf("serving EnviroMeter API on %s (window H = %.0f s)\n", o.addr, o.window)
-	fmt.Println("  GET  /v1/query/point?t=&x=&y=")
-	fmt.Println("  POST /v1/query/continuous")
-	fmt.Println("  GET  /v1/models?t=")
-	fmt.Println("  GET  /v1/heatmap?t=&cols=&rows=   (and /v1/heatmap.png)")
+	fmt.Printf("serving EnviroMeter v1 API on %s (window H = %.0f s, pollutants %v)\n",
+		o.addr, o.window, pollutants)
+	fmt.Println("  GET  /v1/query?t=&x=&y=&pollutant=co2[&processor=naive&radius=250]")
+	fmt.Println("  POST /v1/query/batch")
+	fmt.Println("  POST /v1/query/continuous?pollutant=")
+	fmt.Println("  GET  /v1/models?t=&pollutant=")
+	fmt.Println("  GET  /v1/heatmap?t=&cols=&rows=&pollutant=   (and /v1/heatmap.png)")
 	fmt.Println("  POST /v1/ingest")
 	fmt.Println("  GET  /v1/stats")
+	fmt.Println("  GET  /v1/pollutants")
 	return http.ListenAndServe(o.addr, p.Handler())
 }
 
-func loadReadings(o options) ([]repro.Reading, error) {
+func loadReadings(o options, pollutants []repro.Pollutant) (map[repro.Pollutant][]repro.Reading, error) {
 	if o.data != "" {
+		if len(pollutants) != 1 {
+			return nil, fmt.Errorf("-data loads a single-pollutant CSV; got %d pollutants", len(pollutants))
+		}
 		f, err := os.Open(o.data)
 		if err != nil {
 			return nil, err
@@ -120,25 +140,29 @@ func loadReadings(o options) ([]repro.Reading, error) {
 			return nil, fmt.Errorf("load %s: %w", o.data, err)
 		}
 		fmt.Printf("loaded %d raw tuples from %s\n", len(b), o.data)
-		return []repro.Reading(b), nil
+		return map[repro.Pollutant][]repro.Reading{pollutants[0]: b}, nil
 	}
-	readings, err := repro.SimulateLausanne(o.seed, o.days*86400)
+	data, err := repro.SimulateLausanneMulti(o.seed, o.days*86400, pollutants)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("simulated %d raw tuples (%.1f days, seed %d)\n", len(readings), o.days, o.seed)
-	return readings, nil
+	for pol, readings := range data {
+		fmt.Printf("simulated %d %s raw tuples (%.1f days, seed %d)\n",
+			len(readings), pol, o.days, o.seed)
+	}
+	return data, nil
 }
 
-// runLive pumps readings through the ingestion service at the configured
-// speedup; ingestion errors terminate the stream but not the server.
-func runLive(p *repro.Platform, readings []repro.Reading, speedup float64) {
+// runLive pumps one pollutant's readings through the ingestion service at
+// the configured speedup; ingestion errors terminate the stream but not
+// the server.
+func runLive(p *repro.Platform, pol repro.Pollutant, readings []repro.Reading, speedup float64) {
 	replayer, err := ingest.NewReplayer(tuple.Batch(readings), 60)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "live ingest:", err)
 		return
 	}
-	svc, err := ingest.NewService(replayer, platformSink{p}, ingest.Config{Speedup: speedup})
+	svc, err := ingest.NewService(replayer, platformSink{p: p, pol: pol}, ingest.Config{Speedup: speedup})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "live ingest:", err)
 		return
@@ -148,11 +172,17 @@ func runLive(p *repro.Platform, readings []repro.Reading, speedup float64) {
 		return
 	}
 	st := svc.Stats()
-	fmt.Printf("live ingest complete: %d tuples in %d batches (%d rejected)\n",
-		st.Tuples, st.Batches, st.Rejected)
+	fmt.Printf("live %s ingest complete: %d tuples in %d batches (%d rejected)\n",
+		pol, st.Tuples, st.Batches, st.Rejected)
 }
 
-// platformSink adapts the public facade to the ingest.Sink interface.
-type platformSink struct{ p *repro.Platform }
+// platformSink adapts the public facade to the ingest.Sink interface,
+// binding the pollutant the stream feeds.
+type platformSink struct {
+	p   *repro.Platform
+	pol repro.Pollutant
+}
 
-func (s platformSink) Ingest(b tuple.Batch) error { return s.p.Ingest([]repro.Reading(b)) }
+func (s platformSink) Ingest(b tuple.Batch) error {
+	return s.p.Ingest(context.Background(), s.pol, []repro.Reading(b))
+}

@@ -5,18 +5,46 @@
 // The platform ingests raw sensor tuples from a large-area community-driven
 // sensor network (pollution sensors on public-transport buses), maintains
 // an adaptive multi-model abstraction over each time window (the Ad-KMN
-// model cover), and answers point and continuous pollution queries by
-// evaluating the nearest region model — orders of magnitude faster and
-// smaller than querying indexed raw data. A model-cache wire protocol ships
-// whole covers to mobile clients so they answer queries locally.
+// model cover) per monitored pollutant, and answers point and continuous
+// pollution queries by evaluating the nearest region model — orders of
+// magnitude faster and smaller than querying indexed raw data. A
+// model-cache wire protocol ships whole covers to mobile clients so they
+// answer queries locally.
 //
-// Quick start:
+// Quick start (the v1 query API):
 //
-//	p, err := repro.Open(repro.Config{WindowSeconds: 4 * 3600})
+//	p, err := repro.Open(repro.Config{
+//		WindowSeconds: 4 * 3600,
+//		Pollutants:    []repro.Pollutant{repro.CO2, repro.CO},
+//	})
 //	...
-//	err = p.Ingest(readings)                  // raw (t, x, y, s) tuples
-//	v, err := p.PointQuery(t, x, y)           // interpolated concentration
+//	err = p.Ingest(ctx, repro.CO2, readings)  // raw (t, x, y, s) tuples
+//	v, err := p.Query(ctx, repro.Request{T: t, X: x, Y: y, Pollutant: repro.CO2})
+//	vs, err := p.QueryBatch(ctx, reqs)        // many requests, one call
 //	http.ListenAndServe(addr, p.Handler())    // the web/JSON API
+//
+// Failures carry a typed taxonomy — ErrNoCover, ErrOutOfWindow,
+// ErrUnknownPollutant — matched with errors.Is. Query behaviour is tuned
+// per call with functional options: WithRadius switches to a raw radius
+// average, WithProcessor selects any of the paper's four query methods,
+// and deadlines/cancellation arrive through the context.
+//
+// # Migrating from the v0 (untyped) API
+//
+// The pre-v1 facade carried a single implicit pollutant and no context:
+//
+//	v, err := p.PointQuery(t, x, y)           // v0
+//	v, err := p.Query(ctx, repro.Request{T: t, X: x, Y: y})  // v1
+//
+//	vs, err := p.ContinuousQuery(qs)          // v0
+//	vs, err := p.QueryBatch(ctx, reqs)        // v1
+//
+//	err = p.Ingest(readings)                  // v0
+//	err = p.Ingest(ctx, repro.CO2, readings)  // v1
+//
+// Request's zero Pollutant is CO2, so v0 call sites migrate mechanically.
+// Cover, ModelResponse, and Heatmap likewise gained (ctx, pollutant)
+// parameters.
 //
 // The deeper layers (spatial indexes, k-means, regression, wire codecs,
 // the simulated deployment) live in internal/ packages; this package
@@ -24,11 +52,13 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 
 	"repro/internal/core"
 	"repro/internal/coverio"
@@ -59,8 +89,55 @@ const (
 	PM  = tuple.PM
 )
 
-// Query is one query tuple q = (t, x, y) of a continuous value query.
-type Query = query.Q
+// ParsePollutant resolves a pollutant from its abbreviation ("co2",
+// "CO", "pm"), case-insensitively.
+func ParsePollutant(s string) (Pollutant, error) { return tuple.ParsePollutant(s) }
+
+// Request is one v1 query: interpolate Pollutant at (X, Y) and stream
+// time T. The zero Pollutant is CO2.
+type Request = query.Request
+
+// The v1 error taxonomy, matched with errors.Is.
+var (
+	// ErrNoCover: the window has data but no model cover could be built.
+	ErrNoCover = query.ErrNoCover
+	// ErrOutOfWindow: the query time lies outside the retained data.
+	ErrOutOfWindow = query.ErrOutOfWindow
+	// ErrUnknownPollutant: the pollutant is invalid or not monitored.
+	ErrUnknownPollutant = query.ErrUnknownPollutant
+)
+
+// ProcessorKind selects the query method answering a request.
+type ProcessorKind = query.Kind
+
+// Processor kinds for WithProcessor.
+const (
+	ProcessorCover  = query.KindCover
+	ProcessorNaive  = query.KindNaive
+	ProcessorRTree  = query.KindRTree
+	ProcessorVPTree = query.KindVPTree
+)
+
+// QueryOption tunes how one Query or QueryBatch call is answered.
+type QueryOption func(*query.Options)
+
+// WithRadius answers the query as an unweighted average of the raw
+// tuples within r meters (the paper's naive method) instead of the model
+// cover. Combine with WithProcessor to pick an indexed radius search.
+func WithRadius(r float64) QueryOption {
+	return func(o *query.Options) {
+		o.Radius = r
+		if o.Kind == "" || o.Kind == query.KindCover {
+			o.Kind = query.KindNaive
+		}
+	}
+}
+
+// WithProcessor selects the query method: ProcessorCover (default),
+// ProcessorNaive, ProcessorRTree, or ProcessorVPTree.
+func WithProcessor(k ProcessorKind) QueryOption {
+	return func(o *query.Options) { o.Kind = k }
+}
 
 // Cover is a model cover: the (t_n, µ, M) triple of §2.1.
 type Cover = core.Cover
@@ -86,8 +163,15 @@ type Config struct {
 	// WindowSeconds is the modeling window length H in stream seconds.
 	// Covers are rebuilt per window and expire at the window edge.
 	WindowSeconds float64
+	// Pollutants lists the monitored pollutants; each gets its own store
+	// and model covers, and with Dir/CoverSnapshot set each persists into
+	// its own subdirectory / ".<pollutant>"-suffixed file. Empty means
+	// single-pollutant, monitoring AdKMN.Pollutant (CO2 by default) with
+	// the flat pre-v1 durable layout.
+	Pollutants []Pollutant
 	// Dir, when non-empty, makes ingestion durable: appended batches are
 	// persisted to checksummed segment files and recovered on reopen.
+	// With several pollutants, each persists into its own subdirectory.
 	Dir string
 	// Retain bounds in-memory windows (0 = keep all).
 	Retain int
@@ -97,69 +181,168 @@ type Config struct {
 	// CoverSnapshot, when non-empty, is a file the platform loads built
 	// model covers from at Open (warm restart) and saves them to at
 	// Close, so a restarted server answers immediately instead of
-	// re-running Ad-KMN per window.
+	// re-running Ad-KMN per window. With several pollutants, each
+	// persists into its own ".<pollutant>"-suffixed file.
 	CoverSnapshot string
 }
 
-// Platform is the EnviroMeter server-side platform: storage, adaptive
-// modeling, and query processing behind one handle. It is safe for
-// concurrent use.
+// pollutants resolves the monitored set, preserving config order.
+func (cfg Config) pollutants() []Pollutant {
+	if len(cfg.Pollutants) == 0 {
+		return []Pollutant{cfg.AdKMN.Pollutant}
+	}
+	return cfg.Pollutants
+}
+
+// storeDir returns the segment directory of one pollutant's store. An
+// explicit Pollutants list — even of one — namespaces per pollutant
+// (the layout OpenObservatory has always used); only the legacy
+// implicit-single-pollutant config keeps the flat layout, so pre-v1
+// durable directories recover unchanged.
+func (cfg Config) storeDir(p Pollutant) string {
+	if cfg.Dir == "" {
+		return ""
+	}
+	if len(cfg.Pollutants) == 0 {
+		return cfg.Dir // legacy flat layout
+	}
+	return filepath.Join(cfg.Dir, p.String())
+}
+
+// snapshotPath returns the cover-snapshot file of one pollutant,
+// namespaced exactly like storeDir.
+func (cfg Config) snapshotPath(p Pollutant) string {
+	if cfg.CoverSnapshot == "" {
+		return ""
+	}
+	if len(cfg.Pollutants) == 0 {
+		return cfg.CoverSnapshot // legacy flat layout
+	}
+	return cfg.CoverSnapshot + "." + p.String()
+}
+
+// Platform is the EnviroMeter server-side platform: per-pollutant
+// storage, adaptive modeling, and query processing behind one handle. It
+// is safe for concurrent use.
 type Platform struct {
-	st       *store.Store
-	engine   *server.Engine
-	api      *server.API
-	snapshot string
+	engine     *server.Engine
+	api        *server.API
+	pollutants []Pollutant
+	stores     map[Pollutant]*store.Store
+	snapshots  map[Pollutant]string
 }
 
 // Open creates a platform (recovering durable state if Config.Dir is set).
 func Open(cfg Config) (*Platform, error) {
-	st, err := store.Open(store.Config{
-		WindowLength: cfg.WindowSeconds,
-		Retain:       cfg.Retain,
-		Dir:          cfg.Dir,
-	})
+	pollutants := cfg.pollutants()
+	p := &Platform{
+		pollutants: pollutants,
+		stores:     make(map[Pollutant]*store.Store, len(pollutants)),
+		snapshots:  make(map[Pollutant]string, len(pollutants)),
+	}
+	closeAll := func() {
+		for _, st := range p.stores {
+			st.Close()
+		}
+	}
+	for _, pol := range pollutants {
+		if !pol.Valid() {
+			closeAll()
+			return nil, fmt.Errorf("repro: %w: %v", ErrUnknownPollutant, pol)
+		}
+		if _, dup := p.stores[pol]; dup {
+			closeAll()
+			return nil, fmt.Errorf("repro: duplicate pollutant %v", pol)
+		}
+		st, err := store.Open(store.Config{
+			WindowLength: cfg.WindowSeconds,
+			Retain:       cfg.Retain,
+			Dir:          cfg.storeDir(pol),
+		})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		p.stores[pol] = st
+		p.snapshots[pol] = cfg.snapshotPath(pol)
+	}
+	adkmn := cfg.AdKMN
+	adkmn.Pollutant = pollutants[0]
+	engine, err := server.NewMultiEngine(p.stores, adkmn)
 	if err != nil {
+		closeAll()
 		return nil, err
 	}
-	engine := server.NewEngine(st, cfg.AdKMN)
-	p := &Platform{
-		st:       st,
-		engine:   engine,
-		api:      server.NewAPI(engine),
-		snapshot: cfg.CoverSnapshot,
-	}
-	if cfg.CoverSnapshot != "" {
-		covers, err := coverio.Load(cfg.CoverSnapshot)
-		if err != nil {
-			st.Close()
-			return nil, fmt.Errorf("repro: load cover snapshot: %w", err)
+	p.engine = engine
+	p.api = server.NewAPI(engine)
+	for _, pol := range pollutants {
+		snap := p.snapshots[pol]
+		if snap == "" {
+			continue
 		}
-		engine.Maintainer().Prime(covers)
+		covers, err := coverio.Load(snap)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("repro: load cover snapshot for %v: %w", pol, err)
+		}
+		mnt, err := engine.MaintainerFor(pol)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		mnt.Prime(covers)
 	}
 	return p, nil
 }
 
-// Close persists the cover snapshot (if configured), then syncs and
-// releases durable resources.
+// Close persists the cover snapshots (if configured), then syncs and
+// releases durable resources. All failures are reported, combined with
+// errors.Join.
 func (p *Platform) Close() error {
-	var snapErr error
-	if p.snapshot != "" {
-		snapErr = coverio.Save(p.snapshot, p.engine.Maintainer().Snapshot())
+	var errs []error
+	for _, pol := range p.pollutants {
+		if snap := p.snapshots[pol]; snap != "" {
+			if mnt, err := p.engine.MaintainerFor(pol); err == nil {
+				if err := coverio.Save(snap, mnt.Snapshot()); err != nil {
+					errs = append(errs, fmt.Errorf("repro: save %v cover snapshot: %w", pol, err))
+				}
+			}
+		}
+		if err := p.stores[pol].Close(); err != nil {
+			errs = append(errs, fmt.Errorf("repro: close %v store: %w", pol, err))
+		}
 	}
-	if err := p.st.Close(); err != nil {
-		return err
-	}
-	return snapErr
+	return errors.Join(errs...)
 }
 
-// SaveCovers persists the built covers to the configured snapshot file
-// immediately (Close also does this).
+// SaveCovers persists the built covers of every pollutant to the
+// configured snapshot files immediately (Close also does this).
 func (p *Platform) SaveCovers() error {
-	if p.snapshot == "" {
+	var errs []error
+	saved := 0
+	for _, pol := range p.pollutants {
+		snap := p.snapshots[pol]
+		if snap == "" {
+			continue
+		}
+		saved++
+		mnt, err := p.engine.MaintainerFor(pol)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := coverio.Save(snap, mnt.Snapshot()); err != nil {
+			errs = append(errs, fmt.Errorf("repro: save %v cover snapshot: %w", pol, err))
+		}
+	}
+	if saved == 0 {
 		return errors.New("repro: no CoverSnapshot configured")
 	}
-	return coverio.Save(p.snapshot, p.engine.Maintainer().Snapshot())
+	return errors.Join(errs...)
 }
+
+// Pollutants lists the monitored pollutants in stable (ascending) order.
+func (p *Platform) Pollutants() []Pollutant { return p.engine.Pollutants() }
 
 // ListenTCP serves the binary wire protocol on addr — the transport
 // smartphone model-cache clients use over cellular data. It returns a
@@ -174,62 +357,90 @@ func (p *Platform) ListenTCP(addr string) (io.Closer, net.Addr, error) {
 	return srv, srv.Addr(), nil
 }
 
-// Ingest appends raw readings to the platform. Late data transparently
+// Ingest appends raw readings of pollutant pol. Late data transparently
 // invalidates any already-built cover of its window.
-func (p *Platform) Ingest(readings []Reading) error {
-	return p.engine.Ingest(tuple.Batch(readings))
+func (p *Platform) Ingest(ctx context.Context, pol Pollutant, readings []Reading) error {
+	return p.engine.Ingest(ctx, pol, tuple.Batch(readings))
 }
 
-// Len returns the number of retained readings.
-func (p *Platform) Len() int { return p.st.Len() }
-
-// PointQuery interpolates the sensed value at position (x, y) and stream
-// time t using the model cover of t's window.
-func (p *Platform) PointQuery(t, x, y float64) (float64, error) {
-	return p.engine.PointQuery(t, x, y)
+// IngestReader streams a tuple CSV ("t,x,y,s" header) into the platform
+// in bounded batches, so month-scale deployment files never materialize
+// in memory. It returns the number of tuples ingested. Cancelling ctx
+// stops the stream between batches.
+func (p *Platform) IngestReader(ctx context.Context, pol Pollutant, r io.Reader) (int, error) {
+	return tuple.StreamCSV(r, 0, func(b tuple.Batch) error {
+		return p.engine.Ingest(ctx, pol, b)
+	})
 }
 
-// ContinuousQuery answers a registered route of query tuples, returning
-// one interpolated value per tuple (Query 1 of the paper).
-func (p *Platform) ContinuousQuery(qs []Query) ([]float64, error) {
-	if len(qs) == 0 {
-		return nil, errors.New("repro: empty continuous query")
+// Len returns the number of retained readings across all pollutants.
+func (p *Platform) Len() int {
+	n := 0
+	for _, st := range p.stores {
+		n += st.Len()
 	}
-	out := make([]float64, len(qs))
-	for i, q := range qs {
-		v, err := p.engine.PointQuery(q.T, q.X, q.Y)
-		if err != nil {
-			return nil, fmt.Errorf("repro: query %d: %w", i, err)
-		}
-		out[i] = v
-	}
-	return out, nil
+	return n
 }
 
-// Cover returns the model cover valid at stream time t, building it on
+// LenFor returns the number of retained readings of one pollutant.
+func (p *Platform) LenFor(pol Pollutant) (int, error) {
+	st, err := p.engine.StoreFor(pol)
+	if err != nil {
+		return 0, err
+	}
+	return st.Len(), nil
+}
+
+// Query interpolates the requested pollutant at the request's position
+// and stream time, using the model cover of the containing window (or
+// the processor the options select). Deadlines and cancellation arrive
+// through ctx; failures match the v1 error taxonomy with errors.Is.
+func (p *Platform) Query(ctx context.Context, req Request, opts ...QueryOption) (float64, error) {
+	return p.engine.QueryOpts(ctx, req, applyOptions(opts))
+}
+
+// QueryBatch answers a batch of requests — the registered route of a
+// continuous query, or any mixed-pollutant workload — returning one
+// value per request. The batch is atomic: the first failing request
+// rejects the call, and a cancelled ctx stops the scan promptly.
+func (p *Platform) QueryBatch(ctx context.Context, reqs []Request, opts ...QueryOption) ([]float64, error) {
+	return p.engine.QueryBatchOpts(ctx, reqs, applyOptions(opts))
+}
+
+func applyOptions(opts []QueryOption) query.Options {
+	var o query.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Cover returns pol's model cover valid at stream time t, building it on
 // first use.
-func (p *Platform) Cover(t float64) (*Cover, error) {
-	return p.engine.CoverAt(t)
+func (p *Platform) Cover(ctx context.Context, pol Pollutant, t float64) (*Cover, error) {
+	return p.engine.CoverAt(ctx, pol, t)
 }
 
-// ModelResponse returns the wire form of the cover at t — what a
+// ModelResponse returns the wire form of pol's cover at t — what a
 // model-cache client downloads once per validity window.
-func (p *Platform) ModelResponse(t float64) (ModelResponse, error) {
-	cv, err := p.engine.CoverAt(t)
+func (p *Platform) ModelResponse(ctx context.Context, pol Pollutant, t float64) (ModelResponse, error) {
+	cv, err := p.engine.CoverAt(ctx, pol, t)
 	if err != nil {
 		return ModelResponse{}, err
 	}
 	return wire.ModelResponseFromCover(cv)
 }
 
-// Heatmap rasterizes the cover at time t over the window's data region;
+// Heatmap rasterizes pol's cover at time t over the window's data region;
 // see the heatmap endpoints of Handler for rendered output.
-func (p *Platform) Heatmap(t float64, cols, rows int) (*heatmap.Grid, error) {
-	return p.engine.Heatmap(t, cols, rows)
+func (p *Platform) Heatmap(ctx context.Context, pol Pollutant, t float64, cols, rows int) (*heatmap.Grid, error) {
+	return p.engine.Heatmap(ctx, pol, t, cols, rows)
 }
 
-// Handler returns the HTTP/JSON API (point queries, continuous queries,
-// model downloads, heatmaps, ingestion, stats).
+// Handler returns the HTTP/JSON API (point queries, batch and continuous
+// queries, model downloads, heatmaps, ingestion, stats, pollutant
+// discovery). Every query endpoint takes an optional ?pollutant=
+// parameter.
 func (p *Platform) Handler() http.Handler { return p.api }
 
 // ClassifyCO2 returns the display band for a CO2 concentration in ppm.

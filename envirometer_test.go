@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -20,7 +21,7 @@ func openWithData(t *testing.T) *Platform {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Ingest(readings); err != nil {
+	if err := p.Ingest(context.Background(), CO2, readings); err != nil {
 		t.Fatal(err)
 	}
 	return p
@@ -38,7 +39,7 @@ func TestEndToEndPointQuery(t *testing.T) {
 	if p.Len() < 1000 {
 		t.Fatalf("Len = %d", p.Len())
 	}
-	v, err := p.PointQuery(2*3600, 1200, 800)
+	v, err := p.Query(context.Background(), Request{T: 2 * 3600, X: 1200, Y: 800})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,34 +51,34 @@ func TestEndToEndPointQuery(t *testing.T) {
 func TestContinuousQuery(t *testing.T) {
 	p := openWithData(t)
 	defer p.Close()
-	qs := []Query{
+	qs := []Request{
 		{T: 7200, X: 0, Y: 500},
 		{T: 7260, X: 300, Y: 550},
 		{T: 7320, X: 600, Y: 620},
 	}
-	vs, err := p.ContinuousQuery(qs)
+	vs, err := p.QueryBatch(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(vs) != 3 {
 		t.Fatalf("got %d values", len(vs))
 	}
-	if _, err := p.ContinuousQuery(nil); err == nil {
-		t.Error("empty query must error")
+	if _, err := p.QueryBatch(context.Background(), nil); err == nil {
+		t.Error("empty batch must error")
 	}
 }
 
 func TestCoverAndModelResponse(t *testing.T) {
 	p := openWithData(t)
 	defer p.Close()
-	cv, err := p.Cover(7200)
+	cv, err := p.Cover(context.Background(), CO2, 7200)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cv.Size() == 0 || !cv.ValidAt(7200) {
 		t.Errorf("cover size=%d validAt=%v", cv.Size(), cv.ValidAt(7200))
 	}
-	mr, err := p.ModelResponse(7200)
+	mr, err := p.ModelResponse(context.Background(), CO2, 7200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestCoverAndModelResponse(t *testing.T) {
 func TestHeatmapFacade(t *testing.T) {
 	p := openWithData(t)
 	defer p.Close()
-	g, err := p.Heatmap(7200, 16, 16)
+	g, err := p.Heatmap(context.Background(), CO2, 7200, 16, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestDurableReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Ingest(readings); err != nil {
+	if err := p.Ingest(context.Background(), CO2, readings); err != nil {
 		t.Fatal(err)
 	}
 	n := p.Len()
@@ -184,7 +185,7 @@ func TestDurableReopen(t *testing.T) {
 	if p2.Len() != n {
 		t.Errorf("recovered %d readings, want %d", p2.Len(), n)
 	}
-	if _, err := p2.PointQuery(1800, 500, 500); err != nil {
+	if _, err := p2.Query(context.Background(), Request{T: 1800, X: 500, Y: 500}); err != nil {
 		t.Errorf("query after recovery: %v", err)
 	}
 }

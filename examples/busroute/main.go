@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	platform, err := repro.Open(repro.Config{WindowSeconds: 4 * 3600})
 	if err != nil {
 		log.Fatal(err)
@@ -27,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := platform.Ingest(readings); err != nil {
+	if err := platform.Ingest(ctx, repro.CO2, readings); err != nil {
 		log.Fatal(err)
 	}
 
@@ -47,12 +49,13 @@ func main() {
 		{X: 700, Y: 2200},
 	}
 	const start = 8 * 3600
-	queries := make([]repro.Query, len(waypoints))
+	queries := make([]repro.Request, len(waypoints))
 	for i, wp := range waypoints {
-		queries[i] = repro.Query{T: start + float64(i)*60, X: wp.X, Y: wp.Y}
+		queries[i] = repro.Request{T: start + float64(i)*60, X: wp.X, Y: wp.Y, Pollutant: repro.CO2}
 	}
 
-	values, err := platform.ContinuousQuery(queries)
+	// One batch call answers the whole recorded route.
+	values, err := platform.QueryBatch(ctx, queries)
 	if err != nil {
 		log.Fatal(err)
 	}

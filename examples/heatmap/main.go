@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +23,7 @@ func main() {
 	out := flag.String("out", "heatmap.png", "output PNG path")
 	flag.Parse()
 
+	ctx := context.Background()
 	platform, err := repro.Open(repro.Config{WindowSeconds: 4 * 3600})
 	if err != nil {
 		log.Fatal(err)
@@ -32,14 +34,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := platform.Ingest(readings); err != nil {
+	if err := platform.Ingest(ctx, repro.CO2, readings); err != nil {
 		log.Fatal(err)
 	}
 
 	// Rasterize the cover seven hours into the stream, over the sensed
 	// region.
 	const t = 7 * 3600
-	grid, err := platform.Heatmap(t, 256, 192)
+	grid, err := platform.Heatmap(ctx, repro.CO2, t, 256, 192)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +60,7 @@ func main() {
 	fmt.Printf("wrote %s (%dx%d, CO2 %.0f–%.0f ppm)\n", *out, grid.Cols, grid.Rows, min, max)
 
 	// The emitting points: centroids computed by Ad-KMN with their levels.
-	cover, err := platform.Cover(t)
+	cover, err := platform.Cover(ctx, repro.CO2, t)
 	if err != nil {
 		log.Fatal(err)
 	}

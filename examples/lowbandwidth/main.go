@@ -46,10 +46,11 @@ func main() {
 	engine := server.NewEngine(st, core.Config{})
 
 	// The mobile object walks through the center for 100 minutes starting
-	// at t = 2 h, sending one query tuple per minute.
-	queries := make([]query.Q, 100)
+	// at t = 2 h, sending one CO2 query tuple per minute (a Request's zero
+	// Pollutant is CO2).
+	queries := make([]query.Request, 100)
 	for i := range queries {
-		queries[i] = query.Q{
+		queries[i] = query.Request{
 			T: 2*3600 + float64(i)*60,
 			X: 600 + 8*float64(i),
 			Y: 500 + 6*float64(i),

@@ -1,15 +1,17 @@
-// Multipollutant: the full OpenSense sensor box.
+// Multipollutant: the full OpenSense sensor box on the v1 API.
 //
 // The paper notes the sensed value "could be any of the pollutants that
 // are typically monitored: carbon dioxide (CO2), carbon monoxide (CO),
-// suspended particulate matter" (§2.2). This example runs one platform
-// per pollutant over a shared bus fleet and queries all three at the same
-// place and time — the app's pollutant selector, programmatically.
+// suspended particulate matter" (§2.2). This example opens one platform
+// monitoring all three over a shared bus fleet and queries them at the
+// same place and time — the app's pollutant selector, programmatically,
+// including one mixed-pollutant batch call.
 //
 // Run with: go run ./examples/multipollutant
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,35 +19,41 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	pollutants := []repro.Pollutant{repro.CO2, repro.CO, repro.PM}
-	obs, err := repro.OpenObservatory(repro.Config{WindowSeconds: 3600}, pollutants)
+	p, err := repro.Open(repro.Config{WindowSeconds: 3600, Pollutants: pollutants})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer obs.Close()
+	defer p.Close()
 
 	// One fleet, three sensors per bus: the datasets share trajectories.
 	data, err := repro.SimulateLausanneMulti(13, 4*3600, pollutants)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for p, readings := range data {
-		if err := obs.Ingest(p, readings); err != nil {
+	for pol, readings := range data {
+		if err := p.Ingest(ctx, pol, readings); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("ingested %6d %s readings\n", len(readings), p)
+		fmt.Printf("ingested %6d %s readings\n", len(readings), pol)
 	}
 
-	// The same query against every pollutant's model cover.
+	// The same position and time against every pollutant's model cover,
+	// answered in one mixed-pollutant batch.
 	const t, x, y = 2*3600 + 1800, 1200, 800
+	reqs := make([]repro.Request, len(p.Pollutants()))
+	for i, pol := range p.Pollutants() {
+		reqs[i] = repro.Request{T: t, X: x, Y: y, Pollutant: pol}
+	}
+	values, err := p.QueryBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("\nconditions at the city center (t = %.0f s):\n", float64(t))
-	for _, p := range obs.Pollutants() {
-		v, err := obs.PointQuery(p, t, x, y)
-		if err != nil {
-			log.Fatal(err)
-		}
-		band := obs.Classify(p, v)
-		unit := p.Unit()
-		fmt.Printf("  %-4s %8.1f %-6s [%s]\n", p, v, unit, band)
+	for i, pol := range p.Pollutants() {
+		band := repro.ClassifyPollutant(pol, values[i])
+		fmt.Printf("  %-4s %8.1f %-6s [%s]\n", pol, values[i], pol.Unit(), band)
 	}
 }

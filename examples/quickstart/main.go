@@ -1,4 +1,4 @@
-// Quickstart: the minimal end-to-end EnviroMeter flow.
+// Quickstart: the minimal end-to-end EnviroMeter flow on the v1 API.
 //
 // Simulate a morning of community-sensed CO2 data, ingest it into the
 // platform, and ask for the pollution at a position — first as a raw
@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,10 @@ import (
 )
 
 func main() {
-	// A platform with one-hour modeling windows, in memory.
+	ctx := context.Background()
+
+	// A platform with one-hour modeling windows, in memory. Without
+	// Config.Pollutants it monitors CO2 alone.
 	platform, err := repro.Open(repro.Config{WindowSeconds: 3600})
 	if err != nil {
 		log.Fatal(err)
@@ -28,25 +32,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := platform.Ingest(readings); err != nil {
+	if err := platform.Ingest(ctx, repro.CO2, readings); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("ingested %d raw tuples\n", platform.Len())
 
 	// Point query: the CO2 concentration near the city-center plume at
 	// 05:30 into the stream (t = 19800 s), answered from the window's
-	// Ad-KMN model cover.
-	const t, x, y = 19800.0, 1200.0, 800.0
-	value, err := platform.PointQuery(t, x, y)
+	// Ad-KMN model cover. The zero Pollutant of a Request is CO2.
+	req := repro.Request{T: 19800, X: 1200, Y: 800, Pollutant: repro.CO2}
+	value, err := platform.Query(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
 	band := repro.ClassifyCO2(value)
-	fmt.Printf("CO2 at (%.0f m, %.0f m) at t=%.0fs: %.0f ppm [%s]\n", x, y, t, value, band)
+	fmt.Printf("CO2 at (%.0f m, %.0f m) at t=%.0fs: %.0f ppm [%s]\n",
+		req.X, req.Y, req.T, value, band)
 	fmt.Println(band.Advice())
 
 	// The model cover behind that answer.
-	cover, err := platform.Cover(t)
+	cover, err := platform.Cover(ctx, repro.CO2, req.T)
 	if err != nil {
 		log.Fatal(err)
 	}

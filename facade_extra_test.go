@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -22,15 +23,15 @@ func TestCoverSnapshotWarmRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Ingest(readings); err != nil {
+	if err := p.Ingest(context.Background(), CO2, readings); err != nil {
 		t.Fatal(err)
 	}
 	// Build covers for both windows, then close (which snapshots).
-	v1, err := p.PointQuery(1800, 500, 500)
+	v1, err := p.Query(context.Background(), Request{T: 1800, X: 500, Y: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.PointQuery(5400, 500, 500); err != nil {
+	if _, err := p.Query(context.Background(), Request{T: 5400, X: 500, Y: 500}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.SaveCovers(); err != nil {
@@ -46,7 +47,7 @@ func TestCoverSnapshotWarmRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer p2.Close()
-	v2, err := p2.PointQuery(1800, 500, 500)
+	v2, err := p2.Query(context.Background(), Request{T: 1800, X: 500, Y: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestListenTCPServesClients(t *testing.T) {
 	if !ok {
 		t.Fatalf("got %T", resp)
 	}
-	want, err := p.PointQuery(7200, 800, 600)
+	want, err := p.Query(context.Background(), Request{T: 7200, X: 800, Y: 600})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,9 @@ func TestRouteSummaryAgainstPlatform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sum, err := route.Summarize(rt, p.PointQuery)
+	sum, err := route.Summarize(rt, func(t, x, y float64) (float64, error) {
+		return p.Query(context.Background(), Request{T: t, X: x, Y: y})
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,11 +68,11 @@ func TestFullPipeline(t *testing.T) {
 	defer conn.Close()
 	mc := client.NewModelCache(conn)
 	routePl := cfg.Vehicles[0].Route
-	qs := make([]query.Q, 60)
+	qs := make([]query.Request, 60)
 	for i := range qs {
 		tm := 2*3600 + float64(i)*60
 		pos := routePl.AtLoop(6 * float64(i) * 60)
-		qs[i] = query.Q{T: tm, X: pos.X, Y: pos.Y}
+		qs[i] = query.Request{T: tm, X: pos.X, Y: pos.Y}
 	}
 	answers, err := client.RunContinuous(mc, qs)
 	if err != nil {
@@ -81,7 +81,7 @@ func TestFullPipeline(t *testing.T) {
 
 	// 5a. Client answers must match the server's own interpolation.
 	for i, a := range answers {
-		want, err := p.PointQuery(qs[i].T, qs[i].X, qs[i].Y)
+		want, err := p.Query(context.Background(), qs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,4 +115,6 @@ func TestFullPipeline(t *testing.T) {
 // platformSink adapts the facade to ingest.Sink (mirrors the server cmd).
 type platformSink struct{ p *Platform }
 
-func (s platformSink) Ingest(b tuple.Batch) error { return s.p.Ingest([]Reading(b)) }
+func (s platformSink) Ingest(b tuple.Batch) error {
+	return s.p.Ingest(context.Background(), CO2, []Reading(b))
+}

@@ -207,11 +207,11 @@ func RunFig7b(d *Dataset, cfg Fig7bConfig) (*Fig7bResult, error) {
 	// interval, starting inside the second window so models exist.
 	route := d.Cfg.Vehicles[0].Route
 	t0 := cfg.WindowSeconds
-	qs := make([]query.Q, cfg.NumQueries)
+	qs := make([]query.Request, cfg.NumQueries)
 	for i := range qs {
 		t := t0 + float64(i)*cfg.QueryIntervalSeconds
 		pos := route.AtLoop(5.0 * (t - t0)) // walking/driving pace 5 m/s
-		qs[i] = query.Q{T: t, X: pos.X, Y: pos.Y}
+		qs[i] = query.Request{T: t, X: pos.X, Y: pos.Y}
 	}
 
 	runArm := func(mk func(client.Transport) client.Strategy) (Fig7bArm, error) {

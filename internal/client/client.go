@@ -5,20 +5,26 @@
 //
 //   - Baseline: every query tuple is a request/response round trip; the
 //     server interpolates and returns ŝ_l.
-//   - ModelCache: the client fetches the model cover (t_n, µ, M) once,
-//     answers locally while t_l ≤ t_n, and refreshes only on expiry.
+//   - ModelCache: the client fetches the model cover (t_n, µ, M) once per
+//     pollutant, answers locally while t_l ≤ t_n, and refreshes only on
+//     expiry.
 //
-// Both strategies run over a Transport, normally the simulated cellular
-// link, which accounts every byte and second the device would spend.
+// Strategies answer v1 query.Requests, so one client can interleave
+// pollutants over a single connection; the model cache keeps one cover
+// per pollutant. Both strategies run over a Transport, normally the
+// simulated cellular link, which accounts every byte and second the
+// device would spend.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/cache"
 	"repro/internal/netsim"
 	"repro/internal/query"
+	"repro/internal/tuple"
 	"repro/internal/wire"
 )
 
@@ -69,19 +75,19 @@ func (t *LinkTransport) Exchange(req wire.Message) (wire.Message, error) {
 
 // Answer is one delivered pollution update.
 type Answer struct {
-	Q     query.Q
+	Req   query.Request
 	Value float64
 	// Local reports whether the value was computed on the device from the
 	// cached model cover (true) or by the server (false).
 	Local bool
 }
 
-// Strategy answers a stream of query tuples.
+// Strategy answers a stream of v1 query requests.
 type Strategy interface {
 	// Name labels the strategy in reports.
 	Name() string
-	// Query answers one query tuple.
-	Query(q query.Q) (Answer, error)
+	// Query answers one request.
+	Query(req query.Request) (Answer, error)
 }
 
 // Baseline is the §2.3 baseline: one round trip per query tuple.
@@ -96,14 +102,16 @@ func NewBaseline(t Transport) *Baseline { return &Baseline{transport: t} }
 func (b *Baseline) Name() string { return "baseline" }
 
 // Query implements Strategy.
-func (b *Baseline) Query(q query.Q) (Answer, error) {
-	resp, err := b.transport.Exchange(wire.QueryRequest{T: q.T, X: q.X, Y: q.Y})
+func (b *Baseline) Query(req query.Request) (Answer, error) {
+	resp, err := b.transport.Exchange(wire.QueryRequest{
+		T: req.T, X: req.X, Y: req.Y, Pollutant: req.Pollutant,
+	})
 	if err != nil {
 		return Answer{}, err
 	}
 	switch m := resp.(type) {
 	case wire.QueryResponse:
-		return Answer{Q: q, Value: m.Value, Local: false}, nil
+		return Answer{Req: req, Value: m.Value, Local: false}, nil
 	case wire.ErrorResponse:
 		return Answer{}, fmt.Errorf("client: server error: %s", m.Msg)
 	default:
@@ -111,29 +119,58 @@ func (b *Baseline) Query(q query.Q) (Answer, error) {
 	}
 }
 
-// ModelCache is the paper's bandwidth-optimized strategy.
+// ModelCache is the paper's bandwidth-optimized strategy, generalized to
+// one cached cover per pollutant.
 type ModelCache struct {
 	transport Transport
-	cache     *cache.Cache
+	caches    map[tuple.Pollutant]*cache.Cache
 }
 
 // NewModelCache returns the model-cache strategy over a transport.
 func NewModelCache(t Transport) *ModelCache {
-	return &ModelCache{transport: t, cache: cache.New()}
+	return &ModelCache{transport: t, caches: make(map[tuple.Pollutant]*cache.Cache)}
 }
 
 // Name implements Strategy.
 func (m *ModelCache) Name() string { return "model-cache" }
 
-// CacheStats exposes hit/miss counters.
-func (m *ModelCache) CacheStats() cache.Stats { return m.cache.Stats() }
-
-// Query implements Strategy: answer locally when the cached cover is valid
-// at t_l, otherwise send a model request e_l and refresh.
-func (m *ModelCache) Query(q query.Q) (Answer, error) {
-	cv, ok := m.cache.Lookup(q.T)
+// cacheFor returns (lazily creating) the pollutant's cover cache.
+func (m *ModelCache) cacheFor(p tuple.Pollutant) *cache.Cache {
+	c, ok := m.caches[p]
 	if !ok {
-		resp, err := m.transport.Exchange(wire.ModelRequest{T: q.T})
+		c = cache.New()
+		m.caches[p] = c
+	}
+	return c
+}
+
+// CacheStats aggregates hit/miss counters across all pollutant caches.
+func (m *ModelCache) CacheStats() cache.Stats {
+	var out cache.Stats
+	for _, c := range m.caches {
+		s := c.Stats()
+		out.Hits += s.Hits
+		out.Misses += s.Misses
+		out.Refreshes += s.Refreshes
+	}
+	return out
+}
+
+// CacheStatsFor returns the counters of one pollutant's cache.
+func (m *ModelCache) CacheStatsFor(p tuple.Pollutant) cache.Stats {
+	if c, ok := m.caches[p]; ok {
+		return c.Stats()
+	}
+	return cache.Stats{}
+}
+
+// Query implements Strategy: answer locally when the pollutant's cached
+// cover is valid at t_l, otherwise send a model request e_l and refresh.
+func (m *ModelCache) Query(req query.Request) (Answer, error) {
+	cc := m.cacheFor(req.Pollutant)
+	cv, ok := cc.Lookup(req.T)
+	if !ok {
+		resp, err := m.transport.Exchange(wire.ModelRequest{T: req.T, Pollutant: req.Pollutant})
 		if err != nil {
 			return Answer{}, err
 		}
@@ -143,30 +180,39 @@ func (m *ModelCache) Query(q query.Q) (Answer, error) {
 			if err != nil {
 				return Answer{}, err
 			}
-			m.cache.Store(cv)
+			cc.Store(cv)
 		case wire.ErrorResponse:
 			return Answer{}, fmt.Errorf("client: server error: %s", r.Msg)
 		default:
 			return Answer{}, fmt.Errorf("client: unexpected response %T", resp)
 		}
 	}
-	v, err := cv.Interpolate(q.T, q.X, q.Y)
+	v, err := cv.Interpolate(req.T, req.X, req.Y)
 	if err != nil {
 		return Answer{}, err
 	}
-	return Answer{Q: q, Value: v, Local: ok}, nil
+	return Answer{Req: req, Value: v, Local: ok}, nil
 }
 
 // RunContinuous drives a strategy through a full continuous query — the
 // mobile object transmitting query tuples at its uniform interval — and
 // returns the answers.
-func RunContinuous(s Strategy, qs []query.Q) ([]Answer, error) {
-	if len(qs) == 0 {
+func RunContinuous(s Strategy, reqs []query.Request) ([]Answer, error) {
+	return RunContinuousCtx(context.Background(), s, reqs)
+}
+
+// RunContinuousCtx is RunContinuous with cooperative cancellation: the
+// stream stops at the first context error.
+func RunContinuousCtx(ctx context.Context, s Strategy, reqs []query.Request) ([]Answer, error) {
+	if len(reqs) == 0 {
 		return nil, errors.New("client: empty query stream")
 	}
-	out := make([]Answer, len(qs))
-	for i, q := range qs {
-		a, err := s.Query(q)
+	out := make([]Answer, len(reqs))
+	for i, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("client: query %d: %w", i, err)
+		}
+		a, err := s.Query(req)
 		if err != nil {
 			return nil, fmt.Errorf("client: query %d: %w", i, err)
 		}

@@ -35,14 +35,14 @@ func (s *scriptedTransport) Exchange(req wire.Message) (wire.Message, error) {
 func TestBaselineTransportError(t *testing.T) {
 	boom := errors.New("radio dropped")
 	b := NewBaseline(&scriptedTransport{errs: []error{boom}})
-	if _, err := b.Query(query.Q{}); !errors.Is(err, boom) {
+	if _, err := b.Query(query.Request{}); !errors.Is(err, boom) {
 		t.Errorf("transport error not propagated: %v", err)
 	}
 }
 
 func TestBaselineUnexpectedResponse(t *testing.T) {
 	b := NewBaseline(&scriptedTransport{responses: []wire.Message{wire.ModelRequest{}}})
-	_, err := b.Query(query.Q{})
+	_, err := b.Query(query.Request{})
 	if err == nil || !strings.Contains(err.Error(), "unexpected response") {
 		t.Errorf("want unexpected-response error, got %v", err)
 	}
@@ -51,14 +51,14 @@ func TestBaselineUnexpectedResponse(t *testing.T) {
 func TestModelCacheTransportError(t *testing.T) {
 	boom := errors.New("no signal")
 	mc := NewModelCache(&scriptedTransport{errs: []error{boom}})
-	if _, err := mc.Query(query.Q{}); !errors.Is(err, boom) {
+	if _, err := mc.Query(query.Request{}); !errors.Is(err, boom) {
 		t.Errorf("transport error not propagated: %v", err)
 	}
 }
 
 func TestModelCacheUnexpectedResponse(t *testing.T) {
 	mc := NewModelCache(&scriptedTransport{responses: []wire.Message{wire.QueryResponse{}}})
-	_, err := mc.Query(query.Q{})
+	_, err := mc.Query(query.Request{})
 	if err == nil || !strings.Contains(err.Error(), "unexpected response") {
 		t.Errorf("want unexpected-response error, got %v", err)
 	}
@@ -72,7 +72,7 @@ func TestModelCacheBadModelResponse(t *testing.T) {
 		Coefs:     [][]float64{{1}},
 	}
 	mc := NewModelCache(&scriptedTransport{responses: []wire.Message{bad}})
-	if _, err := mc.Query(query.Q{}); err == nil {
+	if _, err := mc.Query(query.Request{}); err == nil {
 		t.Error("unreconstructable model response should error")
 	}
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -45,8 +46,8 @@ func newStack(t *testing.T, codec wire.Codec) (*server.Engine, *netsim.Link, Tra
 
 // walkQueries generates n query tuples pacing through time at dt seconds,
 // walking within the data region.
-func walkQueries(n int, dt float64) []query.Q {
-	qs := make([]query.Q, n)
+func walkQueries(n int, dt float64) []query.Request {
+	qs := make([]query.Request, n)
 	rng := rand.New(rand.NewSource(9))
 	x, y := 500.0, 500.0
 	for i := range qs {
@@ -54,7 +55,7 @@ func walkQueries(n int, dt float64) []query.Q {
 		y += rng.NormFloat64() * 30
 		x = math.Max(0, math.Min(2000, x))
 		y = math.Max(0, math.Min(2000, y))
-		qs[i] = query.Q{T: float64(i) * dt, X: x, Y: y}
+		qs[i] = query.Request{T: float64(i) * dt, X: x, Y: y}
 	}
 	return qs
 }
@@ -68,7 +69,7 @@ func TestBaselineAnswersMatchServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, a := range answers {
-		want, err := eng.PointQuery(qs[i].T, qs[i].X, qs[i].Y)
+		want, err := eng.Query(context.Background(), qs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func TestModelCacheAnswersMatchServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, a := range answers {
-		want, err := eng.PointQuery(qs[i].T, qs[i].X, qs[i].Y)
+		want, err := eng.Query(context.Background(), qs[i])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,11 +165,11 @@ func TestModelCacheSavesBandwidth(t *testing.T) {
 func TestServerErrorPropagates(t *testing.T) {
 	_, _, tr := newStack(t, wire.Binary)
 	b := NewBaseline(tr)
-	if _, err := b.Query(query.Q{T: 1e12}); err == nil {
+	if _, err := b.Query(query.Request{T: 1e12}); err == nil {
 		t.Error("query in empty window should error")
 	}
 	mc := NewModelCache(tr)
-	if _, err := mc.Query(query.Q{T: 1e12}); err == nil {
+	if _, err := mc.Query(query.Request{T: 1e12}); err == nil {
 		t.Error("model fetch for empty window should error")
 	}
 }
@@ -188,7 +189,7 @@ func TestJSONCodecWorksEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := eng.PointQuery(qs[5].T, qs[5].X, qs[5].Y)
+	want, err := eng.Query(context.Background(), qs[5])
 	if err != nil {
 		t.Fatal(err)
 	}

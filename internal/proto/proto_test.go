@@ -244,9 +244,9 @@ func TestClientIsATransport(t *testing.T) {
 	defer c.Close()
 	var transport client.Transport = c
 	mc := client.NewModelCache(transport)
-	qs := make([]query.Q, 20)
+	qs := make([]query.Request, 20)
 	for i := range qs {
-		qs[i] = query.Q{T: 60 * float64(i), X: 500, Y: 500}
+		qs[i] = query.Request{T: 60 * float64(i), X: 500, Y: 500}
 	}
 	answers, err := client.RunContinuous(mc, qs)
 	if err != nil {

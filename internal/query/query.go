@@ -15,6 +15,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -216,12 +217,9 @@ type Result struct {
 
 // RunContinuous processes a continuous query — the registered mobile
 // object's stream of query tuples — through a processor, returning one
-// result per tuple (Query 1 semantics: each q_l yields one ŝ_l).
+// result per tuple (Query 1 semantics: each q_l yields one ŝ_l). It is
+// RunContinuousCtx with a background context.
 func RunContinuous(p Processor, qs []Q) []Result {
-	out := make([]Result, len(qs))
-	for i, q := range qs {
-		v, err := p.Interpolate(q)
-		out[i] = Result{Q: q, Value: v, Err: err}
-	}
+	out, _ := RunContinuousCtx(context.Background(), p, qs)
 	return out
 }

@@ -5,77 +5,287 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/heatmap"
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
 
-// Engine binds a tuple store to a model-cover maintainer and answers the
-// wire protocol: query tuples with interpolated values (Query 1) and model
-// requests with the full (t_n, µ, M) payload.
-type Engine struct {
+// shard is one pollutant's slice of the engine: its raw-tuple store and
+// its model-cover maintainer. Covers of different pollutants never mix.
+type shard struct {
 	st         *store.Store
 	maintainer *core.Maintainer
 }
 
-// NewEngine creates an engine over st with the given Ad-KMN configuration.
-func NewEngine(st *store.Store, cfg core.Config) *Engine {
-	return &Engine{st: st, maintainer: core.NewMaintainer(st, cfg)}
+// Engine answers the v1 query API over one store-and-maintainer shard per
+// monitored pollutant. It serves the wire protocol (query tuples with
+// interpolated values, model requests with the full (t_n, µ, M) payload)
+// and is safe for concurrent use; the shard set is fixed at construction.
+type Engine struct {
+	shards map[tuple.Pollutant]*shard
+	def    tuple.Pollutant
 }
 
-// Store returns the underlying tuple store (for ingestion endpoints).
-func (e *Engine) Store() *store.Store { return e.st }
+// NewEngine creates a single-pollutant engine over st with the given
+// Ad-KMN configuration; the monitored pollutant is cfg.Pollutant (CO2 by
+// default). Unlike NewMultiEngine it tolerates an out-of-range
+// cfg.Pollutant, matching the pre-v1 constructor's leniency.
+func NewEngine(st *store.Store, cfg core.Config) *Engine {
+	return &Engine{
+		shards: map[tuple.Pollutant]*shard{
+			cfg.Pollutant: {st: st, maintainer: core.NewMaintainer(st, cfg)},
+		},
+		def: cfg.Pollutant,
+	}
+}
 
-// Maintainer returns the cover maintainer (for diagnostics).
-func (e *Engine) Maintainer() *core.Maintainer { return e.maintainer }
+// NewMultiEngine creates an engine with one shard per pollutant. Each
+// shard's maintainer runs Ad-KMN with cfg, its Pollutant field rebound to
+// the shard's key. The default pollutant (used by legacy wire frames and
+// parameterless HTTP calls) is cfg.Pollutant when monitored, otherwise
+// the smallest monitored key.
+func NewMultiEngine(stores map[tuple.Pollutant]*store.Store, cfg core.Config) (*Engine, error) {
+	if len(stores) == 0 {
+		return nil, errors.New("server: no pollutant stores")
+	}
+	e := &Engine{shards: make(map[tuple.Pollutant]*shard, len(stores))}
+	for pol, st := range stores {
+		if !pol.Valid() {
+			return nil, fmt.Errorf("%w: %v", query.ErrUnknownPollutant, pol)
+		}
+		if st == nil {
+			return nil, fmt.Errorf("server: nil store for pollutant %v", pol)
+		}
+		shardCfg := cfg
+		shardCfg.Pollutant = pol
+		e.shards[pol] = &shard{st: st, maintainer: core.NewMaintainer(st, shardCfg)}
+	}
+	if _, ok := e.shards[cfg.Pollutant]; ok {
+		e.def = cfg.Pollutant
+	} else {
+		e.def = e.Pollutants()[0]
+	}
+	return e, nil
+}
 
-// PointQuery interpolates the sensor value at (x, y) at stream time t
-// using the model cover of t's window — the server side of Query 1.
-func (e *Engine) PointQuery(t, x, y float64) (float64, error) {
-	cv, err := e.maintainer.CoverAt(t)
+// Pollutants lists the monitored pollutants in stable (ascending) order.
+func (e *Engine) Pollutants() []tuple.Pollutant {
+	out := make([]tuple.Pollutant, 0, len(e.shards))
+	for p := range e.shards {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Default returns the pollutant legacy (untagged) requests resolve to.
+func (e *Engine) Default() tuple.Pollutant { return e.def }
+
+// Serves reports whether the engine monitors pollutant p.
+func (e *Engine) Serves(p tuple.Pollutant) bool {
+	_, ok := e.shards[p]
+	return ok
+}
+
+// shardFor resolves the shard serving p, or ErrUnknownPollutant.
+func (e *Engine) shardFor(p tuple.Pollutant) (*shard, error) {
+	sh, ok := e.shards[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v not monitored", query.ErrUnknownPollutant, p)
+	}
+	return sh, nil
+}
+
+// Store returns the default pollutant's tuple store.
+func (e *Engine) Store() *store.Store { return e.shards[e.def].st }
+
+// StoreFor returns the tuple store of pollutant p.
+func (e *Engine) StoreFor(p tuple.Pollutant) (*store.Store, error) {
+	sh, err := e.shardFor(p)
+	if err != nil {
+		return nil, err
+	}
+	return sh.st, nil
+}
+
+// Maintainer returns the default pollutant's cover maintainer.
+func (e *Engine) Maintainer() *core.Maintainer { return e.shards[e.def].maintainer }
+
+// MaintainerFor returns the cover maintainer of pollutant p.
+func (e *Engine) MaintainerFor(p tuple.Pollutant) (*core.Maintainer, error) {
+	sh, err := e.shardFor(p)
+	if err != nil {
+		return nil, err
+	}
+	return sh.maintainer, nil
+}
+
+// coverAt resolves the cover serving stream time t on shard sh, mapping
+// failures onto the v1 error taxonomy: a window with no retained data is
+// ErrOutOfWindow, a window whose cover cannot be built is ErrNoCover.
+func (sh *shard) coverAt(ctx context.Context, t float64) (*core.Cover, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("%w: negative time %v", query.ErrOutOfWindow, t)
+	}
+	cv, err := sh.maintainer.CoverAt(t)
+	if err != nil {
+		c := tuple.WindowIndex(t, sh.st.WindowLength())
+		if len(sh.st.Window(c)) == 0 {
+			return nil, fmt.Errorf("%w: t=%v (window %d holds no data)", query.ErrOutOfWindow, t, c)
+		}
+		return nil, fmt.Errorf("%w: %v", query.ErrNoCover, err)
+	}
+	return cv, nil
+}
+
+// Query answers one v1 request from the pollutant's model cover.
+func (e *Engine) Query(ctx context.Context, req query.Request) (float64, error) {
+	return e.QueryOpts(ctx, req, query.Options{})
+}
+
+// QueryOpts answers one v1 request with explicit processor options —
+// model cover by default, or any of the paper's radius-based methods.
+func (e *Engine) QueryOpts(ctx context.Context, req query.Request, o query.Options) (float64, error) {
+	return e.queryOpts(ctx, req, o, nil)
+}
+
+// procKey identifies a reusable radius processor: one per pollutant and
+// window within a batch (the options are fixed across a batch).
+type procKey struct {
+	pol tuple.Pollutant
+	win int
+}
+
+// queryOpts answers one request. A non-nil procs map caches radius-based
+// processors across a batch, so an R-tree or VP-tree is bulk-loaded once
+// per (pollutant, window) instead of once per request.
+func (e *Engine) queryOpts(ctx context.Context, req query.Request, o query.Options, procs map[procKey]query.Processor) (float64, error) {
+	if err := req.Validate(); err != nil {
+		return 0, err
+	}
+	sh, err := e.shardFor(req.Pollutant)
 	if err != nil {
 		return 0, err
 	}
-	return cv.Interpolate(t, x, y)
+	o = o.WithDefaults()
+	if o.Kind == query.KindCover {
+		cv, err := sh.coverAt(ctx, req.T)
+		if err != nil {
+			return 0, err
+		}
+		return cv.Interpolate(req.T, req.X, req.Y)
+	}
+	// Radius-based methods run over the raw window; a missing window is
+	// out-of-range for them exactly as it is for the cover path.
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	w, c := sh.st.WindowAt(req.T)
+	if len(w) == 0 || req.T < 0 {
+		return 0, fmt.Errorf("%w: t=%v (window %d holds no data)", query.ErrOutOfWindow, req.T, c)
+	}
+	key := procKey{pol: req.Pollutant, win: c}
+	p, ok := procs[key]
+	if !ok {
+		p, err = query.BuildProcessor(o, w, nil)
+		if err != nil {
+			return 0, err
+		}
+		if procs != nil {
+			procs[key] = p
+		}
+	}
+	return p.Interpolate(req.Q())
 }
 
-// CoverAt returns the model cover valid at stream time t.
-func (e *Engine) CoverAt(t float64) (*core.Cover, error) {
-	return e.maintainer.CoverAt(t)
+// QueryBatch answers a batch of v1 requests (requests may mix
+// pollutants), checking ctx between items so a canceled batch stops
+// promptly. It fails on the first bad request, identifying its index.
+func (e *Engine) QueryBatch(ctx context.Context, reqs []query.Request) ([]float64, error) {
+	return e.QueryBatchOpts(ctx, reqs, query.Options{})
 }
 
-// Ingest appends a batch of raw tuples, invalidating any cached cover
-// whose window received late data.
-func (e *Engine) Ingest(b tuple.Batch) error {
-	if err := e.st.Append(b); err != nil {
+// QueryBatchOpts is QueryBatch with explicit processor options.
+// Radius-based processors (and their spatial indexes) are built once per
+// (pollutant, window) touched by the batch, not once per request.
+func (e *Engine) QueryBatchOpts(ctx context.Context, reqs []query.Request, o query.Options) ([]float64, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("server: empty query batch")
+	}
+	procs := make(map[procKey]query.Processor)
+	out := make([]float64, len(reqs))
+	for i, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("server: batch request %d: %w", i, err)
+		}
+		v, err := e.queryOpts(ctx, req, o, procs)
+		if err != nil {
+			return nil, fmt.Errorf("server: batch request %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// CoverAt returns pollutant p's model cover valid at stream time t.
+func (e *Engine) CoverAt(ctx context.Context, p tuple.Pollutant, t float64) (*core.Cover, error) {
+	sh, err := e.shardFor(p)
+	if err != nil {
+		return nil, err
+	}
+	return sh.coverAt(ctx, t)
+}
+
+// Ingest appends a batch of raw tuples for pollutant p, invalidating any
+// cached cover whose window received late data.
+func (e *Engine) Ingest(ctx context.Context, p tuple.Pollutant, b tuple.Batch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sh, err := e.shardFor(p)
+	if err != nil {
+		return err
+	}
+	if err := sh.st.Append(b); err != nil {
 		return err
 	}
 	touched := map[int]bool{}
 	for _, r := range b {
-		touched[tuple.WindowIndex(r.T, e.st.WindowLength())] = true
+		touched[tuple.WindowIndex(r.T, sh.st.WindowLength())] = true
 	}
 	for c := range touched {
-		e.maintainer.Invalidate(c)
+		sh.maintainer.Invalidate(c)
 	}
 	return nil
 }
 
-// Heatmap rasterizes the cover at time t over the data's bounding region.
-func (e *Engine) Heatmap(t float64, cols, rows int) (*heatmap.Grid, error) {
-	cv, err := e.maintainer.CoverAt(t)
+// Heatmap rasterizes pollutant p's cover at time t over the data's
+// bounding region.
+func (e *Engine) Heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols, rows int) (*heatmap.Grid, error) {
+	sh, err := e.shardFor(p)
 	if err != nil {
 		return nil, err
 	}
-	w, _ := e.st.WindowAt(t)
+	cv, err := sh.coverAt(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	w, _ := sh.st.WindowAt(t)
 	region, ok := w.Bounds()
 	if !ok {
-		return nil, errors.New("server: no data in window")
+		return nil, fmt.Errorf("%w: no data in window", query.ErrOutOfWindow)
 	}
 	// A corridor of bus samples can be degenerate in one axis; inflate so
 	// the raster region always has area.
@@ -84,19 +294,21 @@ func (e *Engine) Heatmap(t float64, cols, rows int) (*heatmap.Grid, error) {
 }
 
 // HandleMessage implements the request/response protocol over any
-// transport: it maps a request message to its response message. Server
-// failures become ErrorResponse rather than Go errors, since they must
-// travel back over the link.
+// transport: it maps a request message to its response message, routing
+// by the message's pollutant tag (legacy untagged frames decode as CO2).
+// Server failures become ErrorResponse rather than Go errors, since they
+// must travel back over the link.
 func (e *Engine) HandleMessage(req wire.Message) wire.Message {
+	ctx := context.Background()
 	switch m := req.(type) {
 	case wire.QueryRequest:
-		v, err := e.PointQuery(m.T, m.X, m.Y)
+		v, err := e.Query(ctx, query.Request{T: m.T, X: m.X, Y: m.Y, Pollutant: e.wirePollutant(m.Pollutant, m.Legacy)})
 		if err != nil {
 			return wire.ErrorResponse{Msg: err.Error()}
 		}
 		return wire.QueryResponse{Value: v}
 	case wire.ModelRequest:
-		cv, err := e.maintainer.CoverAt(m.T)
+		cv, err := e.CoverAt(ctx, e.wirePollutant(m.Pollutant, m.Legacy), m.T)
 		if err != nil {
 			return wire.ErrorResponse{Msg: err.Error()}
 		}
@@ -110,6 +322,25 @@ func (e *Engine) HandleMessage(req wire.Message) wire.Message {
 	}
 }
 
+// wirePollutant resolves a wire-frame pollutant tag. Legacy (pre-v1)
+// frames carry no tag and route to the engine's default pollutant, so a
+// fleet of deployed untagged clients keeps working against any server.
+// Tagged v1 frames are routed literally — including explicit CO2 on a
+// server without a CO2 shard — so mistagged requests fail loudly with
+// ErrUnknownPollutant rather than silently answering from another
+// pollutant's models.
+func (e *Engine) wirePollutant(p tuple.Pollutant, legacy bool) tuple.Pollutant {
+	if legacy {
+		return e.def
+	}
+	return p
+}
+
 // Classify returns the display band for a CO2 value, exposed here so both
 // the HTTP layer and clients share one classification.
 func Classify(ppm float64) eval.CO2Band { return eval.ClassifyCO2(ppm) }
+
+// ClassifyFor returns the display band for a value of pollutant p.
+func ClassifyFor(p tuple.Pollutant, v float64) eval.CO2Band {
+	return eval.ClassifyPollutant(p, v)
+}

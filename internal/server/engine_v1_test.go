@@ -1,0 +1,205 @@
+package server
+
+// Tests for the multi-pollutant v1 engine: shard isolation, error
+// taxonomy, batch cancellation, processor options, and pollutant routing
+// through HandleMessage.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// newMultiEngine builds an engine with distinct linear fields for CO2
+// and PM so cross-shard leaks are detectable by magnitude.
+func newMultiEngine(t *testing.T) *Engine {
+	t.Helper()
+	mk := func(base, slope float64) *store.Store {
+		st := store.MustOpenMemory(600)
+		rng := rand.New(rand.NewSource(5))
+		var b tuple.Batch
+		for i := 0; i < 400; i++ {
+			x, y := rng.Float64()*2000, rng.Float64()*2000
+			b = append(b, tuple.Raw{T: rng.Float64() * 600, X: x, Y: y, S: base + slope*x})
+		}
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{
+		tuple.CO2: mk(420, 0.05),
+		tuple.PM:  mk(20, 0.005),
+	}, core.Config{Cluster: cluster.Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMultiEngineShardIsolation(t *testing.T) {
+	e := newMultiEngine(t)
+	ctx := context.Background()
+	co2, err := e.Query(ctx, query.Request{T: 300, X: 1000, Y: 1000, Pollutant: tuple.CO2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := e.Query(ctx, query.Request{T: 300, X: 1000, Y: 1000, Pollutant: tuple.PM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(co2-470) > 30 {
+		t.Errorf("CO2 = %v, want ~470", co2)
+	}
+	if math.Abs(pm-25) > 10 {
+		t.Errorf("PM = %v, want ~25", pm)
+	}
+	if got := e.Pollutants(); len(got) != 2 || got[0] != tuple.CO2 || got[1] != tuple.PM {
+		t.Errorf("Pollutants = %v", got)
+	}
+	if !e.Serves(tuple.PM) || e.Serves(tuple.CO) {
+		t.Error("Serves misreports the shard set")
+	}
+}
+
+func TestEngineErrorTaxonomy(t *testing.T) {
+	e := newMultiEngine(t)
+	ctx := context.Background()
+	if _, err := e.Query(ctx, query.Request{T: 300, Pollutant: tuple.CO}); !errors.Is(err, query.ErrUnknownPollutant) {
+		t.Errorf("unmonitored pollutant: %v", err)
+	}
+	if _, err := e.Query(ctx, query.Request{T: 1e9}); !errors.Is(err, query.ErrOutOfWindow) {
+		t.Errorf("empty window: %v", err)
+	}
+	if _, err := e.Query(ctx, query.Request{T: -3}); !errors.Is(err, query.ErrOutOfWindow) {
+		t.Errorf("negative time: %v", err)
+	}
+	if _, err := e.CoverAt(ctx, tuple.CO, 300); !errors.Is(err, query.ErrUnknownPollutant) {
+		t.Errorf("CoverAt unmonitored: %v", err)
+	}
+	if err := e.Ingest(ctx, tuple.CO, tuple.Batch{{T: 1, S: 1}}); !errors.Is(err, query.ErrUnknownPollutant) {
+		t.Errorf("Ingest unmonitored: %v", err)
+	}
+	if _, err := e.Heatmap(ctx, tuple.CO, 300, 8, 8); !errors.Is(err, query.ErrUnknownPollutant) {
+		t.Errorf("Heatmap unmonitored: %v", err)
+	}
+}
+
+func TestEngineBatchCancellation(t *testing.T) {
+	e := newMultiEngine(t)
+	reqs := make([]query.Request, 32)
+	for i := range reqs {
+		reqs[i] = query.Request{T: 300, X: float64(i * 10), Y: 500}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryBatch(ctx, reqs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: %v", err)
+	}
+	vs, err := e.QueryBatch(context.Background(), reqs)
+	if err != nil || len(vs) != len(reqs) {
+		t.Fatalf("live batch: %d values, err %v", len(vs), err)
+	}
+	if _, err := e.QueryBatch(context.Background(), nil); err == nil {
+		t.Error("empty batch should error")
+	}
+}
+
+func TestEngineProcessorOptions(t *testing.T) {
+	e := newMultiEngine(t)
+	ctx := context.Background()
+	req := query.Request{T: 300, X: 1000, Y: 1000}
+	naive, err := e.QueryOpts(ctx, req, query.Options{Kind: query.KindNaive, Radius: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := e.QueryOpts(ctx, req, query.Options{Kind: query.KindRTree, Radius: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(naive-rt) > 1e-9 {
+		t.Errorf("naive %v vs rtree %v", naive, rt)
+	}
+	// Radius methods out of data range follow the taxonomy too.
+	if _, err := e.QueryOpts(ctx, query.Request{T: 1e9}, query.Options{Kind: query.KindNaive}); !errors.Is(err, query.ErrOutOfWindow) {
+		t.Errorf("naive empty window: %v", err)
+	}
+}
+
+func TestHandleMessageLegacyFallbackOnNonCO2Server(t *testing.T) {
+	// A PM-only server must keep answering untagged (legacy) frames,
+	// which decode as CO2: the CO2 tag falls back to the default shard.
+	st := store.MustOpenMemory(600)
+	var b tuple.Batch
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		b = append(b, tuple.Raw{T: rng.Float64() * 600, X: x, Y: y, S: 30})
+	}
+	if err := st.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.PM: st},
+		core.Config{Pollutant: tuple.PM, Cluster: cluster.Config{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legacy frame (decoded as CO2 + Legacy flag) answers from the
+	// default (PM) shard.
+	resp := e.HandleMessage(wire.QueryRequest{T: 300, X: 500, Y: 500, Pollutant: tuple.CO2, Legacy: true})
+	qr, ok := resp.(wire.QueryResponse)
+	if !ok {
+		t.Fatalf("legacy frame on PM server: got %T (%v)", resp, resp)
+	}
+	if math.Abs(qr.Value-30) > 5 {
+		t.Errorf("legacy fallback value = %v, want ~30", qr.Value)
+	}
+	// Explicitly tagged v1 frames fail loudly — including CO2, which this
+	// server does not monitor: no silent cross-pollutant answers.
+	if _, ok := e.HandleMessage(wire.QueryRequest{T: 300, Pollutant: tuple.CO}).(wire.ErrorResponse); !ok {
+		t.Error("tagged CO frame should yield ErrorResponse")
+	}
+	if _, ok := e.HandleMessage(wire.QueryRequest{T: 300, Pollutant: tuple.CO2}).(wire.ErrorResponse); !ok {
+		t.Error("tagged CO2 frame on a PM-only server should yield ErrorResponse")
+	}
+	// Legacy model requests fall back the same way.
+	if _, ok := e.HandleMessage(wire.ModelRequest{T: 300, Pollutant: tuple.CO2, Legacy: true}).(wire.ModelResponse); !ok {
+		t.Error("legacy model request on PM server should be served")
+	}
+}
+
+func TestHandleMessageRoutesPollutant(t *testing.T) {
+	e := newMultiEngine(t)
+	co2 := e.HandleMessage(wire.QueryRequest{T: 300, X: 1000, Y: 1000, Pollutant: tuple.CO2})
+	pm := e.HandleMessage(wire.QueryRequest{T: 300, X: 1000, Y: 1000, Pollutant: tuple.PM})
+	v1, ok1 := co2.(wire.QueryResponse)
+	v2, ok2 := pm.(wire.QueryResponse)
+	if !ok1 || !ok2 {
+		t.Fatalf("responses %T / %T", co2, pm)
+	}
+	if v1.Value <= v2.Value {
+		t.Errorf("pollutant routing collapsed: co2=%v pm=%v", v1.Value, v2.Value)
+	}
+	// Model requests carry the tag through to the response.
+	mr := e.HandleMessage(wire.ModelRequest{T: 300, Pollutant: tuple.PM})
+	m, ok := mr.(wire.ModelResponse)
+	if !ok {
+		t.Fatalf("model response %T", mr)
+	}
+	if tuple.Pollutant(m.Pollutant) != tuple.PM {
+		t.Errorf("model pollutant = %d, want PM", m.Pollutant)
+	}
+	// Unmonitored pollutants come back as protocol errors.
+	if _, ok := e.HandleMessage(wire.QueryRequest{T: 300, Pollutant: tuple.CO}).(wire.ErrorResponse); !ok {
+		t.Error("unmonitored pollutant should yield ErrorResponse")
+	}
+}

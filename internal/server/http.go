@@ -1,22 +1,28 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
 	"repro/internal/geo"
 	"repro/internal/heatmap"
+	"repro/internal/query"
 	"repro/internal/route"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
 
-// API wraps an Engine with the HTTP/JSON interface of the EnviroMeter web
-// application (§3): point queries, continuous route queries, model-cover
-// downloads for smartphone clients, heatmaps, and ingestion.
+// API wraps an Engine with the versioned HTTP/JSON interface of the
+// EnviroMeter web application (§3). The v1 surface is pollutant-aware:
+// every query endpoint takes an optional ?pollutant= parameter (default:
+// the engine's default pollutant) and the canonical entry point is
+// GET /v1/query. Request contexts are plumbed into the engine, so a
+// client that disconnects cancels its query.
 type API struct {
 	engine *Engine
 	mux    *http.ServeMux
@@ -25,7 +31,9 @@ type API struct {
 // NewAPI builds the HTTP API around engine.
 func NewAPI(engine *Engine) *API {
 	a := &API{engine: engine, mux: http.NewServeMux()}
-	a.mux.HandleFunc("/v1/query/point", a.handlePointQuery)
+	a.mux.HandleFunc("/v1/query", a.handlePointQuery)
+	a.mux.HandleFunc("/v1/query/point", a.handlePointQuery) // legacy alias
+	a.mux.HandleFunc("/v1/query/batch", a.handleBatch)
 	a.mux.HandleFunc("/v1/query/continuous", a.handleContinuous)
 	a.mux.HandleFunc("/v1/models", a.handleModels)
 	a.mux.HandleFunc("/v1/heatmap", a.handleHeatmap)
@@ -33,6 +41,7 @@ func NewAPI(engine *Engine) *API {
 	a.mux.HandleFunc("/v1/route/summary", a.handleRouteSummary)
 	a.mux.HandleFunc("/v1/ingest", a.handleIngest)
 	a.mux.HandleFunc("/v1/stats", a.handleStats)
+	a.mux.HandleFunc("/v1/pollutants", a.handlePollutants)
 	return a
 }
 
@@ -51,6 +60,22 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeEngineError maps the v1 error taxonomy onto HTTP statuses.
+func writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, query.ErrUnknownPollutant):
+		writeError(w, http.StatusBadRequest, err)
+	case errors.Is(err, query.ErrOutOfWindow), errors.Is(err, query.ErrNoCover):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusNotFound, err)
+	}
+}
+
 func queryFloat(r *http.Request, name string) (float64, error) {
 	s := r.URL.Query().Get(name)
 	if s == "" {
@@ -59,6 +84,11 @@ func queryFloat(r *http.Request, name string) (float64, error) {
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	// ParseFloat accepts "NaN" and "Inf"; reject them here so a malformed
+	// coordinate is a 400, not a confusing downstream 404.
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("parameter %q: want a finite number", name)
 	}
 	return v, nil
 }
@@ -75,17 +105,69 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
-// pointResponse is the single point query answer shown by the web UI: the
-// interpolated ppm plus the OSHA band and advice text.
-type pointResponse struct {
-	Value  float64 `json:"value"`
-	Unit   string  `json:"unit"`
-	Band   string  `json:"band"`
-	Advice string  `json:"advice"`
+// queryPollutant resolves the optional ?pollutant= parameter, defaulting
+// to the engine's default pollutant.
+func (a *API) queryPollutant(r *http.Request) (tuple.Pollutant, error) {
+	s := r.URL.Query().Get("pollutant")
+	if s == "" {
+		return a.engine.Default(), nil
+	}
+	p, err := tuple.ParsePollutant(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", query.ErrUnknownPollutant, s)
+	}
+	return p, nil
 }
 
-// handlePointQuery serves GET /v1/query/point?t=&x=&y= — the "single point
-// query mode" of the web interface.
+// queryOptions resolves the optional ?processor= and ?radius= parameters.
+func queryOptions(r *http.Request) (query.Options, error) {
+	var o query.Options
+	if s := r.URL.Query().Get("processor"); s != "" {
+		k, err := query.ParseKind(s)
+		if err != nil {
+			return o, err
+		}
+		o.Kind = k
+	}
+	if s := r.URL.Query().Get("radius"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return o, fmt.Errorf("parameter %q: want a positive number", "radius")
+		}
+		o.Radius = v
+		// A bare radius means "average the raw tuples around me" — mirror
+		// the facade's WithRadius and switch to the naive method instead
+		// of silently ignoring the parameter on the cover path.
+		if o.Kind == "" || o.Kind == query.KindCover {
+			o.Kind = query.KindNaive
+		}
+	}
+	return o, nil
+}
+
+// pointResponse is the single point query answer shown by the web UI: the
+// interpolated value plus the pollutant, its unit, and the band/advice.
+type pointResponse struct {
+	Value     float64 `json:"value"`
+	Pollutant string  `json:"pollutant"`
+	Unit      string  `json:"unit"`
+	Band      string  `json:"band"`
+	Advice    string  `json:"advice"`
+}
+
+func pointResponseFor(p tuple.Pollutant, v float64) pointResponse {
+	band := ClassifyFor(p, v)
+	return pointResponse{
+		Value:     v,
+		Pollutant: p.String(),
+		Unit:      p.Unit(),
+		Band:      band.String(),
+		Advice:    band.Advice(),
+	}
+}
+
+// handlePointQuery serves GET /v1/query?t=&x=&y=&pollutant=&processor=&radius=
+// (and its legacy alias /v1/query/point) — the single point query mode.
 func (a *API) handlePointQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
@@ -102,23 +184,106 @@ func (a *API) handlePointQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := a.engine.PointQuery(t, x, y)
+	pol, err := a.queryPollutant(r)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	band := Classify(v)
-	writeJSON(w, http.StatusOK, pointResponse{
-		Value:  v,
-		Unit:   tuple.CO2.Unit(),
-		Band:   band.String(),
-		Advice: band.Advice(),
-	})
+	opts, err := queryOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := a.engine.QueryOpts(r.Context(), query.Request{T: t, X: x, Y: y, Pollutant: pol}, opts)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pointResponseFor(pol, v))
+}
+
+// batchRequest is a POST /v1/query/batch body: heterogeneous requests,
+// each naming its own pollutant ("CO2", "CO", "PM"; empty = default).
+type batchRequest struct {
+	Requests []struct {
+		T         float64 `json:"t"`
+		X         float64 `json:"x"`
+		Y         float64 `json:"y"`
+		Pollutant string  `json:"pollutant"`
+	} `json:"requests"`
+}
+
+// batchResponse carries one answer per request, in order.
+type batchResponse struct {
+	Values []pointResponse `json:"values"`
+}
+
+// handleBatch serves POST /v1/query/batch?processor=&radius= — the batch
+// entry point of the v1 API, honoring the same processor options as
+// /v1/query. The batch fails atomically: any bad request rejects the
+// call.
+func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	opts, err := queryOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var br batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %v", err))
+		return
+	}
+	if len(br.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	// Untagged requests inherit the route pollutant (?pollutant=, falling
+	// back to the engine default) so Observatory-style /PM/v1/query/batch
+	// URLs answer for PM like every other endpoint.
+	routePol, err := a.queryPollutant(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	reqs := make([]query.Request, len(br.Requests))
+	for i, in := range br.Requests {
+		pol := routePol
+		if in.Pollutant != "" {
+			var err error
+			if pol, err = tuple.ParsePollutant(in.Pollutant); err != nil {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("request %d: %w: %q", i, query.ErrUnknownPollutant, in.Pollutant))
+				return
+			}
+		}
+		reqs[i] = query.Request{T: in.T, X: in.X, Y: in.Y, Pollutant: pol}
+	}
+	vs, err := a.engine.QueryBatchOpts(r.Context(), reqs, opts)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	resp := batchResponse{Values: make([]pointResponse, len(vs))}
+	for i, v := range vs {
+		resp.Values[i] = pointResponseFor(reqs[i].Pollutant, v)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // continuousRequest is the recorded route: the sequence of query tuples.
+// A continuous query names one pollutant for the whole route (the
+// ?pollutant= parameter); the points deliberately have no per-point
+// pollutant field — mixed-pollutant workloads use /v1/query/batch.
 type continuousRequest struct {
-	Points []wire.QueryRequest `json:"points"`
+	Points []struct {
+		T float64 `json:"t"`
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	} `json:"points"`
 }
 
 // continuousResponse mirrors the app's route view: one value per point,
@@ -130,12 +295,17 @@ type continuousResponse struct {
 	Advice  string          `json:"advice"`
 }
 
-// handleContinuous serves POST /v1/query/continuous — the "continuous
-// query mode" where users select the points of a route and the app shows
-// per-point values and the route average (§3).
+// handleContinuous serves POST /v1/query/continuous?pollutant= — the
+// "continuous query mode" where users select the points of a route and
+// the app shows per-point values and the route average (§3).
 func (a *API) handleContinuous(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	pol, err := a.queryPollutant(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var req continuousRequest
@@ -150,26 +320,23 @@ func (a *API) handleContinuous(w http.ResponseWriter, r *http.Request) {
 	resp := continuousResponse{Values: make([]pointResponse, 0, len(req.Points))}
 	var sum float64
 	for _, p := range req.Points {
-		v, err := a.engine.PointQuery(p.T, p.X, p.Y)
+		v, err := a.engine.Query(r.Context(), query.Request{T: p.T, X: p.X, Y: p.Y, Pollutant: pol})
 		if err != nil {
-			writeError(w, http.StatusNotFound, fmt.Errorf("point (%v,%v): %v", p.X, p.Y, err))
+			writeEngineError(w, fmt.Errorf("point (%v,%v): %w", p.X, p.Y, err))
 			return
 		}
-		band := Classify(v)
-		resp.Values = append(resp.Values, pointResponse{
-			Value: v, Unit: tuple.CO2.Unit(), Band: band.String(), Advice: band.Advice(),
-		})
+		resp.Values = append(resp.Values, pointResponseFor(pol, v))
 		sum += v
 	}
 	resp.Average = sum / float64(len(req.Points))
-	avgBand := Classify(resp.Average)
+	avgBand := ClassifyFor(pol, resp.Average)
 	resp.Band = avgBand.String()
 	resp.Advice = avgBand.Advice()
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleModels serves GET /v1/models?t= — the model request e_l of the
-// model-cache protocol, returning (t_n, µ, M) as JSON.
+// handleModels serves GET /v1/models?t=&pollutant= — the model request
+// e_l of the model-cache protocol, returning (t_n, µ, M) as JSON.
 func (a *API) handleModels(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
@@ -180,9 +347,14 @@ func (a *API) handleModels(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	cv, err := a.engine.CoverAt(t)
+	pol, err := a.queryPollutant(r)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cv, err := a.engine.CoverAt(r.Context(), pol, t)
+	if err != nil {
+		writeEngineError(w, err)
 		return
 	}
 	resp, err := wire.ModelResponseFromCover(cv)
@@ -199,36 +371,26 @@ type heatmapResponse struct {
 	Markers []heatmap.CentroidMarker `json:"markers"`
 }
 
-// handleHeatmap serves GET /v1/heatmap?t=&cols=&rows= — the web UI's
-// heatmap visualization data.
+// handleHeatmap serves GET /v1/heatmap?t=&cols=&rows=&pollutant= — the
+// web UI's heatmap visualization data.
 func (a *API) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
-	t, err := queryFloat(r, "t")
+	t, cols, rows, pol, err := a.heatmapParams(r, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	cols, err := queryInt(r, "cols", 64)
+	grid, err := a.engine.Heatmap(r.Context(), pol, t, cols, rows)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeEngineError(w, err)
 		return
 	}
-	rows, err := queryInt(r, "rows", 64)
+	cv, err := a.engine.CoverAt(r.Context(), pol, t)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	grid, err := a.engine.Heatmap(t, cols, rows)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
-		return
-	}
-	cv, err := a.engine.CoverAt(t)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeEngineError(w, err)
 		return
 	}
 	markers, err := heatmap.Markers(cv, t)
@@ -239,37 +401,42 @@ func (a *API) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, heatmapResponse{Grid: grid, Markers: markers})
 }
 
-// handleHeatmapPNG serves GET /v1/heatmap.png?t=&cols=&rows= — the
-// rendered image.
+// handleHeatmapPNG serves GET /v1/heatmap.png?t=&cols=&rows=&pollutant= —
+// the rendered image.
 func (a *API) handleHeatmapPNG(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
-	t, err := queryFloat(r, "t")
+	t, cols, rows, pol, err := a.heatmapParams(r, 256)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	cols, err := queryInt(r, "cols", 256)
+	grid, err := a.engine.Heatmap(r.Context(), pol, t, cols, rows)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	rows, err := queryInt(r, "rows", 256)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	grid, err := a.engine.Heatmap(t, cols, rows)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeEngineError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "image/png")
 	// Headers are already written; a mid-stream encode failure cannot be
 	// reported to the client.
 	_ = grid.WritePNG(w)
+}
+
+// heatmapParams parses the shared heatmap parameter set.
+func (a *API) heatmapParams(r *http.Request, defSize int) (t float64, cols, rows int, pol tuple.Pollutant, err error) {
+	if t, err = queryFloat(r, "t"); err != nil {
+		return
+	}
+	if cols, err = queryInt(r, "cols", defSize); err != nil {
+		return
+	}
+	if rows, err = queryInt(r, "rows", defSize); err != nil {
+		return
+	}
+	pol, err = a.queryPollutant(r)
+	return
 }
 
 // routeSummaryRequest is a recorded route uploaded for review: the
@@ -299,10 +466,15 @@ type routeSummaryResponse struct {
 	Duration float64 `json:"durationSeconds"`
 }
 
-// handleRouteSummary serves POST /v1/route/summary.
+// handleRouteSummary serves POST /v1/route/summary?pollutant=.
 func (a *API) handleRouteSummary(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	pol, err := a.queryPollutant(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	var req routeSummaryRequest
@@ -319,9 +491,11 @@ func (a *API) handleRouteSummary(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sum, err := route.Summarize(rt, a.engine.PointQuery)
+	sum, err := route.Summarize(rt, func(t, x, y float64) (float64, error) {
+		return a.engine.Query(r.Context(), query.Request{T: t, X: x, Y: y, Pollutant: pol})
+	})
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeEngineError(w, err)
 		return
 	}
 	resp := routeSummaryResponse{
@@ -346,10 +520,12 @@ func (a *API) handleRouteSummary(w http.ResponseWriter, r *http.Request) {
 
 // ingestRequest is a batch of raw tuples from the sensing pipeline.
 type ingestRequest struct {
-	Tuples []tuple.Raw `json:"tuples"`
+	Tuples    []tuple.Raw `json:"tuples"`
+	Pollutant string      `json:"pollutant"`
 }
 
-// handleIngest serves POST /v1/ingest.
+// handleIngest serves POST /v1/ingest; the pollutant comes from the
+// ?pollutant= parameter or the body's "pollutant" field.
 func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
@@ -360,20 +536,52 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %v", err))
 		return
 	}
-	if err := a.engine.Ingest(req.Tuples); err != nil {
+	pol, err := a.queryPollutant(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("pollutant") == "" && req.Pollutant != "" {
+		if pol, err = tuple.ParsePollutant(req.Pollutant); err != nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: %q", query.ErrUnknownPollutant, req.Pollutant))
+			return
+		}
+	}
+	if err := tuple.Batch(req.Tuples).Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := a.engine.Ingest(r.Context(), pol, req.Tuples); err != nil {
+		if errors.Is(err, query.ErrUnknownPollutant) {
+			writeEngineError(w, err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"ingested": len(req.Tuples)})
 }
 
-// statsResponse summarizes server state.
-type statsResponse struct {
+// pollutantStats summarizes one shard.
+type pollutantStats struct {
 	Tuples       int     `json:"tuples"`
 	Windows      int     `json:"windows"`
-	WindowLength float64 `json:"windowLength"`
 	MaxTime      float64 `json:"maxTime"`
 	CachedCovers int     `json:"cachedCovers"`
+}
+
+// statsResponse summarizes server state. The top-level fields describe
+// the default pollutant (legacy shape); PerPollutant breaks all shards
+// out.
+type statsResponse struct {
+	Tuples       int                       `json:"tuples"`
+	Windows      int                       `json:"windows"`
+	WindowLength float64                   `json:"windowLength"`
+	MaxTime      float64                   `json:"maxTime"`
+	CachedCovers int                       `json:"cachedCovers"`
+	Default      string                    `json:"defaultPollutant"`
+	PerPollutant map[string]pollutantStats `json:"perPollutant"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -382,12 +590,53 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
 		return
 	}
-	st := a.engine.Store()
-	writeJSON(w, http.StatusOK, statsResponse{
-		Tuples:       st.Len(),
-		Windows:      len(st.WindowIndexes()),
-		WindowLength: st.WindowLength(),
-		MaxTime:      st.MaxTime(),
-		CachedCovers: len(a.engine.Maintainer().CachedWindows()),
-	})
+	// The top-level legacy fields describe the requested pollutant
+	// (?pollutant=, default: the engine default), so Observatory-style
+	// routed URLs like /PM/v1/stats report that pollutant's shard.
+	top, err := a.queryPollutant(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !a.engine.Serves(top) {
+		writeEngineError(w, fmt.Errorf("%w: %v not monitored", query.ErrUnknownPollutant, top))
+		return
+	}
+	resp := statsResponse{
+		Default:      a.engine.Default().String(),
+		PerPollutant: make(map[string]pollutantStats, len(a.engine.Pollutants())),
+	}
+	for _, pol := range a.engine.Pollutants() {
+		st, _ := a.engine.StoreFor(pol)
+		mnt, _ := a.engine.MaintainerFor(pol)
+		ps := pollutantStats{
+			Tuples:       st.Len(),
+			Windows:      len(st.WindowIndexes()),
+			MaxTime:      st.MaxTime(),
+			CachedCovers: len(mnt.CachedWindows()),
+		}
+		resp.PerPollutant[pol.String()] = ps
+		if pol == top {
+			resp.Tuples = ps.Tuples
+			resp.Windows = ps.Windows
+			resp.WindowLength = st.WindowLength()
+			resp.MaxTime = ps.MaxTime
+			resp.CachedCovers = ps.CachedCovers
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePollutants serves GET /v1/pollutants — pollutant discovery for
+// clients that render a selector.
+func (a *API) handlePollutants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	names := make([]string, 0, len(a.engine.Pollutants()))
+	for _, p := range a.engine.Pollutants() {
+		names = append(names, p.String())
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"pollutants": names})
 }

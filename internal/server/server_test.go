@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"image/png"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/tuple"
 	"repro/internal/wire"
@@ -43,7 +45,7 @@ func newTestEngine(t *testing.T) *Engine {
 
 func TestEnginePointQuery(t *testing.T) {
 	e := newTestEngine(t)
-	v, err := e.PointQuery(300, 1000, 1000)
+	v, err := e.Query(context.Background(), query.Request{T: 300, X: 1000, Y: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func TestEnginePointQuery(t *testing.T) {
 	if math.Abs(v-want) > 20 {
 		t.Errorf("PointQuery = %v, want ~%v", v, want)
 	}
-	if _, err := e.PointQuery(1e9, 0, 0); err == nil {
+	if _, err := e.Query(context.Background(), query.Request{T: 1e9}); err == nil {
 		t.Error("query in empty window should error")
 	}
 }
@@ -92,16 +94,16 @@ func TestEngineHandleMessage(t *testing.T) {
 
 func TestEngineIngestInvalidatesCover(t *testing.T) {
 	e := newTestEngine(t)
-	before, err := e.CoverAt(100)
+	before, err := e.CoverAt(context.Background(), tuple.CO2, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Late data for window 0 must invalidate its cover.
 	late := tuple.Batch{{T: 50, X: 1, Y: 1, S: 500}}
-	if err := e.Ingest(late); err != nil {
+	if err := e.Ingest(context.Background(), tuple.CO2, late); err != nil {
 		t.Fatal(err)
 	}
-	after, err := e.CoverAt(100)
+	after, err := e.CoverAt(context.Background(), tuple.CO2, 100)
 	if err != nil {
 		t.Fatal(err)
 	}

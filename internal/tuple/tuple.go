@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/geo"
 )
@@ -48,6 +49,44 @@ func (p Pollutant) String() string {
 
 // Valid reports whether p is a known pollutant.
 func (p Pollutant) Valid() bool { return p < numPollutants }
+
+// ParsePollutant resolves a pollutant from its conventional abbreviation,
+// case-insensitively ("co2", "CO", "pm"). It is the single parser behind
+// the HTTP pollutant parameter and the CLI flags.
+func ParsePollutant(s string) (Pollutant, error) {
+	switch {
+	case strings.EqualFold(s, "CO2"):
+		return CO2, nil
+	case strings.EqualFold(s, "CO"):
+		return CO, nil
+	case strings.EqualFold(s, "PM"):
+		return PM, nil
+	default:
+		return 0, fmt.Errorf("tuple: unknown pollutant %q (want CO2, CO, or PM)", s)
+	}
+}
+
+// ParsePollutantList resolves a comma-separated pollutant list ("CO2,pm"),
+// skipping empty entries. It errors when no pollutant remains — the
+// shared parser behind the CLI -pollutants flags.
+func ParsePollutantList(s string) ([]Pollutant, error) {
+	var out []Pollutant
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		p, err := ParsePollutant(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tuple: no pollutants in %q", s)
+	}
+	return out, nil
+}
 
 // NormalRange returns the span of values considered "normal" for the
 // pollutant in the environment. The paper defines the approximation error

@@ -41,11 +41,20 @@ type Message interface {
 }
 
 // QueryRequest is the query tuple q_l = (t_l, x_l, y_l) sent by the mobile
-// object for one position update.
+// object for one position update, tagged with the pollutant being asked
+// about. Legacy (pre-pollutant) frames decode with Pollutant = CO2.
 type QueryRequest struct {
 	T float64 `json:"t"`
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
+	// Pollutant is always emitted by v1 encoders (no omitempty), so an
+	// absent JSON field unambiguously marks a pre-v1 client.
+	Pollutant tuple.Pollutant `json:"pollutant"`
+	// Legacy marks a frame decoded from the pre-v1 (untagged) layout —
+	// a 25-byte binary frame or a JSON body without a pollutant field.
+	// The server routes legacy frames to its default pollutant; tagged
+	// frames are routed literally. Never set by encoders.
+	Legacy bool `json:"-"`
 }
 
 // Type implements Message.
@@ -60,9 +69,14 @@ type QueryResponse struct {
 func (QueryResponse) Type() MsgType { return TypeQueryResponse }
 
 // ModelRequest is e_l: the model-cache client asking for the current model
-// cover. T lets the server pick the window containing the client's clock.
+// cover of one pollutant. T lets the server pick the window containing the
+// client's clock. Legacy frames decode with Pollutant = CO2.
 type ModelRequest struct {
-	T float64 `json:"t"`
+	T         float64         `json:"t"`
+	Pollutant tuple.Pollutant `json:"pollutant"`
+	// Legacy marks a frame decoded from the pre-v1 (untagged) layout;
+	// see QueryRequest.Legacy.
+	Legacy bool `json:"-"`
 }
 
 // Type implements Message.
@@ -122,11 +136,12 @@ func (binaryCodec) Name() string { return "binary" }
 func (binaryCodec) Encode(m Message) ([]byte, error) {
 	switch v := m.(type) {
 	case QueryRequest:
-		buf := make([]byte, 1+24)
+		buf := make([]byte, 1+24+1)
 		buf[0] = byte(TypeQueryRequest)
 		putF64(buf[1:], v.T)
 		putF64(buf[9:], v.X)
 		putF64(buf[17:], v.Y)
+		buf[25] = byte(v.Pollutant)
 		return buf, nil
 	case QueryResponse:
 		buf := make([]byte, 1+8)
@@ -134,9 +149,10 @@ func (binaryCodec) Encode(m Message) ([]byte, error) {
 		putF64(buf[1:], v.Value)
 		return buf, nil
 	case ModelRequest:
-		buf := make([]byte, 1+8)
+		buf := make([]byte, 1+8+1)
 		buf[0] = byte(TypeModelRequest)
 		putF64(buf[1:], v.T)
+		buf[9] = byte(v.Pollutant)
 		return buf, nil
 	case ModelResponse:
 		return encodeModelResponse(v)
@@ -203,20 +219,36 @@ func (binaryCodec) Decode(data []byte) (Message, error) {
 	}
 	switch MsgType(data[0]) {
 	case TypeQueryRequest:
-		if len(data) != 25 {
+		// 26 bytes with the v1 pollutant byte; 25-byte legacy frames
+		// (pre-pollutant clients) decode as CO2.
+		if len(data) != 26 && len(data) != 25 {
 			return nil, fmt.Errorf("%w: QueryRequest length %d", ErrMalformed, len(data))
 		}
-		return QueryRequest{T: getF64(data[1:]), X: getF64(data[9:]), Y: getF64(data[17:])}, nil
+		m := QueryRequest{T: getF64(data[1:]), X: getF64(data[9:]), Y: getF64(data[17:])}
+		if len(data) == 26 {
+			m.Pollutant = tuple.Pollutant(data[25])
+		} else {
+			m.Legacy = true
+		}
+		return m, nil
 	case TypeQueryResponse:
 		if len(data) != 9 {
 			return nil, fmt.Errorf("%w: QueryResponse length %d", ErrMalformed, len(data))
 		}
 		return QueryResponse{Value: getF64(data[1:])}, nil
 	case TypeModelRequest:
-		if len(data) != 9 {
+		// 10 bytes with the v1 pollutant byte; 9-byte legacy frames decode
+		// as CO2.
+		if len(data) != 10 && len(data) != 9 {
 			return nil, fmt.Errorf("%w: ModelRequest length %d", ErrMalformed, len(data))
 		}
-		return ModelRequest{T: getF64(data[1:])}, nil
+		m := ModelRequest{T: getF64(data[1:])}
+		if len(data) == 10 {
+			m.Pollutant = tuple.Pollutant(data[9])
+		} else {
+			m.Legacy = true
+		}
+		return m, nil
 	case TypeModelResponse:
 		return decodeModelResponse(data)
 	case TypeError:
@@ -309,11 +341,25 @@ func (jsonCodec) Decode(data []byte) (Message, error) {
 	var target Message
 	switch env.Type {
 	case TypeQueryRequest:
-		var v QueryRequest
+		// A pointer pollutant distinguishes "absent" (pre-v1 client →
+		// Legacy) from an explicit zero (CO2), mirroring the binary
+		// codec's 25- vs 26-byte distinction.
+		var v struct {
+			T         float64          `json:"t"`
+			X         float64          `json:"x"`
+			Y         float64          `json:"y"`
+			Pollutant *tuple.Pollutant `json:"pollutant"`
+		}
 		if err := json.Unmarshal(env.Payload, &v); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
-		target = v
+		m := QueryRequest{T: v.T, X: v.X, Y: v.Y}
+		if v.Pollutant != nil {
+			m.Pollutant = *v.Pollutant
+		} else {
+			m.Legacy = true
+		}
+		target = m
 	case TypeQueryResponse:
 		var v QueryResponse
 		if err := json.Unmarshal(env.Payload, &v); err != nil {
@@ -321,11 +367,20 @@ func (jsonCodec) Decode(data []byte) (Message, error) {
 		}
 		target = v
 	case TypeModelRequest:
-		var v ModelRequest
+		var v struct {
+			T         float64          `json:"t"`
+			Pollutant *tuple.Pollutant `json:"pollutant"`
+		}
 		if err := json.Unmarshal(env.Payload, &v); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
-		target = v
+		m := ModelRequest{T: v.T}
+		if v.Pollutant != nil {
+			m.Pollutant = *v.Pollutant
+		} else {
+			m.Legacy = true
+		}
+		target = m
 	case TypeModelResponse:
 		var v ModelResponse
 		if err := json.Unmarshal(env.Payload, &v); err != nil {

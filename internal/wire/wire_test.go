@@ -15,9 +15,9 @@ import (
 
 func sampleMessages() []Message {
 	return []Message{
-		QueryRequest{T: 123.5, X: -45.25, Y: 900},
+		QueryRequest{T: 123.5, X: -45.25, Y: 900, Pollutant: tuple.PM},
 		QueryResponse{Value: 512.75},
-		ModelRequest{T: 42},
+		ModelRequest{T: 42, Pollutant: tuple.CO},
 		ModelResponse{
 			ValidFrom:  100,
 			ValidUntil: 200,
@@ -68,13 +68,14 @@ func TestBinaryIsSmallerThanJSON(t *testing.T) {
 
 func TestBinaryQueryRequestSize(t *testing.T) {
 	// Query tuples ride on every position update; their size is the
-	// baseline method's per-query uplink cost. 1 tag + 3 float64s.
+	// baseline method's per-query uplink cost. 1 tag + 3 float64s +
+	// 1 pollutant byte.
 	data, err := Binary.Encode(QueryRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(data) != 25 {
-		t.Errorf("QueryRequest = %d bytes, want 25", len(data))
+	if len(data) != 26 {
+		t.Errorf("QueryRequest = %d bytes, want 26", len(data))
 	}
 	data, err = Binary.Encode(QueryResponse{})
 	if err != nil {
@@ -82,6 +83,74 @@ func TestBinaryQueryRequestSize(t *testing.T) {
 	}
 	if len(data) != 9 {
 		t.Errorf("QueryResponse = %d bytes, want 9", len(data))
+	}
+}
+
+func TestBinaryLegacyDecode(t *testing.T) {
+	// Pre-v1 clients send frames without the trailing pollutant byte;
+	// they must decode as CO2 queries so deployed fleets keep working.
+	full, err := Binary.Encode(QueryRequest{T: 9, X: 10, Y: 11, Pollutant: tuple.PM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := full[:25] // strip the pollutant byte
+	got, err := Binary.Decode(legacy)
+	if err != nil {
+		t.Fatalf("legacy QueryRequest: %v", err)
+	}
+	if want := (QueryRequest{T: 9, X: 10, Y: 11, Pollutant: tuple.CO2, Legacy: true}); got != want {
+		t.Errorf("legacy QueryRequest = %+v, want %+v", got, want)
+	}
+
+	fullM, err := Binary.Encode(ModelRequest{T: 7, Pollutant: tuple.CO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := Binary.Decode(fullM[:9])
+	if err != nil {
+		t.Fatalf("legacy ModelRequest: %v", err)
+	}
+	if want := (ModelRequest{T: 7, Pollutant: tuple.CO2, Legacy: true}); gotM != want {
+		t.Errorf("legacy ModelRequest = %+v, want %+v", gotM, want)
+	}
+
+	// Tagged frames round-trip the pollutant and are not marked legacy.
+	gotQ, err := Binary.Decode(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := gotQ.(QueryRequest); q.Pollutant != tuple.PM || q.Legacy {
+		t.Errorf("tagged QueryRequest = %+v, want pollutant PM, not legacy", q)
+	}
+}
+
+func TestJSONLegacyDecode(t *testing.T) {
+	// JSON bodies without a pollutant field decode as legacy (routed to
+	// the server default), mirroring the binary codec's 25-byte frames.
+	data := []byte(`{"type":1,"payload":{"t":5,"x":6,"y":7}}`)
+	got, err := JSON.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (QueryRequest{T: 5, X: 6, Y: 7, Pollutant: tuple.CO2, Legacy: true}); got != want {
+		t.Errorf("legacy JSON QueryRequest = %+v, want %+v", got, want)
+	}
+	// An explicit zero pollutant is a tagged CO2 request, not legacy.
+	data = []byte(`{"type":1,"payload":{"t":5,"x":6,"y":7,"pollutant":0}}`)
+	got, err = JSON.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (QueryRequest{T: 5, X: 6, Y: 7, Pollutant: tuple.CO2}); got != want {
+		t.Errorf("tagged JSON QueryRequest = %+v, want %+v", got, want)
+	}
+	// Same distinction for model requests.
+	gotM, err := JSON.Decode([]byte(`{"type":3,"payload":{"t":9}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (ModelRequest{T: 9, Legacy: true}); gotM != want {
+		t.Errorf("legacy JSON ModelRequest = %+v, want %+v", gotM, want)
 	}
 }
 

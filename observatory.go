@@ -1,105 +1,59 @@
 package repro
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"net/http"
-	"path/filepath"
-	"sort"
 
 	"repro/internal/eval"
 	"repro/internal/sim"
 )
 
-// Observatory manages one Platform per pollutant over a shared fleet —
-// the multi-gas sensor boxes of the OpenSense buses (§2.2: CO2, CO,
-// suspended particulate matter). Each pollutant gets its own store and
-// model covers; queries name the pollutant.
+// Observatory is the pre-v1 multi-pollutant facade, kept as a thin
+// wrapper now that Platform itself monitors several pollutants (§2.2:
+// CO2, CO, suspended particulate matter). New code should open a
+// Platform with Config.Pollutants and use the v1 Query API directly;
+// Observatory remains for callers of the pollutant-first convenience
+// methods and the per-pollutant URL routing.
 type Observatory struct {
-	platforms map[Pollutant]*Platform
+	p *Platform
 }
 
-// OpenObservatory opens one platform per pollutant with the shared
+// OpenObservatory opens one multi-pollutant platform with the shared
 // configuration. With Config.Dir set, each pollutant persists into its
 // own subdirectory; with CoverSnapshot set, into per-pollutant files.
 func OpenObservatory(cfg Config, pollutants []Pollutant) (*Observatory, error) {
 	if len(pollutants) == 0 {
 		return nil, errors.New("repro: no pollutants")
 	}
-	o := &Observatory{platforms: make(map[Pollutant]*Platform, len(pollutants))}
-	for _, pol := range pollutants {
-		if !pol.Valid() {
-			o.Close()
-			return nil, fmt.Errorf("repro: invalid pollutant %v", pol)
-		}
-		if _, dup := o.platforms[pol]; dup {
-			o.Close()
-			return nil, fmt.Errorf("repro: duplicate pollutant %v", pol)
-		}
-		sub := cfg
-		if cfg.Dir != "" {
-			sub.Dir = filepath.Join(cfg.Dir, pol.String())
-		}
-		if cfg.CoverSnapshot != "" {
-			sub.CoverSnapshot = cfg.CoverSnapshot + "." + pol.String()
-		}
-		sub.AdKMN.Pollutant = pol
-		p, err := Open(sub)
-		if err != nil {
-			o.Close()
-			return nil, fmt.Errorf("repro: open %v platform: %w", pol, err)
-		}
-		o.platforms[pol] = p
+	cfg.Pollutants = pollutants
+	p, err := Open(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return o, nil
+	return &Observatory{p: p}, nil
 }
 
-// Close closes every platform, returning the first error.
-func (o *Observatory) Close() error {
-	var first error
-	for _, p := range o.platforms {
-		if err := p.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
+// Close closes the underlying platform.
+func (o *Observatory) Close() error { return o.p.Close() }
 
 // Pollutants lists the monitored pollutants in stable order.
-func (o *Observatory) Pollutants() []Pollutant {
-	out := make([]Pollutant, 0, len(o.platforms))
-	for p := range o.platforms {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (o *Observatory) Pollutants() []Pollutant { return o.p.Pollutants() }
 
-// Platform returns the per-pollutant platform.
-func (o *Observatory) Platform(p Pollutant) (*Platform, error) {
-	pl, ok := o.platforms[p]
-	if !ok {
-		return nil, fmt.Errorf("repro: pollutant %v not monitored", p)
-	}
-	return pl, nil
-}
+// Platform returns the underlying multi-pollutant platform. Unlike the
+// pre-v1 Observatory there is no per-pollutant Platform anymore: name
+// the pollutant in each Request against the returned handle.
+func (o *Observatory) Platform() *Platform { return o.p }
 
-// Ingest appends readings for one pollutant.
+// Ingest appends readings for one pollutant; an unmonitored pollutant
+// fails with ErrUnknownPollutant from the engine.
 func (o *Observatory) Ingest(p Pollutant, readings []Reading) error {
-	pl, err := o.Platform(p)
-	if err != nil {
-		return err
-	}
-	return pl.Ingest(readings)
+	return o.p.Ingest(context.Background(), p, readings)
 }
 
 // PointQuery interpolates one pollutant at a position and time.
 func (o *Observatory) PointQuery(p Pollutant, t, x, y float64) (float64, error) {
-	pl, err := o.Platform(p)
-	if err != nil {
-		return 0, err
-	}
-	return pl.PointQuery(t, x, y)
+	return o.p.Query(context.Background(), Request{T: t, X: x, Y: y, Pollutant: p})
 }
 
 // Classify returns the display band for a value of pollutant p.
@@ -108,30 +62,31 @@ func (o *Observatory) Classify(p Pollutant, value float64) CO2Band {
 }
 
 // Handler routes per-pollutant APIs under /<pollutant>/v1/... (e.g.
-// GET /CO2/v1/query/point) and lists the monitored pollutants at
+// GET /CO2/v1/query/point) by injecting the pollutant into the v1
+// handler's ?pollutant= parameter, and lists the monitored pollutants at
 // /v1/pollutants.
 func (o *Observatory) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for pol, p := range o.platforms {
+	base := o.p.Handler()
+	for _, pol := range o.p.Pollutants() {
 		prefix := "/" + pol.String()
-		mux.Handle(prefix+"/", http.StripPrefix(prefix, p.Handler()))
+		mux.Handle(prefix+"/", http.StripPrefix(prefix, withPollutant(pol, base)))
 	}
-	mux.HandleFunc("/v1/pollutants", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		names := make([]string, 0, len(o.platforms))
-		for _, p := range o.Pollutants() {
-			names = append(names, p.String())
-		}
-		fmt.Fprintf(w, `{"pollutants":[`)
-		for i, n := range names {
-			if i > 0 {
-				fmt.Fprint(w, ",")
-			}
-			fmt.Fprintf(w, "%q", n)
-		}
-		fmt.Fprint(w, "]}\n")
-	})
+	mux.Handle("/v1/pollutants", base)
 	return mux
+}
+
+// withPollutant rewrites each request's query string to name pol, so the
+// prefix routing of the legacy Observatory URLs maps onto the v1
+// pollutant parameter.
+func withPollutant(pol Pollutant, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r2 := r.Clone(r.Context())
+		q := r2.URL.Query()
+		q.Set("pollutant", pol.String())
+		r2.URL.RawQuery = q.Encode()
+		h.ServeHTTP(w, r2)
+	})
 }
 
 // SimulateLausanneMulti generates the synthetic deployment for several

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -127,6 +129,30 @@ func TestObservatoryHTTPRouting(t *testing.T) {
 		t.Errorf("per-pollutant values not distinct: %v", values)
 	}
 
+	// Batch queries honor the routed pollutant too: untagged requests
+	// posted under /PM/ must answer for PM, not the default (CO2).
+	bresp, err := http.Post(srv.URL+"/PM/v1/query/batch", "application/json",
+		strings.NewReader(`{"requests":[{"t":1800,"x":1200,"y":800}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br struct {
+		Values []struct {
+			Value     float64 `json:"value"`
+			Pollutant string  `json:"pollutant"`
+		} `json:"values"`
+	}
+	if err := json.NewDecoder(bresp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if len(br.Values) != 1 || br.Values[0].Pollutant != "PM" {
+		t.Fatalf("routed batch answered %+v, want PM", br.Values)
+	}
+	if got := br.Values[0].Value; got != values["PM"] {
+		t.Errorf("routed batch value %v != point value %v", got, values["PM"])
+	}
+
 	// Unknown pollutant prefix 404s.
 	resp, err = http.Get(srv.URL + "/NO2/v1/query/point?t=1800&x=0&y=0")
 	if err != nil {
@@ -135,6 +161,40 @@ func TestObservatoryHTTPRouting(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown pollutant: status %d", resp.StatusCode)
+	}
+}
+
+func TestObservatoryDurableLayoutPerPollutant(t *testing.T) {
+	// A single-pollutant Observatory has always persisted into Dir/<pol>;
+	// the multi-pollutant Platform underneath must keep that layout so
+	// pre-existing deployments recover their data.
+	dir := t.TempDir()
+	o, err := OpenObservatory(Config{WindowSeconds: 3600, Dir: dir}, []Pollutant{CO2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, err := SimulateLausanne(3, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Ingest(CO2, readings); err != nil {
+		t.Fatal(err)
+	}
+	n := len(readings)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "CO2"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("expected segments under %s/CO2: err=%v entries=%d", dir, err, len(entries))
+	}
+	o2, err := OpenObservatory(Config{WindowSeconds: 3600, Dir: dir}, []Pollutant{CO2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	if got := o2.Platform().Len(); got != n {
+		t.Errorf("recovered %d readings, want %d", got, n)
 	}
 }
 
