@@ -6,6 +6,8 @@ package repro
 // `go test -bench` regenerates every number the paper plots.
 
 import (
+	"context"
+	"math/rand"
 	"testing"
 
 	"repro/internal/bench"
@@ -193,6 +195,55 @@ func BenchmarkAblationIndexTuning(b *testing.B) {
 			name += "-M" + itoa(r.Param)
 		}
 		b.ReportMetric(r.Elapsed.Seconds()*1000, name+"-ms")
+	}
+}
+
+// BenchmarkQueryBatchConcurrency measures batch execution on a batch
+// spanning several modeling windows: the sequential baseline
+// (WithConcurrency(1)) against the bounded worker pool. The naive
+// processor pays a window scan per request, so the pool's speedup is the
+// headline; the cover processor shows the (smaller) win on the
+// recommended path once covers are warm.
+func BenchmarkQueryBatchConcurrency(b *testing.B) {
+	p, err := Open(Config{WindowSeconds: 3600})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	readings, err := SimulateLausanne(3, 6*3600) // six windows of data
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := p.Ingest(ctx, CO2, readings); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	reqs := make([]Request, 2048)
+	for i := range reqs {
+		reqs[i] = Request{
+			T: rng.Float64() * 6 * 3600,
+			X: rng.Float64() * 2000,
+			Y: rng.Float64() * 2000,
+		}
+	}
+	for _, kind := range []ProcessorKind{ProcessorNaive, ProcessorCover} {
+		// Warm covers and processor caches once, so every concurrency
+		// level measures steady-state batch execution, not cold builds.
+		if _, err := p.QueryBatch(ctx, reqs, WithProcessor(kind)); err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(string(kind)+"/workers="+itoa(workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rs, err := p.QueryBatch(ctx, reqs, WithProcessor(kind), WithConcurrency(workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = rs
+				}
+			})
+		}
 	}
 }
 

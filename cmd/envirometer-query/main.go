@@ -44,8 +44,9 @@ func usage() {
 commands:
   point  -t T -x X -y Y [-pollutant P] [-processor K] [-radius R]
                                     interpolate one pollutant at one position
-  batch  -requests "t,x,y[,pollutant] …"
-                                    one round trip, many (mixed-pollutant) requests
+  batch  -requests "t,x,y[,pollutant] …" [-processor K] [-radius R] [-concurrency N]
+                                    one round trip, many (mixed-pollutant) requests,
+                                    answered concurrently with per-request errors
   route  -t T -points "x,y x,y …" [-pollutant P]
                                     continuous query along a route (60 s per point)
   models -t T [-pollutant P]        download the model cover valid at T
@@ -103,6 +104,9 @@ func runPoint(server string, args []string) error {
 func runBatch(server string, args []string) error {
 	fs := flag.NewFlagSet("batch", flag.ContinueOnError)
 	requests := fs.String("requests", "", `requests as "t,x,y[,pollutant] …"`)
+	processor := fs.String("processor", "", "query method (cover, naive, rtree, vptree)")
+	radius := fs.Float64("radius", 0, "radius in meters for radius-based processors")
+	concurrency := fs.Int("concurrency", 0, "server-side worker bound (0 = server default, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,7 +143,21 @@ func runBatch(server string, args []string) error {
 	if err != nil {
 		return err
 	}
-	return post(server+"/v1/query/batch", body)
+	v := url.Values{}
+	if *processor != "" {
+		v.Set("processor", *processor)
+	}
+	if *radius > 0 {
+		v.Set("radius", formatFloat(*radius))
+	}
+	if *concurrency > 0 {
+		v.Set("concurrency", strconv.Itoa(*concurrency))
+	}
+	u := server + "/v1/query/batch"
+	if len(v) > 0 {
+		u += "?" + v.Encode()
+	}
+	return post(u, body)
 }
 
 func runRoute(server string, args []string) error {

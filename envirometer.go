@@ -20,7 +20,8 @@
 //	...
 //	err = p.Ingest(ctx, repro.CO2, readings)  // raw (t, x, y, s) tuples
 //	v, err := p.Query(ctx, repro.Request{T: t, X: x, Y: y, Pollutant: repro.CO2})
-//	vs, err := p.QueryBatch(ctx, reqs)        // many requests, one call
+//	rs, err := p.QueryBatch(ctx, reqs)        // many requests, one call,
+//	                                          // concurrent, per-item errors
 //	http.ListenAndServe(addr, p.Handler())    // the web/JSON API
 //
 // Failures carry a typed taxonomy — ErrNoCover, ErrOutOfWindow,
@@ -37,7 +38,8 @@
 //	v, err := p.Query(ctx, repro.Request{T: t, X: x, Y: y})  // v1
 //
 //	vs, err := p.ContinuousQuery(qs)          // v0
-//	vs, err := p.QueryBatch(ctx, reqs)        // v1
+//	rs, err := p.QueryBatch(ctx, reqs)        // v1: []BatchResult, one
+//	                                          // value-or-error per request
 //
 //	err = p.Ingest(readings)                  // v0
 //	err = p.Ingest(ctx, repro.CO2, readings)  // v1
@@ -97,6 +99,10 @@ func ParsePollutant(s string) (Pollutant, error) { return tuple.ParsePollutant(s
 // time T. The zero Pollutant is CO2.
 type Request = query.Request
 
+// BatchResult is one request's outcome within a QueryBatch: its value,
+// or the error that request (alone) failed with.
+type BatchResult = query.BatchResult
+
 // The v1 error taxonomy, matched with errors.Is.
 var (
 	// ErrNoCover: the window has data but no model cover could be built.
@@ -137,6 +143,14 @@ func WithRadius(r float64) QueryOption {
 // ProcessorNaive, ProcessorRTree, or ProcessorVPTree.
 func WithProcessor(k ProcessorKind) QueryOption {
 	return func(o *query.Options) { o.Kind = k }
+}
+
+// WithConcurrency bounds the worker pool answering a QueryBatch (0, the
+// default, picks GOMAXPROCS; 1 forces sequential execution; large
+// values are clamped to a small multiple of GOMAXPROCS). Single queries
+// ignore it.
+func WithConcurrency(n int) QueryOption {
+	return func(o *query.Options) { o.Concurrency = n }
 }
 
 // Cover is a model cover: the (t_n, µ, M) triple of §2.1.
@@ -401,9 +415,12 @@ func (p *Platform) Query(ctx context.Context, req Request, opts ...QueryOption) 
 
 // QueryBatch answers a batch of requests — the registered route of a
 // continuous query, or any mixed-pollutant workload — returning one
-// value per request. The batch is atomic: the first failing request
-// rejects the call, and a cancelled ctx stops the scan promptly.
-func (p *Platform) QueryBatch(ctx context.Context, reqs []Request, opts ...QueryOption) ([]float64, error) {
+// BatchResult per request, in order. Requests execute concurrently on a
+// bounded worker pool (see WithConcurrency) and each succeeds or fails
+// on its own: one request outside the retained windows does not reject
+// the rest. The call-level error is reserved for an empty batch and for
+// ctx cancellation, which drains the pool promptly.
+func (p *Platform) QueryBatch(ctx context.Context, reqs []Request, opts ...QueryOption) ([]BatchResult, error) {
 	return p.engine.QueryBatchOpts(ctx, reqs, applyOptions(opts))
 }
 

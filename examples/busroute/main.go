@@ -62,13 +62,23 @@ func main() {
 
 	fmt.Println("recorded route, 08:00, one update per minute:")
 	var sum float64
-	for i, v := range values {
-		band := repro.ClassifyCO2(v)
+	answered := 0
+	for i, res := range values {
+		if res.Err != nil {
+			fmt.Printf("  %2d. (%6.0f, %6.0f)  no answer: %v\n",
+				i+1, queries[i].X, queries[i].Y, res.Err)
+			continue
+		}
+		band := repro.ClassifyCO2(res.Value)
 		fmt.Printf("  %2d. (%6.0f, %6.0f)  %6.0f ppm  %-10s\n",
-			i+1, queries[i].X, queries[i].Y, v, band)
-		sum += v
+			i+1, queries[i].X, queries[i].Y, res.Value, band)
+		sum += res.Value
+		answered++
 	}
-	avg := sum / float64(len(values))
+	if answered == 0 {
+		log.Fatal("no route point could be answered")
+	}
+	avg := sum / float64(answered)
 	band := repro.ClassifyCO2(avg)
 	fmt.Printf("\nroute average: %.0f ppm [%s]\n", avg, band)
 	fmt.Println(band.Advice())

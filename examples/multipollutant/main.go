@@ -53,7 +53,11 @@ func main() {
 
 	fmt.Printf("\nconditions at the city center (t = %.0f s):\n", float64(t))
 	for i, pol := range p.Pollutants() {
-		band := repro.ClassifyPollutant(pol, values[i])
-		fmt.Printf("  %-4s %8.1f %-6s [%s]\n", pol, values[i], pol.Unit(), band)
+		if values[i].Err != nil {
+			fmt.Printf("  %-4s no answer: %v\n", pol, values[i].Err)
+			continue
+		}
+		band := repro.ClassifyPollutant(pol, values[i].Value)
+		fmt.Printf("  %-4s %8.1f %-6s [%s]\n", pol, values[i].Value, pol.Unit(), band)
 	}
 }

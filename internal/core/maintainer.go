@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/store"
@@ -15,31 +16,68 @@ import (
 //
 // Maintainer is safe for concurrent use; concurrent requests for the same
 // window build the cover once.
+//
+// # Cover lifecycle
+//
+// Each cached cover carries a per-window generation. Invalidate (late
+// tuples) and store eviction (retention) advance the window's generation,
+// which both drops the cached cover and marks any in-flight build for
+// that window stale: when the stale build completes, its result is
+// returned to the callers that were already waiting on it (their request
+// predates the new data) but is NOT re-cached, so the next CoverFor sees
+// the post-invalidation window. This closes the race where a build that
+// started before an Invalidate would clobber the invalidation on
+// completion.
+//
+// The maintainer registers itself with the store's eviction hook, so its
+// cover cache is bounded by the store's retention horizon: when the store
+// evicts windows, their covers (and any in-flight builds) are discarded
+// too, keeping the cached-cover count ≤ the store's Retain bound under
+// rolling ingest.
 type Maintainer struct {
 	st  *store.Store
 	cfg Config
 
+	unhook func() // detaches the store eviction hook
+
 	mu       sync.Mutex
 	covers   map[int]*Cover
 	building map[int]*buildState
+
+	// testBuildHook, when set (by tests in this package), runs after the
+	// window's tuples are read but before the built cover is installed —
+	// the interleaving point of the stale-cover race.
+	testBuildHook func(c int)
 }
 
+// buildState tracks one in-flight cover build. stale is guarded by the
+// maintainer's mutex; cover and err are written once before done closes.
 type buildState struct {
 	done  chan struct{}
+	stale bool
 	cover *Cover
 	err   error
 }
 
 // NewMaintainer returns a maintainer over st with the given Ad-KMN
-// configuration.
+// configuration, subscribed to st's window eviction so its cover cache
+// never outgrows the store's retention horizon.
 func NewMaintainer(st *store.Store, cfg Config) *Maintainer {
-	return &Maintainer{
+	m := &Maintainer{
 		st:       st,
 		cfg:      cfg,
 		covers:   make(map[int]*Cover),
 		building: make(map[int]*buildState),
 	}
+	m.unhook = st.OnEvict(m.dropWindows)
+	return m
 }
+
+// Close detaches the maintainer from its store's eviction hook, so a
+// discarded maintainer over a long-lived store is not kept alive (and
+// invoked) by the store forever. The maintainer stays usable afterwards,
+// but its cache is no longer trimmed by store eviction.
+func (m *Maintainer) Close() { m.unhook() }
 
 // CoverFor returns the model cover for window c, building it on first use.
 func (m *Maintainer) CoverFor(c int) (*Cover, error) {
@@ -58,6 +96,9 @@ func (m *Maintainer) CoverFor(c int) (*Cover, error) {
 	m.mu.Unlock()
 
 	w := m.st.Window(c)
+	if m.testBuildHook != nil {
+		m.testBuildHook(c)
+	}
 	var cv *Cover
 	var err error
 	if len(w) == 0 {
@@ -68,10 +109,12 @@ func (m *Maintainer) CoverFor(c int) (*Cover, error) {
 	bs.cover, bs.err = cv, err
 
 	m.mu.Lock()
-	if err == nil {
+	if err == nil && !bs.stale {
 		m.covers[c] = cv
 	}
-	delete(m.building, c)
+	if m.building[c] == bs {
+		delete(m.building, c)
+	}
 	m.mu.Unlock()
 	close(bs.done)
 	return cv, err
@@ -87,11 +130,48 @@ func (m *Maintainer) CoverAt(t float64) (*Cover, error) {
 }
 
 // Invalidate drops the cached cover for window c (e.g. after late tuples
-// arrive for a window that was already modeled).
+// arrive for a window that was already modeled). An in-flight build for c
+// is marked stale: its result still answers the callers already waiting
+// on it, but it is not cached, so later CoverFor calls rebuild from the
+// post-invalidation window.
 func (m *Maintainer) Invalidate(c int) {
 	m.mu.Lock()
-	delete(m.covers, c)
+	m.dropLocked(c)
 	m.mu.Unlock()
+}
+
+// dropWindows is the store eviction hook. Every cover at or below the
+// newest evicted index is dropped, not just the exact evicted set: the
+// store only reports windows it actually held, but the cache may hold
+// primed covers for windows the store never saw, and those are equally
+// behind the retention horizon once newer windows are evicted.
+func (m *Maintainer) dropWindows(evicted []int) {
+	horizon := evicted[len(evicted)-1] // ascending order
+	m.mu.Lock()
+	for c := range m.covers {
+		if c <= horizon {
+			m.dropLocked(c)
+		}
+	}
+	for c, bs := range m.building {
+		if c <= horizon {
+			bs.stale = true
+			delete(m.building, c)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// dropLocked removes window c's cover and stales its in-flight build.
+// Caller holds m.mu. Removing the build from the map (rather than only
+// flagging it) lets a CoverFor that arrives after the invalidation start
+// a fresh build immediately instead of joining the stale one.
+func (m *Maintainer) dropLocked(c int) {
+	delete(m.covers, c)
+	if bs, ok := m.building[c]; ok {
+		bs.stale = true
+		delete(m.building, c)
+	}
 }
 
 // Snapshot returns the currently cached covers keyed by window index, for
@@ -107,14 +187,45 @@ func (m *Maintainer) Snapshot() map[int]*Cover {
 }
 
 // Prime seeds the cache with previously persisted covers (warm restart).
-// Existing entries for the same windows are replaced.
+// Existing entries for the same windows are replaced. When the store
+// bounds retention, covers older than its oldest retained window are
+// dropped and at most the newest Retain survive, so a warm restart never
+// resurrects covers past the horizon nor holds more than Retain. A store
+// with an unbounded Retain keeps everything.
 func (m *Maintainer) Prime(covers map[int]*Cover) {
+	retained := m.st.WindowIndexes() // ascending
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for c, cv := range covers {
 		if cv != nil && cv.Size() > 0 {
 			m.covers[c] = cv
 		}
+	}
+	r := m.st.Retain()
+	if r == 0 {
+		return
+	}
+	// Anything older than the store's oldest retained window is what a
+	// running store would already have evicted — stale regardless of how
+	// few covers were primed. (Eviction is count-based over the actual
+	// indexes, so this holds for sparse window histories too.)
+	if len(retained) > 0 {
+		for c := range m.covers {
+			if c < retained[0] {
+				delete(m.covers, c)
+			}
+		}
+	}
+	if len(m.covers) <= r {
+		return
+	}
+	idxs := make([]int, 0, len(m.covers))
+	for c := range m.covers {
+		idxs = append(idxs, c)
+	}
+	sort.Ints(idxs)
+	for _, c := range idxs[:len(idxs)-r] {
+		delete(m.covers, c)
 	}
 }
 

@@ -2,7 +2,9 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cluster"
@@ -129,6 +131,218 @@ func TestMaintainerConcurrentSingleBuild(t *testing.T) {
 	for g := 1; g < goroutines; g++ {
 		if covers[g] != covers[0] {
 			t.Fatal("concurrent CoverFor returned different covers; build must be deduplicated")
+		}
+	}
+}
+
+// TestMaintainerInvalidateDuringBuild is the stale-cover race regression
+// test: an Invalidate (late data) that lands while a build is in flight
+// must not be clobbered when the build completes. The build hook pauses
+// the first build after it has read the window, an ingest-plus-invalidate
+// happens in that gap, and the post-invalidation cover must be rebuilt
+// from the window including the late data.
+func TestMaintainerInvalidateDuringBuild(t *testing.T) {
+	st := fillStore(t, 100, 1, 30)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(6)})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var first atomic.Bool
+	m.testBuildHook = func(c int) {
+		if first.CompareAndSwap(false, true) {
+			close(entered)
+			<-release
+		}
+	}
+
+	type result struct {
+		cv  *Cover
+		err error
+	}
+	done := make(chan result)
+	go func() {
+		cv, err := m.CoverFor(0)
+		done <- result{cv, err}
+	}()
+	<-entered
+
+	// Late data arrives for window 0 while its build holds the old
+	// snapshot; the engine would Append then Invalidate.
+	late := tuple.Batch{{T: 50, X: 1, Y: 1, S: 999}}
+	if err := st.Append(late); err != nil {
+		t.Fatal(err)
+	}
+	m.Invalidate(0)
+	close(release)
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+
+	// The stale build must not have been re-cached.
+	if got := m.CachedWindows(); len(got) != 0 {
+		t.Fatalf("stale build was cached: CachedWindows = %v", got)
+	}
+	cv2, err := m.CoverFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv2 == r.cv {
+		t.Fatal("post-invalidation CoverFor returned the stale cover")
+	}
+	// The rebuilt cover must reflect the late tuple: it was built from 31
+	// tuples, the stale one from 30.
+	if cv3, err := m.CoverFor(0); err != nil || cv3 != cv2 {
+		t.Fatalf("rebuilt cover not cached: %v %v", cv3, err)
+	}
+}
+
+// TestMaintainerEvictionBound drives rolling ingest through a
+// retention-bounded store and checks the cover cache never outgrows the
+// retention horizon — the Figure 1 server under sustained ingest.
+func TestMaintainerEvictionBound(t *testing.T) {
+	const retain = 3
+	st, err := store.Open(store.Config{WindowLength: 100, Retain: retain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(7)})
+	rng := rand.New(rand.NewSource(7))
+	for c := 0; c < 20; c++ {
+		b := make(tuple.Batch, 30)
+		for i := range b {
+			b[i] = tuple.Raw{
+				T: float64(c)*100 + rng.Float64()*100,
+				X: rng.Float64() * 2000,
+				Y: rng.Float64() * 2000,
+				S: 400 + rng.Float64()*100,
+			}
+		}
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.CoverFor(c); err != nil {
+			t.Fatalf("window %d: %v", c, err)
+		}
+		if got := len(m.CachedWindows()); got > retain {
+			t.Fatalf("after window %d: %d cached covers, want <= %d", c, got, retain)
+		}
+	}
+	// Only retained windows may remain cached.
+	retained := map[int]bool{}
+	for _, c := range st.WindowIndexes() {
+		retained[c] = true
+	}
+	for _, c := range m.CachedWindows() {
+		if !retained[c] {
+			t.Errorf("cover cached for evicted window %d", c)
+		}
+	}
+}
+
+// TestMaintainerPrimeRespectsRetain checks a warm restart cannot
+// resurrect covers past the retention horizon.
+func TestMaintainerPrimeRespectsRetain(t *testing.T) {
+	st := fillStore(t, 100, 3, 50)
+	src := NewMaintainer(st, Config{Cluster: clusterSeed(8)})
+	covers := map[int]*Cover{}
+	for c := 0; c < 3; c++ {
+		cv, err := src.CoverFor(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covers[c] = cv
+	}
+
+	bounded, err := store.Open(store.Config{WindowLength: 100, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(bounded, Config{Cluster: clusterSeed(8)})
+	m.Prime(covers)
+	got := m.CachedWindows()
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("primed windows = %v, want the newest 2 ([1 2])", got)
+	}
+
+	// A store whose data has moved past the snapshot drops ALL primed
+	// covers behind its horizon, however few they are: with retained
+	// windows around index 50 and Retain 2, covers 0..2 are long evicted.
+	ahead, err := store.Open(store.Config{WindowLength: 100, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ahead.Append(tuple.Batch{{T: 5050, X: 1, Y: 1, S: 400}}); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMaintainer(ahead, Config{Cluster: clusterSeed(8)})
+	m2.Prime(covers)
+	if got := m2.CachedWindows(); len(got) != 0 {
+		t.Errorf("stale primed windows survived past the horizon: %v", got)
+	}
+
+	// Sparse histories: eviction is count-based over actual indexes, so
+	// a retained old window (index 0, with a gap to 50) keeps its primed
+	// cover — only covers older than the oldest retained window drop.
+	sparse, err := store.Open(store.Config{WindowLength: 100, Retain: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.Append(tuple.Batch{{T: 50, X: 1, Y: 1, S: 400}, {T: 5050, X: 1, Y: 1, S: 400}}); err != nil {
+		t.Fatal(err)
+	}
+	m3 := NewMaintainer(sparse, Config{Cluster: clusterSeed(8)})
+	m3.Prime(covers) // windows 0,1,2: all >= oldest retained (0)
+	got3 := m3.CachedWindows()
+	sort.Ints(got3)
+	if len(got3) != 3 {
+		t.Errorf("sparse store dropped retained-range covers: %v", got3)
+	}
+}
+
+// TestMaintainerEvictsPrimedCoversBehindHorizon: primed covers for
+// windows the store never held must still fall out of the cache once the
+// retention horizon passes them — store eviction only reports windows it
+// actually held.
+func TestMaintainerEvictsPrimedCoversBehindHorizon(t *testing.T) {
+	donor := NewMaintainer(fillStore(t, 100, 2, 40), Config{Cluster: clusterSeed(9)})
+	covers := map[int]*Cover{}
+	for c := 0; c < 2; c++ {
+		cv, err := donor.CoverFor(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covers[c] = cv
+	}
+
+	const retain = 2
+	st, err := store.Open(store.Config{WindowLength: 100, Retain: retain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(9)})
+	m.Prime(covers) // windows 0,1 — never held by st
+	rng := rand.New(rand.NewSource(9))
+	for c := 5; c < 10; c++ {
+		b := make(tuple.Batch, 20)
+		for i := range b {
+			b[i] = tuple.Raw{T: float64(c)*100 + rng.Float64()*100, X: rng.Float64() * 500, Y: rng.Float64() * 500, S: 420}
+		}
+		if err := st.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.CoverFor(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := m.CachedWindows()
+	sort.Ints(got)
+	if len(got) > retain {
+		t.Errorf("cached covers %v exceed Retain %d", got, retain)
+	}
+	for _, c := range got {
+		if c < 5 {
+			t.Errorf("primed cover for window %d survived past the retention horizon", c)
 		}
 	}
 }

@@ -316,3 +316,39 @@ func TestJSONCodecOverTCP(t *testing.T) {
 		t.Fatalf("got %T", resp)
 	}
 }
+
+func TestClientServerBatchRoundTrip(t *testing.T) {
+	// The whole batch path over real TCP: one frame out, one frame back,
+	// per-item values and errors.
+	_, addr := startServer(t, ServerConfig{})
+	c, err := Dial(addr, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Exchange(wire.BatchQueryRequest{Items: []wire.QueryRequest{
+		{T: 1800, X: 1000, Y: 500},
+		{T: 1e9, X: 0, Y: 0}, // beyond the data: per-item error
+		{T: 1800, X: 200, Y: 300},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, ok := resp.(wire.BatchQueryResponse)
+	if !ok {
+		t.Fatalf("got %T: %+v", resp, resp)
+	}
+	if len(br.Items) != 3 {
+		t.Fatalf("items = %d, want 3", len(br.Items))
+	}
+	if br.Items[0].Err != "" || br.Items[2].Err != "" {
+		t.Errorf("good items errored: %+v", br.Items)
+	}
+	if br.Items[1].Err == "" {
+		t.Error("out-of-window item must carry its error")
+	}
+	if want := 430 + 0.05*1000; math.Abs(br.Items[0].Value-want) > 30 {
+		t.Errorf("item 0 = %v, want ~%v", br.Items[0].Value, want)
+	}
+}

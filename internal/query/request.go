@@ -54,6 +54,15 @@ func (r Request) String() string {
 	return fmt.Sprintf("q(%s t=%.0f x=%.1f y=%.1f)", r.Pollutant, r.T, r.X, r.Y)
 }
 
+// BatchResult is the outcome of one request within a batch. Batches no
+// longer fail atomically: each item carries its own value or error, so
+// one request outside the retained windows does not reject the route
+// points around it.
+type BatchResult struct {
+	Value float64
+	Err   error
+}
+
 // The v1 error taxonomy. Every query path wraps one of these sentinels,
 // so callers dispatch with errors.Is instead of string matching.
 var (
@@ -112,6 +121,11 @@ type Options struct {
 	Kind Kind
 	// Radius is the search radius in meters for radius-based processors.
 	Radius float64
+	// Concurrency bounds the worker pool answering a batch (0 picks
+	// GOMAXPROCS; 1 forces sequential execution). The engine clamps it
+	// to a small multiple of GOMAXPROCS, so untrusted callers cannot
+	// dictate the server's goroutine count. Single queries ignore it.
+	Concurrency int
 }
 
 // WithDefaults fills unset fields; a non-finite radius (NaN, ±Inf) is

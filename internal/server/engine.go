@@ -8,7 +8,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -142,7 +145,7 @@ func (sh *shard) coverAt(ctx context.Context, t float64) (*core.Cover, error) {
 	cv, err := sh.maintainer.CoverAt(t)
 	if err != nil {
 		c := tuple.WindowIndex(t, sh.st.WindowLength())
-		if len(sh.st.Window(c)) == 0 {
+		if sh.st.WindowLen(c) == 0 {
 			return nil, fmt.Errorf("%w: t=%v (window %d holds no data)", query.ErrOutOfWindow, t, c)
 		}
 		return nil, fmt.Errorf("%w: %v", query.ErrNoCover, err)
@@ -168,10 +171,44 @@ type procKey struct {
 	win int
 }
 
-// queryOpts answers one request. A non-nil procs map caches radius-based
-// processors across a batch, so an R-tree or VP-tree is bulk-loaded once
-// per (pollutant, window) instead of once per request.
-func (e *Engine) queryOpts(ctx context.Context, req query.Request, o query.Options, procs map[procKey]query.Processor) (float64, error) {
+// procCache shares radius-based processors across the workers of one
+// batch, so an R-tree or VP-tree is bulk-loaded once per (pollutant,
+// window) instead of once per request. Two workers hitting the same cold
+// key build once (per-entry sync.Once); workers on different windows
+// build concurrently.
+type procCache struct {
+	mu sync.Mutex
+	m  map[procKey]*procEntry
+}
+
+type procEntry struct {
+	once sync.Once
+	p    query.Processor
+	err  error
+}
+
+func newProcCache() *procCache { return &procCache{m: make(map[procKey]*procEntry)} }
+
+func (pc *procCache) get(key procKey, build func() (query.Processor, error)) (query.Processor, error) {
+	pc.mu.Lock()
+	ent, ok := pc.m[key]
+	if !ok {
+		ent = &procEntry{}
+		pc.m[key] = ent
+	}
+	pc.mu.Unlock()
+	ent.once.Do(func() { ent.p, ent.err = build() })
+	if ent.p == nil && ent.err == nil {
+		// A build that panicked marks the Once done without filling the
+		// entry; surface that instead of handing out a nil processor.
+		return nil, errors.New("server: processor build did not complete")
+	}
+	return ent.p, ent.err
+}
+
+// queryOpts answers one request. A non-nil procs cache shares processors
+// across the requests (and workers) of a batch.
+func (e *Engine) queryOpts(ctx context.Context, req query.Request, o query.Options, procs *procCache) (float64, error) {
 	if err := req.Validate(); err != nil {
 		return 0, err
 	}
@@ -188,55 +225,118 @@ func (e *Engine) queryOpts(ctx context.Context, req query.Request, o query.Optio
 		return cv.Interpolate(req.T, req.X, req.Y)
 	}
 	// Radius-based methods run over the raw window; a missing window is
-	// out-of-range for them exactly as it is for the cover path.
+	// out-of-range for them exactly as it is for the cover path. The
+	// window is only cloned inside the build closure, so a batch copies
+	// and sorts it once per (pollutant, window), not once per request.
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	w, c := sh.st.WindowAt(req.T)
-	if len(w) == 0 || req.T < 0 {
+	c := tuple.WindowIndex(req.T, sh.st.WindowLength())
+	if sh.st.WindowLen(c) == 0 {
 		return 0, fmt.Errorf("%w: t=%v (window %d holds no data)", query.ErrOutOfWindow, req.T, c)
 	}
-	key := procKey{pol: req.Pollutant, win: c}
-	p, ok := procs[key]
-	if !ok {
-		p, err = query.BuildProcessor(o, w, nil)
-		if err != nil {
-			return 0, err
+	build := func() (query.Processor, error) {
+		w := sh.st.Window(c)
+		if len(w) == 0 { // evicted between the check and the build
+			return nil, fmt.Errorf("%w: t=%v (window %d holds no data)", query.ErrOutOfWindow, req.T, c)
 		}
-		if procs != nil {
-			procs[key] = p
-		}
+		return query.BuildProcessor(o, w, nil)
+	}
+	var p query.Processor
+	if procs != nil {
+		p, err = procs.get(procKey{pol: req.Pollutant, win: c}, build)
+	} else {
+		p, err = build()
+	}
+	if err != nil {
+		return 0, err
 	}
 	return p.Interpolate(req.Q())
 }
 
 // QueryBatch answers a batch of v1 requests (requests may mix
-// pollutants), checking ctx between items so a canceled batch stops
-// promptly. It fails on the first bad request, identifying its index.
-func (e *Engine) QueryBatch(ctx context.Context, reqs []query.Request) ([]float64, error) {
+// pollutants) with per-index results: one BatchResult per request, in
+// order, each carrying its own value or error. The call-level error is
+// reserved for an empty batch and for context cancellation.
+func (e *Engine) QueryBatch(ctx context.Context, reqs []query.Request) ([]query.BatchResult, error) {
 	return e.QueryBatchOpts(ctx, reqs, query.Options{})
 }
 
+// batchWorkers resolves the worker count for a batch of n requests:
+// the requested concurrency (0 = GOMAXPROCS), never more than the batch
+// size, and clamped to a small multiple of GOMAXPROCS — batch items are
+// CPU-bound, so the clamp costs nothing while stopping a client-supplied
+// ?concurrency= from dictating the server's goroutine count.
+func batchWorkers(requested, n int) int {
+	procs := runtime.GOMAXPROCS(0)
+	w := requested
+	if w <= 0 {
+		w = procs
+	}
+	if max := 4 * procs; w > max {
+		w = max
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // QueryBatchOpts is QueryBatch with explicit processor options.
-// Radius-based processors (and their spatial indexes) are built once per
-// (pollutant, window) touched by the batch, not once per request.
-func (e *Engine) QueryBatchOpts(ctx context.Context, reqs []query.Request, o query.Options) ([]float64, error) {
+//
+// The batch executes on a bounded worker pool (Options.Concurrency
+// workers; 0 picks GOMAXPROCS, 1 is the sequential baseline). A bad
+// request no longer rejects the whole batch: its slot carries the error
+// and every other request is still answered. Radius-based processors
+// (and their spatial indexes) are built once per (pollutant, window)
+// touched by the batch, not once per request. Cancelling ctx drains the
+// pool promptly — workers stop picking up new requests, remaining slots
+// are marked with the context error, and the call returns it.
+func (e *Engine) QueryBatchOpts(ctx context.Context, reqs []query.Request, o query.Options) ([]query.BatchResult, error) {
 	if len(reqs) == 0 {
 		return nil, errors.New("server: empty query batch")
 	}
-	procs := make(map[procKey]query.Processor)
-	out := make([]float64, len(reqs))
-	for i, req := range reqs {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("server: batch request %d: %w", i, err)
-		}
-		v, err := e.queryOpts(ctx, req, o, procs)
-		if err != nil {
-			return nil, fmt.Errorf("server: batch request %d: %w", i, err)
-		}
-		out[i] = v
+	workers := batchWorkers(o.Concurrency, len(reqs))
+	results := make([]query.BatchResult, len(reqs))
+	procs := newProcCache()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i] = query.BatchResult{Err: err}
+					continue // drain: mark remaining slots without querying
+				}
+				results[i] = e.batchItem(ctx, reqs[i], o, procs)
+			}
+		}()
 	}
-	return out, nil
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("server: query batch: %w", err)
+	}
+	return results, nil
+}
+
+// batchItem answers one batch slot, containing panics: before the pool,
+// a processor panic was confined to its HTTP request by net/http's
+// per-connection recover; on a bare worker goroutine it would kill the
+// whole process, so it becomes that item's error instead.
+func (e *Engine) batchItem(ctx context.Context, req query.Request, o query.Options, procs *procCache) (res query.BatchResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = query.BatchResult{Err: fmt.Errorf("server: batch item panic: %v", r)}
+		}
+	}()
+	v, err := e.queryOpts(ctx, req, o, procs)
+	return query.BatchResult{Value: v, Err: err}
 }
 
 // CoverAt returns pollutant p's model cover valid at stream time t.
@@ -307,6 +407,28 @@ func (e *Engine) HandleMessage(req wire.Message) wire.Message {
 			return wire.ErrorResponse{Msg: err.Error()}
 		}
 		return wire.QueryResponse{Value: v}
+	case wire.BatchQueryRequest:
+		if len(m.Items) == 0 {
+			return wire.ErrorResponse{Msg: "empty query batch"}
+		}
+		reqs := make([]query.Request, len(m.Items))
+		for i, it := range m.Items {
+			reqs[i] = query.Request{T: it.T, X: it.X, Y: it.Y,
+				Pollutant: e.wirePollutant(it.Pollutant, it.Legacy)}
+		}
+		rs, err := e.QueryBatch(ctx, reqs)
+		if err != nil {
+			return wire.ErrorResponse{Msg: err.Error()}
+		}
+		resp := wire.BatchQueryResponse{Items: make([]wire.BatchQueryItem, len(rs))}
+		for i, r := range rs {
+			if r.Err != nil {
+				resp.Items[i] = wire.BatchQueryItem{Err: r.Err.Error()}
+			} else {
+				resp.Items[i] = wire.BatchQueryItem{Value: r.Value}
+			}
+		}
+		return resp
 	case wire.ModelRequest:
 		cv, err := e.CoverAt(ctx, e.wirePollutant(m.Pollutant, m.Legacy), m.T)
 		if err != nil {

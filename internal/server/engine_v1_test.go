@@ -9,6 +9,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
@@ -201,5 +202,115 @@ func TestHandleMessageRoutesPollutant(t *testing.T) {
 	// Unmonitored pollutants come back as protocol errors.
 	if _, ok := e.HandleMessage(wire.QueryRequest{T: 300, Pollutant: tuple.CO}).(wire.ErrorResponse); !ok {
 		t.Error("unmonitored pollutant should yield ErrorResponse")
+	}
+}
+
+func TestEngineBatchPerItemErrors(t *testing.T) {
+	e := newMultiEngine(t)
+	reqs := []query.Request{
+		{T: 300, X: 1000, Y: 1000, Pollutant: tuple.CO2}, // answerable
+		{T: 1e9, X: 0, Y: 0, Pollutant: tuple.CO2},       // beyond the data
+		{T: 300, X: 1000, Y: 1000, Pollutant: tuple.CO},  // not monitored
+		{T: 300, X: 900, Y: 900, Pollutant: tuple.PM},    // answerable
+	}
+	rs, err := e.QueryBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("call-level error: %v", err)
+	}
+	if len(rs) != len(reqs) {
+		t.Fatalf("got %d results, want %d", len(rs), len(reqs))
+	}
+	if rs[0].Err != nil || rs[3].Err != nil {
+		t.Errorf("good items errored: %v, %v", rs[0].Err, rs[3].Err)
+	}
+	if !errors.Is(rs[1].Err, query.ErrOutOfWindow) {
+		t.Errorf("item 1: got %v, want ErrOutOfWindow", rs[1].Err)
+	}
+	if !errors.Is(rs[2].Err, query.ErrUnknownPollutant) {
+		t.Errorf("item 2: got %v, want ErrUnknownPollutant", rs[2].Err)
+	}
+	if math.Abs(rs[0].Value-470) > 30 {
+		t.Errorf("item 0 = %v, want ~470", rs[0].Value)
+	}
+}
+
+func TestEngineBatchConcurrencyAgreement(t *testing.T) {
+	// The sequential baseline (Concurrency 1) and the parallel pool must
+	// produce identical answers, for every processor kind.
+	e := newMultiEngine(t)
+	rng := rand.New(rand.NewSource(11))
+	reqs := make([]query.Request, 200)
+	for i := range reqs {
+		pol := tuple.CO2
+		if i%2 == 1 {
+			pol = tuple.PM
+		}
+		reqs[i] = query.Request{
+			T: rng.Float64() * 600, X: rng.Float64() * 2000, Y: rng.Float64() * 2000,
+			Pollutant: pol,
+		}
+	}
+	for _, kind := range []query.Kind{query.KindCover, query.KindNaive, query.KindRTree, query.KindVPTree} {
+		seq, err := e.QueryBatchOpts(context.Background(), reqs, query.Options{Kind: kind, Concurrency: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", kind, err)
+		}
+		par, err := e.QueryBatchOpts(context.Background(), reqs, query.Options{Kind: kind, Concurrency: 8})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", kind, err)
+		}
+		for i := range reqs {
+			if (seq[i].Err == nil) != (par[i].Err == nil) {
+				t.Fatalf("%s item %d: sequential err %v, parallel err %v", kind, i, seq[i].Err, par[i].Err)
+			}
+			if seq[i].Err == nil && seq[i].Value != par[i].Value {
+				t.Fatalf("%s item %d: sequential %v != parallel %v", kind, i, seq[i].Value, par[i].Value)
+			}
+		}
+	}
+}
+
+func TestHandleMessageBatch(t *testing.T) {
+	e := newMultiEngine(t)
+	resp := e.HandleMessage(wire.BatchQueryRequest{Items: []wire.QueryRequest{
+		{T: 300, X: 1000, Y: 1000, Pollutant: tuple.CO2},
+		{T: 1e9, X: 0, Y: 0, Pollutant: tuple.CO2},
+		{T: 300, X: 1000, Y: 1000, Pollutant: tuple.PM},
+	}})
+	br, ok := resp.(wire.BatchQueryResponse)
+	if !ok {
+		t.Fatalf("got %T: %+v", resp, resp)
+	}
+	if len(br.Items) != 3 {
+		t.Fatalf("items = %d, want 3", len(br.Items))
+	}
+	if br.Items[0].Err != "" || br.Items[2].Err != "" {
+		t.Errorf("good items errored: %+v", br.Items)
+	}
+	if br.Items[1].Err == "" {
+		t.Error("out-of-window item must carry its error")
+	}
+	if math.Abs(br.Items[0].Value-470) > 30 || math.Abs(br.Items[2].Value-25) > 10 {
+		t.Errorf("batch values leaked across shards: %+v", br.Items)
+	}
+	// An empty batch is a protocol-level error response.
+	if _, ok := e.HandleMessage(wire.BatchQueryRequest{}).(wire.ErrorResponse); !ok {
+		t.Error("empty batch should answer with ErrorResponse")
+	}
+}
+
+func TestBatchWorkersClamp(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if got := batchWorkers(0, 1000); got != min(procs, 1000) {
+		t.Errorf("default workers = %d, want %d", got, min(procs, 1000))
+	}
+	if got := batchWorkers(1, 1000); got != 1 {
+		t.Errorf("sequential workers = %d, want 1", got)
+	}
+	if got := batchWorkers(1<<20, 1<<20); got != 4*procs {
+		t.Errorf("hostile concurrency clamped to %d, want %d", got, 4*procs)
+	}
+	if got := batchWorkers(8, 3); got > 3 {
+		t.Errorf("workers = %d exceed batch size 3", got)
 	}
 }

@@ -142,6 +142,13 @@ func queryOptions(r *http.Request) (query.Options, error) {
 			o.Kind = query.KindNaive
 		}
 	}
+	if s := r.URL.Query().Get("concurrency"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			return o, fmt.Errorf("parameter %q: want a non-negative integer", "concurrency")
+		}
+		o.Concurrency = v
+	}
 	return o, nil
 }
 
@@ -213,15 +220,25 @@ type batchRequest struct {
 	} `json:"requests"`
 }
 
-// batchResponse carries one answer per request, in order.
-type batchResponse struct {
-	Values []pointResponse `json:"values"`
+// batchItemResponse is one request's answer within a batch: a point
+// response, or that request's error with the other fields zeroed.
+type batchItemResponse struct {
+	pointResponse
+	Error string `json:"error,omitempty"`
 }
 
-// handleBatch serves POST /v1/query/batch?processor=&radius= — the batch
-// entry point of the v1 API, honoring the same processor options as
-// /v1/query. The batch fails atomically: any bad request rejects the
-// call.
+// batchResponse carries one answer per request, in order, plus the count
+// of requests that failed.
+type batchResponse struct {
+	Values []batchItemResponse `json:"values"`
+	Errors int                 `json:"errors"`
+}
+
+// handleBatch serves POST /v1/query/batch?processor=&radius=&concurrency=
+// — the batch entry point of the v1 API, honoring the same processor
+// options as /v1/query. Requests execute concurrently on the server and
+// each item succeeds or fails on its own: a request outside the retained
+// windows reports an "error" in its slot without rejecting the batch.
 func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
@@ -262,14 +279,19 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = query.Request{T: in.T, X: in.X, Y: in.Y, Pollutant: pol}
 	}
-	vs, err := a.engine.QueryBatchOpts(r.Context(), reqs, opts)
+	rs, err := a.engine.QueryBatchOpts(r.Context(), reqs, opts)
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
-	resp := batchResponse{Values: make([]pointResponse, len(vs))}
-	for i, v := range vs {
-		resp.Values[i] = pointResponseFor(reqs[i].Pollutant, v)
+	resp := batchResponse{Values: make([]batchItemResponse, len(rs))}
+	for i, res := range rs {
+		if res.Err != nil {
+			resp.Values[i] = batchItemResponse{Error: res.Err.Error()}
+			resp.Errors++
+			continue
+		}
+		resp.Values[i] = batchItemResponse{pointResponse: pointResponseFor(reqs[i].Pollutant, res.Value)}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -548,10 +570,8 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := tuple.Batch(req.Tuples).Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
+	// No handler-side Validate: store.Append runs the identical check and
+	// its failure already maps to a 400 below.
 	if err := a.engine.Ingest(r.Context(), pol, req.Tuples); err != nil {
 		if errors.Is(err, query.ErrUnknownPollutant) {
 			writeEngineError(w, err)

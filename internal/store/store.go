@@ -8,6 +8,16 @@
 // appended batch to checksummed segment files for crash recovery, giving
 // the platform the durability a real deployment ingesting a month of bus
 // data needs.
+//
+// # Segment hygiene
+//
+// A failed batch write can leave a torn (partial) frame at the tail of
+// the open segment. The store never writes after a torn frame: on a write
+// error it truncates the segment back to the last good frame boundary,
+// and if even the truncate fails it abandons the segment and rotates to a
+// fresh one. Recovery relies on this invariant — a corrupt frame always
+// sits at a segment's tail, so replay keeps every frame before it and
+// ignores the rest of that segment only.
 package store
 
 import (
@@ -45,6 +55,17 @@ type Store struct {
 
 	seg    *os.File // open segment file, nil when durability is off
 	segSeq int
+	segOff int64 // end offset of the last intact frame in seg
+	closed bool  // Close was called; durable appends must fail
+
+	// evictHooks run after windows are evicted, outside the store lock,
+	// in registration order. Guarded by mu; keyed for unregistration.
+	evictHooks map[int]func(evicted []int)
+	nextHookID int
+
+	// writeFrame persists one batch to the segment; swapped by tests to
+	// inject torn writes. Defaults to tuple.WriteBinary.
+	writeFrame func(w io.Writer, b tuple.Batch) error
 }
 
 // Open creates a store. If cfg.Dir is non-empty, existing segment files in
@@ -56,7 +77,7 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Retain < 0 {
 		return nil, fmt.Errorf("store: Retain = %d, want ≥ 0", cfg.Retain)
 	}
-	s := &Store{cfg: cfg, windows: make(map[int]tuple.Batch)}
+	s := &Store{cfg: cfg, windows: make(map[int]tuple.Batch), writeFrame: tuple.WriteBinary}
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: create dir: %w", err)
@@ -82,18 +103,25 @@ func MustOpenMemory(windowLength float64) *Store {
 }
 
 // recover replays all segment files in cfg.Dir in sequence order. A
-// trailing corrupt frame (torn write) is tolerated on the last segment;
-// corruption elsewhere is an error.
+// trailing corrupt frame (torn write) ends that segment's replay: the
+// write path guarantees nothing valid follows a torn frame within a
+// segment (it truncates or rotates on write error), so the frames before
+// it are kept and replay continues with the next segment.
 func (s *Store) recover() error {
 	names, err := segmentNames(s.cfg.Dir)
 	if err != nil {
 		return err
 	}
-	for i, name := range names {
-		last := i == len(names)-1
-		if err := s.replaySegment(filepath.Join(s.cfg.Dir, name), last); err != nil {
+	for _, name := range names {
+		if err := s.replaySegment(filepath.Join(s.cfg.Dir, name)); err != nil {
 			return err
 		}
+		// Re-apply the retention bound as we go: segments hold every
+		// window ever appended, and a restarted store must come back no
+		// larger than a running one — nor hold more than ~Retain windows
+		// plus one segment's worth at any point during replay. No hooks
+		// can be registered yet, so the evicted list needs no fan-out.
+		s.evictLocked()
 	}
 	if len(names) > 0 {
 		fmt.Sscanf(names[len(names)-1], "segment-%06d.emt", &s.segSeq)
@@ -117,29 +145,42 @@ func segmentNames(dir string) ([]string, error) {
 	return names, nil
 }
 
-func (s *Store) replaySegment(path string, tolerateTail bool) error {
+func (s *Store) replaySegment(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("store: open segment: %w", err)
 	}
 	defer f.Close()
+	var off int64 // start of the frame being read
 	for {
 		b, err := tuple.ReadBinary(f)
 		if err == io.EOF {
 			return nil
 		}
 		if errors.Is(err, tuple.ErrCorrupt) {
-			if tolerateTail {
-				// Torn tail write from a crash: everything before it is
-				// intact, so recovery succeeds with what we have.
-				return nil
+			// A torn tail write (crash, or a rotated-away segment) is
+			// legitimate: everything before it is intact and the write
+			// discipline guarantees nothing was appended after it. An
+			// intact frame AFTER the corruption cannot come from that
+			// discipline — that is real damage (bitrot, external
+			// writes), and silently dropping the acknowledged frames
+			// behind it would be data loss, so fail loudly. Only this
+			// rare path buffers the file to scan past the corruption —
+			// and if the file cannot even be re-read, refuse to guess.
+			data, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return fmt.Errorf("store: segment %s: %w (could not verify torn tail: %v)", path, err, rerr)
 			}
-			return fmt.Errorf("store: segment %s: %w", path, err)
+			if off+1 < int64(len(data)) && tuple.ContainsFrame(data[off+1:]) {
+				return fmt.Errorf("store: segment %s: %w (intact frames follow the corruption; not a torn tail)", path, err)
+			}
+			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("store: segment %s: %w", path, err)
 		}
 		s.addToWindows(b)
+		off += int64(tuple.EncodedSize(len(b)))
 	}
 }
 
@@ -149,12 +190,20 @@ func (s *Store) openSegment() error {
 	if err != nil {
 		return fmt.Errorf("store: open segment for append: %w", err)
 	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: stat segment: %w", err)
+	}
 	s.seg = f
+	s.segOff = info.Size()
 	return nil
 }
 
 // Append validates and ingests a batch of raw tuples. With durability on,
-// the batch is persisted before the in-memory state is updated.
+// the batch is persisted before the in-memory state is updated; a batch
+// that cannot be persisted is not ingested. Eviction hooks registered
+// with OnEvict run after the append, outside the store lock.
 func (s *Store) Append(b tuple.Batch) error {
 	if len(b) == 0 {
 		return nil
@@ -163,16 +212,93 @@ func (s *Store) Append(b tuple.Batch) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.seg != nil {
-		if err := tuple.WriteBinary(s.seg, b); err != nil {
-			return fmt.Errorf("store: persist batch: %w", err)
+	if s.cfg.Dir != "" {
+		if err := s.persistLocked(b); err != nil {
+			s.mu.Unlock()
+			return err
 		}
 	}
 	s.addToWindows(b)
-	s.evictLocked()
+	evicted := s.evictLocked()
+	var hooks []func(evicted []int)
+	if len(evicted) > 0 && len(s.evictHooks) > 0 {
+		ids := make([]int, 0, len(s.evictHooks))
+		for id := range s.evictHooks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		hooks = make([]func(evicted []int), len(ids))
+		for i, id := range ids {
+			hooks[i] = s.evictHooks[id]
+		}
+	}
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(evicted)
+	}
 	return nil
 }
+
+// persistLocked writes one batch frame to the open segment, maintaining
+// the invariant that the segment never holds bytes after a torn frame: a
+// failed write is rolled back by truncating to the last good frame
+// boundary, and if the truncate fails too the segment is abandoned and a
+// fresh one rotated in. Caller holds mu.
+func (s *Store) persistLocked(b tuple.Batch) error {
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if s.seg == nil {
+		// The previous rotation failed; retry so durability heals as
+		// soon as the directory is writable again.
+		if err := s.openSegment(); err != nil {
+			return err
+		}
+	}
+	if err := s.writeFrame(s.seg, b); err != nil {
+		werr := fmt.Errorf("store: persist batch: %w", err)
+		if terr := s.seg.Truncate(s.segOff); terr == nil {
+			return werr
+		}
+		// Truncate failed: the torn frame stays, so this segment must
+		// never be appended to again. Rotate; recovery tolerates the
+		// torn tail.
+		s.seg.Close()
+		s.seg = nil
+		s.segSeq++
+		if oerr := s.openSegment(); oerr != nil {
+			return errors.Join(werr, oerr)
+		}
+		return werr
+	}
+	s.segOff += int64(tuple.EncodedSize(len(b)))
+	return nil
+}
+
+// OnEvict registers fn to run after windows are evicted by the retention
+// bound. Hooks run outside the store lock, in registration order, with
+// the evicted window indexes in ascending order. The cover maintainer
+// uses this to keep its cache within the retention horizon. The returned
+// function unregisters the hook — otherwise the store keeps (and keeps
+// invoking) it for its whole lifetime.
+func (s *Store) OnEvict(fn func(evicted []int)) (unregister func()) {
+	s.mu.Lock()
+	if s.evictHooks == nil {
+		s.evictHooks = make(map[int]func(evicted []int))
+	}
+	id := s.nextHookID
+	s.nextHookID++
+	s.evictHooks[id] = fn
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.evictHooks, id)
+		s.mu.Unlock()
+	}
+}
+
+// Retain returns the store's retention bound (0 = unbounded).
+func (s *Store) Retain() int { return s.cfg.Retain }
 
 // addToWindows distributes tuples into their windows. Caller holds mu (or
 // is single-threaded recovery).
@@ -187,20 +313,23 @@ func (s *Store) addToWindows(b tuple.Batch) {
 	}
 }
 
-// evictLocked drops the oldest windows beyond the retention bound.
-func (s *Store) evictLocked() {
+// evictLocked drops the oldest windows beyond the retention bound and
+// returns their indexes in ascending order (nil when nothing is evicted).
+func (s *Store) evictLocked() []int {
 	if s.cfg.Retain == 0 || len(s.windows) <= s.cfg.Retain {
-		return
+		return nil
 	}
 	idxs := make([]int, 0, len(s.windows))
 	for c := range s.windows {
 		idxs = append(idxs, c)
 	}
 	sort.Ints(idxs)
-	for _, c := range idxs[:len(idxs)-s.cfg.Retain] {
+	evicted := idxs[:len(idxs)-s.cfg.Retain]
+	for _, c := range evicted {
 		s.total -= len(s.windows[c])
 		delete(s.windows, c)
 	}
+	return evicted
 }
 
 // Window returns a copy of the tuples in window W_c, sorted by time.
@@ -210,6 +339,14 @@ func (s *Store) Window(c int) tuple.Batch {
 	s.mu.RUnlock()
 	b.SortByTime()
 	return b
+}
+
+// WindowLen returns the number of tuples in window W_c without copying
+// it — the cheap emptiness/size probe for query planning.
+func (s *Store) WindowLen(c int) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.windows[c])
 }
 
 // WindowAt returns the window containing stream time t, along with its
@@ -283,6 +420,7 @@ func (s *Store) Sync() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	if s.seg == nil {
 		return nil
 	}

@@ -2,6 +2,7 @@ package tuple
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -94,6 +95,26 @@ func ReadBinary(r io.Reader) (Batch, error) {
 		}
 	}
 	return b, nil
+}
+
+// ContainsFrame reports whether an intact binary frame parses at any
+// byte offset within data. The store's recovery uses it to distinguish a
+// torn tail (nothing valid follows the corruption — the write
+// discipline's legitimate leftover) from real mid-stream damage, where
+// intact acknowledged frames would otherwise be silently dropped.
+func ContainsFrame(data []byte) bool {
+	var magic [4]byte
+	binary.LittleEndian.PutUint32(magic[:], binaryMagic)
+	for off := 0; ; off++ {
+		i := bytes.Index(data[off:], magic[:])
+		if i < 0 {
+			return false
+		}
+		off += i
+		if _, err := ReadBinary(bytes.NewReader(data[off:])); err == nil {
+			return true
+		}
+	}
 }
 
 // CSV format

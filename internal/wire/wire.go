@@ -32,6 +32,8 @@ const (
 	TypeModelRequest
 	TypeModelResponse
 	TypeError
+	TypeBatchQueryRequest
+	TypeBatchQueryResponse
 )
 
 // Message is any protocol message.
@@ -67,6 +69,39 @@ type QueryResponse struct {
 
 // Type implements Message.
 func (QueryResponse) Type() MsgType { return TypeQueryResponse }
+
+// BatchQueryRequest ships a whole route of query tuples (possibly mixing
+// pollutants) in one frame — one radio round trip instead of one per
+// point. It is a v1.1 message: every item carries its pollutant tag, and
+// pre-batch servers answer the unknown tag with an ErrorResponse, so a
+// client can fall back to per-point QueryRequests.
+type BatchQueryRequest struct {
+	Items []QueryRequest `json:"items"`
+}
+
+// Type implements Message.
+func (BatchQueryRequest) Type() MsgType { return TypeBatchQueryRequest }
+
+// BatchQueryItem is one request's outcome within a batch response: the
+// interpolated value, or the error that request (alone) failed with.
+type BatchQueryItem struct {
+	Value float64 `json:"value"`
+	Err   string  `json:"error,omitempty"`
+}
+
+// BatchQueryResponse carries one item per batch request, in order. The
+// batch is not atomic: a request outside the retained windows reports its
+// error in its own slot without rejecting the rest.
+type BatchQueryResponse struct {
+	Items []BatchQueryItem `json:"items"`
+}
+
+// Type implements Message.
+func (BatchQueryResponse) Type() MsgType { return TypeBatchQueryResponse }
+
+// MaxBatchItems bounds the items of one batch message (the binary codec
+// carries the count as uint16).
+const MaxBatchItems = math.MaxUint16
 
 // ModelRequest is e_l: the model-cache client asking for the current model
 // cover of one pollutant. T lets the server pick the window containing the
@@ -153,6 +188,53 @@ func (binaryCodec) Encode(m Message) ([]byte, error) {
 		buf[0] = byte(TypeModelRequest)
 		putF64(buf[1:], v.T)
 		buf[9] = byte(v.Pollutant)
+		return buf, nil
+	case BatchQueryRequest:
+		if len(v.Items) > MaxBatchItems {
+			return nil, fmt.Errorf("wire: batch too large (%d items)", len(v.Items))
+		}
+		buf := make([]byte, 1+2+25*len(v.Items))
+		buf[0] = byte(TypeBatchQueryRequest)
+		binary.LittleEndian.PutUint16(buf[1:], uint16(len(v.Items)))
+		off := 3
+		for _, it := range v.Items {
+			putF64(buf[off:], it.T)
+			putF64(buf[off+8:], it.X)
+			putF64(buf[off+16:], it.Y)
+			buf[off+24] = byte(it.Pollutant)
+			off += 25
+		}
+		return buf, nil
+	case BatchQueryResponse:
+		if len(v.Items) > MaxBatchItems {
+			return nil, fmt.Errorf("wire: batch too large (%d items)", len(v.Items))
+		}
+		size := 1 + 2
+		for _, it := range v.Items {
+			if it.Err != "" {
+				if len(it.Err) > math.MaxUint16 {
+					return nil, fmt.Errorf("wire: batch item error too long (%d bytes)", len(it.Err))
+				}
+				size += 1 + 2 + len(it.Err)
+			} else {
+				size += 1 + 8
+			}
+		}
+		buf := make([]byte, size)
+		buf[0] = byte(TypeBatchQueryResponse)
+		binary.LittleEndian.PutUint16(buf[1:], uint16(len(v.Items)))
+		off := 3
+		for _, it := range v.Items {
+			if it.Err != "" {
+				buf[off] = 1
+				binary.LittleEndian.PutUint16(buf[off+1:], uint16(len(it.Err)))
+				off += 3 + copy(buf[off+3:], it.Err)
+			} else {
+				buf[off] = 0
+				putF64(buf[off+1:], it.Value)
+				off += 9
+			}
+		}
 		return buf, nil
 	case ModelResponse:
 		return encodeModelResponse(v)
@@ -247,6 +329,67 @@ func (binaryCodec) Decode(data []byte) (Message, error) {
 			m.Pollutant = tuple.Pollutant(data[9])
 		} else {
 			m.Legacy = true
+		}
+		return m, nil
+	case TypeBatchQueryRequest:
+		if len(data) < 3 {
+			return nil, fmt.Errorf("%w: BatchQueryRequest header", ErrMalformed)
+		}
+		count := int(binary.LittleEndian.Uint16(data[1:]))
+		if len(data) != 3+25*count {
+			return nil, fmt.Errorf("%w: BatchQueryRequest length %d for %d items", ErrMalformed, len(data), count)
+		}
+		m := BatchQueryRequest{Items: make([]QueryRequest, count)}
+		off := 3
+		for i := range m.Items {
+			m.Items[i] = QueryRequest{
+				T:         getF64(data[off:]),
+				X:         getF64(data[off+8:]),
+				Y:         getF64(data[off+16:]),
+				Pollutant: tuple.Pollutant(data[off+24]),
+			}
+			off += 25
+		}
+		return m, nil
+	case TypeBatchQueryResponse:
+		if len(data) < 3 {
+			return nil, fmt.Errorf("%w: BatchQueryResponse header", ErrMalformed)
+		}
+		count := int(binary.LittleEndian.Uint16(data[1:]))
+		// Cheapest possible item is 3 bytes (error flag + length); check
+		// before allocating so a tiny frame cannot claim a huge count.
+		if len(data) < 3+3*count {
+			return nil, fmt.Errorf("%w: BatchQueryResponse length %d for %d items", ErrMalformed, len(data), count)
+		}
+		m := BatchQueryResponse{Items: make([]BatchQueryItem, count)}
+		off := 3
+		for i := range m.Items {
+			if len(data) < off+1 {
+				return nil, fmt.Errorf("%w: BatchQueryResponse item %d", ErrMalformed, i)
+			}
+			switch data[off] {
+			case 0:
+				if len(data) < off+9 {
+					return nil, fmt.Errorf("%w: BatchQueryResponse item %d value", ErrMalformed, i)
+				}
+				m.Items[i].Value = getF64(data[off+1:])
+				off += 9
+			case 1:
+				if len(data) < off+3 {
+					return nil, fmt.Errorf("%w: BatchQueryResponse item %d error header", ErrMalformed, i)
+				}
+				n := int(binary.LittleEndian.Uint16(data[off+1:]))
+				if len(data) < off+3+n {
+					return nil, fmt.Errorf("%w: BatchQueryResponse item %d error body", ErrMalformed, i)
+				}
+				m.Items[i].Err = string(data[off+3 : off+3+n])
+				off += 3 + n
+			default:
+				return nil, fmt.Errorf("%w: BatchQueryResponse item %d flag %d", ErrMalformed, i, data[off])
+			}
+		}
+		if off != len(data) {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(data)-off)
 		}
 		return m, nil
 	case TypeModelResponse:
@@ -362,6 +505,20 @@ func (jsonCodec) Decode(data []byte) (Message, error) {
 		target = m
 	case TypeQueryResponse:
 		var v QueryResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeBatchQueryRequest:
+		// Batch frames are v1.1-only: items decode literally, no legacy
+		// pollutant inference.
+		var v BatchQueryRequest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeBatchQueryResponse:
+		var v BatchQueryResponse
 		if err := json.Unmarshal(env.Payload, &v); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}

@@ -27,6 +27,15 @@ func sampleMessages() []Message {
 			Coefs:      [][]float64{{400, 0.1, 0.2, 0.3}, {500, -0.1, -0.2, -0.3}},
 		},
 		ErrorResponse{Msg: "window 3 is empty"},
+		BatchQueryRequest{Items: []QueryRequest{
+			{T: 60, X: 1, Y: 2, Pollutant: tuple.CO2},
+			{T: 120, X: 3, Y: 4, Pollutant: tuple.PM},
+		}},
+		BatchQueryResponse{Items: []BatchQueryItem{
+			{Value: 417.25},
+			{Err: "query: time outside retained data windows"},
+			{Value: 90.5},
+		}},
 	}
 }
 
@@ -311,5 +320,61 @@ func TestUnknownMessageEncode(t *testing.T) {
 	type fake struct{ Message }
 	if _, err := Binary.Encode(fake{}); !errors.Is(err, ErrUnknown) {
 		t.Errorf("want ErrUnknown, got %v", err)
+	}
+}
+
+func TestBatchQueryMalformedBinary(t *testing.T) {
+	good, err := Binary.Encode(BatchQueryRequest{Items: []QueryRequest{{T: 1, X: 2, Y: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"request truncated header", []byte{byte(TypeBatchQueryRequest), 1}},
+		{"request short items", good[:len(good)-5]},
+		{"request trailing bytes", append(append([]byte{}, good...), 0xAA)},
+		{"response truncated header", []byte{byte(TypeBatchQueryResponse), 1}},
+		{"response bad flag", []byte{byte(TypeBatchQueryResponse), 1, 0, 7, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"response short value", []byte{byte(TypeBatchQueryResponse), 1, 0, 0, 1, 2}},
+		{"response short error", []byte{byte(TypeBatchQueryResponse), 1, 0, 1, 9, 0, 'x'}},
+	} {
+		if _, err := Binary.Decode(tc.data); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: got %v, want ErrMalformed", tc.name, err)
+		}
+	}
+}
+
+func TestBatchQueryEncodeBounds(t *testing.T) {
+	big := BatchQueryRequest{Items: make([]QueryRequest, MaxBatchItems+1)}
+	if _, err := Binary.Encode(big); err == nil {
+		t.Error("oversized batch request must not encode")
+	}
+	bigResp := BatchQueryResponse{Items: make([]BatchQueryItem, MaxBatchItems+1)}
+	if _, err := Binary.Encode(bigResp); err == nil {
+		t.Error("oversized batch response must not encode")
+	}
+}
+
+func TestBatchQueryBinaryCompact(t *testing.T) {
+	// One batch frame must cost less than its requests sent one by one
+	// (the point of batching on a constrained link): n×25 payload bytes
+	// plus one 3-byte header versus n×26-byte frames.
+	items := make([]QueryRequest, 40)
+	for i := range items {
+		items[i] = QueryRequest{T: float64(i), X: 1, Y: 2, Pollutant: tuple.CO2}
+	}
+	batch, err := Binary.Encode(BatchQueryRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Binary.Encode(items[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) >= len(items)*len(single) {
+		t.Errorf("batch frame %dB not smaller than %d single frames (%dB)",
+			len(batch), len(items), len(items)*len(single))
 	}
 }

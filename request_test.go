@@ -148,9 +148,17 @@ func TestErrorTaxonomyErrorsIs(t *testing.T) {
 	if _, err := p.Query(ctx, Request{T: 1800, Pollutant: Pollutant(9)}); !errors.Is(err, ErrUnknownPollutant) {
 		t.Errorf("invalid pollutant: got %v, want ErrUnknownPollutant", err)
 	}
-	// The taxonomy flows through batch calls too.
-	if _, err := p.QueryBatch(ctx, []Request{{T: 1800}, {T: 1e9}}); !errors.Is(err, ErrOutOfWindow) {
-		t.Errorf("batch with bad item: got %v, want ErrOutOfWindow", err)
+	// The taxonomy flows through batch calls too — per item: the bad
+	// request carries its error, the good one still answers.
+	rs, err := p.QueryBatch(ctx, []Request{{T: 1800}, {T: 1e9}})
+	if err != nil {
+		t.Fatalf("batch with bad item: call-level error %v", err)
+	}
+	if rs[0].Err != nil {
+		t.Errorf("batch good item: got %v, want success", rs[0].Err)
+	}
+	if !errors.Is(rs[1].Err, ErrOutOfWindow) {
+		t.Errorf("batch bad item: got %v, want ErrOutOfWindow", rs[1].Err)
 	}
 	// And through Cover / ModelResponse / Heatmap.
 	if _, err := p.Cover(ctx, CO, 1800); !errors.Is(err, ErrUnknownPollutant) {
@@ -362,6 +370,51 @@ func TestHTTPV1Batch(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusBadRequest {
 		t.Errorf("empty batch: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestHTTPV1BatchPerItemErrors(t *testing.T) {
+	// A bad request no longer rejects the batch: the response is 200 with
+	// the failing item carrying its own error.
+	p := openMulti(t)
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	body := []byte(`{"requests":[
+		{"t":1800,"x":1200,"y":800,"pollutant":"CO2"},
+		{"t":9e8,"x":0,"y":0,"pollutant":"CO2"},
+		{"t":1800,"x":1200,"y":800,"pollutant":"PM"}
+	]}`)
+	resp, err := http.Post(srv.URL+"/v1/query/batch?concurrency=2", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", resp.StatusCode)
+	}
+	var br struct {
+		Values []struct {
+			Value     float64 `json:"value"`
+			Pollutant string  `json:"pollutant"`
+			Error     string  `json:"error"`
+		} `json:"values"`
+		Errors int `json:"errors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Values) != 3 || br.Errors != 1 {
+		t.Fatalf("values = %d, errors = %d, want 3 and 1", len(br.Values), br.Errors)
+	}
+	if br.Values[0].Error != "" || br.Values[2].Error != "" {
+		t.Errorf("good items errored: %+v", br.Values)
+	}
+	if br.Values[1].Error == "" {
+		t.Error("out-of-window item must carry an error")
+	}
+	if br.Values[0].Pollutant != "CO2" || br.Values[2].Pollutant != "PM" {
+		t.Errorf("batch pollutants: %+v", br.Values)
 	}
 }
 
