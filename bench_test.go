@@ -8,9 +8,13 @@ package repro
 import (
 	"context"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/store"
+	"repro/internal/tuple"
 )
 
 // benchDataset caches the synthetic deployment across benchmarks.
@@ -244,6 +248,109 @@ func BenchmarkQueryBatchConcurrency(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkIngestThroughput measures durable append throughput under the
+// three sync policies with concurrent appenders: SyncEveryBatch pays one
+// fsync per batch, SyncGrouped shares one fsync per commit group (the
+// ISSUE 3 headline), SyncNever is the no-durability ceiling. The
+// syncs-per-append ratio is reported alongside the timing.
+func BenchmarkIngestThroughput(b *testing.B) {
+	policies := []struct {
+		name   string
+		policy store.SyncPolicy
+	}{
+		{"SyncEveryBatch", store.SyncEveryBatch()},
+		{"SyncGrouped", store.SyncGrouped(32, 2*time.Millisecond)},
+		{"SyncNever", store.SyncNever()},
+	}
+	const batchSize = 32
+	for _, pc := range policies {
+		pc := pc
+		b.Run(pc.name, func(b *testing.B) {
+			st, err := store.Open(store.Config{
+				WindowLength: 3600,
+				Retain:       4, // bound memory under long -benchtime runs
+				Dir:          b.TempDir(),
+				Sync:         pc.policy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			var windowSeq atomic.Int64
+			b.SetParallelism(8) // grouped commit needs company to group
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					c := windowSeq.Add(1) % 4
+					batch := make(tuple.Batch, batchSize)
+					for i := range batch {
+						batch[i] = tuple.Raw{
+							T: float64(c)*3600 + float64(i),
+							X: float64(i), Y: 1, S: 420,
+						}
+					}
+					if err := st.Append(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			ds := st.DurabilityStats()
+			if ds.Appends > 0 {
+				b.ReportMetric(float64(ds.Syncs)/float64(ds.Appends), "syncs/append")
+			}
+			b.SetBytes(int64(batchSize * 33)) // approx frame payload
+		})
+	}
+}
+
+// BenchmarkQueryAfterIngest measures the cold-cover query latency the
+// scheduler removes from the query path: each iteration invalidates the
+// window's cover (as late-arriving ingest would), then queries. With the
+// scheduler, the rebuild happens in the background before the query;
+// without it (Workers: -1), the query pays the full Ad-KMN build.
+func BenchmarkQueryAfterIngest(b *testing.B) {
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"scheduler", 0},
+		{"noscheduler", -1},
+	}
+	for _, mode := range modes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			p, err := Open(Config{
+				WindowSeconds: 3600,
+				Maintenance:   SchedulerConfig{Workers: mode.workers},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			readings, err := SimulateLausanne(5, 3600)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if err := p.Ingest(ctx, CO2, readings); err != nil {
+				b.Fatal(err)
+			}
+			req := Request{T: 1800, X: 1200, Y: 800}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p.engine.Maintainer().Invalidate(0) // late data arrived
+				p.WaitMaintenance()                 // no-op without the scheduler
+				b.StartTimer()
+				if _, err := p.Query(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

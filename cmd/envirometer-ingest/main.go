@@ -7,9 +7,14 @@
 //	envirometer-ingest -out lausanne.csv [-days 30] [-seed 1]
 //	envirometer-ingest -out lausanne.csv -pollutants CO2,CO,PM [-days 30]
 //	envirometer-ingest -segments dir/ [-window 14400] [-days 30] [-seed 1]
+//	                   [-sync every|never]
 //
 // With -pollutants, one file (or segment directory) per pollutant is
-// written, suffixed with the pollutant name.
+// written, suffixed with the pollutant name. In segments mode, -sync
+// picks the durability policy: "every" fsyncs each appended batch
+// (slow, crash-safe), "never" writes as fast as the OS allows and syncs
+// once at the end — fine for bulk dataset generation, where a crash
+// just means regenerating.
 package main
 
 import (
@@ -30,23 +35,34 @@ func main() {
 		days     = flag.Float64("days", 30, "deployment duration in days")
 		seed     = flag.Int64("seed", 1, "deterministic simulation seed")
 		polls    = flag.String("pollutants", "", "comma-separated pollutants (CO2,CO,PM); empty = CO2 only")
+		syncMode = flag.String("sync", "never", "segments durability: every (fsync per batch) or never (bulk)")
 	)
 	flag.Parse()
 	if *out == "" && *segments == "" {
 		fmt.Fprintln(os.Stderr, "envirometer-ingest: need -out or -segments")
 		os.Exit(2)
 	}
-	if err := run(*out, *segments, *window, *days, *seed, *polls); err != nil {
+	var sync store.SyncPolicy
+	switch *syncMode {
+	case "every", "":
+		sync = store.SyncEveryBatch()
+	case "never":
+		sync = store.SyncNever()
+	default:
+		fmt.Fprintf(os.Stderr, "envirometer-ingest: unknown -sync mode %q (want every or never)\n", *syncMode)
+		os.Exit(2)
+	}
+	if err := run(*out, *segments, *window, *days, *seed, *polls, sync); err != nil {
 		fmt.Fprintln(os.Stderr, "envirometer-ingest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, segments string, window, days float64, seed int64, polls string) error {
+func run(out, segments string, window, days float64, seed int64, polls string, sync store.SyncPolicy) error {
 	cfg := sim.DefaultLausanne(seed)
 	cfg.Duration = days * 86400
 	if polls != "" {
-		return runMulti(out, segments, window, cfg, polls)
+		return runMulti(out, segments, window, cfg, polls, sync)
 	}
 	data, err := sim.Generate(cfg)
 	if err != nil {
@@ -70,7 +86,7 @@ func run(out, segments string, window, days float64, seed int64, polls string) e
 		fmt.Printf("wrote CSV to %s\n", out)
 	}
 	if segments != "" {
-		st, err := store.Open(store.Config{WindowLength: window, Dir: segments})
+		st, err := store.Open(store.Config{WindowLength: window, Dir: segments, Sync: sync})
 		if err != nil {
 			return err
 		}
@@ -95,7 +111,7 @@ func run(out, segments string, window, days float64, seed int64, polls string) e
 }
 
 // runMulti writes one dataset per pollutant, suffixing each destination.
-func runMulti(out, segments string, window float64, cfg sim.Config, polls string) error {
+func runMulti(out, segments string, window float64, cfg sim.Config, polls string, sync store.SyncPolicy) error {
 	pollutants, err := tuple.ParsePollutantList(polls)
 	if err != nil {
 		return err
@@ -124,7 +140,7 @@ func runMulti(out, segments string, window float64, cfg sim.Config, polls string
 		}
 		if segments != "" {
 			dir := segments + "." + p.String()
-			st, err := store.Open(store.Config{WindowLength: window, Dir: dir})
+			st, err := store.Open(store.Config{WindowLength: window, Dir: dir, Sync: sync})
 			if err != nil {
 				return err
 			}

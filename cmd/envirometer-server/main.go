@@ -10,6 +10,17 @@
 //	                   [-pollutants CO2,CO,PM] [-days 2] [-data file.csv]
 //	                   [-dir segments/] [-covers covers.emcv] [-live]
 //	                   [-speedup 3600] [-seed 1]
+//	                   [-sync every|grouped|never] [-sync-batches 32]
+//	                   [-sync-delay 2ms] [-ingest-queue 64]
+//	                   [-ingest-maxbatch 4096] [-sched-workers 2]
+//	                   [-sched-queue 128]
+//
+// The -sync* flags pick the durability policy of -dir (grouped = group
+// commit: one fsync covers up to -sync-batches appends or -sync-delay of
+// accumulation). The -ingest-* flags bound the asynchronous ingest
+// queues; -sched-* tunes the background cover-maintenance scheduler
+// (-sched-workers -1 disables it, putting cover builds back on the
+// query path).
 //
 // With -data, raw tuples are loaded from a CSV file ("t,x,y,s" header);
 // since the CSV carries one pollutant, -data requires a single-entry
@@ -28,6 +39,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/ingest"
@@ -47,15 +59,45 @@ func main() {
 		live    = flag.Bool("live", false, "stream data in via the ingestion service instead of bulk loading")
 		speedup = flag.Float64("speedup", 3600, "stream seconds per wall second in -live mode")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+
+		syncMode    = flag.String("sync", "every", "durability sync policy: every, grouped, never")
+		syncBatches = flag.Int("sync-batches", 0, "grouped sync: max appends per commit group (0 = default)")
+		syncDelay   = flag.Duration("sync-delay", 0, "grouped sync: max commit-group age (0 = default)")
+		queueDepth  = flag.Int("ingest-queue", 0, "ingest queue depth per pollutant (0 = default)")
+		maxBatch    = flag.Int("ingest-maxbatch", 0, "max tuples per coalesced ingest append (0 = default)")
+		schedWork   = flag.Int("sched-workers", 0, "background cover-build workers (0 = default, -1 = disabled)")
+		schedQueue  = flag.Int("sched-queue", 0, "background cover-build queue bound (0 = default)")
 	)
 	flag.Parse()
+	sync, err := parseSyncPolicy(*syncMode, *syncBatches, *syncDelay)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "envirometer-server:", err)
+		os.Exit(2)
+	}
 	if err := run(options{
 		addr: *addr, tcp: *tcp, window: *window, polls: *polls, days: *days,
 		data: *data, dir: *dir, covers: *covers,
 		live: *live, speedup: *speedup, seed: *seed,
+		sync:  sync,
+		queue: repro.PipelineConfig{QueueDepth: *queueDepth, MaxBatchTuples: *maxBatch},
+		sched: repro.SchedulerConfig{Workers: *schedWork, MaxQueue: *schedQueue},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "envirometer-server:", err)
 		os.Exit(1)
+	}
+}
+
+// parseSyncPolicy maps the -sync* flags onto a facade SyncPolicy.
+func parseSyncPolicy(mode string, batches int, delay time.Duration) (repro.SyncPolicy, error) {
+	switch mode {
+	case "every", "":
+		return repro.SyncEveryBatch(), nil
+	case "grouped":
+		return repro.SyncGrouped(batches, delay), nil
+	case "never":
+		return repro.SyncNever(), nil
+	default:
+		return repro.SyncPolicy{}, fmt.Errorf("unknown -sync mode %q (want every, grouped, or never)", mode)
 	}
 }
 
@@ -64,6 +106,9 @@ type options struct {
 	window, days, speedup               float64
 	seed                                int64
 	live                                bool
+	sync                                repro.SyncPolicy
+	queue                               repro.PipelineConfig
+	sched                               repro.SchedulerConfig
 }
 
 func run(o options) error {
@@ -75,6 +120,9 @@ func run(o options) error {
 		WindowSeconds: o.window,
 		Pollutants:    pollutants,
 		Dir:           o.dir,
+		Sync:          o.sync,
+		IngestQueue:   o.queue,
+		Maintenance:   o.sched,
 		CoverSnapshot: o.covers,
 	})
 	if err != nil {

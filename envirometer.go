@@ -61,12 +61,14 @@ import (
 	"net"
 	"net/http"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/coverio"
 	"repro/internal/eval"
 	"repro/internal/geo"
 	"repro/internal/heatmap"
+	"repro/internal/ingest"
 	"repro/internal/proto"
 	"repro/internal/query"
 	"repro/internal/regress"
@@ -111,7 +113,56 @@ var (
 	ErrOutOfWindow = query.ErrOutOfWindow
 	// ErrUnknownPollutant: the pollutant is invalid or not monitored.
 	ErrUnknownPollutant = query.ErrUnknownPollutant
+	// ErrIngestSaturated: the pollutant's ingest queue is full and the
+	// overflow policy sheds load (the HTTP API's 429).
+	ErrIngestSaturated = ingest.ErrSaturated
+	// ErrClosed: the platform (or its engine) has been closed; the write
+	// path refuses new work.
+	ErrClosed = server.ErrEngineClosed
 )
+
+// SyncPolicy selects when durable appends reach stable storage; build
+// one with SyncEveryBatch, SyncGrouped, or SyncNever.
+type SyncPolicy = store.SyncPolicy
+
+// SyncEveryBatch fsyncs every appended batch before acknowledging it —
+// the default whenever Config.Dir is set.
+func SyncEveryBatch() SyncPolicy { return store.SyncEveryBatch() }
+
+// SyncGrouped amortizes durability: one fsync covers up to maxBatches
+// appends or maxDelay of accumulation (group commit); every append is
+// acknowledged only after its group's fsync. 0 picks the defaults.
+func SyncGrouped(maxBatches int, maxDelay time.Duration) SyncPolicy {
+	return store.SyncGrouped(maxBatches, maxDelay)
+}
+
+// SyncNever acknowledges durable appends on write and leaves flushing to
+// the OS — the platform's historical (weakest, fastest) guarantee.
+func SyncNever() SyncPolicy { return store.SyncNever() }
+
+// PipelineConfig tunes the asynchronous ingest pipeline: per-pollutant
+// queue depth, upload coalescing, and the overflow policy.
+type PipelineConfig = ingest.PipelineConfig
+
+// Overflow policies for PipelineConfig.
+const (
+	// OverflowBlock makes a full queue exert backpressure: Ingest waits
+	// for space (the default).
+	OverflowBlock = ingest.Block
+	// OverflowReject makes a full queue shed load: Ingest fails fast
+	// with ErrIngestSaturated. The HTTP ingest endpoint always sheds.
+	OverflowReject = ingest.Reject
+)
+
+// SchedulerConfig tunes the background cover-maintenance scheduler.
+// Workers < 0 disables it, leaving every cover build on the query path.
+type SchedulerConfig = core.SchedulerConfig
+
+// PipelineStats counts the ingest pipeline's work.
+type PipelineStats = ingest.PipelineStats
+
+// SchedulerStats counts the cover-maintenance scheduler's work.
+type SchedulerStats = core.SchedulerStats
 
 // ProcessorKind selects the query method answering a request.
 type ProcessorKind = query.Kind
@@ -187,6 +238,19 @@ type Config struct {
 	// persisted to checksummed segment files and recovered on reopen.
 	// With several pollutants, each persists into its own subdirectory.
 	Dir string
+	// Sync selects when durable appends reach stable storage (used only
+	// with Dir). The zero value is SyncEveryBatch(); SyncGrouped
+	// amortizes fsyncs across concurrent ingests, SyncNever trades crash
+	// safety for throughput.
+	Sync SyncPolicy
+	// IngestQueue tunes the asynchronous ingest pipeline (bounded
+	// per-pollutant queues, coalescing, block/reject overflow). The zero
+	// value blocks on a full queue, 64 deep, coalescing to 4096 tuples.
+	IngestQueue PipelineConfig
+	// Maintenance tunes the background cover-maintenance scheduler that
+	// rebuilds invalidated covers off the query path. The zero value
+	// runs 2 build workers; Workers < 0 disables background builds.
+	Maintenance SchedulerConfig
 	// Retain bounds in-memory windows (0 = keep all).
 	Retain int
 	// AdKMN tunes the model cover construction; the zero value uses the
@@ -272,6 +336,7 @@ func Open(cfg Config) (*Platform, error) {
 			WindowLength: cfg.WindowSeconds,
 			Retain:       cfg.Retain,
 			Dir:          cfg.storeDir(pol),
+			Sync:         cfg.Sync,
 		})
 		if err != nil {
 			closeAll()
@@ -282,7 +347,10 @@ func Open(cfg Config) (*Platform, error) {
 	}
 	adkmn := cfg.AdKMN
 	adkmn.Pollutant = pollutants[0]
-	engine, err := server.NewMultiEngine(p.stores, adkmn)
+	engine, err := server.NewMultiEngineOpts(p.stores, adkmn, server.Options{
+		Pipeline:  cfg.IngestQueue,
+		Scheduler: cfg.Maintenance,
+	})
 	if err != nil {
 		closeAll()
 		return nil, err
@@ -296,11 +364,13 @@ func Open(cfg Config) (*Platform, error) {
 		}
 		covers, err := coverio.Load(snap)
 		if err != nil {
+			engine.Close()
 			closeAll()
 			return nil, fmt.Errorf("repro: load cover snapshot for %v: %w", pol, err)
 		}
 		mnt, err := engine.MaintainerFor(pol)
 		if err != nil {
+			engine.Close()
 			closeAll()
 			return nil, err
 		}
@@ -309,11 +379,16 @@ func Open(cfg Config) (*Platform, error) {
 	return p, nil
 }
 
-// Close persists the cover snapshots (if configured), then syncs and
-// releases durable resources. All failures are reported, combined with
-// errors.Join.
+// Close shuts the write path down first — the ingest pipeline drains
+// every queued upload into the (still open) stores and the maintenance
+// scheduler stops — then persists the cover snapshots (if configured),
+// and finally syncs and releases durable resources. All failures are
+// reported, combined with errors.Join.
 func (p *Platform) Close() error {
 	var errs []error
+	if err := p.engine.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("repro: close engine: %w", err))
+	}
 	for _, pol := range p.pollutants {
 		if snap := p.snapshots[pol]; snap != "" {
 			if mnt, err := p.engine.MaintainerFor(pol); err == nil {
@@ -386,6 +461,20 @@ func (p *Platform) IngestReader(ctx context.Context, pol Pollutant, r io.Reader)
 		return p.engine.Ingest(ctx, pol, b)
 	})
 }
+
+// IngestStats returns the asynchronous ingest pipeline's counters:
+// accepted uploads, coalesced appends, saturation rejections, queue
+// depth.
+func (p *Platform) IngestStats() PipelineStats { return p.engine.PipelineStats() }
+
+// MaintenanceStats returns the background cover scheduler's counters:
+// builds scheduled, completed, skipped, dropped.
+func (p *Platform) MaintenanceStats() SchedulerStats { return p.engine.SchedulerStats() }
+
+// WaitMaintenance blocks until the background cover scheduler is idle —
+// every invalidated window rebuilt or discarded. Useful in tests and
+// benchmarks; a disabled scheduler is always idle.
+func (p *Platform) WaitMaintenance() { p.engine.Scheduler().Wait() }
 
 // Len returns the number of retained readings across all pollutants.
 func (p *Platform) Len() int {

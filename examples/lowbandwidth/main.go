@@ -44,6 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 	engine := server.NewEngine(st, core.Config{})
+	defer engine.Close()
 
 	// The mobile object walks through the center for 100 minutes starting
 	// at t = 2 h, sending one CO2 query tuple per minute (a Request's zero

@@ -37,6 +37,13 @@ func main() {
 	}
 	fmt.Printf("ingested %d raw tuples\n", platform.Len())
 
+	// Ingestion already queued every touched window for a background
+	// model build (see Config.Maintenance to tune or disable this).
+	// Waiting here is optional — a query would simply build on demand —
+	// but it shows the covers arriving off the query path.
+	platform.WaitMaintenance()
+	fmt.Printf("background builds: %d covers ready\n", platform.MaintenanceStats().Built)
+
 	// Point query: the CO2 concentration near the city-center plume at
 	// 05:30 into the stream (t = 19800 s), answered from the window's
 	// Ad-KMN model cover. The zero Pollutant of a Request is CO2.

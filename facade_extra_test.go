@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"math"
 	"path/filepath"
 	"testing"
@@ -125,5 +126,46 @@ func TestRouteSummaryAgainstPlatform(t *testing.T) {
 	}
 	if sum.Average <= 0 || sum.Advice == "" {
 		t.Errorf("summary incomplete: %+v", sum)
+	}
+}
+
+// TestPlatformAsyncIngestKnobs exercises the ISSUE 3 facade surface:
+// grouped-commit durability, the ingest pipeline counters, background
+// cover maintenance, and the closed-platform write refusal.
+func TestPlatformAsyncIngestKnobs(t *testing.T) {
+	p, err := Open(Config{
+		WindowSeconds: 3600,
+		Dir:           t.TempDir(),
+		Sync:          SyncGrouped(8, 0),
+		IngestQueue:   PipelineConfig{QueueDepth: 16},
+		Maintenance:   SchedulerConfig{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, err := SimulateLausanne(11, 2*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := p.Ingest(ctx, CO2, readings); err != nil {
+		t.Fatal(err)
+	}
+	p.WaitMaintenance()
+	if ms := p.MaintenanceStats(); ms.Built < 2 {
+		t.Fatalf("MaintenanceStats = %+v, want both windows prebuilt", ms)
+	}
+	if is := p.IngestStats(); is.Submitted != 1 || is.Appends != 1 {
+		t.Fatalf("IngestStats = %+v, want one submitted upload and one append", is)
+	}
+	// The prebuilt cover answers without a query-path build.
+	if _, err := p.Query(ctx, Request{T: 1800, X: 500, Y: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Ingest(ctx, CO2, readings); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ingest after Close = %v, want ErrClosed", err)
 	}
 }

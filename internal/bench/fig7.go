@@ -202,6 +202,7 @@ func RunFig7b(d *Dataset, cfg Fig7bConfig) (*Fig7bResult, error) {
 		return nil, err
 	}
 	eng := server.NewEngine(st, PaperConfig(cfg.Tau, cfg.Seed))
+	defer eng.Close() // stop the pipeline/scheduler goroutines per run
 
 	// The mobile object rides along the first bus route, one query per
 	// interval, starting inside the second window so models exist.

@@ -44,6 +44,14 @@ type Maintainer struct {
 	covers   map[int]*Cover
 	building map[int]*buildState
 
+	// invalHooks run after Invalidate drops a window, outside the
+	// maintainer lock, in registration order. The scheduler subscribes
+	// here to queue background rebuilds. Eviction does NOT fire these:
+	// an evicted window is behind the retention horizon and rebuilding
+	// it would be dead work.
+	invalHooks map[int]func(c int)
+	nextHookID int
+
 	// testBuildHook, when set (by tests in this package), runs after the
 	// window's tuples are read but before the built cover is installed —
 	// the interleaving point of the stale-cover race.
@@ -133,11 +141,49 @@ func (m *Maintainer) CoverAt(t float64) (*Cover, error) {
 // arrive for a window that was already modeled). An in-flight build for c
 // is marked stale: its result still answers the callers already waiting
 // on it, but it is not cached, so later CoverFor calls rebuild from the
-// post-invalidation window.
+// post-invalidation window. Invalidation hooks registered with
+// OnInvalidate run afterwards, outside the maintainer lock.
 func (m *Maintainer) Invalidate(c int) {
 	m.mu.Lock()
 	m.dropLocked(c)
+	var hooks []func(c int)
+	if len(m.invalHooks) > 0 {
+		ids := make([]int, 0, len(m.invalHooks))
+		for id := range m.invalHooks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		hooks = make([]func(c int), len(ids))
+		for i, id := range ids {
+			hooks[i] = m.invalHooks[id]
+		}
+	}
 	m.mu.Unlock()
+	for _, fn := range hooks {
+		fn(c)
+	}
+}
+
+// OnInvalidate registers fn to run after every Invalidate(c), outside
+// the maintainer lock. It fires for first-touch windows too (the engine
+// invalidates every window an ingest batch lands in), so a subscriber
+// sees every window whose cover is missing or outdated — the feed the
+// background build scheduler drains. The returned function unregisters
+// the hook.
+func (m *Maintainer) OnInvalidate(fn func(c int)) (unregister func()) {
+	m.mu.Lock()
+	if m.invalHooks == nil {
+		m.invalHooks = make(map[int]func(c int))
+	}
+	id := m.nextHookID
+	m.nextHookID++
+	m.invalHooks[id] = fn
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		delete(m.invalHooks, id)
+		m.mu.Unlock()
+	}
 }
 
 // dropWindows is the store eviction hook. Every cover at or below the

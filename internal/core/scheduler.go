@@ -1,0 +1,272 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// SchedulerConfig tunes a Scheduler. The zero value is usable.
+type SchedulerConfig struct {
+	// Workers bounds concurrent background cover builds. 0 = 2; < 0
+	// disables the scheduler entirely (NewScheduler returns nil and every
+	// build stays on the query path).
+	Workers int
+	// MaxQueue bounds pending builds. When full, admitting a more recent
+	// window drops the oldest pending one — the query path still builds
+	// dropped windows synchronously on demand. 0 = 128.
+	MaxQueue int
+}
+
+// SchedulerStats counts what the scheduler has processed.
+type SchedulerStats struct {
+	// Scheduled is the number of build requests admitted to the queue
+	// (deduplicated: re-invalidating an already-queued window does not
+	// count again).
+	Scheduled int64
+	// Built is the number of covers built successfully in the background.
+	Built int64
+	// Skipped counts builds abandoned because the window was empty or
+	// evicted by the time a worker reached it.
+	Skipped int64
+	// Failed counts background builds that errored.
+	Failed int64
+	// Dropped counts pending builds displaced by queue overflow.
+	Dropped int64
+	// QueueLen is the current number of pending builds.
+	QueueLen int
+	// Inflight is the number of builds running right now.
+	Inflight int
+}
+
+// buildKey identifies one pending build: a window of one maintainer
+// (one scheduler serves every pollutant shard of an engine).
+type buildKey struct {
+	m *Maintainer
+	c int
+}
+
+// buildHeap is a max-heap on window index: the most recent stream-time
+// window — the one fresh ingest (and therefore fresh queries) is hitting
+// — builds first.
+type buildHeap []buildKey
+
+func (h buildHeap) Len() int            { return len(h) }
+func (h buildHeap) Less(i, j int) bool  { return h[i].c > h[j].c }
+func (h buildHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *buildHeap) Push(x interface{}) { *h = append(*h, x.(buildKey)) }
+func (h *buildHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Scheduler drains maintainer invalidations into a bounded priority
+// build queue worked by background goroutines, so covers are rebuilt off
+// the query path: after an ingest burst the hottest (most recent)
+// windows are modeled before anyone asks. A query that races a pending
+// build simply joins it (or builds synchronously) through the
+// maintainer's ordinary CoverFor path — the scheduler is an accelerator,
+// never a correctness dependency. If a window is invalidated again while
+// its background build runs, the maintainer marks that build stale (it
+// is not cached) and the new invalidation re-queues the window, so the
+// scheduler converges to a cover of the latest data.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[buildKey]bool
+	queue    buildHeap
+	inflight int
+	closed   bool
+	wg       sync.WaitGroup
+
+	scheduled int64
+	built     int64
+	skipped   int64
+	failed    int64
+	dropped   int64
+}
+
+// NewScheduler starts a scheduler with cfg.Workers background builders.
+// A cfg.Workers < 0 returns nil: every method of a nil *Scheduler is
+// safe and turns the scheduler into a no-op, so callers thread one
+// handle regardless of configuration.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.Workers < 0 {
+		return nil
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 128
+	}
+	s := &Scheduler{cfg: cfg, pending: make(map[buildKey]bool)}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Watch subscribes the scheduler to m's invalidations: every
+// invalidated (or first-touched) window is queued for a background
+// rebuild. The returned function unsubscribes.
+func (s *Scheduler) Watch(m *Maintainer) (unwatch func()) {
+	if s == nil {
+		return func() {}
+	}
+	return m.OnInvalidate(func(c int) { s.Schedule(m, c) })
+}
+
+// Schedule queues a background build of window c on maintainer m.
+// Duplicates of an already-pending build are absorbed. When the queue is
+// full, the oldest pending window is dropped if c is more recent —
+// otherwise the request itself is dropped (the query path covers it).
+func (s *Scheduler) Schedule(m *Maintainer, c int) {
+	if s == nil {
+		return
+	}
+	key := buildKey{m: m, c: c}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.pending[key] {
+		return
+	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		oldest := s.oldestLocked()
+		if oldest < 0 || s.queue[oldest].c >= c {
+			s.dropped++
+			return
+		}
+		dropped := s.queue[oldest]
+		heap.Remove(&s.queue, oldest)
+		delete(s.pending, dropped)
+		s.dropped++
+	}
+	s.pending[key] = true
+	heap.Push(&s.queue, key)
+	s.scheduled++
+	// Broadcast, not Signal: the one awoken waiter could be a Wait()er,
+	// which would go straight back to sleep while every worker slept on.
+	s.cond.Broadcast()
+}
+
+// oldestLocked returns the index of the lowest-priority (oldest window)
+// pending build, or -1 on an empty queue. Caller holds mu.
+func (s *Scheduler) oldestLocked() int {
+	if len(s.queue) == 0 {
+		return -1
+	}
+	// The max-heap keeps its minimum somewhere in the leaf half; a linear
+	// scan is fine at MaxQueue scale.
+	oldest := 0
+	for i := 1; i < len(s.queue); i++ {
+		if s.queue[i].c < s.queue[oldest].c {
+			oldest = i
+		}
+	}
+	return oldest
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		key := heap.Pop(&s.queue).(buildKey)
+		delete(s.pending, key)
+		s.inflight++
+		s.mu.Unlock()
+
+		s.build(key)
+
+		s.mu.Lock()
+		s.inflight--
+		if len(s.queue) == 0 && s.inflight == 0 {
+			s.cond.Broadcast() // wake Wait()ers
+		}
+		s.mu.Unlock()
+	}
+}
+
+// build performs one background cover build, classifying the outcome.
+func (s *Scheduler) build(key buildKey) {
+	// An empty window means it was evicted (or never held data) after
+	// scheduling: building would just manufacture an error.
+	if key.m.st.WindowLen(key.c) == 0 {
+		s.mu.Lock()
+		s.skipped++
+		s.mu.Unlock()
+		return
+	}
+	_, err := key.m.CoverFor(key.c)
+	s.mu.Lock()
+	if err != nil {
+		s.failed++
+	} else {
+		s.built++
+	}
+	s.mu.Unlock()
+}
+
+// Wait blocks until the scheduler is idle: no pending and no in-flight
+// builds. Builds scheduled while waiting extend the wait. A nil or
+// closed scheduler is idle.
+func (s *Scheduler) Wait() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for (len(s.queue) > 0 || s.inflight > 0) && !s.closed {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	if s == nil {
+		return SchedulerStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedulerStats{
+		Scheduled: s.scheduled,
+		Built:     s.built,
+		Skipped:   s.skipped,
+		Failed:    s.failed,
+		Dropped:   s.dropped,
+		QueueLen:  len(s.queue),
+		Inflight:  s.inflight,
+	}
+}
+
+// Close discards pending builds, stops the workers, and waits for any
+// in-flight builds to finish. Safe to call twice and on nil.
+func (s *Scheduler) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.queue = nil
+	s.pending = make(map[buildKey]bool)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/tuple"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSchedulerBuildsInvalidatedWindows checks the basic loop: an
+// invalidation queues a background build and the cover lands in the
+// cache without any query.
+func TestSchedulerBuildsInvalidatedWindows(t *testing.T) {
+	st := fillStore(t, 100, 3, 50)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(1)})
+	s := NewScheduler(SchedulerConfig{Workers: 1})
+	defer s.Close()
+	defer s.Watch(m)()
+
+	for c := 0; c < 3; c++ {
+		m.Invalidate(c)
+	}
+	s.Wait()
+	got := m.CachedWindows()
+	sort.Ints(got)
+	if len(got) != 3 {
+		t.Fatalf("CachedWindows = %v, want windows 0..2 prebuilt", got)
+	}
+	stats := s.Stats()
+	if stats.Built != 3 || stats.Scheduled != 3 {
+		t.Fatalf("Stats = %+v, want 3 scheduled and built", stats)
+	}
+}
+
+// TestSchedulerPrefersRecentWindows gates the maintainer's build path
+// and checks queued windows are built newest-first.
+func TestSchedulerPrefersRecentWindows(t *testing.T) {
+	st := fillStore(t, 100, 5, 40)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(2)})
+	s := NewScheduler(SchedulerConfig{Workers: 1})
+	defer s.Close()
+	defer s.Watch(m)()
+
+	var mu sync.Mutex
+	var order []int
+	release := make(chan struct{})
+	entered := make(chan int, 8)
+	m.testBuildHook = func(c int) {
+		mu.Lock()
+		order = append(order, c)
+		mu.Unlock()
+		entered <- c
+		<-release
+	}
+
+	m.Invalidate(0) // worker picks this up and blocks in the build
+	<-entered
+	// Now queue the rest while the worker is busy; priority decides.
+	for _, c := range []int{1, 3, 2, 4} {
+		m.Invalidate(c)
+	}
+	waitFor(t, "queue to fill", func() bool { return s.Stats().QueueLen == 4 })
+	close(release)
+	s.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{0, 4, 3, 2, 1}
+	if len(order) != len(want) {
+		t.Fatalf("build order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("build order = %v, want %v (newest first)", order, want)
+		}
+	}
+}
+
+// TestSchedulerDedupsPendingWindows re-invalidates a queued window and
+// checks it is admitted once.
+func TestSchedulerDedupsPendingWindows(t *testing.T) {
+	st := fillStore(t, 100, 2, 40)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(3)})
+	s := NewScheduler(SchedulerConfig{Workers: 1})
+	defer s.Close()
+	defer s.Watch(m)()
+
+	entered := make(chan int, 4)
+	release := make(chan struct{})
+	m.testBuildHook = func(c int) {
+		entered <- c
+		<-release
+	}
+	m.Invalidate(0)
+	<-entered // worker busy on window 0
+	for i := 0; i < 5; i++ {
+		m.Invalidate(1)
+	}
+	waitFor(t, "window 1 to queue", func() bool { return s.Stats().QueueLen == 1 })
+	if got := s.Stats().Scheduled; got != 2 {
+		t.Fatalf("Scheduled = %d, want 2 (duplicates absorbed)", got)
+	}
+	close(release)
+	s.Wait()
+}
+
+// TestSchedulerSkipsEvictedWindows checks a build whose window vanished
+// (retention) is skipped, not failed.
+func TestSchedulerSkipsEvictedWindows(t *testing.T) {
+	st := fillStore(t, 100, 3, 40)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(4)})
+	s := NewScheduler(SchedulerConfig{Workers: 1})
+	defer s.Close()
+
+	// Window 9 holds no data: scheduling it directly models the race
+	// where eviction lands between Invalidate and the worker.
+	s.Schedule(m, 9)
+	s.Wait()
+	stats := s.Stats()
+	if stats.Skipped != 1 || stats.Failed != 0 || stats.Built != 0 {
+		t.Fatalf("Stats = %+v, want exactly one skip", stats)
+	}
+}
+
+// TestSchedulerOverflowDropsOldest fills MaxQueue and checks a newer
+// window displaces the oldest pending build, while an older one is
+// refused.
+func TestSchedulerOverflowDropsOldest(t *testing.T) {
+	st := fillStore(t, 100, 8, 30)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(5)})
+	s := NewScheduler(SchedulerConfig{Workers: 1, MaxQueue: 2})
+	defer s.Close()
+
+	entered := make(chan int, 8)
+	release := make(chan struct{})
+	m.testBuildHook = func(c int) {
+		entered <- c
+		<-release
+	}
+	s.Schedule(m, 5) // occupies the worker
+	<-entered
+	s.Schedule(m, 2)
+	s.Schedule(m, 3) // queue now [2 3], full
+	s.Schedule(m, 1) // older than everything pending: refused
+	s.Schedule(m, 4) // newer: displaces 2
+	st5 := s.Stats()
+	if st5.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2 (one refusal + one displacement)", st5.Dropped)
+	}
+	if st5.QueueLen != 2 {
+		t.Fatalf("QueueLen = %d, want 2", st5.QueueLen)
+	}
+	close(release)
+	s.Wait()
+	got := m.CachedWindows()
+	sort.Ints(got)
+	for _, c := range got {
+		if c == 1 || c == 2 {
+			t.Fatalf("dropped window %d was built anyway (cached %v)", c, got)
+		}
+	}
+}
+
+// TestSchedulerNilIsInert checks the disabled configuration: a nil
+// scheduler absorbs every call.
+func TestSchedulerNilIsInert(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Workers: -1})
+	if s != nil {
+		t.Fatal("Workers < 0 should disable the scheduler")
+	}
+	st := store.MustOpenMemory(100)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(6)})
+	unwatch := s.Watch(m)
+	s.Schedule(m, 1)
+	s.Wait()
+	if got := s.Stats(); got != (SchedulerStats{}) {
+		t.Fatalf("nil scheduler stats = %+v", got)
+	}
+	unwatch()
+	s.Close()
+	if err := st.Append(tuple.Batch{{T: 10, X: 1, Y: 1, S: 400}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Invalidate(0) // hook fan-out with a nil scheduler must not panic
+}
+
+// TestSchedulerStaleRebuildConverges interleaves an invalidation into a
+// background build: the stale result must not be cached, and the re-queued
+// build must converge to a cover of the latest data.
+func TestSchedulerStaleRebuildConverges(t *testing.T) {
+	st := fillStore(t, 100, 1, 40)
+	m := NewMaintainer(st, Config{Cluster: clusterSeed(7)})
+	s := NewScheduler(SchedulerConfig{Workers: 1})
+	defer s.Close()
+	defer s.Watch(m)()
+
+	entered := make(chan int, 4)
+	release := make(chan struct{}, 4)
+	var gate sync.Mutex
+	gated := true
+	m.testBuildHook = func(c int) {
+		gate.Lock()
+		g := gated
+		gate.Unlock()
+		if g {
+			entered <- c
+			<-release
+		}
+	}
+
+	m.Invalidate(0)
+	<-entered // background build of window 0 in flight
+	// New data lands mid-build: the engine would append + invalidate.
+	if err := st.Append(tuple.Batch{{T: 50, X: 1, Y: 1, S: 999}}); err != nil {
+		t.Fatal(err)
+	}
+	gate.Lock()
+	gated = false // let the rebuild run ungated
+	gate.Unlock()
+	m.Invalidate(0)       // stales the in-flight build, re-queues
+	release <- struct{}{} // finish the stale build
+	s.Wait()
+
+	// The converged cover must exist and include the late tuple's window
+	// data (41 tuples built, not 40): CoverFor returns the cached pointer
+	// without rebuilding.
+	cv, err := m.CoverFor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, r := range cv.Regions {
+		n += r.N
+	}
+	if n != 41 {
+		t.Fatalf("converged cover built from %d tuples, want 41 (stale build cached?)", n)
+	}
+}

@@ -16,11 +16,28 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/heatmap"
+	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
+
+// ErrEngineClosed is returned by writes against a closed engine — the
+// HTTP layer maps it to 503.
+var ErrEngineClosed = errors.New("server: engine closed")
+
+// Options tunes the engine's asynchronous machinery: the ingest
+// pipeline queues and the background cover-maintenance scheduler. The
+// zero value uses the packages' defaults.
+type Options struct {
+	// Pipeline configures the per-pollutant ingest queues (depth,
+	// coalescing bound, overflow policy).
+	Pipeline ingest.PipelineConfig
+	// Scheduler configures the background cover builder; Workers < 0
+	// disables it, leaving every cover build on the query path.
+	Scheduler core.SchedulerConfig
+}
 
 // shard is one pollutant's slice of the engine: its raw-tuple store and
 // its model-cover maintainer. Covers of different pollutants never mix.
@@ -33,9 +50,27 @@ type shard struct {
 // monitored pollutant. It serves the wire protocol (query tuples with
 // interpolated values, model requests with the full (t_n, µ, M) payload)
 // and is safe for concurrent use; the shard set is fixed at construction.
+//
+// Writes flow through an asynchronous pipeline: Ingest enqueues onto the
+// pollutant's bounded queue and blocks until the (possibly coalesced)
+// store append covering the upload completes — with a durable store,
+// until its commit group is durable. Each applied append invalidates the
+// touched windows, which the background scheduler drains into prioritized
+// cover rebuilds, so the query path finds covers already built instead of
+// paying Ad-KMN on first touch.
 type Engine struct {
 	shards map[tuple.Pollutant]*shard
 	def    tuple.Pollutant
+
+	pipeline *ingest.Pipeline
+	sched    *core.Scheduler // nil when disabled
+	unwatch  []func()
+	closed   atomic.Bool
+
+	// ingestTestGate, when set (by tests in this package, before any
+	// ingest), runs inside the pipeline sink — the hook tests use to hold
+	// the ingest worker and saturate the queue deterministically.
+	ingestTestGate func(p tuple.Pollutant)
 }
 
 // NewEngine creates a single-pollutant engine over st with the given
@@ -43,20 +78,29 @@ type Engine struct {
 // default). Unlike NewMultiEngine it tolerates an out-of-range
 // cfg.Pollutant, matching the pre-v1 constructor's leniency.
 func NewEngine(st *store.Store, cfg core.Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		shards: map[tuple.Pollutant]*shard{
 			cfg.Pollutant: {st: st, maintainer: core.NewMaintainer(st, cfg)},
 		},
 		def: cfg.Pollutant,
 	}
+	e.startAsync(Options{})
+	return e
 }
 
-// NewMultiEngine creates an engine with one shard per pollutant. Each
-// shard's maintainer runs Ad-KMN with cfg, its Pollutant field rebound to
-// the shard's key. The default pollutant (used by legacy wire frames and
-// parameterless HTTP calls) is cfg.Pollutant when monitored, otherwise
-// the smallest monitored key.
+// NewMultiEngine creates an engine with one shard per pollutant and the
+// default pipeline/scheduler options; see NewMultiEngineOpts.
 func NewMultiEngine(stores map[tuple.Pollutant]*store.Store, cfg core.Config) (*Engine, error) {
+	return NewMultiEngineOpts(stores, cfg, Options{})
+}
+
+// NewMultiEngineOpts creates an engine with one shard per pollutant.
+// Each shard's maintainer runs Ad-KMN with cfg, its Pollutant field
+// rebound to the shard's key. The default pollutant (used by legacy wire
+// frames and parameterless HTTP calls) is cfg.Pollutant when monitored,
+// otherwise the smallest monitored key. opts tunes the ingest pipeline
+// and the cover-maintenance scheduler.
+func NewMultiEngineOpts(stores map[tuple.Pollutant]*store.Store, cfg core.Config, opts Options) (*Engine, error) {
 	if len(stores) == 0 {
 		return nil, errors.New("server: no pollutant stores")
 	}
@@ -77,8 +121,53 @@ func NewMultiEngine(stores map[tuple.Pollutant]*store.Store, cfg core.Config) (*
 	} else {
 		e.def = e.Pollutants()[0]
 	}
+	e.startAsync(opts)
 	return e, nil
 }
+
+// startAsync wires the write path: the ingest pipeline draining into
+// ingestSink, and the scheduler watching every shard's invalidations.
+func (e *Engine) startAsync(opts Options) {
+	e.sched = core.NewScheduler(opts.Scheduler)
+	if e.sched != nil {
+		for _, sh := range e.shards {
+			e.unwatch = append(e.unwatch, e.sched.Watch(sh.maintainer))
+		}
+	}
+	// NewPipeline only fails on a nil sink.
+	e.pipeline, _ = ingest.NewPipeline(e.ingestSink, opts.Pipeline)
+}
+
+// Close shuts the write path down: the pipeline stops accepting uploads
+// and drains what it holds (every queued upload is still applied and
+// acknowledged), the scheduler finishes in-flight builds and discards
+// the rest, and the maintainers detach from their stores' eviction
+// hooks. The read path (queries over already-built state) keeps working.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := e.pipeline.Close()
+	for _, u := range e.unwatch {
+		u()
+	}
+	e.sched.Close()
+	for _, sh := range e.shards {
+		sh.maintainer.Close()
+	}
+	return err
+}
+
+// Scheduler exposes the background build scheduler (nil when disabled) —
+// tests and benchmarks use it to await quiescence.
+func (e *Engine) Scheduler() *core.Scheduler { return e.sched }
+
+// PipelineStats returns the ingest pipeline counters.
+func (e *Engine) PipelineStats() ingest.PipelineStats { return e.pipeline.Stats() }
+
+// SchedulerStats returns the cover-maintenance scheduler counters (zero
+// when the scheduler is disabled).
+func (e *Engine) SchedulerStats() core.SchedulerStats { return e.sched.Stats() }
 
 // Pollutants lists the monitored pollutants in stable (ascending) order.
 func (e *Engine) Pollutants() []tuple.Pollutant {
@@ -348,27 +437,76 @@ func (e *Engine) CoverAt(ctx context.Context, p tuple.Pollutant, t float64) (*co
 	return sh.coverAt(ctx, t)
 }
 
-// Ingest appends a batch of raw tuples for pollutant p, invalidating any
-// cached cover whose window received late data.
+// Ingest submits a batch of raw tuples for pollutant p through the
+// asynchronous pipeline and blocks until the append covering it
+// completes (with a durable store, until the batch's commit group is
+// durable). A full queue follows the pipeline's overflow policy —
+// blocking by default. Applied windows are invalidated and queued for a
+// background cover rebuild.
 func (e *Engine) Ingest(ctx context.Context, p tuple.Pollutant, b tuple.Batch) error {
+	return e.ingest(ctx, p, b, false)
+}
+
+// TryIngest is Ingest that never waits for queue space: a saturated
+// pollutant queue fails fast with ingest.ErrSaturated. The HTTP ingest
+// edge uses it to shed load as 429s.
+func (e *Engine) TryIngest(ctx context.Context, p tuple.Pollutant, b tuple.Batch) error {
+	return e.ingest(ctx, p, b, true)
+}
+
+func (e *Engine) ingest(ctx context.Context, p tuple.Pollutant, b tuple.Batch, try bool) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	sh, err := e.shardFor(p)
-	if err != nil {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	if _, err := e.shardFor(p); err != nil {
 		return err
 	}
-	if err := sh.st.Append(b); err != nil {
-		return err
+	var err error
+	if try {
+		err = e.pipeline.TrySubmit(ctx, p, b)
+	} else {
+		err = e.pipeline.Submit(ctx, p, b)
 	}
+	if errors.Is(err, ingest.ErrPipelineClosed) {
+		// An Ingest that raced Close past the closed check: present the
+		// engine-level sentinel so callers match one closed error.
+		return ErrEngineClosed
+	}
+	return err
+}
+
+// ingestSink applies one (possibly coalesced) upload group: the durable
+// store append, then invalidation of the touched windows — which feeds
+// the scheduler's background rebuild queue. Windows the batch touched
+// that are already behind the retention horizon (the append itself
+// evicted them) are NOT invalidated: the maintainer's eviction hook has
+// dropped their covers and scheduling a rebuild would be dead work.
+func (e *Engine) ingestSink(p tuple.Pollutant, b tuple.Batch) error {
+	sh := e.shards[p] // pollutant validated before submit
+	if e.ingestTestGate != nil {
+		e.ingestTestGate(p)
+	}
+	err := sh.st.Append(b)
+	// Invalidate even when Append errors: a sync failure still applies
+	// the batch to the in-memory windows (only its durability is in
+	// doubt), and skipping invalidation would serve covers that exclude
+	// visible data forever. For a failure that applied nothing, the
+	// WindowLen check below skips empty windows and a spurious rebuild
+	// of an unchanged window is merely wasted background work.
 	touched := map[int]bool{}
 	for _, r := range b {
 		touched[tuple.WindowIndex(r.T, sh.st.WindowLength())] = true
 	}
 	for c := range touched {
+		if sh.st.WindowLen(c) == 0 {
+			continue // evicted or out of retention: never queue dead builds
+		}
 		sh.maintainer.Invalidate(c)
 	}
-	return nil
+	return err
 }
 
 // Heatmap rasterizes pollutant p's cover at time t over the data's

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/heatmap"
+	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/route"
 	"repro/internal/tuple"
@@ -570,14 +571,28 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// No handler-side Validate: store.Append runs the identical check and
-	// its failure already maps to a 400 below.
-	if err := a.engine.Ingest(r.Context(), pol, req.Tuples); err != nil {
-		if errors.Is(err, query.ErrUnknownPollutant) {
+	// No handler-side Validate: the pipeline runs the identical check on
+	// submit and ErrInvalidBatch maps to a 400 below. TryIngest, not
+	// Ingest: an overloaded server sheds uploads as 429s instead of
+	// holding connections open against a full queue. A sink failure
+	// surfacing through the ack (disk full, fsync error) is the server's
+	// fault, not the client's: 500, never 400.
+	if err := a.engine.TryIngest(r.Context(), pol, req.Tuples); err != nil {
+		switch {
+		case errors.Is(err, ingest.ErrSaturated):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrEngineClosed), errors.Is(err, ingest.ErrPipelineClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, query.ErrUnknownPollutant):
 			writeEngineError(w, err)
-			return
+		case errors.Is(err, ingest.ErrInvalidBatch):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			writeEngineError(w, err) // 503 / 504
+		default:
+			writeError(w, http.StatusInternalServerError, err)
 		}
-		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"ingested": len(req.Tuples)})
@@ -591,9 +606,32 @@ type pollutantStats struct {
 	CachedCovers int     `json:"cachedCovers"`
 }
 
+// ingestStatsJSON mirrors ingest.PipelineStats on the wire.
+type ingestStatsJSON struct {
+	Submitted int64 `json:"submitted"`
+	Tuples    int64 `json:"tuples"`
+	Appends   int64 `json:"appends"`
+	Coalesced int64 `json:"coalesced"`
+	Rejected  int64 `json:"rejected"`
+	Errors    int64 `json:"errors"`
+	Queued    int64 `json:"queued"`
+}
+
+// maintenanceStatsJSON mirrors core.SchedulerStats on the wire.
+type maintenanceStatsJSON struct {
+	Scheduled int64 `json:"scheduled"`
+	Built     int64 `json:"built"`
+	Skipped   int64 `json:"skipped"`
+	Failed    int64 `json:"failed"`
+	Dropped   int64 `json:"dropped"`
+	QueueLen  int   `json:"queueLen"`
+	Inflight  int   `json:"inflight"`
+}
+
 // statsResponse summarizes server state. The top-level fields describe
 // the default pollutant (legacy shape); PerPollutant breaks all shards
-// out.
+// out, and Ingest/Maintenance describe the write pipeline and the
+// background cover scheduler.
 type statsResponse struct {
 	Tuples       int                       `json:"tuples"`
 	Windows      int                       `json:"windows"`
@@ -602,6 +640,8 @@ type statsResponse struct {
 	CachedCovers int                       `json:"cachedCovers"`
 	Default      string                    `json:"defaultPollutant"`
 	PerPollutant map[string]pollutantStats `json:"perPollutant"`
+	Ingest       ingestStatsJSON           `json:"ingest"`
+	Maintenance  maintenanceStatsJSON      `json:"maintenance"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -622,9 +662,21 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, fmt.Errorf("%w: %v not monitored", query.ErrUnknownPollutant, top))
 		return
 	}
+	ps := a.engine.PipelineStats()
+	ss := a.engine.SchedulerStats()
 	resp := statsResponse{
 		Default:      a.engine.Default().String(),
 		PerPollutant: make(map[string]pollutantStats, len(a.engine.Pollutants())),
+		Ingest: ingestStatsJSON{
+			Submitted: ps.Submitted, Tuples: ps.Tuples, Appends: ps.Appends,
+			Coalesced: ps.Coalesced, Rejected: ps.Rejected, Errors: ps.Errors,
+			Queued: ps.Queued,
+		},
+		Maintenance: maintenanceStatsJSON{
+			Scheduled: ss.Scheduled, Built: ss.Built, Skipped: ss.Skipped,
+			Failed: ss.Failed, Dropped: ss.Dropped, QueueLen: ss.QueueLen,
+			Inflight: ss.Inflight,
+		},
 	}
 	for _, pol := range a.engine.Pollutants() {
 		st, _ := a.engine.StoreFor(pol)

@@ -1,0 +1,175 @@
+package server
+
+// Satellite coverage for POST /v1/ingest error paths: malformed body,
+// unknown pollutant, saturated queue -> 429, and engine-closed -> 503.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/store"
+	"repro/internal/tuple"
+)
+
+func newIngestAPI(t *testing.T, opts Options) (*Engine, *httptest.Server) {
+	t.Helper()
+	st := store.MustOpenMemory(100)
+	e, err := NewMultiEngineOpts(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
+		core.Config{Cluster: cluster.Config{Seed: 21}}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewAPI(e))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { e.Close() })
+	return e, srv
+}
+
+func postIngest(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestHTTPIngestMalformedBody(t *testing.T) {
+	_, srv := newIngestAPI(t, Options{})
+	for _, body := range []string{
+		"{not json",
+		`{"tuples": "nope"}`,
+		`{"tuples": [{"t": "NaN"}]}`,
+	} {
+		if resp := postIngest(t, srv.URL, body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Invalid tuple values decode but fail validation: still a 400.
+	if resp := postIngest(t, srv.URL, `{"tuples": [{"t": -1, "x": 0, "y": 0, "s": 400}]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid tuple: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPIngestUnknownPollutant(t *testing.T) {
+	_, srv := newIngestAPI(t, Options{}) // serves CO2 only
+	// Unparseable pollutant name, in the query and in the body.
+	if resp := postIngest(t, srv.URL+"/v1/ingest?pollutant=plutonium", `{"tuples": []}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad ?pollutant=: status = %d, want 400", resp.StatusCode)
+	}
+	if resp := postIngest(t, srv.URL, `{"pollutant": "plutonium", "tuples": []}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body pollutant: status = %d, want 400", resp.StatusCode)
+	}
+	// Valid but unmonitored pollutant.
+	resp := postIngest(t, srv.URL, `{"pollutant": "PM", "tuples": [{"t": 1, "x": 0, "y": 0, "s": 20}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unmonitored pollutant: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPIngestSaturatedQueueReturns429(t *testing.T) {
+	e, srv := newIngestAPI(t, Options{Pipeline: ingest.PipelineConfig{QueueDepth: 1}})
+	gateEntered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	e.ingestTestGate = func(tuple.Pollutant) {
+		gateEntered <- struct{}{}
+		<-release
+	}
+
+	tuples := `{"tuples": [{"t": 1, "x": 0, "y": 0, "s": 400}]}`
+	// First upload occupies the worker inside the gated sink.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp := postIngest(t, srv.URL, tuples)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("occupying upload: status = %d", resp.StatusCode)
+		}
+	}()
+	<-gateEntered
+	// Second fills the depth-1 queue (its ack arrives after release).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp := postIngest(t, srv.URL, tuples)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("queued upload: status = %d", resp.StatusCode)
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for e.PipelineStats().Queued < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %+v", e.PipelineStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third must be shed with 429 + Retry-After.
+	resp := postIngest(t, srv.URL, tuples)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest: status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+		t.Errorf("429 body = %v, %v; want an error field", body, err)
+	}
+	close(release) // let the occupying and queued appends finish
+	wg.Wait()
+}
+
+func TestHTTPIngestClosedEngineReturns503(t *testing.T) {
+	e, srv := newIngestAPI(t, Options{})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp := postIngest(t, srv.URL, `{"tuples": [{"t": 1, "x": 0, "y": 0, "s": 400}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest on closed engine: status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHTTPIngestSuccessReportsCount pins the happy path alongside the
+// error paths: the response carries the accepted tuple count and the
+// data is queryable afterwards.
+func TestHTTPIngestSuccessReportsCount(t *testing.T) {
+	_, srv := newIngestAPI(t, Options{})
+	var sb strings.Builder
+	sb.WriteString(`{"tuples": [`)
+	for i := 0; i < 30; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"t": %d, "x": %d, "y": %d, "s": 420}`, i*3, i*10%500, i*7%500)
+	}
+	sb.WriteString(`]}`)
+	resp, err := http.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader([]byte(sb.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["ingested"] != 30 {
+		t.Fatalf("ingested = %d, want 30", out["ingested"])
+	}
+}

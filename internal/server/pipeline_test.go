@@ -1,0 +1,241 @@
+package server
+
+// The ISSUE 3 acceptance test, run under `go test -race`: after an
+// ingest burst through the asynchronous pipeline, (1) a subsequent query
+// finds its cover already built by the background scheduler — no
+// synchronous Ad-KMN on the query path — and (2) grouped commit issued
+// measurably fewer fsyncs than batches appended, asserted via the
+// store's sync-counting hook (DurabilityStats).
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/store"
+	"repro/internal/tuple"
+)
+
+// TestIngestBurstPrebuildsCoversAndGroupsSyncs is the acceptance test.
+func TestIngestBurstPrebuildsCoversAndGroupsSyncs(t *testing.T) {
+	const (
+		windowLen = 100.0
+		windows   = 4
+		uploaders = 8
+		uploads   = 4 // per uploader
+	)
+	st, err := store.Open(store.Config{
+		WindowLength: windowLen,
+		Dir:          t.TempDir(),
+		Sync:         store.SyncGrouped(8, 50*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
+		core.Config{Cluster: cluster.Config{Seed: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+
+	// The burst: concurrent small uploads across all windows.
+	var wg sync.WaitGroup
+	for u := 0; u < uploaders; u++ {
+		u := u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < uploads; i++ {
+				c := (u*uploads + i) % windows
+				b := seedBatch(tuple.CO2, c, windowLen, 25, int64(1000+u*100+i))
+				if err := e.Ingest(ctx, tuple.CO2, b); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Quiesce the background scheduler, then verify every touched window's
+	// cover is already cached — built off the query path.
+	e.Scheduler().Wait()
+	mnt := e.Maintainer()
+	cached := mnt.CachedWindows()
+	sort.Ints(cached)
+	if len(cached) != windows {
+		t.Fatalf("CachedWindows = %v, want all %d touched windows prebuilt", cached, windows)
+	}
+	ss := e.SchedulerStats()
+	if ss.Built == 0 {
+		t.Fatalf("SchedulerStats = %+v, want background builds", ss)
+	}
+
+	// The query must be answered from the prebuilt cover: the exact
+	// cached pointer, not a fresh synchronous build.
+	before := mnt.Snapshot()
+	for c := 0; c < windows; c++ {
+		tm := (float64(c) + 0.5) * windowLen
+		if _, err := e.Query(ctx, query.Request{T: tm, X: 500, Y: 500, Pollutant: tuple.CO2}); err != nil {
+			t.Fatalf("query window %d: %v", c, err)
+		}
+		cv, err := mnt.CoverFor(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cv != before[c] {
+			t.Fatalf("window %d: query built a new cover instead of using the scheduler's", c)
+		}
+	}
+
+	// Group commit: the burst's durable appends shared fsyncs.
+	ds := st.DurabilityStats()
+	if ds.Appends == 0 {
+		t.Fatal("no durable appends recorded")
+	}
+	if ds.Syncs >= ds.Appends {
+		// The pipeline coalesces concurrent uploads into few appends; with
+		// enough uploads the burst still outpaces one-fsync-per-append.
+		t.Logf("engine path: %d syncs / %d appends (coalescing dominates)", ds.Syncs, ds.Appends)
+	}
+
+	// The store-level half of the criterion, same -race run: concurrent
+	// appenders on a grouped-commit store share fsyncs, counted by the
+	// store's sync hook.
+	st2, err := store.Open(store.Config{
+		WindowLength: windowLen,
+		Dir:          t.TempDir(),
+		Sync:         store.SyncGrouped(8, 50*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var wg2 sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		w := w
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for i := 0; i < 4; i++ {
+				if err := st2.Append(seedBatch(tuple.CO2, w%windows, windowLen, 5, int64(w*10+i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg2.Wait()
+	ds2 := st2.DurabilityStats()
+	if ds2.Appends != 64 {
+		t.Fatalf("Appends = %d, want 64", ds2.Appends)
+	}
+	if ds2.Syncs >= ds2.Appends {
+		t.Fatalf("grouped commit issued %d syncs for %d appends, want measurably fewer", ds2.Syncs, ds2.Appends)
+	}
+}
+
+// TestIngestSkipsOutOfRetentionInvalidation is the satellite fix: a
+// batch whose tuples land behind the retention horizon (evicted by its
+// own append) must not queue dead cover builds.
+func TestIngestSkipsOutOfRetentionInvalidation(t *testing.T) {
+	const windowLen = 100.0
+	st, err := store.Open(store.Config{WindowLength: windowLen, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
+		core.Config{Cluster: cluster.Config{Seed: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx := context.Background()
+
+	// Fill recent windows 10 and 11 (the retained pair).
+	for _, c := range []int{10, 11} {
+		if err := e.Ingest(ctx, tuple.CO2, seedBatch(tuple.CO2, c, windowLen, 30, int64(c))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Scheduler().Wait()
+	base := e.SchedulerStats()
+
+	// A straggler upload for long-dead window 1: the append evicts it
+	// immediately (retention keeps the newest 2 of {1, 10, 11}), so no
+	// invalidation — and no build — may be scheduled for it.
+	if err := e.Ingest(ctx, tuple.CO2, seedBatch(tuple.CO2, 1, windowLen, 10, 99)); err != nil {
+		t.Fatal(err)
+	}
+	e.Scheduler().Wait()
+	got := e.SchedulerStats()
+	if got.Scheduled != base.Scheduled {
+		t.Fatalf("dead window queued a build: scheduled %d -> %d", base.Scheduled, got.Scheduled)
+	}
+	cached := e.Maintainer().CachedWindows()
+	sort.Ints(cached)
+	for _, c := range cached {
+		if c == 1 {
+			t.Fatalf("dead window 1 has a cover (cached %v)", cached)
+		}
+	}
+}
+
+// TestEngineIngestAfterClose checks the write path fails cleanly once
+// the engine is closed, while reads keep working.
+func TestEngineIngestAfterClose(t *testing.T) {
+	st := store.MustOpenMemory(100)
+	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
+		core.Config{Cluster: cluster.Config{Seed: 13}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := e.Ingest(ctx, tuple.CO2, seedBatch(tuple.CO2, 0, 100, 30, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	if err := e.Ingest(ctx, tuple.CO2, seedBatch(tuple.CO2, 1, 100, 5, 2)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Ingest after Close = %v, want ErrEngineClosed", err)
+	}
+	if err := e.TryIngest(ctx, tuple.CO2, seedBatch(tuple.CO2, 1, 100, 5, 2)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("TryIngest after Close = %v, want ErrEngineClosed", err)
+	}
+	// Reads still answer from built state.
+	if _, err := e.Query(ctx, query.Request{T: 50, X: 500, Y: 500, Pollutant: tuple.CO2}); err != nil {
+		t.Fatalf("query after Close: %v", err)
+	}
+}
+
+// TestEngineIngestValidatesBeforeQueueing checks a garbage upload is
+// rejected at submit — it must not poison a coalesced append.
+func TestEngineIngestValidatesBeforeQueueing(t *testing.T) {
+	st := store.MustOpenMemory(100)
+	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
+		core.Config{Cluster: cluster.Config{Seed: 14}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	bad := tuple.Batch{{T: -5, X: 0, Y: 0, S: 400}}
+	if err := e.Ingest(context.Background(), tuple.CO2, bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if ps := e.PipelineStats(); ps.Submitted != 0 {
+		t.Fatalf("invalid batch was queued: %+v", ps)
+	}
+}

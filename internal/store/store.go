@@ -18,6 +18,18 @@
 // fresh one. Recovery relies on this invariant — a corrupt frame always
 // sits at a segment's tail, so replay keeps every frame before it and
 // ignores the rest of that segment only.
+//
+// # Durability and sync policy
+//
+// Historically the store acknowledged a durable Append as soon as the
+// frame reached the OS (write(2)); fsync happened only on Sync and Close,
+// so a machine crash could lose every acknowledged batch since the last
+// explicit Sync. That weak guarantee is now opt-in: Config.Sync selects
+// when appends reach stable storage, and its zero value is SyncEveryBatch
+// — an Append with Dir set does not return before its frame is fsynced.
+// SyncGrouped amortizes the fsync across a commit group (concurrent
+// appenders share one fsync, acknowledged only once the group is
+// durable), and SyncNever restores the historical write-and-ack behavior.
 package store
 
 import (
@@ -28,9 +40,68 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/tuple"
 )
+
+// SyncMode selects when durable appends are flushed to stable storage.
+type SyncMode int
+
+const (
+	// SyncModeEveryBatch fsyncs the segment after every appended batch,
+	// before the append is acknowledged. The default when Dir is set.
+	SyncModeEveryBatch SyncMode = iota
+	// SyncModeGrouped groups concurrent appends into commit groups: a
+	// group is sealed after MaxBatches appends or MaxDelay, whichever
+	// comes first, and one fsync covers the whole group. Every append in
+	// the group is acknowledged only after that fsync returns.
+	SyncModeGrouped
+	// SyncModeNever issues no policy-driven fsyncs: appends are
+	// acknowledged once written to the OS, and data reaches stable
+	// storage only on Sync, Close, or at the kernel's leisure. This is
+	// the store's historical (pre-sync-policy) behavior.
+	SyncModeNever
+)
+
+// SyncPolicy configures when durable appends are flushed; build one with
+// SyncEveryBatch, SyncGrouped, or SyncNever. The zero value is
+// SyncEveryBatch().
+type SyncPolicy struct {
+	Mode SyncMode
+	// MaxBatches seals a commit group at this many appends
+	// (SyncModeGrouped; 0 = 32).
+	MaxBatches int
+	// MaxDelay seals a commit group at this age, bounding how long a
+	// lone append waits for company (SyncModeGrouped; 0 = 2ms).
+	MaxDelay time.Duration
+}
+
+// SyncEveryBatch returns the policy that fsyncs every appended batch
+// before acknowledging it.
+func SyncEveryBatch() SyncPolicy { return SyncPolicy{Mode: SyncModeEveryBatch} }
+
+// SyncGrouped returns the group-commit policy: one fsync covers up to
+// maxBatches appends or maxDelay of accumulation, whichever comes first
+// (0 picks the defaults: 32 batches, 2ms).
+func SyncGrouped(maxBatches int, maxDelay time.Duration) SyncPolicy {
+	return SyncPolicy{Mode: SyncModeGrouped, MaxBatches: maxBatches, MaxDelay: maxDelay}
+}
+
+// SyncNever returns the policy that never fsyncs on append.
+func SyncNever() SyncPolicy { return SyncPolicy{Mode: SyncModeNever} }
+
+// DurabilityStats counts the store's durable writes and fsyncs — the
+// observable effect of the sync policy (under SyncGrouped, Syncs stays
+// well below Appends on a concurrent append burst).
+type DurabilityStats struct {
+	// Appends is the number of batches durably written to segments.
+	Appends int64
+	// Syncs is the number of fsyncs issued (policy-driven, manual Sync,
+	// and the final sync in Close).
+	Syncs int64
+}
 
 // Config configures a Store.
 type Config struct {
@@ -42,6 +113,10 @@ type Config struct {
 	// Dir, when non-empty, enables durability: every appended batch is
 	// written to a segment file under Dir before being acknowledged.
 	Dir string
+	// Sync selects when durable appends reach stable storage. The zero
+	// value is SyncEveryBatch(); see SyncGrouped and SyncNever. Ignored
+	// when Dir is empty.
+	Sync SyncPolicy
 }
 
 // Store is a windowed, optionally durable raw-tuple store. It is safe for
@@ -58,6 +133,17 @@ type Store struct {
 	segOff int64 // end offset of the last intact frame in seg
 	closed bool  // Close was called; durable appends must fail
 
+	// group is the open commit group (SyncModeGrouped); appends join it
+	// and block on its done channel until one fsync covers them all.
+	// sealed holds groups detached from `group` (MaxBatches reached)
+	// whose fsync has not completed yet — a failed rotation or Close
+	// sync must poison these too, or their appends would be acked as
+	// durable off a sync that never covered their frames.
+	group   *commitGroup
+	sealed  map[*commitGroup]bool
+	appends atomic.Int64
+	syncs   atomic.Int64
+
 	// evictHooks run after windows are evicted, outside the store lock,
 	// in registration order. Guarded by mu; keyed for unregistration.
 	evictHooks map[int]func(evicted []int)
@@ -66,6 +152,23 @@ type Store struct {
 	// writeFrame persists one batch to the segment; swapped by tests to
 	// inject torn writes. Defaults to tuple.WriteBinary.
 	writeFrame func(w io.Writer, b tuple.Batch) error
+	// syncSeg flushes the segment to stable storage; swapped by tests to
+	// count or fail fsyncs. Defaults to (*os.File).Sync.
+	syncSeg func(f *os.File) error
+}
+
+// commitGroup is one group-commit unit: the appends that share a single
+// fsync. err is written once, before done closes. failErr (guarded by
+// the store mutex) poisons the group when its segment could not be
+// synced on a rotation or at Close — the closer propagates it instead
+// of fsyncing whatever segment is current by then.
+type commitGroup struct {
+	once    sync.Once
+	done    chan struct{}
+	timer   *time.Timer
+	n       int
+	err     error
+	failErr error
 }
 
 // Open creates a store. If cfg.Dir is non-empty, existing segment files in
@@ -77,7 +180,25 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Retain < 0 {
 		return nil, fmt.Errorf("store: Retain = %d, want ≥ 0", cfg.Retain)
 	}
-	s := &Store{cfg: cfg, windows: make(map[int]tuple.Batch), writeFrame: tuple.WriteBinary}
+	switch cfg.Sync.Mode {
+	case SyncModeEveryBatch, SyncModeGrouped, SyncModeNever:
+	default:
+		return nil, fmt.Errorf("store: unknown sync mode %d", cfg.Sync.Mode)
+	}
+	if cfg.Sync.Mode == SyncModeGrouped {
+		if cfg.Sync.MaxBatches <= 0 {
+			cfg.Sync.MaxBatches = 32
+		}
+		if cfg.Sync.MaxDelay <= 0 {
+			cfg.Sync.MaxDelay = 2 * time.Millisecond
+		}
+	}
+	s := &Store{
+		cfg:        cfg,
+		windows:    make(map[int]tuple.Batch),
+		writeFrame: tuple.WriteBinary,
+		syncSeg:    func(f *os.File) error { return f.Sync() },
+	}
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: create dir: %w", err)
@@ -201,9 +322,14 @@ func (s *Store) openSegment() error {
 }
 
 // Append validates and ingests a batch of raw tuples. With durability on,
-// the batch is persisted before the in-memory state is updated; a batch
-// that cannot be persisted is not ingested. Eviction hooks registered
-// with OnEvict run after the append, outside the store lock.
+// the batch is persisted before the in-memory state is updated and — per
+// the sync policy — flushed to stable storage before Append returns; a
+// batch that cannot be persisted is not ingested. Under SyncGrouped the
+// final wait is shared: the append blocks until its commit group's single
+// fsync covers it. A sync failure is returned to every append it covers
+// (the in-memory state keeps the batch; only its durability is in doubt).
+// Eviction hooks registered with OnEvict run after the append, outside
+// the store lock.
 func (s *Store) Append(b tuple.Batch) error {
 	if len(b) == 0 {
 		return nil
@@ -211,6 +337,9 @@ func (s *Store) Append(b tuple.Batch) error {
 	if err := b.Validate(); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	var syncErr error
+	var group *commitGroup
+	var seal bool
 	s.mu.Lock()
 	if s.cfg.Dir != "" {
 		if err := s.persistLocked(b); err != nil {
@@ -232,11 +361,108 @@ func (s *Store) Append(b tuple.Batch) error {
 			hooks[i] = s.evictHooks[id]
 		}
 	}
+	var everySeg *os.File
+	if s.cfg.Dir != "" && s.seg != nil {
+		switch s.cfg.Sync.Mode {
+		case SyncModeEveryBatch:
+			everySeg = s.seg
+		case SyncModeGrouped:
+			group, seal = s.joinGroupLocked()
+		}
+	}
 	s.mu.Unlock()
+	if everySeg != nil {
+		// Fsync outside the lock: holding mu through an fsync would stall
+		// every reader (the whole query path) per append. The frame is
+		// already written; a concurrent rotation that closes this handle
+		// surfaces here as a sync error — conservative, and the rotation
+		// path itself syncs the abandoned segment first.
+		syncErr = s.doSync(everySeg)
+	}
+	if group != nil {
+		if seal {
+			s.closeGroup(group)
+		}
+		<-group.done
+		syncErr = group.err
+	}
 	for _, fn := range hooks {
 		fn(evicted)
 	}
+	if syncErr != nil {
+		return fmt.Errorf("store: sync: %w", syncErr)
+	}
 	return nil
+}
+
+// doSync flushes f to stable storage, counting the fsync.
+func (s *Store) doSync(f *os.File) error {
+	s.syncs.Add(1)
+	return s.syncSeg(f)
+}
+
+// joinGroupLocked adds the calling append to the open commit group,
+// opening one (with its MaxDelay timer) if none is pending. seal is true
+// when this append filled the group to MaxBatches: the caller must then
+// close the group itself, performing the group's fsync inline. Caller
+// holds mu.
+func (s *Store) joinGroupLocked() (g *commitGroup, seal bool) {
+	if s.group == nil {
+		g := &commitGroup{done: make(chan struct{})}
+		g.timer = time.AfterFunc(s.cfg.Sync.MaxDelay, func() { s.closeGroup(g) })
+		s.group = g
+	}
+	g = s.group
+	g.n++
+	if g.n >= s.cfg.Sync.MaxBatches {
+		s.group = nil // later appends start a fresh group
+		if s.sealed == nil {
+			s.sealed = make(map[*commitGroup]bool)
+		}
+		s.sealed[g] = true // visible to poisoning until its fsync resolves
+		return g, true
+	}
+	return g, false
+}
+
+// closeGroup seals g: detaches it from the store, issues the group's one
+// fsync, and releases every append waiting on it. Called by the append
+// that filled the group or by the group's MaxDelay timer — whichever
+// fires first wins; the call is idempotent. A group poisoned by a failed
+// rotation or Close sync (failErr) propagates that error instead of
+// fsyncing whatever segment is current by now; a store closed in the
+// meantime has already synced the group's frames under its lock.
+func (s *Store) closeGroup(g *commitGroup) {
+	g.once.Do(func() {
+		// g.timer and g.failErr are written under mu; reading them under
+		// mu orders this (possibly timer-goroutine) read after those
+		// writes.
+		s.mu.Lock()
+		if s.group == g {
+			s.group = nil
+		}
+		delete(s.sealed, g)
+		seg := s.seg
+		closed := s.closed
+		timer := g.timer
+		ferr := g.failErr
+		s.mu.Unlock()
+		if timer != nil {
+			timer.Stop()
+		}
+		switch {
+		case ferr != nil:
+			g.err = ferr
+		case seg != nil && !closed:
+			g.err = s.doSync(seg)
+		}
+		close(g.done)
+	})
+}
+
+// DurabilityStats returns the append/fsync counters.
+func (s *Store) DurabilityStats() DurabilityStats {
+	return DurabilityStats{Appends: s.appends.Load(), Syncs: s.syncs.Load()}
 }
 
 // persistLocked writes one batch frame to the open segment, maintaining
@@ -261,8 +487,23 @@ func (s *Store) persistLocked(b tuple.Batch) error {
 			return werr
 		}
 		// Truncate failed: the torn frame stays, so this segment must
-		// never be appended to again. Rotate; recovery tolerates the
-		// torn tail.
+		// never be appended to again. Before abandoning it, sync it —
+		// earlier intact frames may belong to an open commit group (or to
+		// an every-batch append racing toward its fsync) and must not be
+		// lost with the handle. If even that sync fails, poison the group
+		// so its appends are NOT acknowledged as durable; its timer will
+		// complete it with the error.
+		if serr := s.doSync(s.seg); serr != nil {
+			if g := s.group; g != nil {
+				s.group = nil
+				g.failErr = serr
+			}
+			for g := range s.sealed {
+				if g.failErr == nil {
+					g.failErr = serr
+				}
+			}
+		}
 		s.seg.Close()
 		s.seg = nil
 		s.segSeq++
@@ -272,6 +513,7 @@ func (s *Store) persistLocked(b tuple.Batch) error {
 		return werr
 	}
 	s.segOff += int64(tuple.EncodedSize(len(b)))
+	s.appends.Add(1)
 	return nil
 }
 
@@ -412,24 +654,46 @@ func (s *Store) Sync() error {
 	if s.seg == nil {
 		return nil
 	}
-	return s.seg.Sync()
+	return s.doSync(s.seg)
 }
 
-// Close syncs and closes the segment file. The in-memory state remains
-// readable but further Appends with durability will fail.
+// Close syncs and closes the segment file. A pending commit group is
+// released once the final sync has covered its frames. The in-memory
+// state remains readable but further Appends with durability will fail.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
-	if s.seg == nil {
-		return nil
-	}
-	if err := s.seg.Sync(); err != nil {
-		s.seg.Close()
+	group := s.group
+	s.group = nil
+	var err error
+	if s.seg != nil {
+		// Sync under the lock: a concurrently-firing group timer must not
+		// release the group's waiters before this sync has covered them.
+		if err = s.doSync(s.seg); err != nil {
+			s.seg.Close()
+		} else {
+			err = s.seg.Close()
+		}
 		s.seg = nil
-		return err
 	}
-	err := s.seg.Close()
-	s.seg = nil
+	if group != nil {
+		// Hand the group this sync's outcome under mu: whichever of
+		// Close and the group's timer wins the once reads it there, so a
+		// failed final sync can never be acknowledged as durable.
+		group.failErr = err
+	}
+	if err != nil {
+		// Sealed groups awaiting their fsync are covered by this failed
+		// sync too; their sealers must not ack them as durable.
+		for g := range s.sealed {
+			if g.failErr == nil {
+				g.failErr = err
+			}
+		}
+	}
+	s.mu.Unlock()
+	if group != nil {
+		s.closeGroup(group)
+	}
 	return err
 }

@@ -1,0 +1,162 @@
+package store
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+func syncBatch(c int, h float64, n int) tuple.Batch {
+	b := make(tuple.Batch, n)
+	for i := range b {
+		b[i] = tuple.Raw{T: float64(c)*h + float64(i), X: float64(i), Y: 1, S: 400}
+	}
+	return b
+}
+
+// TestSyncEveryBatchIsDefault checks the satellite fix: a durable store
+// with a zero Sync policy fsyncs every append before acknowledging it.
+func TestSyncEveryBatchIsDefault(t *testing.T) {
+	s, err := Open(Config{WindowLength: 100, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for c := 0; c < 5; c++ {
+		if err := s.Append(syncBatch(c, 100, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.DurabilityStats()
+	if st.Appends != 5 || st.Syncs != 5 {
+		t.Fatalf("DurabilityStats = %+v, want 5 appends and 5 syncs", st)
+	}
+}
+
+// TestSyncNeverIssuesNoAppendSyncs checks the historical weak guarantee
+// is still available, explicitly.
+func TestSyncNeverIssuesNoAppendSyncs(t *testing.T) {
+	s, err := Open(Config{WindowLength: 100, Dir: t.TempDir(), Sync: SyncNever()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 5; c++ {
+		if err := s.Append(syncBatch(c, 100, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.DurabilityStats(); st.Syncs != 0 {
+		t.Fatalf("DurabilityStats = %+v, want 0 syncs before Close", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.DurabilityStats(); st.Syncs != 1 {
+		t.Fatalf("DurabilityStats = %+v, want exactly the Close sync", st)
+	}
+}
+
+// TestGroupedCommitSharesSyncs drives a concurrent append burst through
+// the group-commit policy and asserts — via the fsync counting hook —
+// that one sync covered many appends, while every append still reached a
+// recoverable segment.
+func TestGroupedCommitSharesSyncs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{
+		WindowLength: 100,
+		Dir:          dir,
+		Sync:         SyncGrouped(8, 50*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, appendsEach = 16, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < appendsEach; i++ {
+				if err := s.Append(syncBatch(w*appendsEach+i, 100, 2)); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.DurabilityStats()
+	if st.Appends != writers*appendsEach {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers*appendsEach)
+	}
+	if st.Syncs >= st.Appends {
+		t.Fatalf("grouped commit did not group: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything acknowledged must come back on recovery.
+	s2, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got, want := s2.Len(), writers*appendsEach*2; got != want {
+		t.Fatalf("recovered %d tuples, want %d", got, want)
+	}
+}
+
+// TestGroupedCommitLoneAppendAcksByTimer checks a lone append is not
+// stuck waiting for company: the MaxDelay timer seals its group.
+func TestGroupedCommitLoneAppendAcksByTimer(t *testing.T) {
+	s, err := Open(Config{
+		WindowLength: 100,
+		Dir:          t.TempDir(),
+		Sync:         SyncGrouped(1024, 5*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	start := time.Now()
+	if err := s.Append(syncBatch(0, 100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("lone grouped append took %v", elapsed)
+	}
+	if st := s.DurabilityStats(); st.Syncs != 1 {
+		t.Fatalf("DurabilityStats = %+v, want 1 sync", st)
+	}
+}
+
+// TestGroupedCommitSyncErrorReachesEveryWaiter injects an fsync failure
+// and checks it is reported to the append that waited on the group.
+func TestGroupedCommitSyncErrorReachesEveryWaiter(t *testing.T) {
+	s, err := Open(Config{
+		WindowLength: 100,
+		Dir:          t.TempDir(),
+		Sync:         SyncGrouped(1, time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.syncSeg = func(*os.File) error { return os.ErrInvalid }
+	if err := s.Append(syncBatch(0, 100, 2)); err == nil {
+		t.Fatal("append acked despite failed group sync")
+	}
+}
+
+// TestSyncRejectsUnknownMode guards the config validation.
+func TestSyncRejectsUnknownMode(t *testing.T) {
+	_, err := Open(Config{WindowLength: 100, Sync: SyncPolicy{Mode: SyncMode(42)}})
+	if err == nil {
+		t.Fatal("Open accepted an unknown sync mode")
+	}
+}
