@@ -7,14 +7,17 @@
 //	envirometer-ingest -out lausanne.csv [-days 30] [-seed 1]
 //	envirometer-ingest -out lausanne.csv -pollutants CO2,CO,PM [-days 30]
 //	envirometer-ingest -segments dir/ [-window 14400] [-days 30] [-seed 1]
-//	                   [-sync every|never]
+//	                   [-sync every|never] [-checkpoint]
 //
 // With -pollutants, one file (or segment directory) per pollutant is
 // written, suffixed with the pollutant name. In segments mode, -sync
 // picks the durability policy: "every" fsyncs each appended batch
 // (slow, crash-safe), "never" writes as fast as the OS allows and syncs
 // once at the end — fine for bulk dataset generation, where a crash
-// just means regenerating.
+// just means regenerating. With -checkpoint, the finished store is
+// checkpointed and its segment log compacted away, so a server opening
+// the directory recovers from the checkpoint instantly instead of
+// replaying the whole log.
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic simulation seed")
 		polls    = flag.String("pollutants", "", "comma-separated pollutants (CO2,CO,PM); empty = CO2 only")
 		syncMode = flag.String("sync", "never", "segments durability: every (fsync per batch) or never (bulk)")
+		ck       = flag.Bool("checkpoint", false, "checkpoint the finished store and compact its segment log")
 	)
 	flag.Parse()
 	if *out == "" && *segments == "" {
@@ -52,17 +56,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "envirometer-ingest: unknown -sync mode %q (want every or never)\n", *syncMode)
 		os.Exit(2)
 	}
-	if err := run(*out, *segments, *window, *days, *seed, *polls, sync); err != nil {
+	if err := run(*out, *segments, *window, *days, *seed, *polls, sync, *ck); err != nil {
 		fmt.Fprintln(os.Stderr, "envirometer-ingest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, segments string, window, days float64, seed int64, polls string, sync store.SyncPolicy) error {
+func run(out, segments string, window, days float64, seed int64, polls string, sync store.SyncPolicy, ck bool) error {
 	cfg := sim.DefaultLausanne(seed)
 	cfg.Duration = days * 86400
 	if polls != "" {
-		return runMulti(out, segments, window, cfg, polls, sync)
+		return runMulti(out, segments, window, cfg, polls, sync, ck)
 	}
 	data, err := sim.Generate(cfg)
 	if err != nil {
@@ -102,16 +106,22 @@ func run(out, segments string, window, days float64, seed int64, polls string, s
 				return err
 			}
 		}
+		if ck {
+			if err := st.Checkpoint(); err != nil {
+				st.Close()
+				return err
+			}
+		}
 		if err := st.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote durable segments to %s (window H = %.0f s)\n", segments, window)
+		fmt.Printf("wrote durable segments to %s (window H = %.0f s, checkpointed: %v)\n", segments, window, ck)
 	}
 	return nil
 }
 
 // runMulti writes one dataset per pollutant, suffixing each destination.
-func runMulti(out, segments string, window float64, cfg sim.Config, polls string, sync store.SyncPolicy) error {
+func runMulti(out, segments string, window float64, cfg sim.Config, polls string, sync store.SyncPolicy, ck bool) error {
 	pollutants, err := tuple.ParsePollutantList(polls)
 	if err != nil {
 		return err
@@ -147,6 +157,12 @@ func runMulti(out, segments string, window float64, cfg sim.Config, polls string
 			if err := st.Append(b); err != nil {
 				st.Close()
 				return err
+			}
+			if ck {
+				if err := st.Checkpoint(); err != nil {
+					st.Close()
+					return err
+				}
 			}
 			if err := st.Close(); err != nil {
 				return err

@@ -13,14 +13,19 @@
 //	                   [-sync every|grouped|never] [-sync-batches 32]
 //	                   [-sync-delay 2ms] [-ingest-queue 64]
 //	                   [-ingest-maxbatch 4096] [-sched-workers 2]
-//	                   [-sched-queue 128]
+//	                   [-sched-queue 128] [-checkpoint-interval 5m]
+//	                   [-checkpoint-keep 1]
 //
 // The -sync* flags pick the durability policy of -dir (grouped = group
 // commit: one fsync covers up to -sync-batches appends or -sync-delay of
 // accumulation). The -ingest-* flags bound the asynchronous ingest
 // queues; -sched-* tunes the background cover-maintenance scheduler
 // (-sched-workers -1 disables it, putting cover builds back on the
-// query path).
+// query path). With -checkpoint-interval, each pollutant's store
+// periodically (and at shutdown) checkpoints its retained windows and
+// deletes the segment files behind the checkpoint, keeping disk usage
+// and restart time bounded by retention instead of history;
+// -checkpoint-keep spares the newest N covered segments per compaction.
 //
 // With -data, raw tuples are loaded from a CSV file ("t,x,y,s" header);
 // since the CSV carries one pollutant, -data requires a single-entry
@@ -67,6 +72,8 @@ func main() {
 		maxBatch    = flag.Int("ingest-maxbatch", 0, "max tuples per coalesced ingest append (0 = default)")
 		schedWork   = flag.Int("sched-workers", 0, "background cover-build workers (0 = default, -1 = disabled)")
 		schedQueue  = flag.Int("sched-queue", 0, "background cover-build queue bound (0 = default)")
+		ckInterval  = flag.Duration("checkpoint-interval", 0, "periodic store checkpoint interval (0 = disabled)")
+		ckKeep      = flag.Int("checkpoint-keep", 0, "checkpoint-covered segments spared per compaction")
 	)
 	flag.Parse()
 	sync, err := parseSyncPolicy(*syncMode, *syncBatches, *syncDelay)
@@ -81,6 +88,7 @@ func main() {
 		sync:  sync,
 		queue: repro.PipelineConfig{QueueDepth: *queueDepth, MaxBatchTuples: *maxBatch},
 		sched: repro.SchedulerConfig{Workers: *schedWork, MaxQueue: *schedQueue},
+		ck:    repro.CheckpointConfig{Interval: *ckInterval, KeepSegments: *ckKeep},
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "envirometer-server:", err)
 		os.Exit(1)
@@ -109,6 +117,7 @@ type options struct {
 	sync                                repro.SyncPolicy
 	queue                               repro.PipelineConfig
 	sched                               repro.SchedulerConfig
+	ck                                  repro.CheckpointConfig
 }
 
 func run(o options) error {
@@ -123,6 +132,7 @@ func run(o options) error {
 		Sync:          o.sync,
 		IngestQueue:   o.queue,
 		Maintenance:   o.sched,
+		Checkpoint:    o.ck,
 		CoverSnapshot: o.covers,
 	})
 	if err != nil {

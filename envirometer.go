@@ -158,6 +158,15 @@ const (
 // Workers < 0 disables it, leaving every cover build on the query path.
 type SchedulerConfig = core.SchedulerConfig
 
+// CheckpointConfig tunes durability checkpoints: Interval > 0 enables
+// periodic checkpoints (and a final one at Close); KeepSegments spares
+// the newest N checkpoint-covered segment files from each compaction.
+type CheckpointConfig = server.CheckpointConfig
+
+// CheckpointStats aggregates checkpoint/compaction activity and the
+// last restart's recovery path across every pollutant's store.
+type CheckpointStats = server.CheckpointStats
+
 // PipelineStats counts the ingest pipeline's work.
 type PipelineStats = ingest.PipelineStats
 
@@ -251,6 +260,14 @@ type Config struct {
 	// rebuilds invalidated covers off the query path. The zero value
 	// runs 2 build workers; Workers < 0 disables background builds.
 	Maintenance SchedulerConfig
+	// Checkpoint bounds recovery time and disk growth (used only with
+	// Dir): with Interval > 0 every store periodically — and at Close —
+	// persists its retained windows to a checkpoint file and deletes
+	// the segment files behind it, so a restart replays only the
+	// post-checkpoint suffix. KeepSegments spares the newest N covered
+	// segments per compaction. The zero value takes no automatic
+	// checkpoints; Platform.Checkpoint still works.
+	Checkpoint CheckpointConfig
 	// Retain bounds in-memory windows (0 = keep all).
 	Retain int
 	// AdKMN tunes the model cover construction; the zero value uses the
@@ -308,6 +325,9 @@ type Platform struct {
 	pollutants []Pollutant
 	stores     map[Pollutant]*store.Store
 	snapshots  map[Pollutant]string
+	// ckOnClose makes Close take a final checkpoint (set when
+	// Config.Checkpoint.Interval > 0).
+	ckOnClose bool
 }
 
 // Open creates a platform (recovering durable state if Config.Dir is set).
@@ -337,6 +357,7 @@ func Open(cfg Config) (*Platform, error) {
 			Retain:       cfg.Retain,
 			Dir:          cfg.storeDir(pol),
 			Sync:         cfg.Sync,
+			KeepSegments: cfg.Checkpoint.KeepSegments,
 		})
 		if err != nil {
 			closeAll()
@@ -347,9 +368,11 @@ func Open(cfg Config) (*Platform, error) {
 	}
 	adkmn := cfg.AdKMN
 	adkmn.Pollutant = pollutants[0]
+	p.ckOnClose = cfg.Checkpoint.Interval > 0
 	engine, err := server.NewMultiEngineOpts(p.stores, adkmn, server.Options{
-		Pipeline:  cfg.IngestQueue,
-		Scheduler: cfg.Maintenance,
+		Pipeline:   cfg.IngestQueue,
+		Scheduler:  cfg.Maintenance,
+		Checkpoint: cfg.Checkpoint,
 	})
 	if err != nil {
 		closeAll()
@@ -376,18 +399,63 @@ func Open(cfg Config) (*Platform, error) {
 		}
 		mnt.Prime(covers)
 	}
+	// Warm-prime: whatever the snapshots did not cover — recovered
+	// windows with no persisted cover, or a platform with no snapshot
+	// files at all — is modeled in the background now, so a restart is
+	// warm even where the snapshot is stale or absent.
+	engine.WarmPrime()
 	return p, nil
 }
 
+// Checkpoint persists every pollutant's retained windows to its store's
+// checkpoint file, compacts the segment logs behind them, and (when
+// CoverSnapshot is configured) saves the built model covers — after
+// which a crash costs only a suffix replay and the covers come back
+// warm. Safe to call at any time; Close takes a final checkpoint
+// automatically when Config.Checkpoint.Interval is set.
+func (p *Platform) Checkpoint() error {
+	var errs []error
+	if err := p.engine.Checkpoint(); err != nil {
+		errs = append(errs, err)
+	}
+	for _, pol := range p.pollutants {
+		snap := p.snapshots[pol]
+		if snap == "" {
+			continue
+		}
+		mnt, err := p.engine.MaintainerFor(pol)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := coverio.Save(snap, mnt.Snapshot()); err != nil {
+			errs = append(errs, fmt.Errorf("repro: save %v cover snapshot: %w", pol, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CheckpointStats aggregates checkpoint, compaction, and recovery
+// counters across every pollutant's store.
+func (p *Platform) CheckpointStats() CheckpointStats { return p.engine.CheckpointStats() }
+
 // Close shuts the write path down first — the ingest pipeline drains
 // every queued upload into the (still open) stores and the maintenance
-// scheduler stops — then persists the cover snapshots (if configured),
-// and finally syncs and releases durable resources. All failures are
-// reported, combined with errors.Join.
+// scheduler stops — then takes a final checkpoint (if
+// Config.Checkpoint.Interval is set) and persists the cover snapshots
+// (if configured), and finally syncs and releases durable resources.
+// All failures are reported, combined with errors.Join.
 func (p *Platform) Close() error {
 	var errs []error
 	if err := p.engine.Close(); err != nil {
 		errs = append(errs, fmt.Errorf("repro: close engine: %w", err))
+	}
+	if p.ckOnClose {
+		// The pipeline has drained into the stores; checkpoint them now
+		// so the next Open replays nothing.
+		if err := p.engine.Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("repro: close checkpoint: %w", err))
+		}
 	}
 	for _, pol := range p.pollutants {
 		if snap := p.snapshots[pol]; snap != "" {

@@ -275,6 +275,27 @@ func (m *Maintainer) Prime(covers map[int]*Cover) {
 	}
 }
 
+// MissingCovers returns the indexes of retained store windows that have
+// neither a cached cover nor a build in flight, in ascending order —
+// the windows a restarted server would pay an on-demand Ad-KMN build
+// for on first query. The scheduler's WarmPrime feeds on it.
+func (m *Maintainer) MissingCovers() []int {
+	idxs := m.st.WindowIndexes() // ascending
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(idxs))
+	for _, c := range idxs {
+		if _, ok := m.covers[c]; ok {
+			continue
+		}
+		if _, ok := m.building[c]; ok {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
 // CachedWindows returns the indexes of windows with cached covers.
 func (m *Maintainer) CachedWindows() []int {
 	m.mu.Lock()

@@ -156,6 +156,24 @@ func (s *Scheduler) Schedule(m *Maintainer, c int) {
 	s.cond.Broadcast()
 }
 
+// WarmPrime queues a background build for every retained window of m
+// that has no cover yet, returning how many were queued. After a
+// restart this turns recovery into a warm start: the windows the
+// snapshot did not cover (or that were replayed from the segment
+// suffix) are modeled off the query path before anyone asks, most
+// recent first — the same priority fresh ingest gets. A nil scheduler
+// primes nothing.
+func (s *Scheduler) WarmPrime(m *Maintainer) int {
+	if s == nil || m == nil {
+		return 0
+	}
+	missing := m.MissingCovers()
+	for _, c := range missing {
+		s.Schedule(m, c)
+	}
+	return len(missing)
+}
+
 // oldestLocked returns the index of the lowest-priority (oldest window)
 // pending build, or -1 on an empty queue. Caller holds mu.
 func (s *Scheduler) oldestLocked() int {

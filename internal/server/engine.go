@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -27,9 +28,23 @@ import (
 // HTTP layer maps it to 503.
 var ErrEngineClosed = errors.New("server: engine closed")
 
+// CheckpointConfig tunes the durability checkpoints of the engine's
+// stores. The zero value disables automatic checkpoints; Checkpoint can
+// always be called manually.
+type CheckpointConfig struct {
+	// Interval between automatic checkpoints of every shard's store.
+	// A positive interval also makes the facade checkpoint at Close.
+	// 0 disables the periodic trigger.
+	Interval time.Duration
+	// KeepSegments is forwarded by the facade into each store's
+	// configuration: how many checkpoint-covered segment files each
+	// compaction spares as a raw-history safety margin.
+	KeepSegments int
+}
+
 // Options tunes the engine's asynchronous machinery: the ingest
-// pipeline queues and the background cover-maintenance scheduler. The
-// zero value uses the packages' defaults.
+// pipeline queues, the background cover-maintenance scheduler, and the
+// checkpoint trigger. The zero value uses the packages' defaults.
 type Options struct {
 	// Pipeline configures the per-pollutant ingest queues (depth,
 	// coalescing bound, overflow policy).
@@ -37,6 +52,33 @@ type Options struct {
 	// Scheduler configures the background cover builder; Workers < 0
 	// disables it, leaving every cover build on the query path.
 	Scheduler core.SchedulerConfig
+	// Checkpoint configures periodic store checkpoints (the engine only
+	// uses Interval; KeepSegments is applied where the stores are
+	// opened).
+	Checkpoint CheckpointConfig
+}
+
+// CheckpointStats aggregates checkpoint and recovery activity across
+// every pollutant shard's store.
+type CheckpointStats struct {
+	// Checkpoints, Failures, LastWindows and LastTuples sum the shards'
+	// store.CheckpointStats.
+	Checkpoints int64
+	Failures    int64
+	// SegmentsDeleted is every segment file reclaimed, by checkpoint
+	// compaction and by recovery at Open — the store keeps the two
+	// apart; the aggregate reports total disk reclaimed.
+	SegmentsDeleted int64
+	LastWindows     int64
+	LastTuples      int64
+	// RecoveredShards counts shards whose last Open restored state from
+	// a checkpoint rather than full log replay.
+	RecoveredShards int
+	// SegmentsReplayed, TuplesReplayed and TuplesFromCheckpoint sum the
+	// shards' store.RecoveryStats.
+	SegmentsReplayed     int
+	TuplesReplayed       int
+	TuplesFromCheckpoint int
 }
 
 // shard is one pollutant's slice of the engine: its raw-tuple store and
@@ -66,6 +108,11 @@ type Engine struct {
 	sched    *core.Scheduler // nil when disabled
 	unwatch  []func()
 	closed   atomic.Bool
+
+	// ckStop ends the periodic checkpoint goroutine (nil when no
+	// Interval was configured); ckWG waits for it on Close.
+	ckStop chan struct{}
+	ckWG   sync.WaitGroup
 
 	// ingestTestGate, when set (by tests in this package, before any
 	// ingest), runs inside the pipeline sink — the hook tests use to hold
@@ -136,6 +183,76 @@ func (e *Engine) startAsync(opts Options) {
 	}
 	// NewPipeline only fails on a nil sink.
 	e.pipeline, _ = ingest.NewPipeline(e.ingestSink, opts.Pipeline)
+	if opts.Checkpoint.Interval > 0 {
+		e.ckStop = make(chan struct{})
+		e.ckWG.Add(1)
+		go func() {
+			defer e.ckWG.Done()
+			t := time.NewTicker(opts.Checkpoint.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					// A failed periodic checkpoint is already counted in
+					// the store's Failures; the next tick retries.
+					_ = e.Checkpoint()
+				case <-e.ckStop:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Checkpoint persists every shard's retained windows and compacts their
+// segment logs (see store.Checkpoint). Shard failures are joined; each
+// shard checkpoints independently, so one failing disk does not stop
+// the others.
+func (e *Engine) Checkpoint() error {
+	var errs []error
+	for _, pol := range e.Pollutants() {
+		if err := e.shards[pol].st.Checkpoint(); err != nil {
+			errs = append(errs, fmt.Errorf("server: checkpoint %v: %w", pol, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CheckpointStats aggregates the shards' checkpoint and recovery
+// counters.
+func (e *Engine) CheckpointStats() CheckpointStats {
+	var out CheckpointStats
+	for _, sh := range e.shards {
+		cs := sh.st.CheckpointStats()
+		out.Checkpoints += cs.Checkpoints
+		out.Failures += cs.Failures
+		out.SegmentsDeleted += cs.SegmentsDeleted
+		out.LastWindows += cs.LastWindows
+		out.LastTuples += cs.LastTuples
+		rs := sh.st.RecoveryStats()
+		if rs.FromCheckpoint {
+			out.RecoveredShards++
+			out.TuplesFromCheckpoint += rs.CheckpointTuples
+		}
+		out.SegmentsReplayed += rs.SegmentsReplayed
+		out.TuplesReplayed += rs.TuplesReplayed
+		out.SegmentsDeleted += int64(rs.SegmentsDeleted)
+	}
+	return out
+}
+
+// WarmPrime queues background cover builds for every retained window
+// that has no cover yet, across all shards — the post-restart step that
+// turns replayed raw windows back into query-ready covers without
+// putting Ad-KMN on the first query's path. A no-op when the scheduler
+// is disabled.
+func (e *Engine) WarmPrime() {
+	if e.sched == nil {
+		return
+	}
+	for _, pol := range e.Pollutants() {
+		e.sched.WarmPrime(e.shards[pol].maintainer)
+	}
 }
 
 // Close shuts the write path down: the pipeline stops accepting uploads
@@ -146,6 +263,10 @@ func (e *Engine) startAsync(opts Options) {
 func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if e.ckStop != nil {
+		close(e.ckStop)
+		e.ckWG.Wait()
 	}
 	err := e.pipeline.Close()
 	for _, u := range e.unwatch {

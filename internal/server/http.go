@@ -628,10 +628,26 @@ type maintenanceStatsJSON struct {
 	Inflight  int   `json:"inflight"`
 }
 
+// checkpointStatsJSON mirrors the engine's aggregated CheckpointStats
+// on the wire: checkpoint/compaction activity plus what the last Open
+// recovered from.
+type checkpointStatsJSON struct {
+	Checkpoints          int64 `json:"checkpoints"`
+	Failures             int64 `json:"failures"`
+	SegmentsDeleted      int64 `json:"segmentsDeleted"`
+	LastWindows          int64 `json:"lastWindows"`
+	LastTuples           int64 `json:"lastTuples"`
+	RecoveredShards      int   `json:"recoveredShards"`
+	SegmentsReplayed     int   `json:"segmentsReplayed"`
+	TuplesReplayed       int   `json:"tuplesReplayed"`
+	TuplesFromCheckpoint int   `json:"tuplesFromCheckpoint"`
+}
+
 // statsResponse summarizes server state. The top-level fields describe
 // the default pollutant (legacy shape); PerPollutant breaks all shards
-// out, and Ingest/Maintenance describe the write pipeline and the
-// background cover scheduler.
+// out, Ingest/Maintenance describe the write pipeline and the
+// background cover scheduler, and Checkpoint the durability
+// checkpoints and last recovery.
 type statsResponse struct {
 	Tuples       int                       `json:"tuples"`
 	Windows      int                       `json:"windows"`
@@ -642,6 +658,7 @@ type statsResponse struct {
 	PerPollutant map[string]pollutantStats `json:"perPollutant"`
 	Ingest       ingestStatsJSON           `json:"ingest"`
 	Maintenance  maintenanceStatsJSON      `json:"maintenance"`
+	Checkpoint   checkpointStatsJSON       `json:"checkpoint"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -664,6 +681,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	ps := a.engine.PipelineStats()
 	ss := a.engine.SchedulerStats()
+	cs := a.engine.CheckpointStats()
 	resp := statsResponse{
 		Default:      a.engine.Default().String(),
 		PerPollutant: make(map[string]pollutantStats, len(a.engine.Pollutants())),
@@ -676,6 +694,14 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 			Scheduled: ss.Scheduled, Built: ss.Built, Skipped: ss.Skipped,
 			Failed: ss.Failed, Dropped: ss.Dropped, QueueLen: ss.QueueLen,
 			Inflight: ss.Inflight,
+		},
+		Checkpoint: checkpointStatsJSON{
+			Checkpoints: cs.Checkpoints, Failures: cs.Failures,
+			SegmentsDeleted: cs.SegmentsDeleted,
+			LastWindows:     cs.LastWindows, LastTuples: cs.LastTuples,
+			RecoveredShards:  cs.RecoveredShards,
+			SegmentsReplayed: cs.SegmentsReplayed, TuplesReplayed: cs.TuplesReplayed,
+			TuplesFromCheckpoint: cs.TuplesFromCheckpoint,
 		},
 	}
 	for _, pol := range a.engine.Pollutants() {

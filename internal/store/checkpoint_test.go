@@ -1,0 +1,453 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// collectTuples flattens every retained window into one multiset keyed
+// by the raw tuple value.
+func collectTuples(s *Store) map[tuple.Raw]int {
+	out := make(map[tuple.Raw]int)
+	for _, c := range s.WindowIndexes() {
+		for _, r := range s.Window(c) {
+			out[r]++
+		}
+	}
+	return out
+}
+
+func sameTuples(t *testing.T, got, want map[tuple.Raw]int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("distinct tuples: got %d, want %d", len(got), len(want))
+	}
+	for r, n := range want {
+		if got[r] != n {
+			t.Fatalf("tuple %v: got %d copies, want %d", r, got[r], n)
+		}
+	}
+}
+
+func TestCheckpointRecoversWithSuffixReplayOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(10, 20, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(250)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint appends land in the rotated segment and must
+	// replay on top of the checkpoint.
+	if err := s.Append(mkBatch(260, 350)); err != nil {
+		t.Fatal(err)
+	}
+	want := collectTuples(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sameTuples(t, collectTuples(s2), want)
+	rs := s2.RecoveryStats()
+	if !rs.FromCheckpoint {
+		t.Fatal("recovery ignored the checkpoint")
+	}
+	if rs.CheckpointSeq != 0 {
+		t.Errorf("CheckpointSeq = %d, want 0", rs.CheckpointSeq)
+	}
+	if rs.CheckpointTuples != 4 {
+		t.Errorf("CheckpointTuples = %d, want 4", rs.CheckpointTuples)
+	}
+	if rs.SegmentsReplayed != 1 || rs.TuplesReplayed != 2 {
+		t.Errorf("replayed %d segments / %d tuples, want exactly the post-checkpoint suffix (1 / 2)",
+			rs.SegmentsReplayed, rs.TuplesReplayed)
+	}
+	if rs.CorruptCheckpoints != 0 {
+		t.Errorf("CorruptCheckpoints = %d, want 0", rs.CorruptCheckpoints)
+	}
+	// The recovered checkpoint is the newest committed one; its
+	// counters must survive the restart.
+	if st := s2.CheckpointStats(); st.LastSeq != 0 || st.LastTuples != 4 {
+		t.Errorf("restored checkpoint counters = %+v, want LastSeq 0, LastTuples 4", st)
+	}
+}
+
+func TestCheckpointBoundsOnDiskSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir, Retain: 4, KeepSegments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		if err := s.Append(mkBatch(float64(i*100+10), float64(i*100+20))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		names, err := segmentNames(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One kept covered segment plus the freshly rotated open one.
+		if len(names) > 2 {
+			t.Fatalf("round %d: %d segments on disk (%v), want ≤ 2", i, len(names), names)
+		}
+		seqs, err := checkpointSeqs(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seqs) != 1 || seqs[0] != i {
+			t.Fatalf("round %d: checkpoint files %v, want exactly [%d]", i, seqs, i)
+		}
+	}
+	st := s.CheckpointStats()
+	if st.Checkpoints != 8 || st.Failures != 0 {
+		t.Errorf("CheckpointStats = %+v, want 8 checkpoints, 0 failures", st)
+	}
+	if st.SegmentsDeleted == 0 {
+		t.Error("compaction deleted no segments")
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Errorf("MANIFEST missing: %v", err)
+	}
+}
+
+func TestCheckpointMemoryStoreIsNoop(t *testing.T) {
+	s := MustOpenMemory(100)
+	if err := s.Append(mkBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Errorf("memory-store checkpoint: %v", err)
+	}
+	if st := s.CheckpointStats(); st.Checkpoints != 0 {
+		t.Errorf("memory store counted a checkpoint: %+v", st)
+	}
+}
+
+func TestCheckpointEmptyStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s2.Len())
+	}
+	if !s2.RecoveryStats().FromCheckpoint {
+		t.Error("empty checkpoint should still be used")
+	}
+}
+
+func TestCheckpointAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Error("checkpoint after Close must fail")
+	}
+}
+
+func TestRecoverFallsBackToFullReplayOnCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// KeepSegments large enough that compaction spares every covered
+	// segment: the fallback then loses nothing.
+	s, err := Open(Config{WindowLength: 100, Dir: dir, KeepSegments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(10, 20, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(250)); err != nil {
+		t.Fatal(err)
+	}
+	want := collectTuples(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, checkpointName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF // corrupt the payload tail
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{WindowLength: 100, Dir: dir, KeepSegments: 100})
+	if err != nil {
+		t.Fatalf("recovery must fall back on a corrupt checkpoint: %v", err)
+	}
+	defer s2.Close()
+	sameTuples(t, collectTuples(s2), want)
+	rs := s2.RecoveryStats()
+	if rs.FromCheckpoint {
+		t.Error("corrupt checkpoint was trusted")
+	}
+	if rs.CorruptCheckpoints != 1 {
+		t.Errorf("CorruptCheckpoints = %d, want 1", rs.CorruptCheckpoints)
+	}
+	if rs.SegmentsReplayed != 2 {
+		t.Errorf("SegmentsReplayed = %d, want 2 (full replay)", rs.SegmentsReplayed)
+	}
+}
+
+func TestRecoverFallsBackToOlderValidCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir, KeepSegments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep superseded checkpoints on disk so an older candidate exists.
+	realRemove := s.removeFile
+	s.removeFile = func(path string) error {
+		if _, ok := parseSeq(filepath.Base(path), "checkpoint-"); ok {
+			return nil
+		}
+		return realRemove(path)
+	}
+	if err := s.Append(mkBatch(10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil { // checkpoint 0
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(150)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil { // checkpoint 1
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(250)); err != nil {
+		t.Fatal(err)
+	}
+	want := collectTuples(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the newest (manifest-committed) checkpoint; recovery must
+	// fall back to checkpoint 0 and replay everything after ITS horizon.
+	path := filepath.Join(dir, checkpointName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] ^= 0xFF // corrupt the header
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{WindowLength: 100, Dir: dir, KeepSegments: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sameTuples(t, collectTuples(s2), want)
+	rs := s2.RecoveryStats()
+	if !rs.FromCheckpoint || rs.CheckpointSeq != 0 {
+		t.Errorf("recovery = %+v, want fallback to checkpoint 0", rs)
+	}
+	if rs.CorruptCheckpoints != 1 {
+		t.Errorf("CorruptCheckpoints = %d, want 1", rs.CorruptCheckpoints)
+	}
+	// New checkpoints must number past the corrupt one, never reuse it.
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.CheckpointStats(); st.LastSeq != 2 {
+		t.Errorf("next checkpoint seq = %d, want 2", st.LastSeq)
+	}
+}
+
+func TestRecoverHealsManifestForOrphanCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(10, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(mkBatch(250)); err != nil {
+		t.Fatal(err)
+	}
+	want := collectTuples(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash scenario: the checkpoint file was renamed into place but
+	// the MANIFEST commit was lost.
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.RecoveryStats().FromCheckpoint {
+		t.Fatal("orphan checkpoint not used")
+	}
+	sameTuples(t, collectTuples(s2), want)
+	// Recovery must have re-committed the checkpoint it used, so the
+	// next restart agrees with this one even after compaction.
+	if seq, _, err := readManifest(dir); err != nil || seq != 0 {
+		t.Fatalf("manifest not healed: seq=%d err=%v", seq, err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	sameTuples(t, collectTuples(s3), want)
+	if rs := s3.RecoveryStats(); !rs.FromCheckpoint || rs.CorruptCheckpoints != 0 {
+		t.Errorf("second restart recovery = %+v", rs)
+	}
+}
+
+func TestRecoverDeletesRetentionDeadSegments(t *testing.T) {
+	dir := t.TempDir()
+	// Build six single-window segments via reopen cycles (each Open
+	// starts a fresh segment) — no checkpoints involved.
+	for c := 0; c < 6; c++ {
+		s, err := Open(Config{WindowLength: 100, Dir: dir, Retain: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(mkBatch(float64(c*100 + 50))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(Config{WindowLength: 100, Dir: dir, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.WindowIndexes(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("retained windows = %v, want [4 5]", got)
+	}
+	if rs := s.RecoveryStats(); rs.SegmentsDeleted == 0 {
+		t.Errorf("retention-dead segments not reclaimed: %+v", rs)
+	}
+	// The survivors must still cover the retained windows on yet
+	// another restart.
+	names, err := segmentNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if seq, _ := parseSeq(name, "segment-"); seq < 4 {
+			// Segments 0..3 hold only windows 0..3 — all dead. (Empty
+			// reopen segments may persist; they hold no data.)
+			f, err := os.Stat(filepath.Join(dir, name))
+			if err == nil && f.Size() > 0 {
+				t.Errorf("dead segment %s (size %d) survived", name, f.Size())
+			}
+		}
+	}
+	s.Close()
+	s2, err := Open(Config{WindowLength: 100, Dir: dir, Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.WindowIndexes(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("second restart windows = %v, want [4 5]", got)
+	}
+}
+
+func TestCheckpointConcurrentWithAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir, Sync: SyncGrouped(4, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const perWriter = 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				b := tuple.Batch{{T: float64(w*1000 + i), S: 400}}
+				if err := s.Append(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Checkpoint(); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := collectTuples(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sameTuples(t, collectTuples(s2), want)
+	if s2.Len() != writers*perWriter {
+		t.Errorf("recovered Len = %d, want %d", s2.Len(), writers*perWriter)
+	}
+}

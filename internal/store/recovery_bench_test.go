@@ -1,0 +1,78 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// BenchmarkRecovery measures Open on a long-lived durable directory:
+// full segment replay (the pre-checkpoint behavior) against recovery
+// from a checkpoint of the retained windows. The deployment shape is a
+// store that has ingested far more history than it retains — the case
+// the checkpoint exists for, since replay cost then tracks Retain, not
+// the whole log.
+func BenchmarkRecovery(b *testing.B) {
+	const (
+		windowLen = 100.0
+		windows   = 200
+		perWindow = 500
+		retain    = 8
+	)
+	build := func(b *testing.B, checkpoint bool) string {
+		b.Helper()
+		dir := b.TempDir()
+		s, err := Open(Config{WindowLength: windowLen, Dir: dir, Retain: retain, Sync: SyncNever()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for w := 0; w < windows; w++ {
+			batch := make(tuple.Batch, perWindow)
+			for i := range batch {
+				batch[i] = tuple.Raw{
+					T: float64(w)*windowLen + float64(i)*windowLen/perWindow,
+					X: float64(i % 100), Y: float64(i % 50), S: 400,
+				}
+			}
+			if err := s.Append(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if checkpoint {
+			if err := s.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+	for _, bc := range []struct {
+		name       string
+		checkpoint bool
+	}{
+		{"full-replay", false},
+		{"checkpoint", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			dir := build(b, bc.checkpoint)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := Open(Config{WindowLength: windowLen, Dir: dir, Retain: retain})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Len() != retain*perWindow {
+					b.Fatalf("recovered %d tuples, want %d", s.Len(), retain*perWindow)
+				}
+				b.StopTimer()
+				// Closing outside the timed region: the benchmark is
+				// about recovery cost, not the close fsync.
+				s.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(windows*perWindow), "tuples/log")
+		})
+	}
+}

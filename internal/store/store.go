@@ -30,6 +30,25 @@
 // SyncGrouped amortizes the fsync across a commit group (concurrent
 // appenders share one fsync, acknowledged only once the group is
 // durable), and SyncNever restores the historical write-and-ack behavior.
+//
+// # Checkpoints, recovery, and compaction
+//
+// Without checkpoints the segment log only ever grows, and every Open
+// replays all of it just to evict most of what it read. Checkpoint
+// bounds both: it writes the retained windows to checkpoint-%06d.emt
+// (a checksummed header plus ordinary tuple frames), commits it via an
+// atomically-replaced checksummed MANIFEST, and then deletes every
+// segment at or below the checkpoint horizon — the open segment is
+// rotated as part of the checkpoint, so the horizon is exact. Open
+// recovers from the newest valid checkpoint (preferring the one the
+// MANIFEST names) and replays only the segments after its horizon; a
+// corrupt or missing checkpoint falls back to the next candidate and
+// ultimately to full replay of whatever segments exist. Recovery also
+// finishes interrupted compactions and deletes segments it can prove
+// lie entirely behind the retention horizon, so disk stays bounded even
+// when checkpoints never run. RecoveryStats reports which path Open
+// took and how much it replayed; CheckpointStats counts checkpoint
+// activity. See checkpoint.go for the exact file formats.
 package store
 
 import (
@@ -117,6 +136,11 @@ type Config struct {
 	// value is SyncEveryBatch(); see SyncGrouped and SyncNever. Ignored
 	// when Dir is empty.
 	Sync SyncPolicy
+	// KeepSegments spares the newest N checkpoint-covered segments from
+	// compaction — a safety margin that keeps recent raw history on disk
+	// even after a checkpoint supersedes it. 0 deletes every covered
+	// segment.
+	KeepSegments int
 }
 
 // Store is a windowed, optionally durable raw-tuple store. It is safe for
@@ -132,6 +156,13 @@ type Store struct {
 	segSeq int
 	segOff int64 // end offset of the last intact frame in seg
 	closed bool  // Close was called; durable appends must fail
+
+	// retired holds segment handles sealed by a checkpoint but not yet
+	// closed: an every-batch Append that captured the handle before the
+	// seal can still fsync it instead of erroring on a closed file.
+	// The next checkpoint (or Close) closes them — by then any append
+	// that captured one has long finished.
+	retired []*os.File
 
 	// group is the open commit group (SyncModeGrouped); appends join it
 	// and block on its done channel until one fsync covers them all.
@@ -149,12 +180,28 @@ type Store struct {
 	evictHooks map[int]func(evicted []int)
 	nextHookID int
 
-	// writeFrame persists one batch to the segment; swapped by tests to
-	// inject torn writes. Defaults to tuple.WriteBinary.
+	// ckMu serializes Checkpoint calls; ckStatsMu guards ckStats so
+	// stats reads never block behind a running checkpoint. ckSeq (the
+	// next checkpoint sequence) is guarded by mu, like segSeq. recovery
+	// is written by Open only and immutable afterwards.
+	ckMu      sync.Mutex
+	ckStatsMu sync.Mutex
+	ckSeq     int
+	ckStats   CheckpointStats
+	recovery  RecoveryStats
+
+	// writeFrame persists one batch to the segment (and to checkpoint
+	// files); swapped by tests to inject torn writes. Defaults to
+	// tuple.WriteBinary.
 	writeFrame func(w io.Writer, b tuple.Batch) error
-	// syncSeg flushes the segment to stable storage; swapped by tests to
+	// syncSeg flushes a file to stable storage; swapped by tests to
 	// count or fail fsyncs. Defaults to (*os.File).Sync.
 	syncSeg func(f *os.File) error
+	// renameFile and removeFile are the checkpoint/compaction filesystem
+	// ops, swapped by the crash-injection tests. Default os.Rename and
+	// os.Remove.
+	renameFile func(oldpath, newpath string) error
+	removeFile func(path string) error
 }
 
 // commitGroup is one group-commit unit: the appends that share a single
@@ -180,6 +227,9 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Retain < 0 {
 		return nil, fmt.Errorf("store: Retain = %d, want ≥ 0", cfg.Retain)
 	}
+	if cfg.KeepSegments < 0 {
+		return nil, fmt.Errorf("store: KeepSegments = %d, want ≥ 0", cfg.KeepSegments)
+	}
 	switch cfg.Sync.Mode {
 	case SyncModeEveryBatch, SyncModeGrouped, SyncModeNever:
 	default:
@@ -198,7 +248,10 @@ func Open(cfg Config) (*Store, error) {
 		windows:    make(map[int]tuple.Batch),
 		writeFrame: tuple.WriteBinary,
 		syncSeg:    func(f *os.File) error { return f.Sync() },
+		renameFile: os.Rename,
+		removeFile: os.Remove,
 	}
+	s.ckStats.LastSeq = -1
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("store: create dir: %w", err)
@@ -223,20 +276,96 @@ func MustOpenMemory(windowLength float64) *Store {
 	return s
 }
 
-// recover replays all segment files in cfg.Dir in sequence order. A
-// trailing corrupt frame (torn write) ends that segment's replay: the
-// write path guarantees nothing valid follows a torn frame within a
-// segment (it truncates or rotates on write error), so the frames before
-// it are kept and replay continues with the next segment.
+// recover rebuilds the in-memory windows from cfg.Dir: from the newest
+// valid checkpoint plus the segment suffix behind its horizon when one
+// exists, otherwise by full replay of every segment file. A trailing
+// corrupt frame (torn write) ends a segment's replay: the write path
+// guarantees nothing valid follows a torn frame within a segment (it
+// truncates or rotates on write error), so the frames before it are
+// kept and replay continues with the next segment. Recovery also
+// deletes segments that no longer matter — those covered by the used
+// checkpoint (finishing an interrupted compaction) and those whose
+// every frame lies entirely behind the retention horizon.
 func (s *Store) recover() error {
 	names, err := segmentNames(s.cfg.Dir)
 	if err != nil {
 		return err
 	}
+	ckSeqs, err := checkpointSeqs(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	s.removeStrayTmp()
+	if len(ckSeqs) > 0 {
+		s.ckSeq = ckSeqs[0] + 1
+	}
+
+	// Candidate order: the manifest-committed checkpoint first (the
+	// common case needs exactly one validation), then the rest newest
+	// first — a complete checkpoint whose manifest rename was lost is
+	// still preferable to replaying the whole log.
+	candidates := ckSeqs
+	if manSeq, _, err := readManifest(s.cfg.Dir); err == nil {
+		reordered := make([]int, 0, len(ckSeqs))
+		reordered = append(reordered, manSeq)
+		for _, seq := range ckSeqs {
+			if seq != manSeq {
+				reordered = append(reordered, seq)
+			}
+		}
+		candidates = reordered
+	}
+	horizon := -1
+	for _, seq := range candidates {
+		hdr, batches, err := readCheckpointFile(filepath.Join(s.cfg.Dir, checkpointName(seq)))
+		if err != nil {
+			s.recovery.CorruptCheckpoints++
+			continue
+		}
+		for _, b := range batches {
+			s.addToWindows(b)
+		}
+		// The recovered checkpoint IS the newest committed one: seed the
+		// checkpoint counters so LastSeq survives a restart (the window
+		// count is read before eviction — it is the checkpoint's, even
+		// if a lowered Retain trims it right after).
+		s.ckStats.LastSeq = int64(seq)
+		s.ckStats.LastWindows = int64(len(s.windows))
+		s.ckStats.LastTuples = int64(hdr.tuples)
+		s.evictLocked()
+		// The header's maxTime can exceed every retained tuple's (the
+		// tuple that set it may live in an evicted window); restoring it
+		// keeps MaxTime exact across restarts.
+		if hdr.maxTime > s.maxTime {
+			s.maxTime = hdr.maxTime
+		}
+		horizon = hdr.horizon
+		s.recovery.FromCheckpoint = true
+		s.recovery.CheckpointSeq = seq
+		s.recovery.CheckpointTuples = hdr.tuples
+		break
+	}
+
+	type segInfo struct {
+		name    string
+		covered bool // at or below the used checkpoint's horizon
+		frames  int
+		maxWin  int
+	}
+	infos := make([]segInfo, 0, len(names))
 	for _, name := range names {
-		if err := s.replaySegment(filepath.Join(s.cfg.Dir, name)); err != nil {
+		seq, _ := parseSeq(name, "segment-")
+		if s.recovery.FromCheckpoint && seq <= horizon {
+			infos = append(infos, segInfo{name: name, covered: true})
+			continue
+		}
+		frames, maxWin, tuples, err := s.replaySegment(filepath.Join(s.cfg.Dir, name))
+		if err != nil {
 			return err
 		}
+		s.recovery.SegmentsReplayed++
+		s.recovery.TuplesReplayed += tuples
+		infos = append(infos, segInfo{name: name, frames: frames, maxWin: maxWin})
 		// Re-apply the retention bound as we go: segments hold every
 		// window ever appended, and a restarted store must come back no
 		// larger than a running one — nor hold more than ~Retain windows
@@ -244,13 +373,86 @@ func (s *Store) recover() error {
 		// can be registered yet, so the evicted list needs no fan-out.
 		s.evictLocked()
 	}
-	if len(names) > 0 {
-		fmt.Sscanf(names[len(names)-1], "segment-%06d.emt", &s.segSeq)
-		s.segSeq++
+	switch {
+	case len(names) > 0:
+		last, _ := parseSeq(names[len(names)-1], "segment-")
+		s.segSeq = last + 1
+	case horizon >= 0:
+		// All segments compacted away: keep numbering past the horizon
+		// so a future checkpoint's coverage claim stays unambiguous.
+		s.segSeq = horizon + 1
+	}
+
+	// Deletion pass. Covered segments are an interrupted compaction (or
+	// a lowered KeepSegments); resume it with the same sparing rule
+	// Checkpoint's own compaction uses. When no checkpoint was usable,
+	// horizon is -1 and nothing is covered. Before deleting anything,
+	// the manifest must name the checkpoint actually used: recovery may
+	// have picked one the manifest does not point at (orphaned by a
+	// crashed commit, or a fallback past an unreadable candidate), and
+	// deleting its covered segments while MANIFEST names another
+	// checkpoint would let a later recovery prefer that other
+	// checkpoint and look for segments that no longer exist.
+	if s.recovery.FromCheckpoint {
+		committed := false
+		if manSeq, manHor, err := readManifest(s.cfg.Dir); err == nil &&
+			manSeq == s.recovery.CheckpointSeq && manHor == horizon {
+			committed = true
+		} else if err := s.writeManifest(s.recovery.CheckpointSeq, horizon); err == nil {
+			committed = true
+		}
+		if committed {
+			for _, name := range s.coveredToDelete(names, horizon) {
+				if s.removeFile(filepath.Join(s.cfg.Dir, name)) == nil {
+					s.recovery.SegmentsDeleted++
+				}
+			}
+		}
+	}
+	// Retention-dead segments: every intact frame sits in a window
+	// older than the oldest retained one, so replaying this segment
+	// again can never contribute data — reclaim it now instead of
+	// re-reading it on every restart. (A torn tail holds no
+	// acknowledged data, so it does not keep a segment alive.)
+	if s.cfg.Retain > 0 && len(s.windows) > 0 {
+		minRetained := 0
+		first := true
+		for c := range s.windows {
+			if first || c < minRetained {
+				minRetained, first = c, false
+			}
+		}
+		for _, in := range infos {
+			if in.covered {
+				continue
+			}
+			if in.frames == 0 || in.maxWin < minRetained {
+				if s.removeFile(filepath.Join(s.cfg.Dir, in.name)) == nil {
+					s.recovery.SegmentsDeleted++
+				}
+			}
+		}
 	}
 	return nil
 }
 
+// removeStrayTmp clears ".tmp" leftovers of checkpoint/manifest writes
+// that crashed before their rename. Best-effort: a leftover is inert.
+func (s *Store) removeStrayTmp() {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".tmp" {
+			os.Remove(filepath.Join(s.cfg.Dir, e.Name()))
+		}
+	}
+}
+
+// segmentNames lists the segment files in dir in sequence order.
+// Checkpoint files share the directory and the .emt extension but are
+// never segments — replaying one would double-count its tuples.
 func segmentNames(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -258,25 +460,35 @@ func segmentNames(dir string) ([]string, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".emt" {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := parseSeq(e.Name(), "segment-"); ok {
 			names = append(names, e.Name())
 		}
 	}
-	sort.Strings(names)
+	sort.Slice(names, func(i, j int) bool {
+		a, _ := parseSeq(names[i], "segment-")
+		b, _ := parseSeq(names[j], "segment-")
+		return a < b
+	})
 	return names, nil
 }
 
-func (s *Store) replaySegment(path string) error {
+// replaySegment replays one segment into the windows, returning how
+// many intact frames and tuples it contributed and the largest window
+// index it touched (meaningless when frames is 0).
+func (s *Store) replaySegment(path string) (frames, maxWin, tuples int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("store: open segment: %w", err)
+		return 0, 0, 0, fmt.Errorf("store: open segment: %w", err)
 	}
 	defer f.Close()
 	var off int64 // start of the frame being read
 	for {
 		b, err := tuple.ReadBinary(f)
 		if err == io.EOF {
-			return nil
+			return frames, maxWin, tuples, nil
 		}
 		if errors.Is(err, tuple.ErrCorrupt) {
 			// A torn tail write (crash, or a rotated-away segment) is
@@ -290,17 +502,24 @@ func (s *Store) replaySegment(path string) error {
 			// and if the file cannot even be re-read, refuse to guess.
 			data, rerr := os.ReadFile(path)
 			if rerr != nil {
-				return fmt.Errorf("store: segment %s: %w (could not verify torn tail: %v)", path, err, rerr)
+				return frames, maxWin, tuples, fmt.Errorf("store: segment %s: %w (could not verify torn tail: %v)", path, err, rerr)
 			}
 			if off+1 < int64(len(data)) && tuple.ContainsFrame(data[off+1:]) {
-				return fmt.Errorf("store: segment %s: %w (intact frames follow the corruption; not a torn tail)", path, err)
+				return frames, maxWin, tuples, fmt.Errorf("store: segment %s: %w (intact frames follow the corruption; not a torn tail)", path, err)
 			}
-			return nil
+			return frames, maxWin, tuples, nil
 		}
 		if err != nil {
-			return fmt.Errorf("store: segment %s: %w", path, err)
+			return frames, maxWin, tuples, fmt.Errorf("store: segment %s: %w", path, err)
 		}
 		s.addToWindows(b)
+		for i, r := range b {
+			if c := tuple.WindowIndex(r.T, s.cfg.WindowLength); (frames == 0 && i == 0) || c > maxWin {
+				maxWin = c
+			}
+		}
+		frames++
+		tuples += len(b)
 		off += int64(tuple.EncodedSize(len(b)))
 	}
 }
@@ -676,6 +895,19 @@ func (s *Store) Close() error {
 		}
 		s.seg = nil
 	}
+	// Retired handles were normally fsynced when their checkpoint
+	// sealed them; a final best-effort sync covers the rare seal whose
+	// deferred fsync failed (possible only under SyncNever, which
+	// promises nothing, but flushing here costs one no-op fsync).
+	for _, f := range s.retired {
+		if serr := s.doSync(f); serr != nil && err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	s.retired = nil
 	if group != nil {
 		// Hand the group this sync's outcome under mu: whichever of
 		// Close and the group's timer wins the once reads it there, so a

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// FuzzWireDecode hardens the binary protocol decoder (the bytes a
+// server reads straight off a TCP link): arbitrary frames must never
+// panic, must fail identically on repeated decodes, and every accepted
+// message must re-encode and re-decode to a byte-identical frame. The
+// JSON codec is exercised for panic-freedom on the same inputs. Seeds
+// are the round-trip suite's message shapes plus legacy (pre-v1)
+// layouts and mutations.
+func FuzzWireDecode(f *testing.F) {
+	add := func(m Message) {
+		enc, err := Binary.Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	add(QueryRequest{T: 120, X: 3.5, Y: -7, Pollutant: 1})
+	add(QueryResponse{Value: 421.25})
+	add(ModelRequest{T: 3600, Pollutant: 2})
+	add(ErrorResponse{Msg: "no cover"})
+	add(BatchQueryRequest{Items: []QueryRequest{{T: 1, X: 2, Y: 3}, {T: 4, X: 5, Y: 6, Pollutant: 2}}})
+	add(BatchQueryResponse{Items: []BatchQueryItem{{Value: 420}, {Err: "out of window"}}})
+	add(ModelResponse{
+		ValidFrom: 0, ValidUntil: 14400, ValueLo: 300, ValueHi: 600,
+		Features:  "linear-xy",
+		Centroids: []geo.Point{{X: 1, Y: 2}, {X: 3, Y: 4}},
+		Coefs:     [][]float64{{400, 0.1, 0.2}, {410, -0.1, 0}},
+	})
+	// Legacy untagged frames: 25-byte query, 9-byte model request.
+	legacyQuery, _ := Binary.Encode(QueryRequest{T: 9, X: 8, Y: 7})
+	f.Add(legacyQuery[:25])
+	legacyModel, _ := Binary.Encode(ModelRequest{T: 9})
+	f.Add(legacyModel[:9])
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m1, err1 := Binary.Decode(data)
+		m2, err2 := Binary.Decode(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("unstable outcome: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("unstable error: %q vs %q", err1, err2)
+			}
+		} else {
+			// Every message the decoder accepts must be encodable (the
+			// decoder's bounds are stricter than the encoder's), and the
+			// encoded form must be a fixed point — NaN payloads make a
+			// byte-level comparison the only reliable equality.
+			enc1, err := Binary.Encode(m1)
+			if err != nil {
+				t.Fatalf("accepted message %T does not re-encode: %v", m1, err)
+			}
+			if encB, err := Binary.Encode(m2); err != nil || !bytes.Equal(enc1, encB) {
+				t.Fatalf("unstable decode of %T (%v)", m1, err)
+			}
+			m3, err := Binary.Decode(enc1)
+			if err != nil {
+				t.Fatalf("re-encoded %T does not decode: %v", m1, err)
+			}
+			enc2, err := Binary.Encode(m3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("%T: encode/decode not a fixed point", m1)
+			}
+		}
+		// The JSON codec shares the error taxonomy; it must never panic.
+		if m, err := JSON.Decode(data); err == nil {
+			_, _ = JSON.Encode(m)
+		}
+	})
+}

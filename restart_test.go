@@ -1,0 +1,225 @@
+package repro
+
+// Restart equivalence: a platform closed and reopened over the same
+// durable directory must answer queries and heatmaps identically to the
+// pre-restart instance, under every sync policy, with and without
+// checkpoints, and its /v1/stats counters must reset sanely (data
+// counters preserved, pipeline counters zeroed, recovery reported).
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// restartProbe captures the externally observable answers of a
+// platform: point queries across several windows and a heatmap raster.
+type restartProbe struct {
+	values []float64
+	errs   []bool
+	grid   []float64
+}
+
+func probePlatform(t *testing.T, p *Platform) restartProbe {
+	t.Helper()
+	ctx := context.Background()
+	var pr restartProbe
+	for _, pol := range []Pollutant{CO2, CO} {
+		for _, tm := range []float64{1800, 5400, 9000} {
+			for _, xy := range [][2]float64{{200, 300}, {900, 1100}} {
+				v, err := p.Query(ctx, Request{T: tm, X: xy[0], Y: xy[1], Pollutant: pol})
+				pr.values = append(pr.values, v)
+				pr.errs = append(pr.errs, err != nil)
+			}
+		}
+	}
+	g, err := p.Heatmap(ctx, CO2, 5400, 16, 16)
+	if err == nil {
+		pr.grid = g.Values
+	}
+	return pr
+}
+
+func (pr restartProbe) equal(other restartProbe) bool {
+	if len(pr.values) != len(other.values) || len(pr.grid) != len(other.grid) {
+		return false
+	}
+	for i := range pr.values {
+		if pr.errs[i] != other.errs[i] || pr.values[i] != other.values[i] {
+			return false
+		}
+	}
+	for i := range pr.grid {
+		if pr.grid[i] != other.grid[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type statsProbe struct {
+	Tuples  int `json:"tuples"`
+	Windows int `json:"windows"`
+	Ingest  struct {
+		Submitted int64 `json:"submitted"`
+		Tuples    int64 `json:"tuples"`
+	} `json:"ingest"`
+	Checkpoint struct {
+		Checkpoints     int64 `json:"checkpoints"`
+		RecoveredShards int   `json:"recoveredShards"`
+	} `json:"checkpoint"`
+}
+
+func fetchStats(t *testing.T, p *Platform) statsProbe {
+	t.Helper()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sp statsProbe
+	if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestRestartEquivalence(t *testing.T) {
+	cases := []struct {
+		name       string
+		sync       SyncPolicy
+		checkpoint CheckpointConfig
+	}{
+		{"every-batch", SyncEveryBatch(), CheckpointConfig{}},
+		{"grouped", SyncGrouped(8, time.Millisecond), CheckpointConfig{}},
+		{"never", SyncNever(), CheckpointConfig{}},
+		{"every-batch-checkpointed", SyncEveryBatch(), CheckpointConfig{Interval: time.Hour}},
+		{"never-checkpointed-keep", SyncNever(), CheckpointConfig{Interval: time.Hour, KeepSegments: 2}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			cfg := Config{
+				WindowSeconds: 3600,
+				Pollutants:    []Pollutant{CO2, CO},
+				Dir:           dir,
+				Sync:          tc.sync,
+				Checkpoint:    tc.checkpoint,
+				CoverSnapshot: filepath.Join(dir, "covers.emcv"),
+				Retain:        4,
+			}
+			p, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			readings, err := SimulateLausanne(7, 3*3600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			for _, pol := range []Pollutant{CO2, CO} {
+				if err := p.Ingest(ctx, pol, readings); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p.WaitMaintenance()
+			before := probePlatform(t, p)
+			beforeStats := fetchStats(t, p)
+			if beforeStats.Ingest.Submitted == 0 {
+				t.Fatal("pre-restart stats recorded no ingest")
+			}
+			if err := p.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			p2, err := Open(cfg)
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer p2.Close()
+			p2.WaitMaintenance()
+			after := probePlatform(t, p2)
+			if !after.equal(before) {
+				t.Errorf("restart changed answers:\n before %v\n after  %v", before.values, after.values)
+			}
+			afterStats := fetchStats(t, p2)
+			if afterStats.Tuples != beforeStats.Tuples || afterStats.Windows != beforeStats.Windows {
+				t.Errorf("data counters drifted across restart: %+v vs %+v", afterStats, beforeStats)
+			}
+			if afterStats.Ingest.Submitted != 0 || afterStats.Ingest.Tuples != 0 {
+				t.Errorf("pipeline counters not reset: %+v", afterStats.Ingest)
+			}
+			if tc.checkpoint.Interval > 0 {
+				// Close checkpointed; the reopen must have recovered both
+				// shards from those checkpoints.
+				if afterStats.Checkpoint.RecoveredShards != 2 {
+					t.Errorf("RecoveredShards = %d, want 2", afterStats.Checkpoint.RecoveredShards)
+				}
+			} else if afterStats.Checkpoint.RecoveredShards != 0 {
+				t.Errorf("recovered from a checkpoint that was never taken: %+v", afterStats.Checkpoint)
+			}
+		})
+	}
+}
+
+// TestPlatformManualCheckpoint exercises the facade-level trigger: a
+// checkpoint mid-flight persists both the raw windows and the cover
+// snapshots, and a crash (no Close) after it still recovers everything
+// acknowledged, covers warm.
+func TestPlatformManualCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		WindowSeconds: 3600,
+		Pollutants:    []Pollutant{CO2},
+		Dir:           dir,
+		CoverSnapshot: filepath.Join(dir, "covers.emcv"),
+	}
+	p, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings, err := SimulateLausanne(11, 2*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := p.Ingest(ctx, CO2, readings); err != nil {
+		t.Fatal(err)
+	}
+	p.WaitMaintenance()
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cs := p.CheckpointStats()
+	if cs.Checkpoints != 1 {
+		t.Fatalf("CheckpointStats = %+v, want 1 checkpoint", cs)
+	}
+	want, err := p.Query(ctx, Request{T: 1800, X: 500, Y: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Close: simulate a crash by abandoning the platform and opening
+	// the directory fresh.
+	p2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if got := p2.CheckpointStats(); got.RecoveredShards != 1 {
+		t.Fatalf("RecoveredShards = %d, want 1 (stats: %+v)", got.RecoveredShards, got)
+	}
+	got, err := p2.Query(ctx, Request{T: 1800, X: 500, Y: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("post-crash answer %v, want %v", got, want)
+	}
+}
