@@ -1,0 +1,202 @@
+package repro
+
+// Facade-level cluster tests: a real two-node cluster over TCP (each
+// Platform serving the binary wire protocol, peers dialed lazily), and
+// the /v1/cluster HTTP endpoint.
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// reservePorts grabs n distinct localhost TCP addresses and releases
+// them for the platforms to re-listen on.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+func clusterField(x, y float64) float64 { return 410 + 0.02*x - 0.01*y }
+
+func TestClusteredPlatformsOverTCP(t *testing.T) {
+	addrs := reservePorts(t, 2)
+	ctx := context.Background()
+
+	open := func(id int) *Platform {
+		p, err := Open(Config{
+			WindowSeconds: 3600,
+			Pollutants:    []Pollutant{CO2},
+			Cluster: ClusterConfig{
+				Nodes:  addrs,
+				NodeID: id,
+				Cells:  6,
+				Region: Rect{Min: Point{X: -1500, Y: -1500}, Max: Point{X: 1500, Y: 1500}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		srv, _, err := p.ListenTCP(addrs[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return p
+	}
+	p0, p1 := open(0), open(1)
+	if !p0.Clustered() || !p1.Clustered() {
+		t.Fatal("platforms not clustered")
+	}
+
+	// Lattice spread over both nodes' shards.
+	var readings []Reading
+	for x := -1400.0; x <= 1400; x += 200 {
+		for y := -1400.0; y <= 1400; y += 200 {
+			readings = append(readings, Reading{T: 600, X: x, Y: y, S: clusterField(x, y)})
+		}
+	}
+	ownedBy0 := 0
+	for _, r := range readings {
+		if p0.Owns(CO2, r.X, r.Y) {
+			ownedBy0++
+		}
+	}
+	if ownedBy0 == 0 || ownedBy0 == len(readings) {
+		t.Fatalf("degenerate sharding: node 0 owns %d of %d readings", ownedBy0, len(readings))
+	}
+
+	// Ingest everything through node 0: its own shards locally, node 1's
+	// over TCP.
+	if err := p0.Ingest(ctx, CO2, readings); err != nil {
+		t.Fatal(err)
+	}
+	if got := p0.Len() + p1.Len(); got != len(readings) {
+		t.Fatalf("cluster holds %d readings, ingested %d", got, len(readings))
+	}
+	if p1.Len() != len(readings)-ownedBy0 {
+		t.Fatalf("node 1 holds %d readings, owns %d", p1.Len(), len(readings)-ownedBy0)
+	}
+
+	// Every query answers identically through both platforms, wherever
+	// the shard lives.
+	for i := 0; i < len(readings); i += 7 {
+		req := Request{T: 600, X: readings[i].X, Y: readings[i].Y, Pollutant: CO2}
+		v0, err0 := p0.Query(ctx, req)
+		v1, err1 := p1.Query(ctx, req)
+		if err0 != nil || err1 != nil {
+			t.Fatalf("clustered query at (%v,%v): %v / %v", req.X, req.Y, err0, err1)
+		}
+		if v0 != v1 {
+			t.Fatalf("platforms disagree at (%v,%v): %v vs %v", req.X, req.Y, v0, v1)
+		}
+	}
+
+	// Batches split across the nodes.
+	reqs := []Request{
+		{T: 600, X: -1400, Y: -1400, Pollutant: CO2},
+		{T: 600, X: 1400, Y: 1400, Pollutant: CO2},
+		{T: 600, X: 0, Y: 1400, Pollutant: CO2},
+	}
+	rs, err := p1.QueryBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("batch item %d: %v", i, r.Err)
+		}
+	}
+
+	// Heatmaps scatter-gather over TCP; both nodes assemble one map.
+	g0, err := p0.Heatmap(ctx, CO2, 600, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := p1.Heatmap(ctx, CO2, 600, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.Region != g1.Region {
+		t.Fatalf("heatmap regions differ: %v vs %v", g0.Region, g1.Region)
+	}
+
+	// The model response merges both nodes' covers.
+	mr, err := p0.ModelResponse(ctx, CO2, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Centroids) < 2 {
+		t.Fatalf("merged model response has %d regions", len(mr.Centroids))
+	}
+
+	if st := p0.ClusterStats(); st.Forwarded == 0 && st.Scatters == 0 {
+		t.Error("node 0 never used the cluster")
+	}
+}
+
+func TestClusterHTTPEndpoint(t *testing.T) {
+	addrs := reservePorts(t, 2)
+	p, err := Open(Config{
+		WindowSeconds: 3600,
+		Pollutants:    []Pollutant{CO2},
+		Cluster:       ClusterConfig{Nodes: addrs, NodeID: 0, Cells: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/v1/cluster: %s", resp.Status)
+	}
+	var doc struct {
+		Self   int                         `json:"self"`
+		Ring   wire.RingResponse           `json:"ring"`
+		Shards map[string]map[string][]int `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Self != 0 {
+		t.Errorf("self = %d, want 0", doc.Self)
+	}
+	if len(doc.Ring.Nodes) != 2 || len(doc.Ring.Cells) != 4 || doc.Ring.VNodes == 0 {
+		t.Errorf("ring document incomplete: %+v", doc.Ring)
+	}
+	owned := 0
+	for _, perNode := range doc.Shards {
+		for _, cells := range perNode {
+			owned += len(cells)
+		}
+	}
+	if owned != 4 { // one pollutant x four cells
+		t.Errorf("shard table covers %d cells, want 4", owned)
+	}
+}

@@ -15,6 +15,8 @@
 //	                   [-ingest-maxbatch 4096] [-sched-workers 2]
 //	                   [-sched-queue 128] [-checkpoint-interval 5m]
 //	                   [-checkpoint-keep 1]
+//	                   [-cluster-nodes host:8081,host:8082] [-node-id 0]
+//	                   [-router] [-cluster-cells 16] [-cluster-vnodes 64]
 //
 // The -sync* flags pick the durability policy of -dir (grouped = group
 // commit: one fsync covers up to -sync-batches appends or -sync-delay of
@@ -26,6 +28,16 @@
 // deletes the segment files behind the checkpoint, keeping disk usage
 // and restart time bounded by retention instead of history;
 // -checkpoint-keep spares the newest N covered segments per compaction.
+//
+// The -cluster-* flags shard the deployment across several server
+// processes: -cluster-nodes lists every node's TCP wire address (the
+// same list, in the same order, on every node), -node-id names this
+// process's index in it, and -router starts a dedicated query router
+// that owns no shards. Cluster mode requires -tcp (peers connect to
+// it). Each node bulk-loads only the tuples its shards own; uploads
+// and queries sent to any node are routed to the owners, and heatmaps
+// scatter-gather across all of them. See docs/OPERATIONS.md for a
+// 3-node walkthrough.
 //
 // With -data, raw tuples are loaded from a CSV file ("t,x,y,s" header);
 // since the CSV carries one pollutant, -data requires a single-entry
@@ -44,6 +56,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
@@ -74,6 +87,12 @@ func main() {
 		schedQueue  = flag.Int("sched-queue", 0, "background cover-build queue bound (0 = default)")
 		ckInterval  = flag.Duration("checkpoint-interval", 0, "periodic store checkpoint interval (0 = disabled)")
 		ckKeep      = flag.Int("checkpoint-keep", 0, "checkpoint-covered segments spared per compaction")
+
+		clusterNodes  = flag.String("cluster-nodes", "", "comma-separated TCP wire addresses of every cluster node (empty = single node)")
+		nodeID        = flag.Int("node-id", 0, "this process's index in -cluster-nodes")
+		router        = flag.Bool("router", false, "run as a dedicated query router owning no shards")
+		clusterCells  = flag.Int("cluster-cells", 0, "geo cells partitioning the region (0 = default 16)")
+		clusterVNodes = flag.Int("cluster-vnodes", 0, "consistent-hash virtual nodes per node (0 = default 64)")
 	)
 	flag.Parse()
 	sync, err := parseSyncPolicy(*syncMode, *syncBatches, *syncDelay)
@@ -81,14 +100,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "envirometer-server:", err)
 		os.Exit(2)
 	}
+	var cl repro.ClusterConfig
+	if *clusterNodes != "" {
+		if *tcp == "" && !*router {
+			fmt.Fprintln(os.Stderr, "envirometer-server: cluster mode requires -tcp (peers connect to it)")
+			os.Exit(2)
+		}
+		cl = repro.ClusterConfig{
+			Nodes:  strings.Split(*clusterNodes, ","),
+			NodeID: *nodeID,
+			Router: *router,
+			Cells:  *clusterCells,
+			VNodes: *clusterVNodes,
+			Seed:   *seed,
+		}
+	} else if *router {
+		fmt.Fprintln(os.Stderr, "envirometer-server: -router requires -cluster-nodes")
+		os.Exit(2)
+	}
 	if err := run(options{
 		addr: *addr, tcp: *tcp, window: *window, polls: *polls, days: *days,
 		data: *data, dir: *dir, covers: *covers,
 		live: *live, speedup: *speedup, seed: *seed,
-		sync:  sync,
-		queue: repro.PipelineConfig{QueueDepth: *queueDepth, MaxBatchTuples: *maxBatch},
-		sched: repro.SchedulerConfig{Workers: *schedWork, MaxQueue: *schedQueue},
-		ck:    repro.CheckpointConfig{Interval: *ckInterval, KeepSegments: *ckKeep},
+		sync:    sync,
+		queue:   repro.PipelineConfig{QueueDepth: *queueDepth, MaxBatchTuples: *maxBatch},
+		sched:   repro.SchedulerConfig{Workers: *schedWork, MaxQueue: *schedQueue},
+		ck:      repro.CheckpointConfig{Interval: *ckInterval, KeepSegments: *ckKeep},
+		cluster: cl,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "envirometer-server:", err)
 		os.Exit(1)
@@ -118,6 +156,7 @@ type options struct {
 	queue                               repro.PipelineConfig
 	sched                               repro.SchedulerConfig
 	ck                                  repro.CheckpointConfig
+	cluster                             repro.ClusterConfig
 }
 
 func run(o options) error {
@@ -134,6 +173,7 @@ func run(o options) error {
 		Maintenance:   o.sched,
 		Checkpoint:    o.ck,
 		CoverSnapshot: o.covers,
+		Cluster:       o.cluster,
 	})
 	if err != nil {
 		return err
@@ -141,9 +181,28 @@ func run(o options) error {
 	defer p.Close()
 
 	ctx := context.Background()
-	datasets, err := loadReadings(o, pollutants)
-	if err != nil {
-		return err
+	datasets := map[repro.Pollutant][]repro.Reading{}
+	if !o.cluster.Router {
+		// A dedicated router holds no shards and loads nothing.
+		if datasets, err = loadReadings(o, pollutants); err != nil {
+			return err
+		}
+		if p.Clustered() {
+			// Every cluster node simulates/loads the same dataset; keep
+			// only the tuples this node's shards own so the cluster holds
+			// exactly one copy of each.
+			for pol, readings := range datasets {
+				owned := readings[:0]
+				for _, r := range readings {
+					if p.Owns(pol, r.X, r.Y) {
+						owned = append(owned, r)
+					}
+				}
+				datasets[pol] = owned
+				fmt.Printf("cluster node %d owns %d of the %s tuples\n",
+					o.cluster.NodeID, len(owned), pol)
+			}
+		}
 	}
 
 	if o.live {
@@ -180,6 +239,9 @@ func run(o options) error {
 	fmt.Println("  POST /v1/ingest")
 	fmt.Println("  GET  /v1/stats")
 	fmt.Println("  GET  /v1/pollutants")
+	if p.Clustered() {
+		fmt.Println("  GET  /v1/cluster")
+	}
 	return http.ListenAndServe(o.addr, p.Handler())
 }
 

@@ -30,27 +30,16 @@
 // average, WithProcessor selects any of the paper's four query methods,
 // and deadlines/cancellation arrive through the context.
 //
-// # Migrating from the v0 (untyped) API
-//
-// The pre-v1 facade carried a single implicit pollutant and no context:
-//
-//	v, err := p.PointQuery(t, x, y)           // v0
-//	v, err := p.Query(ctx, repro.Request{T: t, X: x, Y: y})  // v1
-//
-//	vs, err := p.ContinuousQuery(qs)          // v0
-//	rs, err := p.QueryBatch(ctx, reqs)        // v1: []BatchResult, one
-//	                                          // value-or-error per request
-//
-//	err = p.Ingest(readings)                  // v0
-//	err = p.Ingest(ctx, repro.CO2, readings)  // v1
-//
-// Request's zero Pollutant is CO2, so v0 call sites migrate mechanically.
-// Cover, ModelResponse, and Heatmap likewise gained (ctx, pollutant)
-// parameters.
+// Setting Config.Cluster makes the platform one member of a sharded
+// multi-node cluster: tuples and queries partition by (pollutant,
+// geo-cell) shard keys on a consistent-hash ring, and every platform
+// routes requests it does not own to the node that does.
 //
 // The deeper layers (spatial indexes, k-means, regression, wire codecs,
-// the simulated deployment) live in internal/ packages; this package
-// re-exports the surface a downstream user needs.
+// the shard ring, the simulated deployment) live in internal/ packages;
+// this package re-exports the surface a downstream user needs. See
+// docs/ARCHITECTURE.md for how a tuple travels through those layers and
+// docs/OPERATIONS.md for running the server.
 package repro
 
 import (
@@ -63,6 +52,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/coverio"
 	"repro/internal/eval"
@@ -119,6 +109,13 @@ var (
 	// ErrClosed: the platform (or its engine) has been closed; the write
 	// path refuses new work.
 	ErrClosed = server.ErrEngineClosed
+	// ErrNotRoutable: on a clustered platform, the request combines
+	// processor options (radius/indexed methods, which evaluate raw
+	// windows) with a shard another node owns (the HTTP API's 400).
+	ErrNotRoutable = server.ErrNotRoutable
+	// ErrNodeUnreachable: a shard's owner node is down; requests for its
+	// shards fail until it returns (the HTTP API's 502).
+	ErrNodeUnreachable = cluster.ErrNodeUnreachable
 )
 
 // SyncPolicy selects when durable appends reach stable storage; build
@@ -226,11 +223,47 @@ type ModelResponse = wire.ModelResponse
 // CO2Band classifies a concentration for display (OSHA-anchored).
 type CO2Band = eval.CO2Band
 
-// LatLon is a WGS84 coordinate; Point is a local metric position.
+// LatLon is a WGS84 coordinate; Point is a local metric position; Rect
+// is an axis-aligned box in the local frame.
 type (
 	LatLon = geo.LatLon
 	Point  = geo.Point
+	Rect   = geo.Rect
 )
+
+// ClusterStats counts a cluster node's routing activity (requests
+// answered locally, forwarded, scatter-gathered, bounced).
+type ClusterStats = cluster.Stats
+
+// ClusterConfig makes the platform one member of a sharded serving
+// cluster: raw tuples and queries partition across nodes by
+// (pollutant, geo-cell) shard keys on a consistent-hash ring. All
+// nodes must be configured with identical Nodes/Cells/VNodes/Region/
+// Seed so they derive the same ring.
+type ClusterConfig struct {
+	// Nodes lists every node's TCP wire address; a node's index here is
+	// its ID, and an empty list disables clustering.
+	Nodes []string
+	// NodeID is this process's index in Nodes (ignored with Router).
+	NodeID int
+	// Router makes this process a dedicated query router: it owns no
+	// shards and forwards/scatters everything.
+	Router bool
+	// Cells is the number of geo cells partitioning the region
+	// (default 16). More cells spread load more evenly; fewer keep
+	// shard-local covers larger.
+	Cells int
+	// VNodes is the consistent-hash virtual-node multiplier (default 64).
+	VNodes int
+	// Region is the deployment region the cells partition. The zero
+	// value covers the simulated Lausanne corridor; set it to your
+	// data's bounding box (identically on every node) for other
+	// deployments. Positions outside the region still shard — they
+	// belong to the nearest cell — but coarsely.
+	Region Rect
+	// Seed makes the k-means cell partition deterministic (default 1).
+	Seed int64
+}
 
 // Config configures a Platform.
 type Config struct {
@@ -279,6 +312,12 @@ type Config struct {
 	// re-running Ad-KMN per window. With several pollutants, each
 	// persists into its own ".<pollutant>"-suffixed file.
 	CoverSnapshot string
+	// Cluster, when Cluster.Nodes is non-empty, makes this platform one
+	// member (or, with Cluster.Router, a dedicated router) of a sharded
+	// serving cluster: queries and ingest route to shard owners over
+	// the wire protocol, heatmaps and model covers scatter-gather, and
+	// the HTTP API gains /v1/cluster.
+	Cluster ClusterConfig
 }
 
 // pollutants resolves the monitored set, preserving config order.
@@ -322,6 +361,7 @@ func (cfg Config) snapshotPath(p Pollutant) string {
 type Platform struct {
 	engine     *server.Engine
 	api        *server.API
+	node       *cluster.Node // nil when not clustered
 	pollutants []Pollutant
 	stores     map[Pollutant]*store.Store
 	snapshots  map[Pollutant]string
@@ -379,7 +419,18 @@ func Open(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	p.engine = engine
-	p.api = server.NewAPI(engine)
+	if len(cfg.Cluster.Nodes) > 0 {
+		node, err := newClusterNode(cfg.Cluster, engine, pollutants[0])
+		if err != nil {
+			engine.Close()
+			closeAll()
+			return nil, err
+		}
+		p.node = node
+		p.api = server.NewClusterAPI(engine, node)
+	} else {
+		p.api = server.NewAPI(engine)
+	}
 	for _, pol := range pollutants {
 		snap := p.snapshots[pol]
 		if snap == "" {
@@ -405,6 +456,58 @@ func Open(cfg Config) (*Platform, error) {
 	// warm even where the snapshot is stale or absent.
 	engine.WarmPrime()
 	return p, nil
+}
+
+// newClusterNode derives the shard ring from the cluster configuration
+// and wraps the engine in a routing node (a pure router when
+// cfg.Router). Peer links dial lazily over the binary TCP protocol.
+func newClusterNode(cfg ClusterConfig, engine *server.Engine, def Pollutant) (*cluster.Node, error) {
+	region := cfg.Region
+	if !region.Valid() || region.Area() == 0 {
+		// Default: the simulated Lausanne corridor (x ∈ [-1.5, 4] km,
+		// y ∈ [-0.6, 2.9] km) with margin, so the default 16 cells are
+		// each ~1.5 km — several cells across the bus routes. Positions
+		// outside the region still shard (nearest cell), just coarsely;
+		// set Region explicitly for other deployments.
+		region = Rect{Min: Point{X: -2500, Y: -1500}, Max: Point{X: 5000, Y: 4000}}
+	}
+	nCells := cfg.Cells
+	if nCells <= 0 {
+		nCells = 16
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cells, err := cluster.Cells(region, nCells, seed)
+	if err != nil {
+		return nil, fmt.Errorf("repro: cluster cells: %w", err)
+	}
+	ring, err := cluster.NewRing(cluster.Desc{Nodes: cfg.Nodes, Cells: cells, VNodes: cfg.VNodes})
+	if err != nil {
+		return nil, fmt.Errorf("repro: cluster ring: %w", err)
+	}
+	self := cfg.NodeID
+	var local cluster.Handler = engine
+	if cfg.Router {
+		self, local = -1, nil
+	} else if self < 0 || self >= len(cfg.Nodes) {
+		return nil, fmt.Errorf("repro: cluster node ID %d outside %d-node cluster", self, len(cfg.Nodes))
+	}
+	dial := func(addr string) (cluster.Transport, error) {
+		return proto.Dial(addr, proto.ServerConfig{})
+	}
+	node, err := cluster.NewNode(cluster.NodeConfig{
+		Ring:       ring,
+		Self:       self,
+		Local:      local,
+		Transports: cluster.LazyTransports(ring, self, dial),
+		Default:    def,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: cluster node: %w", err)
+	}
+	return node, nil
 }
 
 // Checkpoint persists every pollutant's retained windows to its store's
@@ -505,28 +608,94 @@ func (p *Platform) Pollutants() []Pollutant { return p.engine.Pollutants() }
 // smartphone model-cache clients use over cellular data. It returns a
 // closer that stops the server and the bound address (useful with
 // addr ":0").
+// On a clustered platform the TCP server answers through the routing
+// node (ring exchanges, forwarding, scatter-gather) instead of the bare
+// engine.
 func (p *Platform) ListenTCP(addr string) (io.Closer, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := proto.Serve(ln, p.engine, proto.ServerConfig{})
+	var h proto.Handler = p.engine
+	if p.node != nil {
+		h = p.node
+	}
+	srv := proto.Serve(ln, h, proto.ServerConfig{})
 	return srv, srv.Addr(), nil
 }
 
 // Ingest appends raw readings of pollutant pol. Late data transparently
-// invalidates any already-built cover of its window.
+// invalidates any already-built cover of its window. On a clustered
+// platform the upload splits by shard owner: this node's slice takes
+// the local (blocking, backpressured) pipeline, foreign slices forward
+// over the wire to their owners.
 func (p *Platform) Ingest(ctx context.Context, pol Pollutant, readings []Reading) error {
-	return p.engine.Ingest(ctx, pol, tuple.Batch(readings))
+	if p.node == nil {
+		return p.engine.Ingest(ctx, pol, tuple.Batch(readings))
+	}
+	ring, self := p.node.Ring(), p.node.Self()
+	var own, foreign tuple.Batch
+	for _, r := range readings {
+		if ring.Owner(pol, r.Pos()) == self {
+			own = append(own, r)
+		} else {
+			foreign = append(foreign, r)
+		}
+	}
+	var ownErr, foreignErr error
+	if len(own) > 0 {
+		ownErr = p.engine.Ingest(ctx, pol, own)
+	}
+	if len(foreign) > 0 {
+		foreignErr = p.node.Ingest(ctx, pol, foreign)
+	}
+	err := errors.Join(ownErr, foreignErr)
+	if err == nil {
+		return nil
+	}
+	// If one half committed while the other failed, a blind retry would
+	// duplicate the committed half: mark the combined error with the
+	// cluster's non-retryable partial-ingest sentinel (unless it is
+	// already in the chain from a partial foreign split).
+	ownApplied := len(own) > 0 && ownErr == nil
+	foreignApplied := len(foreign) > 0 && foreignErr == nil
+	if (ownApplied || foreignApplied) && !errors.Is(err, cluster.ErrPartialIngest) {
+		return fmt.Errorf("%w: %w", cluster.ErrPartialIngest, err)
+	}
+	return err
+}
+
+// Clustered reports whether the platform is a member of a sharded
+// cluster.
+func (p *Platform) Clustered() bool { return p.node != nil }
+
+// Owns reports whether this node owns pollutant pol at position (x, y)
+// — true on a single-node platform. Bulk loaders use it to feed each
+// node only its own shards.
+func (p *Platform) Owns(pol Pollutant, x, y float64) bool {
+	if p.node == nil {
+		return true
+	}
+	return p.node.Ring().Owner(pol, Point{X: x, Y: y}) == p.node.Self()
+}
+
+// ClusterStats returns the routing counters of a clustered platform
+// (zero when not clustered).
+func (p *Platform) ClusterStats() ClusterStats {
+	if p.node == nil {
+		return ClusterStats{}
+	}
+	return p.node.Stats()
 }
 
 // IngestReader streams a tuple CSV ("t,x,y,s" header) into the platform
 // in bounded batches, so month-scale deployment files never materialize
 // in memory. It returns the number of tuples ingested. Cancelling ctx
-// stops the stream between batches.
+// stops the stream between batches. On a clustered platform each batch
+// splits across shard owners exactly like Ingest.
 func (p *Platform) IngestReader(ctx context.Context, pol Pollutant, r io.Reader) (int, error) {
 	return tuple.StreamCSV(r, 0, func(b tuple.Batch) error {
-		return p.engine.Ingest(ctx, pol, b)
+		return p.Ingest(ctx, pol, b)
 	})
 }
 
@@ -566,8 +735,20 @@ func (p *Platform) LenFor(pol Pollutant) (int, error) {
 // and stream time, using the model cover of the containing window (or
 // the processor the options select). Deadlines and cancellation arrive
 // through ctx; failures match the v1 error taxonomy with errors.Is.
+// On a clustered platform requests for foreign shards forward to their
+// owner; processor options other than the default model cover evaluate
+// raw windows only the shard owner holds, so a foreign-shard request
+// combining them fails with ErrNotRoutable rather than silently
+// answering from the wrong node's data.
 func (p *Platform) Query(ctx context.Context, req Request, opts ...QueryOption) (float64, error) {
-	return p.engine.QueryOpts(ctx, req, applyOptions(opts))
+	o := applyOptions(opts)
+	if p.node != nil && !p.Owns(req.Pollutant, req.X, req.Y) {
+		if !server.RoutableOptions(o) {
+			return 0, fmt.Errorf("%w: processor=%v radius=%v", ErrNotRoutable, o.Kind, o.Radius)
+		}
+		return p.node.Query(ctx, req)
+	}
+	return p.engine.QueryOpts(ctx, req, o)
 }
 
 // QueryBatch answers a batch of requests — the registered route of a
@@ -577,8 +758,23 @@ func (p *Platform) Query(ctx context.Context, req Request, opts ...QueryOption) 
 // on its own: one request outside the retained windows does not reject
 // the rest. The call-level error is reserved for an empty batch and for
 // ctx cancellation, which drains the pool promptly.
+// On a clustered platform the batch splits across shard owners;
+// non-default processor options require every request to land on this
+// node's shards (ErrNotRoutable otherwise — see Query).
 func (p *Platform) QueryBatch(ctx context.Context, reqs []Request, opts ...QueryOption) ([]BatchResult, error) {
-	return p.engine.QueryBatchOpts(ctx, reqs, applyOptions(opts))
+	o := applyOptions(opts)
+	if p.node != nil {
+		if !server.RoutableOptions(o) {
+			for _, req := range reqs {
+				if !p.Owns(req.Pollutant, req.X, req.Y) {
+					return nil, fmt.Errorf("%w: processor=%v radius=%v", ErrNotRoutable, o.Kind, o.Radius)
+				}
+			}
+			return p.engine.QueryBatchOpts(ctx, reqs, o)
+		}
+		return p.node.QueryBatch(ctx, reqs)
+	}
+	return p.engine.QueryBatchOpts(ctx, reqs, o)
 }
 
 func applyOptions(opts []QueryOption) query.Options {
@@ -590,14 +786,27 @@ func applyOptions(opts []QueryOption) query.Options {
 }
 
 // Cover returns pol's model cover valid at stream time t, building it on
-// first use.
+// first use. On a clustered platform the cover merges every node's
+// region models (matching ModelResponse), so evaluating it anywhere in
+// the region answers from the owning shard's models.
 func (p *Platform) Cover(ctx context.Context, pol Pollutant, t float64) (*Cover, error) {
+	if p.node != nil {
+		mr, err := p.node.Model(ctx, pol, t)
+		if err != nil {
+			return nil, err
+		}
+		return wire.CoverFromModelResponse(mr)
+	}
 	return p.engine.CoverAt(ctx, pol, t)
 }
 
 // ModelResponse returns the wire form of pol's cover at t — what a
 // model-cache client downloads once per validity window.
+// On a clustered platform the response merges every node's cover.
 func (p *Platform) ModelResponse(ctx context.Context, pol Pollutant, t float64) (ModelResponse, error) {
+	if p.node != nil {
+		return p.node.Model(ctx, pol, t)
+	}
 	cv, err := p.engine.CoverAt(ctx, pol, t)
 	if err != nil {
 		return ModelResponse{}, err
@@ -607,7 +816,11 @@ func (p *Platform) ModelResponse(ctx context.Context, pol Pollutant, t float64) 
 
 // Heatmap rasterizes pol's cover at time t over the window's data region;
 // see the heatmap endpoints of Handler for rendered output.
+// On a clustered platform the raster scatter-gathers across all shards.
 func (p *Platform) Heatmap(ctx context.Context, pol Pollutant, t float64, cols, rows int) (*heatmap.Grid, error) {
+	if p.node != nil {
+		return p.node.Heatmap(ctx, pol, t, cols, rows)
+	}
 	return p.engine.Heatmap(ctx, pol, t, cols, rows)
 }
 

@@ -44,7 +44,7 @@ func TestEndToEndPointQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	if v < 300 || v > 5000 {
-		t.Errorf("PointQuery = %v, outside physical range", v)
+		t.Errorf("Query = %v, outside physical range", v)
 	}
 }
 

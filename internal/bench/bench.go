@@ -20,8 +20,8 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
 	"repro/internal/query"
 	"repro/internal/regress"
 	"repro/internal/sim"
@@ -39,7 +39,7 @@ func PaperConfig(tau float64, seed int64) core.Config {
 		ErrThreshold:    tau,
 		Features:        regress.LinearT,
 		MinRegionTuples: 6,
-		Cluster:         cluster.Config{Seed: seed},
+		Cluster:         kmeans.Config{Seed: seed},
 	}
 }
 

@@ -6,8 +6,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
 	"repro/internal/netsim"
 	"repro/internal/query"
 	"repro/internal/server"
@@ -36,7 +36,7 @@ func newStack(t *testing.T, codec wire.Codec) (*server.Engine, *netsim.Link, Tra
 	if err := st.Append(b); err != nil {
 		t.Fatal(err)
 	}
-	eng := server.NewEngine(st, core.Config{Cluster: cluster.Config{Seed: 3}})
+	eng := server.NewEngine(st, core.Config{Cluster: kmeans.Config{Seed: 3}})
 	link, err := netsim.NewLink(netsim.GPRS())
 	if err != nil {
 		t.Fatal(err)

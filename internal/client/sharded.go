@@ -1,0 +1,245 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/geo"
+	"repro/internal/wire"
+)
+
+// Dialer opens a transport to a cluster node's wire address.
+type Dialer func(addr string) (Transport, error)
+
+// ShardedStats counts a sharded transport's routing work.
+type ShardedStats struct {
+	// Direct counts exchanges sent straight to the computed shard owner.
+	Direct int64
+	// Seeded counts exchanges sent to the seed node (non-positional
+	// requests, and everything before the ring is known).
+	Seeded int64
+	// Bounced counts NotOwner bounces (stale ring), each followed by a
+	// ring refresh and one retry at the named owner.
+	Bounced int64
+	// Refreshes counts ring fetches.
+	Refreshes int64
+}
+
+// ShardedTransport is a cluster-aware Transport: it fetches the shard
+// ring once (from its seed node), then sends every positional request
+// straight to the shard owner — no router hop on the hot path. A
+// NotOwner bounce (the ring changed) refreshes the ring and retries
+// once at the node the bounce named. Non-positional requests (model
+// covers, heatmaps, mixed batches) go to the seed node, whose
+// router/scatter logic answers them cluster-wide. It is safe for
+// concurrent use.
+type ShardedTransport struct {
+	seed Transport
+	dial Dialer
+
+	mu    sync.Mutex
+	ring  *cluster.Ring
+	conns map[string]Transport // keyed by address: correct even under a stale ring
+
+	stats ShardedStats
+}
+
+// NewSharded builds a sharded transport over a seed node connection and
+// a dialer for the owner connections.
+func NewSharded(seed Transport, dial Dialer) *ShardedTransport {
+	return &ShardedTransport{seed: seed, dial: dial, conns: make(map[string]Transport)}
+}
+
+// Stats returns a snapshot of the routing counters.
+func (s *ShardedTransport) Stats() ShardedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Ring returns the cached shard ring (fetching it on first use).
+func (s *ShardedTransport) Ring() (*cluster.Ring, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ringLocked()
+}
+
+func (s *ShardedTransport) ringLocked() (*cluster.Ring, error) {
+	if s.ring != nil {
+		return s.ring, nil
+	}
+	return s.refreshLocked()
+}
+
+func (s *ShardedTransport) refreshLocked() (*cluster.Ring, error) {
+	s.stats.Refreshes++
+	resp, err := s.seed.Exchange(wire.RingRequest{})
+	if err != nil {
+		return nil, fmt.Errorf("client: fetch ring: %w", err)
+	}
+	rr, ok := resp.(wire.RingResponse)
+	if !ok {
+		if er, isErr := resp.(wire.ErrorResponse); isErr {
+			return nil, fmt.Errorf("client: fetch ring: %s", er.Msg)
+		}
+		return nil, fmt.Errorf("client: fetch ring: unexpected response %T", resp)
+	}
+	ring, err := cluster.RingFromWire(rr)
+	if err != nil {
+		return nil, fmt.Errorf("client: fetch ring: %w", err)
+	}
+	s.ring = ring
+	return ring, nil
+}
+
+// conn returns (dialing if needed) the transport to addr. The dial
+// happens OUTSIDE the transport mutex: one unreachable owner must not
+// stall concurrent exchanges to healthy owners for a dial timeout.
+func (s *ShardedTransport) conn(addr string) (Transport, error) {
+	s.mu.Lock()
+	if t, ok := s.conns[addr]; ok {
+		s.mu.Unlock()
+		return t, nil
+	}
+	s.mu.Unlock()
+	t, err := s.dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if existing, ok := s.conns[addr]; ok {
+		// A concurrent exchange dialed the same owner; keep theirs.
+		s.mu.Unlock()
+		if c, isCloser := t.(interface{ Close() error }); isCloser {
+			_ = c.Close()
+		}
+		return existing, nil
+	}
+	s.conns[addr] = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// dropConn forgets an address's connection (after a transport error,
+// so the next exchange redials).
+func (s *ShardedTransport) dropConn(addr string) {
+	s.mu.Lock()
+	t, ok := s.conns[addr]
+	delete(s.conns, addr)
+	s.mu.Unlock()
+	if ok {
+		if c, isCloser := t.(interface{ Close() error }); isCloser {
+			_ = c.Close()
+		}
+	}
+}
+
+// Exchange implements Transport with shard-map awareness.
+func (s *ShardedTransport) Exchange(req wire.Message) (wire.Message, error) {
+	q, ok := req.(wire.QueryRequest)
+	if !ok || q.Legacy {
+		// Non-positional (or untagged) requests: the seed node routes or
+		// scatter-gathers them server-side.
+		s.mu.Lock()
+		s.stats.Seeded++
+		s.mu.Unlock()
+		return s.seed.Exchange(req)
+	}
+
+	s.mu.Lock()
+	ring, err := s.ringLocked()
+	if err != nil {
+		// No ring (peer not clustered, or unreachable): degrade to the
+		// seed node, which answers single-node deployments directly.
+		s.stats.Seeded++
+		s.mu.Unlock()
+		return s.seed.Exchange(req)
+	}
+	addr := ring.Addr(ring.Owner(q.Pollutant, geo.Point{X: q.X, Y: q.Y}))
+	s.stats.Direct++
+	s.mu.Unlock()
+
+	t, err := s.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.Exchange(req)
+	if err != nil {
+		s.dropConn(addr)
+		return nil, err
+	}
+	bounce, isBounce := resp.(wire.NotOwnerResponse)
+	if !isBounce {
+		return resp, nil
+	}
+	if bounce.Addr == "" {
+		return nil, fmt.Errorf("client: shard owned by unreachable node %d", bounce.Owner)
+	}
+
+	// Stale ring: drop it for the next exchange to refresh, and retry
+	// once at the address the bounce named — the bouncing node knows the
+	// current owner even when our refresh source is itself stale.
+	s.mu.Lock()
+	s.stats.Bounced++
+	s.stats.Direct++
+	s.ring = nil
+	s.mu.Unlock()
+	t, err = s.conn(bounce.Addr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err = t.Exchange(req)
+	if err != nil {
+		return nil, err
+	}
+	if b2, still := resp.(wire.NotOwnerResponse); still {
+		return nil, fmt.Errorf("client: shard still owned elsewhere after retry (node %d %s)", b2.Owner, b2.Addr)
+	}
+	return resp, nil
+}
+
+// Close closes every owner connection (and the seed, if closable).
+func (s *ShardedTransport) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var errs []error
+	for n, t := range s.conns {
+		if c, ok := t.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		delete(s.conns, n)
+	}
+	if c, ok := s.seed.(interface{ Close() error }); ok {
+		if err := c.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// FetchRingHTTP fetches the shard ring from a node's HTTP API
+// (GET <baseURL>/v1/cluster) — the bootstrap a web client uses instead
+// of the wire RingRequest.
+func FetchRingHTTP(baseURL string) (*cluster.Ring, error) {
+	resp, err := http.Get(baseURL + "/v1/cluster")
+	if err != nil {
+		return nil, fmt.Errorf("client: fetch ring: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: fetch ring: %s", resp.Status)
+	}
+	var doc struct {
+		Ring wire.RingResponse `json:"ring"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("client: fetch ring: %w", err)
+	}
+	return cluster.RingFromWire(doc.Ring)
+}

@@ -1,0 +1,644 @@
+package cluster_test
+
+// Integration tests for the sharded serving layer: a 3-node cluster of
+// real engines wired together over simulated cellular links (netsim).
+// The acceptance properties: a query routed to a non-owner node returns
+// exactly the owner's answer, heatmaps scatter-gather across all
+// shards, ingest through any node lands every tuple on its owner, and
+// killing one node fails only that node's shards. Runs under -race.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/heatmap"
+	"repro/internal/kmeans"
+	"repro/internal/netsim"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+const (
+	windowLen = 3600.0
+	queryT    = 1800.0
+)
+
+var clusterRegion = geo.Rect{Min: geo.Point{X: -2000, Y: -2000}, Max: geo.Point{X: 2000, Y: 2000}}
+
+// fieldVal is the deterministic scalar field the test data samples, so
+// every node's answer is predictable from position alone.
+func fieldVal(x, y float64) float64 { return 400 + 0.01*x + 0.02*y }
+
+// makeData lays a lattice of tuples over the region inside window 0.
+func makeData() tuple.Batch {
+	var b tuple.Batch
+	i := 0
+	for x := -1900.0; x <= 1900; x += 200 {
+		for y := -1900.0; y <= 1900; y += 200 {
+			t := 100 + float64(i%330)*10 // spread through the window
+			b = append(b, tuple.Raw{T: t, X: x, Y: y, S: fieldVal(x, y)})
+			i++
+		}
+	}
+	return b
+}
+
+// fixture is a 3-node cluster in one process: engines, routing nodes,
+// and netsim links standing in for the data-center network.
+type fixture struct {
+	ring    *cluster.Ring
+	engines []*server.Engine
+	nodes   []*cluster.Node
+	link    *netsim.Link
+	dead    []atomic.Bool
+}
+
+// nodeTransport carries frames to fixture node `to` over the shared
+// simulated link, with a kill switch per target. Frames are really
+// encoded and decoded, so the new cluster messages cross the binary
+// codec end to end.
+type nodeTransport struct {
+	f  *fixture
+	to int
+}
+
+func (t *nodeTransport) Exchange(req wire.Message) (wire.Message, error) {
+	if t.f.dead[t.to].Load() {
+		return nil, fmt.Errorf("node %d is down", t.to)
+	}
+	reqB, err := wire.Binary.Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := wire.Binary.Decode(reqB)
+	if err != nil {
+		return nil, err
+	}
+	resp := t.f.nodes[t.to].HandleMessage(decoded)
+	respB, err := wire.Binary.Encode(resp)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := t.f.link.Exchange(len(reqB), len(respB)); err != nil {
+		return nil, err
+	}
+	return wire.Binary.Decode(respB)
+}
+
+func newEngine(t *testing.T) *server.Engine {
+	t.Helper()
+	st := store.MustOpenMemory(windowLen)
+	e, err := server.NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
+		core.Config{Cluster: kmeans.Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	cells, err := cluster.Cells(clusterRegion, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := cluster.NewRing(cluster.Desc{
+		Nodes: []string{"node-0:8081", "node-1:8081", "node-2:8081"},
+		Cells: cells,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := netsim.NewLink(netsim.ThreeG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{ring: ring, link: link, dead: make([]atomic.Bool, 3)}
+	for i := 0; i < 3; i++ {
+		f.engines = append(f.engines, newEngine(t))
+	}
+	for i := 0; i < 3; i++ {
+		transports := make([]cluster.Transport, 3)
+		for j := 0; j < 3; j++ {
+			if j != i {
+				transports[j] = &nodeTransport{f: f, to: j}
+			}
+		}
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			Ring:       ring,
+			Self:       i,
+			Local:      f.engines[i],
+			Transports: transports,
+			Default:    tuple.CO2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.nodes = append(f.nodes, node)
+	}
+	return f
+}
+
+// load ingests the lattice through node 0's router, which must split it
+// across shard owners.
+func (f *fixture) load(t *testing.T, data tuple.Batch) {
+	t.Helper()
+	resp := f.nodes[0].HandleMessage(wire.IngestRequest{Pollutant: tuple.CO2, Tuples: data})
+	ir, ok := resp.(wire.IngestResponse)
+	if !ok {
+		t.Fatalf("ingest through router failed: %#v", resp)
+	}
+	if int(ir.Ingested) != len(data) {
+		t.Fatalf("ingested %d of %d tuples", ir.Ingested, len(data))
+	}
+}
+
+func TestClusterRoutedIngestShards(t *testing.T) {
+	f := newFixture(t)
+	data := makeData()
+	f.load(t, data)
+
+	total := 0
+	for i, e := range f.engines {
+		n := e.Store().Len()
+		if n == 0 {
+			t.Errorf("node %d holds no tuples — sharding collapsed", i)
+		}
+		total += n
+	}
+	if total != len(data) {
+		t.Fatalf("cluster holds %d tuples, ingested %d (duplicates or loss)", total, len(data))
+	}
+	// Every tuple must live exactly on its owner.
+	for i, e := range f.engines {
+		want := 0
+		for _, r := range data {
+			if f.ring.Owner(tuple.CO2, r.Pos()) == i {
+				want++
+			}
+		}
+		if got := e.Store().Len(); got != want {
+			t.Errorf("node %d holds %d tuples, owns %d", i, got, want)
+		}
+	}
+}
+
+// sampleRequests picks lattice positions spread across all shards.
+func sampleRequests(data tuple.Batch) []query.Request {
+	var reqs []query.Request
+	for i := 0; i < len(data); i += 17 {
+		reqs = append(reqs, query.Request{T: queryT, X: data[i].X, Y: data[i].Y, Pollutant: tuple.CO2})
+	}
+	return reqs
+}
+
+func TestClusterNonOwnerQueryEqualsOwner(t *testing.T) {
+	f := newFixture(t)
+	data := makeData()
+	f.load(t, data)
+	ctx := context.Background()
+
+	for _, req := range sampleRequests(data) {
+		owner := f.ring.Owner(tuple.CO2, geo.Point{X: req.X, Y: req.Y})
+		want, err := f.engines[owner].Query(ctx, req)
+		if err != nil {
+			t.Fatalf("owner %d query at (%v,%v): %v", owner, req.X, req.Y, err)
+		}
+		for n, node := range f.nodes {
+			resp := node.HandleMessage(wire.QueryRequest{T: req.T, X: req.X, Y: req.Y, Pollutant: req.Pollutant})
+			qr, ok := resp.(wire.QueryResponse)
+			if !ok {
+				t.Fatalf("node %d at (%v,%v): %#v", n, req.X, req.Y, resp)
+			}
+			if qr.Value != want {
+				t.Fatalf("node %d answers %v at (%v,%v); owner %d answers %v",
+					n, qr.Value, req.X, req.Y, owner, want)
+			}
+		}
+	}
+	// Forwarding actually happened (the samples span several shards).
+	forwarded := int64(0)
+	for _, node := range f.nodes {
+		forwarded += node.Stats().Forwarded
+	}
+	if forwarded == 0 {
+		t.Error("no request was forwarded — samples all landed on their handling node?")
+	}
+	if f.link.Stats().Exchanges == 0 {
+		t.Error("netsim link saw no exchanges")
+	}
+}
+
+func TestClusterBatchSplitsAndMatches(t *testing.T) {
+	f := newFixture(t)
+	data := makeData()
+	f.load(t, data)
+	ctx := context.Background()
+
+	reqs := sampleRequests(data)
+	// Through the Go convenience surface of a non-owner-for-most node.
+	results, err := f.nodes[2].QueryBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(results), len(reqs))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("batch item %d: %v", i, res.Err)
+		}
+		owner := f.ring.Owner(tuple.CO2, geo.Point{X: reqs[i].X, Y: reqs[i].Y})
+		want, err := f.engines[owner].Query(ctx, reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != want {
+			t.Fatalf("batch item %d: %v, owner answers %v", i, res.Value, want)
+		}
+	}
+	// A batch with one bad item fails only that item.
+	bad := append([]query.Request{}, reqs[0])
+	bad = append(bad, query.Request{T: 99 * windowLen, X: 0, Y: 0, Pollutant: tuple.CO2})
+	results, err = f.nodes[1].QueryBatch(ctx, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("good item rejected: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("out-of-window item accepted")
+	}
+}
+
+func TestClusterHeatmapScatterGathers(t *testing.T) {
+	f := newFixture(t)
+	data := makeData()
+	f.load(t, data)
+	ctx := context.Background()
+
+	grids := make([]*heatmap.Grid, 3)
+	for n, node := range f.nodes {
+		g, err := node.Heatmap(ctx, tuple.CO2, queryT, 24, 24)
+		if err != nil {
+			t.Fatalf("node %d heatmap: %v", n, err)
+		}
+		for _, v := range g.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("node %d heatmap holds non-finite values", n)
+			}
+		}
+		grids[n] = g
+	}
+	// Scatter-gather is deterministic: every node assembles the same map.
+	if !reflect.DeepEqual(grids[0], grids[1]) || !reflect.DeepEqual(grids[1], grids[2]) {
+		t.Fatal("nodes assembled different cluster heatmaps")
+	}
+	// The merged region must span every shard's data, i.e. (at least)
+	// the union of the per-engine rasters.
+	region := grids[0].Region
+	for i, e := range f.engines {
+		own, err := e.Heatmap(ctx, tuple.CO2, queryT, 8, 8)
+		if err != nil {
+			t.Fatalf("engine %d local heatmap: %v", i, err)
+		}
+		if !region.Contains(own.Region.Center()) {
+			t.Errorf("merged heatmap region %v misses node %d's data at %v", region, i, own.Region.Center())
+		}
+	}
+	// Every node scattered (peers saw forwarded-in traffic).
+	for n, node := range f.nodes {
+		if node.Stats().ForwardedIn == 0 {
+			t.Errorf("node %d never received a scattered request", n)
+		}
+	}
+}
+
+func TestClusterModelMerge(t *testing.T) {
+	f := newFixture(t)
+	data := makeData()
+	f.load(t, data)
+	ctx := context.Background()
+
+	mr, err := f.nodes[0].Model(ctx, tuple.CO2, queryT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRegions := 0
+	for i, e := range f.engines {
+		cv, err := e.CoverAt(ctx, tuple.CO2, queryT)
+		if err != nil {
+			t.Fatalf("engine %d cover: %v", i, err)
+		}
+		wantRegions += cv.Size()
+	}
+	if len(mr.Centroids) != wantRegions {
+		t.Fatalf("merged cover has %d regions, shards hold %d", len(mr.Centroids), wantRegions)
+	}
+	// The merged cover is a usable client-side model cache.
+	cv, err := wire.CoverFromModelResponse(mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cv.Interpolate(queryT, 500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("merged cover interpolates to %v", v)
+	}
+}
+
+func TestClusterNodeLossFailsOnlyItsShards(t *testing.T) {
+	f := newFixture(t)
+	data := makeData()
+	f.load(t, data)
+	ctx := context.Background()
+
+	const victim = 2
+	f.dead[victim].Store(true)
+
+	lost, kept := 0, 0
+	for _, req := range sampleRequests(data) {
+		owner := f.ring.Owner(tuple.CO2, geo.Point{X: req.X, Y: req.Y})
+		for n := 0; n < 2; n++ { // query through the survivors
+			resp := f.nodes[n].HandleMessage(wire.QueryRequest{T: req.T, X: req.X, Y: req.Y, Pollutant: req.Pollutant})
+			switch r := resp.(type) {
+			case wire.QueryResponse:
+				if owner == victim {
+					t.Fatalf("node %d answered a dead node's shard at (%v,%v)", n, req.X, req.Y)
+				}
+				want, err := f.engines[owner].Query(ctx, req)
+				if err != nil || r.Value != want {
+					t.Fatalf("node %d: %v (want %v, err %v)", n, r.Value, want, err)
+				}
+				kept++
+			case wire.ErrorResponse:
+				if owner != victim {
+					t.Fatalf("node %d failed a live shard at (%v,%v): %s", n, req.X, req.Y, r.Msg)
+				}
+				if !strings.Contains(r.Msg, "unreachable") {
+					t.Fatalf("unexpected error for dead shard: %s", r.Msg)
+				}
+				lost++
+			default:
+				t.Fatalf("unexpected response %T", resp)
+			}
+		}
+	}
+	if lost == 0 {
+		t.Error("no sample hit the dead node's shards — broaden the samples")
+	}
+	if kept == 0 {
+		t.Error("no sample answered — the outage spread past the dead node")
+	}
+	// Cross-shard operations survive on the remaining nodes.
+	g, err := f.nodes[0].Heatmap(ctx, tuple.CO2, queryT, 16, 16)
+	if err != nil {
+		t.Fatalf("heatmap after node loss: %v", err)
+	}
+	if len(g.Values) != 256 {
+		t.Fatalf("heatmap after node loss has %d cells", len(g.Values))
+	}
+}
+
+// TestClusterPartialIngestNotRetryable locks the duplicate-prevention
+// contract: an ingest where some owners applied and one was down maps
+// to ErrPartialIngest (never the retryable ErrSaturated), while an
+// ingest where nothing applied keeps a retryable error.
+func TestClusterPartialIngestNotRetryable(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	data := makeData()
+	f.dead[2].Store(true)
+
+	err := f.nodes[0].Ingest(ctx, tuple.CO2, data)
+	if err == nil {
+		t.Fatal("ingest spanning a dead node succeeded")
+	}
+	if !errors.Is(err, cluster.ErrPartialIngest) {
+		t.Fatalf("partial ingest maps to %v, want ErrPartialIngest", err)
+	}
+	// The surviving owners applied their slices exactly once.
+	applied := f.engines[0].Store().Len() + f.engines[1].Store().Len()
+	want := 0
+	for _, r := range data {
+		if f.ring.Owner(tuple.CO2, r.Pos()) != 2 {
+			want++
+		}
+	}
+	if applied != want {
+		t.Fatalf("survivors hold %d tuples, want %d", applied, want)
+	}
+
+	// An upload owned entirely by the dead node applies nowhere: the
+	// error stays a retryable unreachable, not a partial ingest.
+	var deadOnly tuple.Batch
+	for _, r := range data {
+		if f.ring.Owner(tuple.CO2, r.Pos()) == 2 {
+			deadOnly = append(deadOnly, r)
+		}
+	}
+	if len(deadOnly) == 0 {
+		t.Fatal("no tuples owned by the dead node")
+	}
+	err = f.nodes[0].Ingest(ctx, tuple.CO2, deadOnly)
+	if err == nil {
+		t.Fatal("dead-owner ingest succeeded")
+	}
+	if errors.Is(err, cluster.ErrPartialIngest) {
+		t.Fatalf("all-failed ingest wrongly marked partial: %v", err)
+	}
+	if !errors.Is(err, cluster.ErrNodeUnreachable) {
+		t.Fatalf("all-failed ingest maps to %v, want ErrNodeUnreachable", err)
+	}
+}
+
+// TestShardedClientTalksToOwners verifies the client-side shard map: a
+// sharded transport fetches the ring once and then reaches owners
+// directly — against nodes with no forwarding links at all.
+func TestShardedClientTalksToOwners(t *testing.T) {
+	f := newFixture(t)
+	data := makeData()
+	f.load(t, data)
+	ctx := context.Background()
+
+	// Isolated nodes: no peer transports, so a misrouted request gets a
+	// NotOwner bounce instead of silent forwarding.
+	iso := make([]*cluster.Node, 3)
+	for i := 0; i < 3; i++ {
+		n, err := cluster.NewNode(cluster.NodeConfig{
+			Ring: f.ring, Self: i, Local: f.engines[i], Default: tuple.CO2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iso[i] = n
+	}
+	handlerByAddr := func(addr string) (cluster.Handler, bool) {
+		for i := 0; i < f.ring.Nodes(); i++ {
+			if f.ring.Addr(i) == addr {
+				return iso[i], true
+			}
+		}
+		return nil, false
+	}
+	dial := func(addr string) (client.Transport, error) {
+		h, ok := handlerByAddr(addr)
+		if !ok {
+			return nil, fmt.Errorf("unknown address %q", addr)
+		}
+		return &handlerTransport{h: h, link: f.link}, nil
+	}
+	seed := &handlerTransport{h: iso[0], link: f.link}
+	sc := client.NewSharded(seed, dial)
+
+	reqs := sampleRequests(data)
+	for _, req := range reqs {
+		resp, err := sc.Exchange(wire.QueryRequest{T: req.T, X: req.X, Y: req.Y, Pollutant: req.Pollutant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, ok := resp.(wire.QueryResponse)
+		if !ok {
+			t.Fatalf("unexpected response %#v", resp)
+		}
+		owner := f.ring.Owner(tuple.CO2, geo.Point{X: req.X, Y: req.Y})
+		want, err := f.engines[owner].Query(ctx, req)
+		if err != nil || qr.Value != want {
+			t.Fatalf("sharded client got %v, owner answers %v (err %v)", qr.Value, want, err)
+		}
+	}
+	st := sc.Stats()
+	if st.Direct != int64(len(reqs)) {
+		t.Errorf("direct exchanges %d, want %d (every query straight to its owner)", st.Direct, len(reqs))
+	}
+	if st.Bounced != 0 {
+		t.Errorf("fresh ring bounced %d times", st.Bounced)
+	}
+	if st.Refreshes != 1 {
+		t.Errorf("ring fetched %d times, want 1", st.Refreshes)
+	}
+}
+
+// TestShardedClientRetryOnWrongOwner serves the client a stale ring
+// whose node addresses are rotated: every query lands on the wrong
+// node, gets a NotOwner bounce naming the true owner, and the client
+// must retry there successfully.
+func TestShardedClientRetryOnWrongOwner(t *testing.T) {
+	f := newFixture(t)
+	data := makeData()
+	f.load(t, data)
+	ctx := context.Background()
+
+	iso := make([]*cluster.Node, 3)
+	for i := 0; i < 3; i++ {
+		n, err := cluster.NewNode(cluster.NodeConfig{
+			Ring: f.ring, Self: i, Local: f.engines[i], Default: tuple.CO2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iso[i] = n
+	}
+	// The stale ring maps every shard to the *next* node's address.
+	desc := f.ring.Desc()
+	rotated := make([]string, len(desc.Nodes))
+	for i := range desc.Nodes {
+		rotated[i] = desc.Nodes[(i+1)%len(desc.Nodes)]
+	}
+	staleRing, err := cluster.NewRing(cluster.Desc{Nodes: rotated, Cells: desc.Cells, VNodes: desc.VNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAddr := func(addr string) cluster.Handler {
+		for i := 0; i < f.ring.Nodes(); i++ {
+			if f.ring.Addr(i) == addr {
+				return iso[i]
+			}
+		}
+		return nil
+	}
+	dial := func(addr string) (client.Transport, error) {
+		h := byAddr(addr)
+		if h == nil {
+			return nil, fmt.Errorf("unknown address %q", addr)
+		}
+		return &handlerTransport{h: h, link: f.link}, nil
+	}
+	sc := client.NewSharded(&staleSeed{ring: staleRing}, dial)
+
+	for _, req := range sampleRequests(data) {
+		resp, err := sc.Exchange(wire.QueryRequest{T: req.T, X: req.X, Y: req.Y, Pollutant: req.Pollutant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, ok := resp.(wire.QueryResponse)
+		if !ok {
+			t.Fatalf("unexpected response %#v", resp)
+		}
+		owner := f.ring.Owner(tuple.CO2, geo.Point{X: req.X, Y: req.Y})
+		want, qerr := f.engines[owner].Query(ctx, req)
+		if qerr != nil || qr.Value != want {
+			t.Fatalf("after bounce got %v, owner answers %v (err %v)", qr.Value, want, qerr)
+		}
+	}
+	if sc.Stats().Bounced == 0 {
+		t.Error("stale ring produced no bounces — the retry path went untested")
+	}
+}
+
+// handlerTransport invokes a handler in-process with full encode/decode
+// round trips charged to a netsim link.
+type handlerTransport struct {
+	h    cluster.Handler
+	link *netsim.Link
+}
+
+func (t *handlerTransport) Exchange(req wire.Message) (wire.Message, error) {
+	reqB, err := wire.Binary.Encode(req)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := wire.Binary.Decode(reqB)
+	if err != nil {
+		return nil, err
+	}
+	resp := t.h.HandleMessage(decoded)
+	respB, err := wire.Binary.Encode(resp)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := t.link.Exchange(len(reqB), len(respB)); err != nil {
+		return nil, err
+	}
+	return wire.Binary.Decode(respB)
+}
+
+// staleSeed answers ring requests with an outdated ring and nothing
+// else — a bootstrap node that fell behind a reconfiguration.
+type staleSeed struct {
+	ring *cluster.Ring
+}
+
+func (s *staleSeed) Exchange(req wire.Message) (wire.Message, error) {
+	if _, ok := req.(wire.RingRequest); ok {
+		return s.ring.Wire(), nil
+	}
+	return wire.ErrorResponse{Msg: "stale seed answers only ring requests"}, nil
+}

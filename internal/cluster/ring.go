@@ -1,0 +1,241 @@
+// Package cluster implements the sharded multi-node serving layer: a
+// deterministic geo-cell partition of the deployment region (Cells,
+// k-means over a uniform lattice), a consistent-hash ring mapping
+// (pollutant, geo-cell) shard keys onto engine nodes (Ring), and the
+// Node router that answers owned shards from its local engine, forwards
+// single-shard wire requests to their owners, and scatter-gathers the
+// cross-shard ones (heatmaps, model covers). A Node with no local
+// engine (Self = -1) is a pure query router.
+//
+// Placement is configuration-deterministic: every party that holds the
+// same Desc — node addresses, cell centroids, virtual-node multiplier —
+// computes identical shard owners, so the ring travels as one
+// wire.RingResponse and never needs consensus.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/kmeans"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// DefaultVNodes is the virtual-node multiplier used when a Desc does not
+// set one: each physical node owns this many points on the hash ring, so
+// shard keys spread evenly even for small clusters.
+const DefaultVNodes = 64
+
+// ShardKey identifies one shard: a (pollutant, geo-cell) pair. Every raw
+// tuple and every positional query maps to exactly one shard, and the
+// ring maps every shard to exactly one owner node.
+type ShardKey struct {
+	Pollutant tuple.Pollutant
+	Cell      int
+}
+
+// Desc is the serializable cluster description every party must agree
+// on: the node addresses (index = node ID), the geo-cell centroids
+// partitioning the region, and the virtual-node multiplier. Two parties
+// holding equal Descs compute identical shard placements — the property
+// the ring-exchange protocol distributes.
+type Desc struct {
+	// Nodes are the wire-protocol addresses of the cluster nodes; a
+	// node's index in this slice is its stable node ID.
+	Nodes []string
+	// Cells are the geo-cell centroids; a point belongs to the nearest
+	// centroid (the same nearest-centroid rule Ad-KMN covers use).
+	Cells []geo.Point
+	// VNodes is the virtual-node multiplier (0 = DefaultVNodes).
+	VNodes int
+}
+
+// Cells builds a deterministic geo-cell partition of region: a uniform
+// lattice of sample points clustered with the package's k-means++ into n
+// cell centroids. The same (region, n, seed) always yields the same
+// cells, so every node and client derives an identical shard map from
+// configuration alone.
+func Cells(region geo.Rect, n int, seed int64) ([]geo.Point, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: %d cells, want >= 1", n)
+	}
+	if !region.Valid() {
+		return nil, fmt.Errorf("cluster: invalid cell region %v", region)
+	}
+	// Degenerate (zero-area) regions still need distinct lattice points
+	// for k-means to seed from; inflate like the heatmap path does.
+	if region.Area() == 0 {
+		region = region.Inflate(100)
+	}
+	// A lattice with ~8x oversampling keeps k-means centroids spread over
+	// the whole region rather than collapsing onto a few sample points.
+	side := 1
+	for side*side < 8*n {
+		side++
+	}
+	pts := make([]geo.Point, 0, side*side)
+	dx := (region.Max.X - region.Min.X) / float64(side)
+	dy := (region.Max.Y - region.Min.Y) / float64(side)
+	for j := 0; j < side; j++ {
+		for i := 0; i < side; i++ {
+			pts = append(pts, geo.Point{
+				X: region.Min.X + (float64(i)+0.5)*dx,
+				Y: region.Min.Y + (float64(j)+0.5)*dy,
+			})
+		}
+	}
+	res, err := kmeans.Run(pts, n, kmeans.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Centroids, nil
+}
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// Ring is a consistent-hash ring mapping shard keys onto nodes. It is
+// immutable after construction and safe for concurrent use.
+type Ring struct {
+	desc   Desc
+	points []ringPoint
+}
+
+// NewRing builds the ring for a cluster description.
+func NewRing(desc Desc) (*Ring, error) {
+	if len(desc.Nodes) == 0 {
+		return nil, errors.New("cluster: ring needs at least one node")
+	}
+	if len(desc.Cells) == 0 {
+		return nil, errors.New("cluster: ring needs at least one cell")
+	}
+	if desc.VNodes == 0 {
+		desc.VNodes = DefaultVNodes
+	}
+	if desc.VNodes < 1 {
+		return nil, fmt.Errorf("cluster: %d virtual nodes, want >= 1", desc.VNodes)
+	}
+	r := &Ring{desc: desc, points: make([]ringPoint, 0, len(desc.Nodes)*desc.VNodes)}
+	for n := range desc.Nodes {
+		for v := 0; v < desc.VNodes; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(n, v), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Colliding virtual nodes order by node ID so every party breaks
+		// the tie identically.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// RingFromWire reconstructs a ring from a received ring-exchange frame.
+func RingFromWire(resp wire.RingResponse) (*Ring, error) {
+	return NewRing(Desc{Nodes: resp.Nodes, Cells: resp.Cells, VNodes: int(resp.VNodes)})
+}
+
+// Wire returns the ring-exchange frame describing this ring.
+func (r *Ring) Wire() wire.RingResponse {
+	return wire.RingResponse{Nodes: r.desc.Nodes, Cells: r.desc.Cells, VNodes: uint16(r.desc.VNodes)}
+}
+
+// Desc returns the cluster description the ring was built from (with
+// defaults applied).
+func (r *Ring) Desc() Desc { return r.desc }
+
+// Nodes returns the number of physical nodes.
+func (r *Ring) Nodes() int { return len(r.desc.Nodes) }
+
+// Cells returns the number of geo cells.
+func (r *Ring) Cells() int { return len(r.desc.Cells) }
+
+// Addr returns the wire address of node n.
+func (r *Ring) Addr(n int) string {
+	if n < 0 || n >= len(r.desc.Nodes) {
+		return ""
+	}
+	return r.desc.Nodes[n]
+}
+
+// CellOf assigns a position to its geo cell: the nearest cell centroid,
+// by the same rule model covers use to pick a region model.
+func (r *Ring) CellOf(p geo.Point) int { return kmeans.Nearest(r.desc.Cells, p) }
+
+// OwnerKey returns the node owning a shard key.
+func (r *Ring) OwnerKey(k ShardKey) int {
+	h := keyHash(k)
+	// First ring point clockwise of the key's hash, wrapping at the top.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Owner returns the node owning pollutant pol at position p.
+func (r *Ring) Owner(pol tuple.Pollutant, p geo.Point) int {
+	return r.OwnerKey(ShardKey{Pollutant: pol, Cell: r.CellOf(p)})
+}
+
+// OwnedCells lists the cells of pollutant pol owned by node n, in
+// ascending cell order — the per-shard breakdown /v1/cluster reports.
+func (r *Ring) OwnedCells(n int, pol tuple.Pollutant) []int {
+	var out []int
+	for c := range r.desc.Cells {
+		if r.OwnerKey(ShardKey{Pollutant: pol, Cell: c}) == n {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// vnodeHash positions virtual node v of node n on the circle. Placement
+// hashes the node *index*, not its address, so re-addressing a node
+// (new port, new host) never migrates shards.
+func vnodeHash(n, v int) uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	putU64(buf[:8], uint64(n))
+	putU64(buf[8:], uint64(v))
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// keyHash positions a shard key on the circle.
+func keyHash(k ShardKey) uint64 {
+	h := fnv.New64a()
+	var buf [9]byte
+	buf[0] = byte(k.Pollutant)
+	putU64(buf[1:], uint64(k.Cell))
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a alone avalanches poorly on
+// short, low-entropy inputs (sequential node/cell indexes padded with
+// zero bytes) — badly enough that a 3-node ring can hand every shard to
+// one node; the finalizer restores uniform placement.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

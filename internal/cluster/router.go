@@ -1,0 +1,702 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geo"
+	"repro/internal/heatmap"
+	"repro/internal/ingest"
+	"repro/internal/proto"
+	"repro/internal/query"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Wire-frame budgets. Forwarded requests and their responses must fit
+// one proto frame; exceeding it would fail the peer exchange and make
+// an outage out of an oversized request. Rasters are rejected up
+// front; ingest slices are chunked transparently.
+var (
+	// maxHeatmapCells bounds a scatter-gathered raster: a
+	// HeatmapResponse is 45 + 8*cells bytes.
+	maxHeatmapCells = (proto.MaxFrameBytes - 64) / 8
+	// maxIngestChunk bounds one forwarded ingest frame: an
+	// IngestRequest is 6 + 32*tuples bytes.
+	maxIngestChunk = (proto.MaxFrameBytes - 64) / 32
+)
+
+// ErrNodeUnreachable marks a routed request that failed because the
+// shard's owner could not be reached — the cluster's partial-outage
+// error, distinct from "your request is bad" (the HTTP layer maps it
+// to 502). Matched with errors.Is on the Go convenience surface.
+var ErrNodeUnreachable = errors.New("cluster: owner node unreachable")
+
+// ErrPartialIngest marks a cluster ingest where some shard owners
+// applied their slices and at least one did not. It is NOT safe to
+// retry the whole upload (the applied slices would duplicate), so it
+// deliberately does not map onto the retryable ErrSaturated even when
+// saturation caused the failing slice; the HTTP layer answers 500
+// without Retry-After. An ingest where NO slice applied stays
+// retryable and keeps its original error (e.g. 429 when saturated).
+var ErrPartialIngest = errors.New("cluster: partial ingest; retrying would duplicate applied slices")
+
+// ErrTooLarge marks a request that cannot cross the cluster because
+// its response would exceed the wire frame budget (e.g. an oversized
+// scatter-gathered heatmap). The HTTP layer maps it to 400.
+var ErrTooLarge = errors.New("cluster: request exceeds the wire frame budget")
+
+// Handler answers protocol requests (implemented by server.Engine and by
+// Node itself, so nodes compose behind routers).
+type Handler interface {
+	HandleMessage(req wire.Message) wire.Message
+}
+
+// CtxHandler is the context-aware variant of Handler. A Local handler
+// that implements it (server.Engine does) keeps the caller's
+// cancellation and deadlines on locally-answered requests; peers
+// reached over the wire carry no context either way.
+type CtxHandler interface {
+	HandleMessageCtx(ctx context.Context, req wire.Message) wire.Message
+}
+
+// Transport carries protocol messages to one peer node (implemented by
+// proto.Client over TCP and by the netsim link transport in tests).
+type Transport interface {
+	Exchange(req wire.Message) (wire.Message, error)
+}
+
+// NodeConfig configures a cluster node or router.
+type NodeConfig struct {
+	// Ring is the cluster's shard ring (required).
+	Ring *Ring
+	// Self is this process's node ID — the index of its address in the
+	// ring — or -1 for a dedicated router that owns no shards.
+	Self int
+	// Local answers requests for shards Self owns (nil for a router).
+	Local Handler
+	// Transports connect to peer nodes, indexed by node ID. The Self
+	// entry is ignored; a nil entry makes the node bounce that peer's
+	// shards with NotOwnerResponse instead of forwarding.
+	Transports []Transport
+	// Default resolves legacy (untagged) frames to a pollutant for
+	// shard placement; it must match the engines' default pollutant.
+	Default tuple.Pollutant
+}
+
+// Stats counts a node's routing activity.
+type Stats struct {
+	// Local counts requests answered by the local engine.
+	Local int64
+	// Forwarded counts requests forwarded to an owner node.
+	Forwarded int64
+	// ForwardedIn counts pre-routed requests received from a peer.
+	ForwardedIn int64
+	// Scatters counts scatter-gather fan-outs (heatmaps, model merges).
+	Scatters int64
+	// NotOwner counts requests bounced with NotOwnerResponse.
+	NotOwner int64
+	// Errors counts transport failures talking to peers.
+	Errors int64
+}
+
+// Node is one member of a sharded EnviroMeter cluster: it answers
+// requests for the shards it owns from its local engine, forwards
+// single-shard requests to their owners, and scatter-gathers the
+// cross-shard ones (heatmaps, model covers). With Self = -1 and no
+// local engine it degenerates into a pure query router. Node implements
+// the same HandleMessage contract as the engine, so proto.Serve,
+// client transports, and the HTTP API compose with it unchanged. It is
+// safe for concurrent use.
+type Node struct {
+	ring       *Ring
+	self       int
+	local      Handler
+	transports []Transport
+	def        tuple.Pollutant
+
+	nLocal     atomic.Int64
+	nForwarded atomic.Int64
+	nFwdIn     atomic.Int64
+	nScatters  atomic.Int64
+	nNotOwner  atomic.Int64
+	nErrors    atomic.Int64
+}
+
+// NewNode builds a cluster node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Ring == nil {
+		return nil, errors.New("cluster: node needs a ring")
+	}
+	if cfg.Self >= cfg.Ring.Nodes() {
+		return nil, fmt.Errorf("cluster: node ID %d outside %d-node ring", cfg.Self, cfg.Ring.Nodes())
+	}
+	if cfg.Self >= 0 && cfg.Local == nil {
+		return nil, fmt.Errorf("cluster: node %d has no local handler", cfg.Self)
+	}
+	if cfg.Self < 0 && cfg.Local != nil {
+		return nil, errors.New("cluster: router (Self = -1) cannot own a local handler")
+	}
+	if len(cfg.Transports) > 0 && len(cfg.Transports) != cfg.Ring.Nodes() {
+		return nil, fmt.Errorf("cluster: %d transports for %d nodes", len(cfg.Transports), cfg.Ring.Nodes())
+	}
+	transports := cfg.Transports
+	if transports == nil {
+		transports = make([]Transport, cfg.Ring.Nodes())
+	}
+	return &Node{
+		ring:       cfg.Ring,
+		self:       cfg.Self,
+		local:      cfg.Local,
+		transports: transports,
+		def:        cfg.Default,
+	}, nil
+}
+
+// Ring returns the node's shard ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Self returns the node's ID (-1 for a router).
+func (n *Node) Self() int { return n.self }
+
+// Stats returns a snapshot of the routing counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Local:       n.nLocal.Load(),
+		Forwarded:   n.nForwarded.Load(),
+		ForwardedIn: n.nFwdIn.Load(),
+		Scatters:    n.nScatters.Load(),
+		NotOwner:    n.nNotOwner.Load(),
+		Errors:      n.nErrors.Load(),
+	}
+}
+
+// pollutant resolves a frame's pollutant tag for shard placement.
+func (n *Node) pollutant(p tuple.Pollutant, legacy bool) tuple.Pollutant {
+	if legacy {
+		return n.def
+	}
+	return p
+}
+
+// HandleMessage implements the wire protocol with cluster routing:
+// ring exchanges answer from the local ring, owned shards answer from
+// the local engine, foreign shards forward to (or name) their owner,
+// and cross-shard requests scatter-gather.
+func (n *Node) HandleMessage(req wire.Message) wire.Message {
+	return n.handle(context.Background(), req)
+}
+
+// localHandle answers a request from the local engine, preserving the
+// caller's context when the handler supports it.
+func (n *Node) localHandle(ctx context.Context, req wire.Message) wire.Message {
+	if ch, ok := n.local.(CtxHandler); ok {
+		return ch.HandleMessageCtx(ctx, req)
+	}
+	return n.local.HandleMessage(req)
+}
+
+func (n *Node) handle(ctx context.Context, req wire.Message) wire.Message {
+	switch m := req.(type) {
+	case wire.RingRequest:
+		return n.ring.Wire()
+	case wire.Forwarded:
+		// Pre-routed by a peer: answer locally, never re-forward, so a
+		// stale peer ring cannot create a forwarding loop.
+		if n.local == nil {
+			return wire.ErrorResponse{Msg: "cluster: router holds no shards"}
+		}
+		n.nFwdIn.Add(1)
+		return n.localHandle(ctx, m.Inner)
+	case wire.QueryRequest:
+		pol := n.pollutant(m.Pollutant, m.Legacy)
+		return n.route(ctx, n.ring.Owner(pol, geo.Point{X: m.X, Y: m.Y}), m)
+	case wire.ModelRequest:
+		return n.scatterModel(ctx, m)
+	case wire.BatchQueryRequest:
+		return n.routeBatch(ctx, m)
+	case wire.IngestRequest:
+		return n.routeIngest(ctx, m)
+	case wire.HeatmapRequest:
+		return n.scatterHeatmap(ctx, m)
+	default:
+		return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: unsupported request type %T", req)}
+	}
+}
+
+// route sends a single-shard request to its owner: the local engine,
+// a peer transport, or — unreachable — a NotOwnerResponse naming it.
+func (n *Node) route(ctx context.Context, owner int, m wire.Message) wire.Message {
+	if owner == n.self {
+		n.nLocal.Add(1)
+		return n.localHandle(ctx, m)
+	}
+	if t := n.transports[owner]; t != nil {
+		n.nForwarded.Add(1)
+		resp, err := t.Exchange(wire.Forwarded{Inner: m})
+		if err != nil {
+			n.nErrors.Add(1)
+			return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: node %d (%s) unreachable: %v", owner, n.ring.Addr(owner), err)}
+		}
+		return resp
+	}
+	n.nNotOwner.Add(1)
+	return wire.NotOwnerResponse{Owner: uint16(owner), Addr: n.ring.Addr(owner)}
+}
+
+// routeBatch splits a batch by shard owner, answers/forwards every
+// sub-batch concurrently, and reassembles the responses in request
+// order. A failed sub-batch fails only its own items.
+func (n *Node) routeBatch(ctx context.Context, m wire.BatchQueryRequest) wire.Message {
+	if len(m.Items) == 0 {
+		return wire.ErrorResponse{Msg: "empty query batch"}
+	}
+	groups := make(map[int][]int) // owner -> original indexes
+	for i, it := range m.Items {
+		pol := n.pollutant(it.Pollutant, it.Legacy)
+		owner := n.ring.Owner(pol, geo.Point{X: it.X, Y: it.Y})
+		groups[owner] = append(groups[owner], i)
+	}
+	out := make([]wire.BatchQueryItem, len(m.Items))
+	var wg sync.WaitGroup
+	for owner, idxs := range groups {
+		wg.Add(1)
+		go func(owner int, idxs []int) {
+			defer wg.Done()
+			sub := wire.BatchQueryRequest{Items: make([]wire.QueryRequest, len(idxs))}
+			for j, i := range idxs {
+				sub.Items[j] = m.Items[i]
+			}
+			resp := n.route(ctx, owner, sub)
+			fill := func(errMsg string) {
+				for _, i := range idxs {
+					out[i] = wire.BatchQueryItem{Err: errMsg}
+				}
+			}
+			switch r := resp.(type) {
+			case wire.BatchQueryResponse:
+				if len(r.Items) != len(idxs) {
+					fill(fmt.Sprintf("cluster: node %d answered %d of %d items", owner, len(r.Items), len(idxs)))
+					return
+				}
+				for j, i := range idxs {
+					out[i] = r.Items[j]
+				}
+			case wire.ErrorResponse:
+				fill(r.Msg)
+			case wire.NotOwnerResponse:
+				fill(notOwnerMsg(r))
+			default:
+				fill(fmt.Sprintf("cluster: unexpected response %T", resp))
+			}
+		}(owner, idxs)
+	}
+	wg.Wait()
+	return wire.BatchQueryResponse{Items: out}
+}
+
+// routeIngest splits an upload by shard owner and applies every slice
+// on its owner concurrently. The ingest acknowledges only if every
+// slice applied; a partial failure names the slices lost.
+func (n *Node) routeIngest(ctx context.Context, m wire.IngestRequest) wire.Message {
+	if len(m.Tuples) == 0 {
+		return wire.ErrorResponse{Msg: ingest.ErrInvalidBatch.Error() + ": empty upload"}
+	}
+	groups := make(map[int][]tuple.Raw)
+	for _, r := range m.Tuples {
+		owner := n.ring.Owner(m.Pollutant, r.Pos())
+		groups[owner] = append(groups[owner], r)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total uint32
+		errs  []string
+	)
+	for owner, slice := range groups {
+		wg.Add(1)
+		go func(owner int, slice []tuple.Raw) {
+			defer wg.Done()
+			// Chunk the slice so every forwarded frame fits the wire;
+			// stop at the first failed chunk (the rest would only widen
+			// the partial window).
+			for start := 0; start < len(slice); start += maxIngestChunk {
+				end := start + maxIngestChunk
+				if end > len(slice) {
+					end = len(slice)
+				}
+				chunk := slice[start:end]
+				resp := n.route(ctx, owner, wire.IngestRequest{Pollutant: m.Pollutant, Tuples: chunk})
+				mu.Lock()
+				failed := true
+				switch r := resp.(type) {
+				case wire.IngestResponse:
+					total += r.Ingested
+					failed = false
+				case wire.NotOwnerResponse:
+					errs = append(errs, fmt.Sprintf("%d tuples: %s", len(slice)-start, notOwnerMsg(r)))
+				case wire.ErrorResponse:
+					errs = append(errs, fmt.Sprintf("%d tuples: %s", len(slice)-start, r.Msg))
+				default:
+					errs = append(errs, fmt.Sprintf("%d tuples: unexpected response %T", len(slice)-start, resp))
+				}
+				mu.Unlock()
+				if failed {
+					return
+				}
+			}
+		}(owner, slice)
+	}
+	wg.Wait()
+	switch {
+	case len(errs) == 0:
+		return wire.IngestResponse{Ingested: total}
+	case total == 0:
+		// Nothing applied anywhere: the whole upload is safe to retry,
+		// so surface the slice errors as-is (a saturated owner keeps its
+		// ErrSaturated text and the HTTP layer's 429 + Retry-After).
+		return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: ingest failed (0/%d applied): %s",
+			len(m.Tuples), strings.Join(errs, "; "))}
+	default:
+		// Some owners committed their slices: a blind retry would
+		// duplicate them. The partial-ingest marker suppresses the
+		// retryable-error mapping (see mapWireError).
+		return wire.ErrorResponse{Msg: fmt.Sprintf("%s (%d/%d applied): %s",
+			ErrPartialIngest.Error(), total, len(m.Tuples), strings.Join(errs, "; "))}
+	}
+}
+
+// scatterModel gathers every node's model cover for the window and
+// merges them into one response: the union of all region models, valid
+// over the intersection of the nodes' validity windows. Nearest-centroid
+// evaluation of the merged cover reproduces single-node semantics,
+// because every region model still wins exactly at its own shard's
+// positions. Nodes that fail (down, or no data for their shards in this
+// window) are skipped; the merge fails only when no node answers.
+func (n *Node) scatterModel(ctx context.Context, m wire.ModelRequest) wire.Message {
+	n.nScatters.Add(1)
+	resps, firstErr := n.scatter(ctx, m)
+	var merged wire.ModelResponse
+	var got bool
+	for _, resp := range resps {
+		mr, ok := resp.(wire.ModelResponse)
+		if !ok {
+			continue
+		}
+		if !got {
+			merged, got = mr, true
+			continue
+		}
+		if mr.Features != merged.Features {
+			return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: mixed model features %q vs %q", merged.Features, mr.Features)}
+		}
+		merged.ValidFrom = maxF(merged.ValidFrom, mr.ValidFrom)
+		merged.ValidUntil = minF(merged.ValidUntil, mr.ValidUntil)
+		merged.ValueLo = minF(merged.ValueLo, mr.ValueLo)
+		merged.ValueHi = maxF(merged.ValueHi, mr.ValueHi)
+		merged.Centroids = append(merged.Centroids, mr.Centroids...)
+		merged.Coefs = append(merged.Coefs, mr.Coefs...)
+	}
+	if !got {
+		return firstErr
+	}
+	return merged
+}
+
+// scatterHeatmap rasterizes the whole cluster: every node renders its
+// own shard's view, and the merge assembles the union region by
+// sampling, for each output pixel, the grid of the node that owns the
+// pixel's shard — so every shard's data is drawn by its owner and dead
+// nodes only blank their own shards (pixels of lost shards fall back to
+// the nearest surviving grid).
+func (n *Node) scatterHeatmap(ctx context.Context, m wire.HeatmapRequest) wire.Message {
+	n.nScatters.Add(1)
+	if m.Cols < 1 || m.Rows < 1 {
+		return wire.ErrorResponse{Msg: fmt.Sprintf("heatmap: grid %dx%d, want >= 1x1", m.Cols, m.Rows)}
+	}
+	if int(m.Cols)*int(m.Rows) > maxHeatmapCells {
+		// A larger raster could not cross back from the peers in one
+		// frame; reject loudly instead of silently rendering foreign
+		// shards from fallback grids.
+		return wire.ErrorResponse{Msg: fmt.Sprintf("heatmap: grid %dx%d exceeds the cluster frame budget (%d cells)",
+			m.Cols, m.Rows, maxHeatmapCells)}
+	}
+	resps, firstErr := n.scatter(ctx, m)
+	byNode := make([]*wire.HeatmapResponse, n.ring.Nodes())
+	var any bool
+	union := geo.Rect{}
+	for i, resp := range resps {
+		hr, ok := resp.(wire.HeatmapResponse)
+		if !ok {
+			continue
+		}
+		byNode[i] = &hr
+		if !any {
+			union, any = hr.Region, true
+		} else {
+			union = union.Union(hr.Region)
+		}
+	}
+	if !any {
+		return firstErr
+	}
+	if m.HasRegion {
+		union = m.Region
+	}
+	out := wire.HeatmapResponse{
+		Region: union, Cols: m.Cols, Rows: m.Rows, T: m.T,
+		Values: make([]float64, int(m.Cols)*int(m.Rows)),
+	}
+	dx := (union.Max.X - union.Min.X) / float64(m.Cols)
+	dy := (union.Max.Y - union.Min.Y) / float64(m.Rows)
+	for j := 0; j < int(m.Rows); j++ {
+		y := union.Min.Y + (float64(j)+0.5)*dy
+		for i := 0; i < int(m.Cols); i++ {
+			p := geo.Point{X: union.Min.X + (float64(i)+0.5)*dx, Y: y}
+			src := byNode[n.ring.Owner(m.Pollutant, p)]
+			if src == nil {
+				src = nearestGrid(byNode, p)
+			}
+			out.Values[j*int(m.Cols)+i] = sampleGrid(src, p)
+		}
+	}
+	return out
+}
+
+// scatter fans a request out to every node (the local engine included)
+// and returns the per-node responses plus the first error response, to
+// report when nothing succeeds.
+func (n *Node) scatter(ctx context.Context, m wire.Message) ([]wire.Message, wire.ErrorResponse) {
+	resps := make([]wire.Message, n.ring.Nodes())
+	var wg sync.WaitGroup
+	for i := 0; i < n.ring.Nodes(); i++ {
+		if i != n.self && n.transports[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == n.self {
+				n.nLocal.Add(1)
+				resps[i] = n.localHandle(ctx, m)
+				return
+			}
+			n.nForwarded.Add(1)
+			resp, err := n.transports[i].Exchange(wire.Forwarded{Inner: m})
+			if err != nil {
+				n.nErrors.Add(1)
+				resp = wire.ErrorResponse{Msg: fmt.Sprintf("cluster: node %d (%s) unreachable: %v", i, n.ring.Addr(i), err)}
+			}
+			resps[i] = resp
+		}(i)
+	}
+	wg.Wait()
+	firstErr := wire.ErrorResponse{Msg: "cluster: no node answered"}
+	for _, r := range resps {
+		if er, ok := r.(wire.ErrorResponse); ok {
+			firstErr = er
+			break
+		}
+	}
+	return resps, firstErr
+}
+
+// nearestGrid picks the available response whose region is closest to p.
+func nearestGrid(byNode []*wire.HeatmapResponse, p geo.Point) *wire.HeatmapResponse {
+	var best *wire.HeatmapResponse
+	bestD := 0.0
+	for _, hr := range byNode {
+		if hr == nil {
+			continue
+		}
+		d := hr.Region.DistToPoint(p)
+		if best == nil || d < bestD {
+			best, bestD = hr, d
+		}
+	}
+	return best
+}
+
+// sampleGrid reads the grid cell containing p, clamping positions
+// outside the grid's region to its edge cells.
+func sampleGrid(hr *wire.HeatmapResponse, p geo.Point) float64 {
+	fx := (p.X - hr.Region.Min.X) / (hr.Region.Max.X - hr.Region.Min.X)
+	fy := (p.Y - hr.Region.Min.Y) / (hr.Region.Max.Y - hr.Region.Min.Y)
+	i := clampIdx(int(fx*float64(hr.Cols)), int(hr.Cols))
+	j := clampIdx(int(fy*float64(hr.Rows)), int(hr.Rows))
+	return hr.Values[j*int(hr.Cols)+i]
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+func notOwnerMsg(r wire.NotOwnerResponse) string {
+	return fmt.Sprintf("cluster: not owner of shard (owner node %d %s)", r.Owner, r.Addr)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Go-level convenience surface ------------------------------------
+//
+// The facade and the HTTP API route through these instead of building
+// wire frames by hand. Responses crossing the cluster lose their typed
+// errors (only the message travels); mapWireError restores the v1
+// taxonomy for the sentinels embedded in the text, so errors.Is keeps
+// working on routed calls.
+
+// mapWireError turns an error message that crossed the wire back into
+// the v1 error taxonomy where it embeds a known sentinel. The
+// partial-ingest marker is checked first: its message embeds the slice
+// errors (possibly including retryable sentinels like ErrSaturated),
+// and a partial ingest must never look retryable.
+func mapWireError(msg string) error {
+	if strings.Contains(msg, "partial ingest") {
+		return fmt.Errorf("%w: %s", ErrPartialIngest, msg)
+	}
+	if strings.Contains(msg, "frame budget") {
+		return fmt.Errorf("%w: %s", ErrTooLarge, msg)
+	}
+	for _, sentinel := range []error{
+		query.ErrOutOfWindow,
+		query.ErrNoCover,
+		query.ErrUnknownPollutant,
+		ingest.ErrSaturated,
+		ingest.ErrInvalidBatch,
+	} {
+		if strings.Contains(msg, sentinel.Error()) {
+			return fmt.Errorf("%w (routed): %s", sentinel, msg)
+		}
+	}
+	if strings.Contains(msg, "unreachable") {
+		return fmt.Errorf("%w: %s", ErrNodeUnreachable, msg)
+	}
+	return errors.New(msg)
+}
+
+// Query answers one request through the cluster: locally when this node
+// owns the shard, forwarded otherwise.
+func (n *Node) Query(ctx context.Context, req query.Request) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	resp := n.handle(ctx, wire.QueryRequest{T: req.T, X: req.X, Y: req.Y, Pollutant: req.Pollutant})
+	switch r := resp.(type) {
+	case wire.QueryResponse:
+		return r.Value, nil
+	case wire.ErrorResponse:
+		return 0, mapWireError(r.Msg)
+	case wire.NotOwnerResponse:
+		return 0, errors.New(notOwnerMsg(r))
+	default:
+		return 0, fmt.Errorf("cluster: unexpected response %T", resp)
+	}
+}
+
+// QueryBatch answers a batch through the cluster with per-item results,
+// splitting it across shard owners.
+func (n *Node) QueryBatch(ctx context.Context, reqs []query.Request) ([]query.BatchResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(reqs) == 0 {
+		return nil, errors.New("cluster: empty query batch")
+	}
+	m := wire.BatchQueryRequest{Items: make([]wire.QueryRequest, len(reqs))}
+	for i, req := range reqs {
+		m.Items[i] = wire.QueryRequest{T: req.T, X: req.X, Y: req.Y, Pollutant: req.Pollutant}
+	}
+	resp := n.handle(ctx, m)
+	switch r := resp.(type) {
+	case wire.BatchQueryResponse:
+		out := make([]query.BatchResult, len(r.Items))
+		for i, it := range r.Items {
+			if it.Err != "" {
+				out[i] = query.BatchResult{Err: mapWireError(it.Err)}
+			} else {
+				out[i] = query.BatchResult{Value: it.Value}
+			}
+		}
+		return out, nil
+	case wire.ErrorResponse:
+		return nil, mapWireError(r.Msg)
+	default:
+		return nil, fmt.Errorf("cluster: unexpected response %T", resp)
+	}
+}
+
+// Ingest applies an upload through the cluster, splitting it across
+// shard owners.
+func (n *Node) Ingest(ctx context.Context, pol tuple.Pollutant, b tuple.Batch) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	resp := n.handle(ctx, wire.IngestRequest{Pollutant: pol, Tuples: b})
+	switch r := resp.(type) {
+	case wire.IngestResponse:
+		return nil
+	case wire.ErrorResponse:
+		return mapWireError(r.Msg)
+	case wire.NotOwnerResponse:
+		return errors.New(notOwnerMsg(r))
+	default:
+		return fmt.Errorf("cluster: unexpected response %T", resp)
+	}
+}
+
+// Heatmap rasterizes the whole cluster's view of pollutant p at time t.
+func (n *Node) Heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols, rows int) (*heatmap.Grid, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if cols < 1 || cols > int(^uint16(0)) || rows < 1 || rows > int(^uint16(0)) {
+		return nil, fmt.Errorf("cluster: heatmap grid %dx%d out of range", cols, rows)
+	}
+	resp := n.handle(ctx, wire.HeatmapRequest{T: t, Pollutant: p, Cols: uint16(cols), Rows: uint16(rows)})
+	switch r := resp.(type) {
+	case wire.HeatmapResponse:
+		return r.Grid(), nil
+	case wire.ErrorResponse:
+		return nil, mapWireError(r.Msg)
+	default:
+		return nil, fmt.Errorf("cluster: unexpected response %T", resp)
+	}
+}
+
+// Model returns the cluster-merged model cover of pollutant p at time t.
+func (n *Node) Model(ctx context.Context, p tuple.Pollutant, t float64) (wire.ModelResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.ModelResponse{}, err
+	}
+	resp := n.handle(ctx, wire.ModelRequest{T: t, Pollutant: p})
+	switch r := resp.(type) {
+	case wire.ModelResponse:
+		return r, nil
+	case wire.ErrorResponse:
+		return wire.ModelResponse{}, mapWireError(r.Msg)
+	default:
+		return wire.ModelResponse{}, fmt.Errorf("cluster: unexpected response %T", resp)
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/cluster"
 	"repro/internal/geo"
+	"repro/internal/kmeans"
 	"repro/internal/tuple"
 )
 
@@ -32,7 +32,7 @@ func BuildFixedKCover(w tuple.Batch, c int, h float64, k int, cfg Config) (*Cove
 	if k < 1 {
 		return nil, fmt.Errorf("core: k = %d, want ≥ 1", k)
 	}
-	res, err := cluster.Run(w.Positions(), k, cfg.Cluster)
+	res, err := kmeans.Run(w.Positions(), k, cfg.Cluster)
 	if err != nil {
 		return nil, fmt.Errorf("core: fixed-k clustering: %w", err)
 	}
@@ -98,7 +98,7 @@ func BuildGridCover(w tuple.Batch, c int, h float64, cells int, cfg Config) (*Co
 		return cy*cells + cx
 	}
 
-	// Reuse fitRegions by synthesizing a cluster.Result whose "centroids"
+	// Reuse fitRegions by synthesizing a kmeans.Result whose "centroids"
 	// are cell centers and assignments are cell indices.
 	centroids := make([]geo.Point, cells*cells)
 	for cy := 0; cy < cells; cy++ {
@@ -113,7 +113,7 @@ func BuildGridCover(w tuple.Batch, c int, h float64, cells int, cfg Config) (*Co
 	for i, r := range w {
 		assign[i] = cellOf(r.Pos())
 	}
-	res := &cluster.Result{Centroids: centroids, Assign: assign}
+	res := &kmeans.Result{Centroids: centroids, Assign: assign}
 	regions, err := fitRegions(w, res, cfg, normalSpanFor(w, cfg))
 	if err != nil {
 		return nil, err

@@ -15,8 +15,8 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/cluster"
 	"repro/internal/geo"
+	"repro/internal/kmeans"
 	"repro/internal/regress"
 	"repro/internal/tuple"
 )
@@ -171,7 +171,7 @@ type Config struct {
 	// be improved by subdividing it.
 	MinRegionTuples int
 	// Cluster configures the underlying k-means runs.
-	Cluster cluster.Config
+	Cluster kmeans.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -228,7 +228,7 @@ func BuildCover(w tuple.Batch, c int, h float64, cfg Config) (*Cover, error) {
 	if k > maxCentroids {
 		k = maxCentroids
 	}
-	res, err := cluster.Run(pts, k, cfg.Cluster)
+	res, err := kmeans.Run(pts, k, cfg.Cluster)
 	if err != nil {
 		return nil, fmt.Errorf("core: initial clustering: %w", err)
 	}
@@ -256,7 +256,7 @@ func BuildCover(w tuple.Batch, c int, h float64, cfg Config) (*Cover, error) {
 			break // every region meets τn
 		}
 		seed := append(append([]geo.Point{}, res.Centroids...), newCentroids...)
-		res, err = cluster.Refine(pts, seed, cfg.Cluster)
+		res, err = kmeans.Refine(pts, seed, cfg.Cluster)
 		if err != nil {
 			return nil, fmt.Errorf("core: refine after split: %w", err)
 		}
@@ -316,7 +316,7 @@ func normalSpanFor(w tuple.Batch, cfg Config) float64 {
 // Clusters with fewer than 2·dim observations get a mean-only model in the
 // same feature family: a full regression on a handful of points
 // extrapolates wildly outside its cluster.
-func fitRegions(w tuple.Batch, res *cluster.Result, cfg Config, normalSpan float64) ([]RegionModel, error) {
+func fitRegions(w tuple.Batch, res *kmeans.Result, cfg Config, normalSpan float64) ([]RegionModel, error) {
 	f := cfg.Features
 	k := len(res.Centroids)
 	// Gather per-region observation arrays.
@@ -373,7 +373,7 @@ func fitRegions(w tuple.Batch, res *cluster.Result, cfg Config, normalSpan float
 // approximation error exceeds τn, capped so the total stays within maxK.
 // Regions below MinRegionTuples are never split: their residual error is
 // noise, not structure.
-func splitCandidates(w tuple.Batch, res *cluster.Result, regions []RegionModel, cfg Config, maxK int) []geo.Point {
+func splitCandidates(w tuple.Batch, res *kmeans.Result, regions []RegionModel, cfg Config, maxK int) []geo.Point {
 	tau := cfg.ErrThreshold
 	budget := maxK - len(res.Centroids)
 	if budget <= 0 {

@@ -7,12 +7,12 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/cluster"
+	"repro/internal/kmeans"
 	"repro/internal/store"
 	"repro/internal/tuple"
 )
 
-func clusterSeed(seed int64) cluster.Config { return cluster.Config{Seed: seed} }
+func clusterSeed(seed int64) kmeans.Config { return kmeans.Config{Seed: seed} }
 
 func fillStore(t *testing.T, h float64, windows int, perWindow int) *store.Store {
 	t.Helper()

@@ -9,8 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
 	"repro/internal/store"
 	"repro/internal/tuple"
 )
@@ -29,7 +29,7 @@ func buildCovers(t *testing.T, windows int) map[int]*core.Cover {
 				S: 420 + 0.04*x + 0.01*y,
 			}
 		}
-		cv, err := core.BuildCover(w, c, 600, core.Config{Cluster: cluster.Config{Seed: int64(c)}})
+		cv, err := core.BuildCover(w, c, 600, core.Config{Cluster: kmeans.Config{Seed: int64(c)}})
 		if err != nil {
 			t.Fatal(err)
 		}

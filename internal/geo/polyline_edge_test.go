@@ -1,0 +1,152 @@
+package geo
+
+// Edge-case coverage for polylines: clamping, vertex-exact arc
+// lengths, the binary search at segment boundaries, looping traversal
+// beyond one full period, and nearest-distance projection onto segment
+// interiors vs. endpoints.
+
+import (
+	"math"
+	"testing"
+)
+
+// zigzag is a three-segment polyline with unequal segment lengths, so
+// arc-length bookkeeping mistakes show up as position errors.
+func zigzag(t *testing.T) *Polyline {
+	t.Helper()
+	pl, err := NewPolyline([]Point{{0, 0}, {100, 0}, {100, 50}, {300, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestPolylineAtClamps(t *testing.T) {
+	pl := zigzag(t)
+	if got := pl.At(-25); got != (Point{0, 0}) {
+		t.Errorf("At(-25) = %v, want the start", got)
+	}
+	if got := pl.At(pl.Length() + 1000); got != (Point{300, 50}) {
+		t.Errorf("At(beyond) = %v, want the end", got)
+	}
+	if got := pl.At(0); got != (Point{0, 0}) {
+		t.Errorf("At(0) = %v, want the start", got)
+	}
+	if got := pl.At(pl.Length()); got != (Point{300, 50}) {
+		t.Errorf("At(Length) = %v, want the end", got)
+	}
+}
+
+func TestPolylineAtVertices(t *testing.T) {
+	pl := zigzag(t)
+	// Arc lengths of the vertices: 0, 100, 150, 350.
+	if pl.Length() != 350 {
+		t.Fatalf("Length = %v, want 350", pl.Length())
+	}
+	cases := []struct {
+		d    float64
+		want Point
+	}{
+		{100, Point{100, 0}},  // exactly the first interior vertex
+		{150, Point{100, 50}}, // exactly the second
+		{50, Point{50, 0}},    // segment 1 interior
+		{125, Point{100, 25}}, // segment 2 interior
+		{250, Point{200, 50}}, // segment 3 interior
+	}
+	for _, c := range cases {
+		if got := pl.At(c.d); math.Abs(got.X-c.want.X) > 1e-9 || math.Abs(got.Y-c.want.Y) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestPolylineSingleSegment(t *testing.T) {
+	pl, err := NewPolyline([]Point{{0, 0}, {10, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.At(5); got != (Point{5, 0}) {
+		t.Errorf("At(5) = %v", got)
+	}
+	if got := pl.AtLoop(15); got != (Point{5, 0}) { // 10 out, 5 back
+		t.Errorf("AtLoop(15) = %v, want (5,0)", got)
+	}
+}
+
+func TestPolylineAtLoopNegativeAndBeyondPeriod(t *testing.T) {
+	pl := zigzag(t)
+	total := pl.Length()
+	// The loop has period 2*total; any distance is equivalent mod it.
+	for _, d := range []float64{37, 200, total - 1} {
+		fwd := pl.AtLoop(d)
+		if got := pl.AtLoop(d + 2*total); got != fwd {
+			t.Errorf("AtLoop(%v + period) = %v, want %v", d, got, fwd)
+		}
+		if got := pl.AtLoop(d - 2*total); got != fwd {
+			t.Errorf("AtLoop(%v - period) = %v, want %v", d, got, fwd)
+		}
+		// A negative distance runs the loop backwards from the start,
+		// which by symmetry equals the forward position at -d reflected:
+		// AtLoop(-d) == AtLoop(2*total - d) == At(d) mirrored — check the
+		// modular identity instead of a closed form.
+		if got, want := pl.AtLoop(-d), pl.AtLoop(2*total-d); got != want {
+			t.Errorf("AtLoop(-%v) = %v, want %v", d, got, want)
+		}
+	}
+	// Exactly at the far end the walk reverses.
+	if got := pl.AtLoop(total); got != (Point{300, 50}) {
+		t.Errorf("AtLoop(total) = %v, want the far end", got)
+	}
+	if got := pl.AtLoop(total + 10); got != pl.At(total-10) {
+		t.Errorf("AtLoop(total+10) = %v, want %v (walking back)", got, pl.At(total-10))
+	}
+}
+
+func TestPolylineNearestDistSegmentInterior(t *testing.T) {
+	pl := zigzag(t)
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{50, 30}, 30},   // projects onto segment 1 interior
+		{Point{120, 25}, 20},  // nearest is segment 2 (x=100)
+		{Point{200, 80}, 30},  // projects onto segment 3 interior
+		{Point{-40, -30}, 50}, // before the start: distance to the first vertex
+		{Point{340, 80}, 50},  // past the end: distance to the last vertex
+		{Point{100, 25}, 0},   // on the polyline
+	}
+	for _, c := range cases {
+		if got := pl.NearestDist(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NearestDist(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNewPolylineRejectsDuplicates(t *testing.T) {
+	if _, err := NewPolyline([]Point{{0, 0}, {0, 0}, {1, 1}}); err == nil {
+		t.Error("leading duplicate accepted")
+	}
+	if _, err := NewPolyline([]Point{{0, 0}, {1, 1}, {1, 1}}); err == nil {
+		t.Error("trailing duplicate accepted")
+	}
+	// Revisiting an earlier point non-consecutively is legitimate (a
+	// route may cross itself).
+	if _, err := NewPolyline([]Point{{0, 0}, {1, 0}, {0, 0}}); err != nil {
+		t.Errorf("self-crossing route rejected: %v", err)
+	}
+}
+
+func TestPolylineCollinearVertices(t *testing.T) {
+	// Collinear interior vertices are harmless: positions and distances
+	// behave as if the segment were one piece.
+	pl, err := NewPolyline([]Point{{0, 0}, {10, 0}, {20, 0}, {30, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.At(15); got != (Point{15, 0}) {
+		t.Errorf("At(15) = %v", got)
+	}
+	if got := pl.NearestDist(Point{25, 7}); math.Abs(got-7) > 1e-9 {
+		t.Errorf("NearestDist = %v, want 7", got)
+	}
+}

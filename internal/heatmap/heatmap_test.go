@@ -7,9 +7,9 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/kmeans"
 	"repro/internal/tuple"
 )
 
@@ -23,7 +23,7 @@ func testCover(t *testing.T) *core.Cover {
 		// display bands appear.
 		w[i] = tuple.Raw{T: rng.Float64() * 600, X: x, Y: y, S: 420 + 0.8*x}
 	}
-	cv, err := core.BuildCover(w, 0, 600, core.Config{Cluster: cluster.Config{Seed: 2}})
+	cv, err := core.BuildCover(w, 0, 600, core.Config{Cluster: kmeans.Config{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

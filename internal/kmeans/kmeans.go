@@ -1,10 +1,12 @@
-// Package cluster implements the k-means machinery underlying the paper's
+// Package kmeans implements the k-means machinery underlying the paper's
 // Ad-KMN algorithm (§2.1): k-means++ seeding, Lloyd iterations, nearest-
 // centroid assignment, and incremental centroid addition (Ad-KMN grows the
 // centroid set by "introducing an additional cluster centroid" in regions
 // whose model error exceeds the threshold and then re-estimating all
-// centroids).
-package cluster
+// centroids). The same nearest-centroid primitive underlies both the
+// model-cover lookup (internal/core) and the geo-cell shard map of the
+// serving cluster (internal/cluster), so it lives below both.
+package kmeans
 
 import (
 	"errors"

@@ -1,4 +1,4 @@
-package proto
+package proto_test
 
 import (
 	"bytes"
@@ -13,8 +13,9 @@ import (
 	"time"
 
 	"repro/internal/client"
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
+	"repro/internal/proto"
 	"repro/internal/query"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -26,12 +27,12 @@ func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payloads := [][]byte{{}, {1}, bytes.Repeat([]byte{0xAB}, 1000)}
 	for _, p := range payloads {
-		if err := WriteFrame(&buf, p); err != nil {
+		if err := proto.WriteFrame(&buf, p); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for _, want := range payloads {
-		got, err := ReadFrame(&buf)
+		got, err := proto.ReadFrame(&buf)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,13 +40,13 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Fatalf("frame mismatch: %d vs %d bytes", len(got), len(want))
 		}
 	}
-	if _, err := ReadFrame(&buf); err != io.EOF {
+	if _, err := proto.ReadFrame(&buf); err != io.EOF {
 		t.Errorf("want io.EOF at stream end, got %v", err)
 	}
 }
 
 func TestFrameLimits(t *testing.T) {
-	if err := WriteFrame(io.Discard, make([]byte, MaxFrameBytes+1)); !errors.Is(err, ErrFrameTooLarge) {
+	if err := proto.WriteFrame(io.Discard, make([]byte, proto.MaxFrameBytes+1)); !errors.Is(err, proto.ErrFrameTooLarge) {
 		t.Errorf("oversize write: %v", err)
 	}
 	// A hostile length prefix must be rejected without allocating.
@@ -53,19 +54,19 @@ func TestFrameLimits(t *testing.T) {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], math.MaxUint32)
 	buf.Write(hdr[:])
-	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+	if _, err := proto.ReadFrame(&buf); !errors.Is(err, proto.ErrFrameTooLarge) {
 		t.Errorf("hostile prefix: %v", err)
 	}
 }
 
 func TestFrameTruncation(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+	if err := proto.WriteFrame(&buf, []byte("hello world")); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
 	for cut := 1; cut < len(data); cut++ {
-		if _, err := ReadFrame(bytes.NewReader(data[:cut])); err == nil {
+		if _, err := proto.ReadFrame(bytes.NewReader(data[:cut])); err == nil {
 			t.Fatalf("truncation at %d succeeded", cut)
 		}
 	}
@@ -84,24 +85,24 @@ func newEngine(t *testing.T) *server.Engine {
 	if err := st.Append(b); err != nil {
 		t.Fatal(err)
 	}
-	return server.NewEngine(st, core.Config{Cluster: cluster.Config{Seed: 2}})
+	return server.NewEngine(st, core.Config{Cluster: kmeans.Config{Seed: 2}})
 }
 
 // startServer runs a protocol server on a loopback listener.
-func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
+func startServer(t *testing.T, cfg proto.ServerConfig) (*proto.Server, string) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := Serve(ln, newEngine(t), cfg)
+	s := proto.Serve(ln, newEngine(t), cfg)
 	t.Cleanup(func() { s.Close() })
 	return s, ln.Addr().String()
 }
 
 func TestClientServerQueryRoundTrip(t *testing.T) {
-	_, addr := startServer(t, ServerConfig{})
-	c, err := Dial(addr, ServerConfig{})
+	_, addr := startServer(t, proto.ServerConfig{})
+	c, err := proto.Dial(addr, proto.ServerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,8 +123,8 @@ func TestClientServerQueryRoundTrip(t *testing.T) {
 }
 
 func TestClientServerModelRoundTrip(t *testing.T) {
-	_, addr := startServer(t, ServerConfig{})
-	c, err := Dial(addr, ServerConfig{})
+	_, addr := startServer(t, proto.ServerConfig{})
+	c, err := proto.Dial(addr, proto.ServerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,8 +148,8 @@ func TestClientServerModelRoundTrip(t *testing.T) {
 }
 
 func TestServerErrorResponses(t *testing.T) {
-	_, addr := startServer(t, ServerConfig{})
-	c, err := Dial(addr, ServerConfig{})
+	_, addr := startServer(t, proto.ServerConfig{})
+	c, err := proto.Dial(addr, proto.ServerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,19 +166,19 @@ func TestServerErrorResponses(t *testing.T) {
 }
 
 func TestServerSurvivesMalformedFrame(t *testing.T) {
-	_, addr := startServer(t, ServerConfig{})
+	_, addr := startServer(t, proto.ServerConfig{})
 	// Send garbage on a raw connection; the server must drop it without
 	// dying.
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteFrame(raw, []byte{0xFF, 0x00, 0x13}); err != nil {
+	if err := proto.WriteFrame(raw, []byte{0xFF, 0x00, 0x13}); err != nil {
 		t.Fatal(err)
 	}
 	// The server answers malformed-but-framed requests with an error
 	// message before deciding anything about the connection.
-	payload, err := ReadFrame(raw)
+	payload, err := proto.ReadFrame(raw)
 	if err != nil {
 		t.Fatalf("expected an error response frame, got %v", err)
 	}
@@ -191,7 +192,7 @@ func TestServerSurvivesMalformedFrame(t *testing.T) {
 	raw.Close()
 
 	// A fresh, well-behaved client still works.
-	c, err := Dial(addr, ServerConfig{})
+	c, err := proto.Dial(addr, proto.ServerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestServerSurvivesMalformedFrame(t *testing.T) {
 }
 
 func TestConcurrentClients(t *testing.T) {
-	_, addr := startServer(t, ServerConfig{})
+	_, addr := startServer(t, proto.ServerConfig{})
 	const clients = 8
 	const perClient = 20
 	var wg sync.WaitGroup
@@ -210,7 +211,7 @@ func TestConcurrentClients(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := Dial(addr, ServerConfig{})
+			c, err := proto.Dial(addr, proto.ServerConfig{})
 			if err != nil {
 				t.Error(err)
 				return
@@ -236,8 +237,8 @@ func TestConcurrentClients(t *testing.T) {
 func TestClientIsATransport(t *testing.T) {
 	// The TCP client slots into the mobile-object strategies unchanged:
 	// the model-cache flow works end to end over a real socket.
-	_, addr := startServer(t, ServerConfig{})
-	c, err := Dial(addr, ServerConfig{})
+	_, addr := startServer(t, proto.ServerConfig{})
+	c, err := proto.Dial(addr, proto.ServerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,8 +265,8 @@ func TestClientIsATransport(t *testing.T) {
 }
 
 func TestClientClosedExchangeFails(t *testing.T) {
-	_, addr := startServer(t, ServerConfig{})
-	c, err := Dial(addr, ServerConfig{})
+	_, addr := startServer(t, proto.ServerConfig{})
+	c, err := proto.Dial(addr, proto.ServerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestClientClosedExchangeFails(t *testing.T) {
 }
 
 func TestServerCloseIdempotentAndFast(t *testing.T) {
-	s, addr := startServer(t, ServerConfig{IdleTimeout: time.Hour})
+	s, addr := startServer(t, proto.ServerConfig{IdleTimeout: time.Hour})
 	// An idle connection must not block Close despite the long timeout.
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -302,8 +303,8 @@ func TestServerCloseIdempotentAndFast(t *testing.T) {
 }
 
 func TestJSONCodecOverTCP(t *testing.T) {
-	_, addr := startServer(t, ServerConfig{Codec: wire.JSON})
-	c, err := Dial(addr, ServerConfig{Codec: wire.JSON})
+	_, addr := startServer(t, proto.ServerConfig{Codec: wire.JSON})
+	c, err := proto.Dial(addr, proto.ServerConfig{Codec: wire.JSON})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,8 +321,8 @@ func TestJSONCodecOverTCP(t *testing.T) {
 func TestClientServerBatchRoundTrip(t *testing.T) {
 	// The whole batch path over real TCP: one frame out, one frame back,
 	// per-item values and errors.
-	_, addr := startServer(t, ServerConfig{})
-	c, err := Dial(addr, ServerConfig{})
+	_, addr := startServer(t, proto.ServerConfig{})
+	c, err := proto.Dial(addr, proto.ServerConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,8 +6,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
 	"repro/internal/tuple"
 )
 
@@ -125,7 +125,7 @@ func TestNoDataError(t *testing.T) {
 
 func TestCoverProcessor(t *testing.T) {
 	w := gridWindow(20, 100)
-	cv, err := core.BuildCover(w, 0, 1e6, core.Config{Cluster: cluster.Config{Seed: 1}})
+	cv, err := core.BuildCover(w, 0, 1e6, core.Config{Cluster: kmeans.Config{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestCoverBeatsNaiveOnGradient(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cv, err := core.BuildCover(w, 0, 1e6, core.Config{Cluster: cluster.Config{Seed: 2}})
+	cv, err := core.BuildCover(w, 0, 1e6, core.Config{Cluster: kmeans.Config{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

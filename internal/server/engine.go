@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/geo"
 	"repro/internal/heatmap"
 	"repro/internal/ingest"
 	"repro/internal/query"
@@ -633,6 +634,17 @@ func (e *Engine) ingestSink(p tuple.Pollutant, b tuple.Batch) error {
 // Heatmap rasterizes pollutant p's cover at time t over the data's
 // bounding region.
 func (e *Engine) Heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols, rows int) (*heatmap.Grid, error) {
+	return e.heatmap(ctx, p, t, cols, rows, nil)
+}
+
+// HeatmapRegion rasterizes pollutant p's cover at time t over an
+// explicit region — the form a cluster router requests so every shard
+// renders a comparable extent.
+func (e *Engine) HeatmapRegion(ctx context.Context, p tuple.Pollutant, t float64, cols, rows int, region geo.Rect) (*heatmap.Grid, error) {
+	return e.heatmap(ctx, p, t, cols, rows, &region)
+}
+
+func (e *Engine) heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols, rows int, region *geo.Rect) (*heatmap.Grid, error) {
 	sh, err := e.shardFor(p)
 	if err != nil {
 		return nil, err
@@ -641,15 +653,18 @@ func (e *Engine) Heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols
 	if err != nil {
 		return nil, err
 	}
+	if region != nil {
+		return heatmap.FromCover(cv, *region, cols, rows, t)
+	}
 	w, _ := sh.st.WindowAt(t)
-	region, ok := w.Bounds()
+	bounds, ok := w.Bounds()
 	if !ok {
 		return nil, fmt.Errorf("%w: no data in window", query.ErrOutOfWindow)
 	}
 	// A corridor of bus samples can be degenerate in one axis; inflate so
 	// the raster region always has area.
-	region = region.Inflate(100)
-	return heatmap.FromCover(cv, region, cols, rows, t)
+	bounds = bounds.Inflate(100)
+	return heatmap.FromCover(cv, bounds, cols, rows, t)
 }
 
 // HandleMessage implements the request/response protocol over any
@@ -658,7 +673,14 @@ func (e *Engine) Heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols
 // Server failures become ErrorResponse rather than Go errors, since they
 // must travel back over the link.
 func (e *Engine) HandleMessage(req wire.Message) wire.Message {
-	ctx := context.Background()
+	return e.HandleMessageCtx(context.Background(), req)
+}
+
+// HandleMessageCtx is HandleMessage with a caller-supplied context, so
+// in-process callers (the cluster node answering its own shards on
+// behalf of an HTTP request) keep cancellation and deadlines; wire
+// transports, which carry no context, use HandleMessage.
+func (e *Engine) HandleMessageCtx(ctx context.Context, req wire.Message) wire.Message {
 	switch m := req.(type) {
 	case wire.QueryRequest:
 		v, err := e.Query(ctx, query.Request{T: m.T, X: m.X, Y: m.Y, Pollutant: e.wirePollutant(m.Pollutant, m.Legacy)})
@@ -698,6 +720,38 @@ func (e *Engine) HandleMessage(req wire.Message) wire.Message {
 			return wire.ErrorResponse{Msg: err.Error()}
 		}
 		return resp
+	case wire.IngestRequest:
+		// The v1.2 wire upload: what a sensing bus (or a cluster router
+		// forwarding each owner its slice) submits over TCP. The same
+		// backpressure as HTTP ingest: a saturated queue fails fast and
+		// the error names ErrSaturated so clients can back off.
+		if err := e.TryIngest(ctx, m.Pollutant, m.Tuples); err != nil {
+			return wire.ErrorResponse{Msg: err.Error()}
+		}
+		return wire.IngestResponse{Ingested: uint32(len(m.Tuples))}
+	case wire.HeatmapRequest:
+		cols, rows := int(m.Cols), int(m.Rows)
+		var (
+			grid *heatmap.Grid
+			err  error
+		)
+		if m.HasRegion {
+			grid, err = e.HeatmapRegion(ctx, m.Pollutant, m.T, cols, rows, m.Region)
+		} else {
+			grid, err = e.Heatmap(ctx, m.Pollutant, m.T, cols, rows)
+		}
+		if err != nil {
+			return wire.ErrorResponse{Msg: err.Error()}
+		}
+		resp, err := wire.HeatmapResponseFromGrid(grid)
+		if err != nil {
+			return wire.ErrorResponse{Msg: err.Error()}
+		}
+		return resp
+	case wire.RingRequest:
+		// A bare engine is a single-node deployment; cluster nodes wrap
+		// the engine and answer from their ring before reaching here.
+		return wire.ErrorResponse{Msg: "server: not clustered"}
 	default:
 		return wire.ErrorResponse{Msg: fmt.Sprintf("unsupported request type %T", req)}
 	}

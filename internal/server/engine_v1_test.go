@@ -12,8 +12,8 @@ import (
 	"runtime"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/tuple"
@@ -40,7 +40,7 @@ func newMultiEngine(t *testing.T) *Engine {
 	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{
 		tuple.CO2: mk(420, 0.05),
 		tuple.PM:  mk(20, 0.005),
-	}, core.Config{Cluster: cluster.Config{Seed: 7}})
+	}, core.Config{Cluster: kmeans.Config{Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestHandleMessageLegacyFallbackOnNonCO2Server(t *testing.T) {
 		t.Fatal(err)
 	}
 	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.PM: st},
-		core.Config{Pollutant: tuple.PM, Cluster: cluster.Config{Seed: 1}})
+		core.Config{Pollutant: tuple.PM, Cluster: kmeans.Config{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}

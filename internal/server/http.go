@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/heatmap"
 	"repro/internal/ingest"
@@ -18,14 +20,23 @@ import (
 	"repro/internal/wire"
 )
 
+// pointOf builds a local-frame point from request coordinates.
+func pointOf(x, y float64) geo.Point { return geo.Point{X: x, Y: y} }
+
 // API wraps an Engine with the versioned HTTP/JSON interface of the
 // EnviroMeter web application (§3). The v1 surface is pollutant-aware:
 // every query endpoint takes an optional ?pollutant= parameter (default:
 // the engine's default pollutant) and the canonical entry point is
 // GET /v1/query. Request contexts are plumbed into the engine, so a
 // client that disconnects cancels its query.
+//
+// In a sharded deployment (NewClusterAPI) the API additionally routes:
+// owned shards answer from the local engine, foreign shards forward
+// through the cluster node, heatmaps and model covers scatter-gather,
+// and GET /v1/cluster serves the shard ring.
 type API struct {
 	engine *Engine
+	node   *cluster.Node // nil when single-node
 	mux    *http.ServeMux
 }
 
@@ -64,10 +75,15 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // writeEngineError maps the v1 error taxonomy onto HTTP statuses.
 func writeEngineError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, query.ErrUnknownPollutant):
+	case errors.Is(err, query.ErrUnknownPollutant), errors.Is(err, ErrNotRoutable),
+		errors.Is(err, cluster.ErrTooLarge):
 		writeError(w, http.StatusBadRequest, err)
 	case errors.Is(err, query.ErrOutOfWindow), errors.Is(err, query.ErrNoCover):
 		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, cluster.ErrNodeUnreachable):
+		// A shard's owner is down: the request was fine, the cluster is
+		// degraded. 502 so clients and balancers can tell the two apart.
+		writeError(w, http.StatusBadGateway, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled):
@@ -202,7 +218,7 @@ func (a *API) handlePointQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := a.engine.QueryOpts(r.Context(), query.Request{T: t, X: x, Y: y, Pollutant: pol}, opts)
+	v, err := a.queryValue(r.Context(), query.Request{T: t, X: x, Y: y, Pollutant: pol}, opts)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -280,7 +296,7 @@ func (a *API) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		reqs[i] = query.Request{T: in.T, X: in.X, Y: in.Y, Pollutant: pol}
 	}
-	rs, err := a.engine.QueryBatchOpts(r.Context(), reqs, opts)
+	rs, err := a.queryBatch(r.Context(), reqs, opts)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -340,16 +356,28 @@ func (a *API) handleContinuous(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("empty route"))
 		return
 	}
-	resp := continuousResponse{Values: make([]pointResponse, 0, len(req.Points))}
+	// One batch instead of a per-point loop: on a clustered node this
+	// costs one forwarded sub-batch per owner, not one hop per point.
+	reqs := make([]query.Request, len(req.Points))
+	for i, p := range req.Points {
+		reqs[i] = query.Request{T: p.T, X: p.X, Y: p.Y, Pollutant: pol}
+	}
+	rs, err := a.queryBatch(r.Context(), reqs, query.Options{})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	resp := continuousResponse{Values: make([]pointResponse, 0, len(rs))}
 	var sum float64
-	for _, p := range req.Points {
-		v, err := a.engine.Query(r.Context(), query.Request{T: p.T, X: p.X, Y: p.Y, Pollutant: pol})
-		if err != nil {
-			writeEngineError(w, fmt.Errorf("point (%v,%v): %w", p.X, p.Y, err))
+	for i, res := range rs {
+		if res.Err != nil {
+			// The continuous mode is all-or-nothing (unlike /v1/query/batch):
+			// the first failing point rejects the route, as before.
+			writeEngineError(w, fmt.Errorf("point (%v,%v): %w", reqs[i].X, reqs[i].Y, res.Err))
 			return
 		}
-		resp.Values = append(resp.Values, pointResponseFor(pol, v))
-		sum += v
+		resp.Values = append(resp.Values, pointResponseFor(pol, res.Value))
+		sum += res.Value
 	}
 	resp.Average = sum / float64(len(req.Points))
 	avgBand := ClassifyFor(pol, resp.Average)
@@ -375,14 +403,9 @@ func (a *API) handleModels(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	cv, err := a.engine.CoverAt(r.Context(), pol, t)
+	resp, err := a.modelResponse(r.Context(), pol, t)
 	if err != nil {
 		writeEngineError(w, err)
-		return
-	}
-	resp, err := wire.ModelResponseFromCover(cv)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -406,15 +429,31 @@ func (a *API) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	grid, err := a.engine.Heatmap(r.Context(), pol, t, cols, rows)
+	grid, err := a.heatmapGrid(r.Context(), pol, t, cols, rows)
 	if err != nil {
 		writeEngineError(w, err)
 		return
 	}
-	cv, err := a.engine.CoverAt(r.Context(), pol, t)
-	if err != nil {
-		writeEngineError(w, err)
-		return
+	// Markers come from the model cover: directly from the local engine
+	// on a single node, merged across shards (a second scatter) when
+	// clustered, so every shard's centroids appear on the map.
+	var cv *core.Cover
+	if a.node == nil {
+		cv, err = a.engine.CoverAt(r.Context(), pol, t)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+	} else {
+		mr, err := a.modelResponse(r.Context(), pol, t)
+		if err != nil {
+			writeEngineError(w, err)
+			return
+		}
+		if cv, err = wire.CoverFromModelResponse(mr); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	markers, err := heatmap.Markers(cv, t)
 	if err != nil {
@@ -436,7 +475,7 @@ func (a *API) handleHeatmapPNG(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	grid, err := a.engine.Heatmap(r.Context(), pol, t, cols, rows)
+	grid, err := a.heatmapGrid(r.Context(), pol, t, cols, rows)
 	if err != nil {
 		writeEngineError(w, err)
 		return
@@ -514,8 +553,23 @@ func (a *API) handleRouteSummary(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Prefetch every fix's value in one batch (one hop per shard owner
+	// when clustered); Summarize then consumes the results in fix order.
+	fixes := rt.Fixes()
+	reqs := make([]query.Request, len(fixes))
+	for i, f := range fixes {
+		reqs[i] = query.Request{T: f.T, X: f.Pos.X, Y: f.Pos.Y, Pollutant: pol}
+	}
+	rs, err := a.queryBatch(r.Context(), reqs, query.Options{})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
+	next := 0
 	sum, err := route.Summarize(rt, func(t, x, y float64) (float64, error) {
-		return a.engine.Query(r.Context(), query.Request{T: t, X: x, Y: y, Pollutant: pol})
+		res := rs[next]
+		next++
+		return res.Value, res.Err
 	})
 	if err != nil {
 		writeEngineError(w, err)
@@ -577,7 +631,7 @@ func (a *API) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// holding connections open against a full queue. A sink failure
 	// surfacing through the ack (disk full, fsync error) is the server's
 	// fault, not the client's: 500, never 400.
-	if err := a.engine.TryIngest(r.Context(), pol, req.Tuples); err != nil {
+	if err := a.ingestBatch(r.Context(), pol, req.Tuples); err != nil {
 		switch {
 		case errors.Is(err, ingest.ErrSaturated):
 			w.Header().Set("Retry-After", "1")
@@ -659,6 +713,9 @@ type statsResponse struct {
 	Ingest       ingestStatsJSON           `json:"ingest"`
 	Maintenance  maintenanceStatsJSON      `json:"maintenance"`
 	Checkpoint   checkpointStatsJSON       `json:"checkpoint"`
+	// Cluster carries the routing counters when this server is a member
+	// of a sharded cluster (see /v1/cluster for the full ring).
+	Cluster *clusterStatsJSON `json:"cluster,omitempty"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -682,7 +739,16 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	ps := a.engine.PipelineStats()
 	ss := a.engine.SchedulerStats()
 	cs := a.engine.CheckpointStats()
+	var clusterSec *clusterStatsJSON
+	if a.node != nil {
+		st := a.node.Stats()
+		clusterSec = &clusterStatsJSON{
+			Local: st.Local, Forwarded: st.Forwarded, ForwardedIn: st.ForwardedIn,
+			Scatters: st.Scatters, NotOwner: st.NotOwner, Errors: st.Errors,
+		}
+	}
 	resp := statsResponse{
+		Cluster:      clusterSec,
 		Default:      a.engine.Default().String(),
 		PerPollutant: make(map[string]pollutantStats, len(a.engine.Pollutants())),
 		Ingest: ingestStatsJSON{

@@ -14,9 +14,9 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/ingest"
+	"repro/internal/kmeans"
 	"repro/internal/store"
 	"repro/internal/tuple"
 )
@@ -25,7 +25,7 @@ func newIngestAPI(t *testing.T, opts Options) (*Engine, *httptest.Server) {
 	t.Helper()
 	st := store.MustOpenMemory(100)
 	e, err := NewMultiEngineOpts(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
-		core.Config{Cluster: cluster.Config{Seed: 21}}, opts)
+		core.Config{Cluster: kmeans.Config{Seed: 21}}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

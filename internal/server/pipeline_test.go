@@ -15,8 +15,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/tuple"
@@ -40,7 +40,7 @@ func TestIngestBurstPrebuildsCoversAndGroupsSyncs(t *testing.T) {
 	}
 	defer st.Close()
 	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
-		core.Config{Cluster: cluster.Config{Seed: 11}})
+		core.Config{Cluster: kmeans.Config{Seed: 11}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestIngestSkipsOutOfRetentionInvalidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
-		core.Config{Cluster: cluster.Config{Seed: 12}})
+		core.Config{Cluster: kmeans.Config{Seed: 12}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestIngestSkipsOutOfRetentionInvalidation(t *testing.T) {
 func TestEngineIngestAfterClose(t *testing.T) {
 	st := store.MustOpenMemory(100)
 	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
-		core.Config{Cluster: cluster.Config{Seed: 13}})
+		core.Config{Cluster: kmeans.Config{Seed: 13}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestEngineIngestAfterClose(t *testing.T) {
 func TestEngineIngestValidatesBeforeQueueing(t *testing.T) {
 	st := store.MustOpenMemory(100)
 	e, err := NewMultiEngine(map[tuple.Pollutant]*store.Store{tuple.CO2: st},
-		core.Config{Cluster: cluster.Config{Seed: 14}})
+		core.Config{Cluster: kmeans.Config{Seed: 14}})
 	if err != nil {
 		t.Fatal(err)
 	}

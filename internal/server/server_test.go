@@ -12,8 +12,8 @@ import (
 	"net/http/httptest"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/tuple"
@@ -40,7 +40,7 @@ func newTestEngine(t *testing.T) *Engine {
 	if err := st.Append(b); err != nil {
 		t.Fatal(err)
 	}
-	return NewEngine(st, core.Config{Cluster: cluster.Config{Seed: 7}})
+	return NewEngine(st, core.Config{Cluster: kmeans.Config{Seed: 7}})
 }
 
 func TestEnginePointQuery(t *testing.T) {
@@ -51,7 +51,7 @@ func TestEnginePointQuery(t *testing.T) {
 	}
 	want := 420 + 0.05*1000 + 0.02*1000
 	if math.Abs(v-want) > 20 {
-		t.Errorf("PointQuery = %v, want ~%v", v, want)
+		t.Errorf("Query = %v, want ~%v", v, want)
 	}
 	if _, err := e.Query(context.Background(), query.Request{T: 1e9}); err == nil {
 		t.Error("query in empty window should error")

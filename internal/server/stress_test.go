@@ -14,8 +14,8 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kmeans"
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/tuple"
@@ -40,7 +40,7 @@ func TestEngineConcurrentStress(t *testing.T) {
 		tuple.CO2: mkStore(),
 		tuple.PM:  mkStore(),
 	}
-	e, err := NewMultiEngine(stores, core.Config{Cluster: cluster.Config{Seed: 3}})
+	e, err := NewMultiEngine(stores, core.Config{Cluster: kmeans.Config{Seed: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,100 @@
+// Command linkcheck verifies the relative links of markdown files: every
+// `[text](target)` whose target is not an absolute URL or a pure
+// fragment must resolve to an existing file (or directory) relative to
+// the file containing it. CI runs it over README.md and docs/ so the
+// documentation tree cannot silently rot.
+//
+// Usage:
+//
+//	go run ./internal/tools/linkcheck README.md docs
+//
+// Arguments are markdown files or directories (scanned recursively for
+// *.md). Exits non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links. Reference-style links and
+// autolinks are rare in this repo; inline links are the contract.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file-or-dir> ...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return err
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if !relative(target) {
+					continue
+				}
+				// Drop a #fragment; the file is what must exist.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (%s)\n", file, i+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// relative reports whether a link target is a repo-relative path (as
+// opposed to an absolute URL, a mailto, or a pure fragment).
+func relative(target string) bool {
+	if strings.HasPrefix(target, "#") {
+		return false
+	}
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return false
+	}
+	return true
+}

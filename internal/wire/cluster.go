@@ -1,0 +1,433 @@
+// Cluster messages: the v1.2 additions that let EnviroMeter nodes form a
+// sharded serving cluster. A router (or any node) forwards Query/Batch/
+// Ingest frames to the shard owner and scatter-gathers heatmaps; clients
+// fetch the consistent-hash ring once and then talk to owners directly.
+//
+// All additions are new message tags, so the decode of every pre-cluster
+// frame — including the legacy 25/9-byte untagged layouts — is unchanged;
+// pre-cluster servers answer the unknown tags with an ErrorResponse,
+// which cluster-aware callers treat as "peer is not clustered".
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/heatmap"
+	"repro/internal/tuple"
+)
+
+// Cluster message type tags (v1.2).
+const (
+	// TypeRingRequest asks a node for the cluster's shard ring.
+	TypeRingRequest MsgType = iota + 8
+	// TypeRingResponse carries the ring description.
+	TypeRingResponse
+	// TypeIngestRequest ships a batch of raw tuples for one pollutant.
+	TypeIngestRequest
+	// TypeIngestResponse acknowledges an applied ingest.
+	TypeIngestResponse
+	// TypeHeatmapRequest asks for a rasterized cover.
+	TypeHeatmapRequest
+	// TypeHeatmapResponse carries the raster grid.
+	TypeHeatmapResponse
+	// TypeNotOwner reports that the receiving node does not own the
+	// request's shard and names the node that does.
+	TypeNotOwner
+	// TypeForwarded wraps a request forwarded by a router so the owner
+	// answers locally instead of re-forwarding (or bouncing NotOwner).
+	TypeForwarded
+)
+
+// RingRequest asks a node for the cluster ring — the bootstrap exchange
+// of a shard-aware client. It has no payload.
+type RingRequest struct{}
+
+// Type implements Message.
+func (RingRequest) Type() MsgType { return TypeRingRequest }
+
+// RingResponse is the serialized shard ring: the node addresses (index =
+// node ID), the geo-cell centroids that partition the region, and the
+// virtual-node multiplier of the consistent-hash ring. Two parties
+// holding equal RingResponses compute identical shard placements.
+type RingResponse struct {
+	Nodes  []string    `json:"nodes"`
+	Cells  []geo.Point `json:"cells"`
+	VNodes uint16      `json:"vnodes"`
+}
+
+// Type implements Message.
+func (RingResponse) Type() MsgType { return TypeRingResponse }
+
+// IngestRequest ships a batch of raw tuples for one pollutant — the wire
+// form of the upload a sensing bus performs, and the frame a router uses
+// to forward each owner its slice of a mixed upload.
+type IngestRequest struct {
+	Pollutant tuple.Pollutant `json:"pollutant"`
+	Tuples    []tuple.Raw     `json:"tuples"`
+}
+
+// Type implements Message.
+func (IngestRequest) Type() MsgType { return TypeIngestRequest }
+
+// IngestResponse acknowledges an ingest: the batch (or, through a
+// router, every shard's slice of it) has been applied.
+type IngestResponse struct {
+	Ingested uint32 `json:"ingested"`
+}
+
+// Type implements Message.
+func (IngestResponse) Type() MsgType { return TypeIngestResponse }
+
+// HeatmapRequest asks for a rasterized cover. With HasRegion unset the
+// node rasterizes over its own data bounds; a router sets an explicit
+// region so every shard rasterizes a comparable extent.
+type HeatmapRequest struct {
+	T         float64         `json:"t"`
+	Pollutant tuple.Pollutant `json:"pollutant"`
+	Cols      uint16          `json:"cols"`
+	Rows      uint16          `json:"rows"`
+	HasRegion bool            `json:"hasRegion"`
+	Region    geo.Rect        `json:"region"`
+}
+
+// Type implements Message.
+func (HeatmapRequest) Type() MsgType { return TypeHeatmapRequest }
+
+// HeatmapResponse carries one node's raster: the region it covers and
+// cols×rows cell values in row-major order, south row first.
+type HeatmapResponse struct {
+	Region geo.Rect  `json:"region"`
+	Cols   uint16    `json:"cols"`
+	Rows   uint16    `json:"rows"`
+	T      float64   `json:"t"`
+	Values []float64 `json:"values"`
+}
+
+// Type implements Message.
+func (HeatmapResponse) Type() MsgType { return TypeHeatmapResponse }
+
+// NotOwnerResponse is a node declining a request for a shard it does not
+// own (and cannot forward): it names the owning node so a shard-aware
+// client can refresh its ring and retry there.
+type NotOwnerResponse struct {
+	Owner uint16 `json:"owner"`
+	Addr  string `json:"addr"`
+}
+
+// Type implements Message.
+func (NotOwnerResponse) Type() MsgType { return TypeNotOwner }
+
+// Forwarded wraps a request a router already routed: the receiver must
+// answer it locally, never re-forward or bounce NotOwner, so one
+// misconfigured ring cannot create a forwarding loop. Forwarded frames
+// never nest.
+type Forwarded struct {
+	Inner Message `json:"-"`
+}
+
+// Type implements Message.
+func (Forwarded) Type() MsgType { return TypeForwarded }
+
+// encodeCluster serializes the v1.2 cluster messages (binary codec).
+func encodeCluster(m Message) ([]byte, error) {
+	switch v := m.(type) {
+	case RingRequest:
+		return []byte{byte(TypeRingRequest)}, nil
+	case RingResponse:
+		if len(v.Nodes) > math.MaxUint16 || len(v.Cells) > math.MaxUint16 {
+			return nil, fmt.Errorf("wire: ring too large (%d nodes, %d cells)", len(v.Nodes), len(v.Cells))
+		}
+		size := 1 + 2
+		for _, n := range v.Nodes {
+			if len(n) > math.MaxUint16 {
+				return nil, fmt.Errorf("wire: node address too long (%d bytes)", len(n))
+			}
+			size += 2 + len(n)
+		}
+		size += 2 + 16*len(v.Cells) + 2
+		buf := make([]byte, size)
+		buf[0] = byte(TypeRingResponse)
+		binary.LittleEndian.PutUint16(buf[1:], uint16(len(v.Nodes)))
+		off := 3
+		for _, n := range v.Nodes {
+			binary.LittleEndian.PutUint16(buf[off:], uint16(len(n)))
+			off += 2 + copy(buf[off+2:], n)
+		}
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(v.Cells)))
+		off += 2
+		for _, c := range v.Cells {
+			putF64(buf[off:], c.X)
+			putF64(buf[off+8:], c.Y)
+			off += 16
+		}
+		binary.LittleEndian.PutUint16(buf[off:], v.VNodes)
+		return buf, nil
+	case IngestRequest:
+		if len(v.Tuples) > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: ingest too large (%d tuples)", len(v.Tuples))
+		}
+		buf := make([]byte, 1+1+4+32*len(v.Tuples))
+		buf[0] = byte(TypeIngestRequest)
+		buf[1] = byte(v.Pollutant)
+		binary.LittleEndian.PutUint32(buf[2:], uint32(len(v.Tuples)))
+		off := 6
+		for _, r := range v.Tuples {
+			putF64(buf[off:], r.T)
+			putF64(buf[off+8:], r.X)
+			putF64(buf[off+16:], r.Y)
+			putF64(buf[off+24:], r.S)
+			off += 32
+		}
+		return buf, nil
+	case IngestResponse:
+		buf := make([]byte, 1+4)
+		buf[0] = byte(TypeIngestResponse)
+		binary.LittleEndian.PutUint32(buf[1:], v.Ingested)
+		return buf, nil
+	case HeatmapRequest:
+		size := 1 + 8 + 1 + 2 + 2 + 1
+		if v.HasRegion {
+			size += 32
+		}
+		buf := make([]byte, size)
+		buf[0] = byte(TypeHeatmapRequest)
+		putF64(buf[1:], v.T)
+		buf[9] = byte(v.Pollutant)
+		binary.LittleEndian.PutUint16(buf[10:], v.Cols)
+		binary.LittleEndian.PutUint16(buf[12:], v.Rows)
+		if v.HasRegion {
+			buf[14] = 1
+			putRect(buf[15:], v.Region)
+		}
+		return buf, nil
+	case HeatmapResponse:
+		if int(v.Cols)*int(v.Rows) != len(v.Values) {
+			return nil, fmt.Errorf("wire: heatmap %dx%d carries %d values", v.Cols, v.Rows, len(v.Values))
+		}
+		buf := make([]byte, 1+32+2+2+8+8*len(v.Values))
+		buf[0] = byte(TypeHeatmapResponse)
+		putRect(buf[1:], v.Region)
+		binary.LittleEndian.PutUint16(buf[33:], v.Cols)
+		binary.LittleEndian.PutUint16(buf[35:], v.Rows)
+		putF64(buf[37:], v.T)
+		off := 45
+		for _, val := range v.Values {
+			putF64(buf[off:], val)
+			off += 8
+		}
+		return buf, nil
+	case NotOwnerResponse:
+		if len(v.Addr) > math.MaxUint16 {
+			return nil, fmt.Errorf("wire: owner address too long (%d bytes)", len(v.Addr))
+		}
+		buf := make([]byte, 1+2+2+len(v.Addr))
+		buf[0] = byte(TypeNotOwner)
+		binary.LittleEndian.PutUint16(buf[1:], v.Owner)
+		binary.LittleEndian.PutUint16(buf[3:], uint16(len(v.Addr)))
+		copy(buf[5:], v.Addr)
+		return buf, nil
+	case Forwarded:
+		if v.Inner == nil {
+			return nil, fmt.Errorf("%w: forwarded frame without inner message", ErrMalformed)
+		}
+		if _, nested := v.Inner.(Forwarded); nested {
+			return nil, fmt.Errorf("%w: nested forwarded frame", ErrMalformed)
+		}
+		inner, err := Binary.Encode(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 1+len(inner))
+		buf[0] = byte(TypeForwarded)
+		copy(buf[1:], inner)
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknown, m)
+	}
+}
+
+// decodeCluster parses the v1.2 cluster messages (binary codec).
+func decodeCluster(data []byte) (Message, error) {
+	switch MsgType(data[0]) {
+	case TypeRingRequest:
+		if len(data) != 1 {
+			return nil, fmt.Errorf("%w: RingRequest length %d", ErrMalformed, len(data))
+		}
+		return RingRequest{}, nil
+	case TypeRingResponse:
+		if len(data) < 3 {
+			return nil, fmt.Errorf("%w: RingResponse header", ErrMalformed)
+		}
+		nNodes := int(binary.LittleEndian.Uint16(data[1:]))
+		m := RingResponse{Nodes: make([]string, 0, minInt(nNodes, 256))}
+		off := 3
+		for i := 0; i < nNodes; i++ {
+			if len(data) < off+2 {
+				return nil, fmt.Errorf("%w: RingResponse node %d", ErrMalformed, i)
+			}
+			n := int(binary.LittleEndian.Uint16(data[off:]))
+			if len(data) < off+2+n {
+				return nil, fmt.Errorf("%w: RingResponse node %d address", ErrMalformed, i)
+			}
+			m.Nodes = append(m.Nodes, string(data[off+2:off+2+n]))
+			off += 2 + n
+		}
+		if len(data) < off+2 {
+			return nil, fmt.Errorf("%w: RingResponse cell count", ErrMalformed)
+		}
+		nCells := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if len(data) != off+16*nCells+2 {
+			return nil, fmt.Errorf("%w: RingResponse length %d for %d cells", ErrMalformed, len(data), nCells)
+		}
+		m.Cells = make([]geo.Point, nCells)
+		for i := range m.Cells {
+			m.Cells[i] = geo.Point{X: getF64(data[off:]), Y: getF64(data[off+8:])}
+			off += 16
+		}
+		m.VNodes = binary.LittleEndian.Uint16(data[off:])
+		return m, nil
+	case TypeIngestRequest:
+		if len(data) < 6 {
+			return nil, fmt.Errorf("%w: IngestRequest header", ErrMalformed)
+		}
+		count := int(binary.LittleEndian.Uint32(data[2:]))
+		if len(data) != 6+32*count {
+			return nil, fmt.Errorf("%w: IngestRequest length %d for %d tuples", ErrMalformed, len(data), count)
+		}
+		m := IngestRequest{Pollutant: tuple.Pollutant(data[1]), Tuples: make([]tuple.Raw, count)}
+		off := 6
+		for i := range m.Tuples {
+			m.Tuples[i] = tuple.Raw{
+				T: getF64(data[off:]), X: getF64(data[off+8:]),
+				Y: getF64(data[off+16:]), S: getF64(data[off+24:]),
+			}
+			off += 32
+		}
+		return m, nil
+	case TypeIngestResponse:
+		if len(data) != 5 {
+			return nil, fmt.Errorf("%w: IngestResponse length %d", ErrMalformed, len(data))
+		}
+		return IngestResponse{Ingested: binary.LittleEndian.Uint32(data[1:])}, nil
+	case TypeHeatmapRequest:
+		if len(data) != 15 && len(data) != 47 {
+			return nil, fmt.Errorf("%w: HeatmapRequest length %d", ErrMalformed, len(data))
+		}
+		m := HeatmapRequest{
+			T:         getF64(data[1:]),
+			Pollutant: tuple.Pollutant(data[9]),
+			Cols:      binary.LittleEndian.Uint16(data[10:]),
+			Rows:      binary.LittleEndian.Uint16(data[12:]),
+		}
+		switch {
+		case data[14] == 1 && len(data) == 47:
+			m.HasRegion = true
+			m.Region = getRect(data[15:])
+		case data[14] == 0 && len(data) == 15:
+			// no region
+		default:
+			return nil, fmt.Errorf("%w: HeatmapRequest region flag %d for length %d", ErrMalformed, data[14], len(data))
+		}
+		return m, nil
+	case TypeHeatmapResponse:
+		if len(data) < 45 {
+			return nil, fmt.Errorf("%w: HeatmapResponse header", ErrMalformed)
+		}
+		m := HeatmapResponse{
+			Region: getRect(data[1:]),
+			Cols:   binary.LittleEndian.Uint16(data[33:]),
+			Rows:   binary.LittleEndian.Uint16(data[35:]),
+			T:      getF64(data[37:]),
+		}
+		count := int(m.Cols) * int(m.Rows)
+		if len(data) != 45+8*count {
+			return nil, fmt.Errorf("%w: HeatmapResponse length %d for %dx%d grid", ErrMalformed, len(data), m.Cols, m.Rows)
+		}
+		m.Values = make([]float64, count)
+		off := 45
+		for i := range m.Values {
+			m.Values[i] = getF64(data[off:])
+			off += 8
+		}
+		return m, nil
+	case TypeNotOwner:
+		if len(data) < 5 {
+			return nil, fmt.Errorf("%w: NotOwnerResponse header", ErrMalformed)
+		}
+		n := int(binary.LittleEndian.Uint16(data[3:]))
+		if len(data) != 5+n {
+			return nil, fmt.Errorf("%w: NotOwnerResponse length", ErrMalformed)
+		}
+		return NotOwnerResponse{
+			Owner: binary.LittleEndian.Uint16(data[1:]),
+			Addr:  string(data[5:]),
+		}, nil
+	case TypeForwarded:
+		if len(data) < 2 {
+			return nil, fmt.Errorf("%w: forwarded frame without inner message", ErrMalformed)
+		}
+		if MsgType(data[1]) == TypeForwarded {
+			return nil, fmt.Errorf("%w: nested forwarded frame", ErrMalformed)
+		}
+		inner, err := Binary.Decode(data[1:])
+		if err != nil {
+			return nil, err
+		}
+		return Forwarded{Inner: inner}, nil
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, data[0])
+	}
+}
+
+// HeatmapResponseFromGrid serializes a raster grid into its wire form.
+func HeatmapResponseFromGrid(g *heatmap.Grid) (HeatmapResponse, error) {
+	if g == nil {
+		return HeatmapResponse{}, fmt.Errorf("%w: nil heatmap grid", ErrMalformed)
+	}
+	if g.Cols > math.MaxUint16 || g.Rows > math.MaxUint16 {
+		return HeatmapResponse{}, fmt.Errorf("wire: heatmap %dx%d too large", g.Cols, g.Rows)
+	}
+	return HeatmapResponse{
+		Region: g.Region,
+		Cols:   uint16(g.Cols),
+		Rows:   uint16(g.Rows),
+		T:      g.T,
+		Values: g.Values,
+	}, nil
+}
+
+// Grid reconstructs the raster grid a heatmap response carries.
+func (v HeatmapResponse) Grid() *heatmap.Grid {
+	return &heatmap.Grid{
+		Region: v.Region,
+		Cols:   int(v.Cols),
+		Rows:   int(v.Rows),
+		T:      v.T,
+		Values: v.Values,
+	}
+}
+
+func putRect(b []byte, r geo.Rect) {
+	putF64(b, r.Min.X)
+	putF64(b[8:], r.Min.Y)
+	putF64(b[16:], r.Max.X)
+	putF64(b[24:], r.Max.Y)
+}
+
+func getRect(b []byte) geo.Rect {
+	return geo.Rect{
+		Min: geo.Point{X: getF64(b), Y: getF64(b[8:])},
+		Max: geo.Point{X: getF64(b[16:]), Y: getF64(b[24:])},
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

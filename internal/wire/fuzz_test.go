@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/tuple"
 )
 
 // FuzzWireDecode hardens the binary protocol decoder (the bytes a
@@ -34,6 +35,15 @@ func FuzzWireDecode(f *testing.F) {
 		Centroids: []geo.Point{{X: 1, Y: 2}, {X: 3, Y: 4}},
 		Coefs:     [][]float64{{400, 0.1, 0.2}, {410, -0.1, 0}},
 	})
+	// v1.2 cluster messages.
+	add(RingRequest{})
+	add(RingResponse{Nodes: []string{"a:1", "b:2"}, Cells: []geo.Point{{X: 1, Y: 2}}, VNodes: 8})
+	add(IngestRequest{Pollutant: 1, Tuples: []tuple.Raw{{T: 1, X: 2, Y: 3, S: 4}}})
+	add(IngestResponse{Ingested: 7})
+	add(HeatmapRequest{T: 60, Cols: 4, Rows: 4})
+	add(HeatmapResponse{Cols: 1, Rows: 2, Values: []float64{1, 2}})
+	add(NotOwnerResponse{Owner: 1, Addr: "c:3"})
+	add(Forwarded{Inner: QueryRequest{T: 1, X: 2, Y: 3}})
 	// Legacy untagged frames: 25-byte query, 9-byte model request.
 	legacyQuery, _ := Binary.Encode(QueryRequest{T: 9, X: 8, Y: 7})
 	f.Add(legacyQuery[:25])

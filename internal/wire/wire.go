@@ -248,7 +248,7 @@ func (binaryCodec) Encode(m Message) ([]byte, error) {
 		copy(buf[3:], v.Msg)
 		return buf, nil
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrUnknown, m)
+		return encodeCluster(m)
 	}
 }
 
@@ -404,7 +404,7 @@ func (binaryCodec) Decode(data []byte) (Message, error) {
 		}
 		return ErrorResponse{Msg: string(data[3:])}, nil
 	default:
-		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, data[0])
+		return decodeCluster(data)
 	}
 }
 
@@ -469,6 +469,21 @@ type envelope struct {
 }
 
 func (jsonCodec) Encode(m Message) ([]byte, error) {
+	// A forwarded frame nests a full envelope as its payload, so the
+	// inner message keeps its own type tag.
+	if fw, ok := m.(Forwarded); ok {
+		if fw.Inner == nil {
+			return nil, fmt.Errorf("%w: forwarded frame without inner message", ErrMalformed)
+		}
+		if _, nested := fw.Inner.(Forwarded); nested {
+			return nil, fmt.Errorf("%w: nested forwarded frame", ErrMalformed)
+		}
+		payload, err := JSON.Encode(fw.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(envelope{Type: TypeForwarded, Payload: payload})
+	}
 	payload, err := json.Marshal(m)
 	if err != nil {
 		return nil, fmt.Errorf("wire: marshal payload: %w", err)
@@ -550,6 +565,57 @@ func (jsonCodec) Decode(data []byte) (Message, error) {
 			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
 		target = v
+	case TypeRingRequest:
+		target = RingRequest{}
+	case TypeRingResponse:
+		var v RingResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeIngestRequest:
+		var v IngestRequest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeIngestResponse:
+		var v IngestResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeHeatmapRequest:
+		var v HeatmapRequest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeHeatmapResponse:
+		var v HeatmapResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeNotOwner:
+		var v NotOwnerResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeForwarded:
+		var inner envelope
+		if err := json.Unmarshal(env.Payload, &inner); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if inner.Type == TypeForwarded {
+			return nil, fmt.Errorf("%w: nested forwarded frame", ErrMalformed)
+		}
+		m, err := JSON.Decode(env.Payload)
+		if err != nil {
+			return nil, err
+		}
+		target = Forwarded{Inner: m}
 	default:
 		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, env.Type)
 	}

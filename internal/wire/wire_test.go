@@ -7,9 +7,9 @@ import (
 	"reflect"
 	"testing"
 
-	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/kmeans"
 	"repro/internal/tuple"
 )
 
@@ -237,7 +237,7 @@ func TestCoverRoundTripThroughWire(t *testing.T) {
 		x, y := rng.Float64()*3000, rng.Float64()*3000
 		w[i] = tuple.Raw{T: rng.Float64() * 600, X: x, Y: y, S: 420 + 0.05*x - 0.02*y}
 	}
-	cv, err := core.BuildCover(w, 0, 600, core.Config{Cluster: cluster.Config{Seed: 2}})
+	cv, err := core.BuildCover(w, 0, 600, core.Config{Cluster: kmeans.Config{Seed: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
