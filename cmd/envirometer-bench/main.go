@@ -1,16 +1,21 @@
 // Command envirometer-bench regenerates the paper's evaluation (§4): every
-// figure plus the ablation studies from DESIGN.md.
+// figure plus the ablation studies from DESIGN.md, and the PR-6
+// subscription-vs-polling experiment.
 //
 // Usage:
 //
-//	envirometer-bench [-fig 6a|6b|7a|7b|ablations|all] [-days N] [-queries N] [-seed N]
+//	envirometer-bench [-fig 6a|6b|7a|7b|ablations|subs|all] [-days N] [-queries N] [-seed N]
+//	                  [-subscribers N] [-rounds N] [-out FILE]
 //
 // By default it generates the full one-month synthetic lausanne-data
 // equivalent (172,800 scheduled samples) and runs everything; -days trims
-// the deployment for quick runs.
+// the deployment for quick runs. -fig subs runs the closed-loop push
+// benchmark and, with -out, writes its JSON result (BENCH_6.json) after
+// re-parsing and sanity-checking the file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,16 +25,71 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which experiment: 6a, 6b, 7a, 7b, ablations, all")
-		days    = flag.Float64("days", 30, "deployment duration to simulate, in days")
-		queries = flag.Int("queries", 5000, "point queries per window size (Figure 6)")
-		seed    = flag.Int64("seed", 1, "deterministic seed for data, workloads, clustering")
+		fig         = flag.String("fig", "all", "which experiment: 6a, 6b, 7a, 7b, ablations, subs, all")
+		days        = flag.Float64("days", 30, "deployment duration to simulate, in days")
+		queries     = flag.Int("queries", 5000, "point queries per window size (Figure 6)")
+		seed        = flag.Int64("seed", 1, "deterministic seed for data, workloads, clustering")
+		subscribers = flag.Int("subscribers", 0, "subscription bench: subscriber count (0 = default)")
+		rounds      = flag.Int("rounds", 0, "subscription bench: ingest rounds (0 = default)")
+		out         = flag.String("out", "", "subscription bench: write the JSON result to this file")
 	)
 	flag.Parse()
+	if *fig == "subs" {
+		if err := runSubs(*subscribers, *rounds, *seed, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "envirometer-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*fig, *days, *queries, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "envirometer-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runSubs drives the closed-loop subscription benchmark and optionally
+// persists BENCH_6.json, verifying the written file parses back and
+// shows the push path actually transferring less than polling.
+func runSubs(subscribers, rounds int, seed int64, out string) error {
+	cfg := bench.DefaultSubsConfig()
+	cfg.Seed = seed
+	if subscribers > 0 {
+		cfg.Subscribers = subscribers
+	}
+	if rounds > 0 {
+		cfg.Rounds = rounds
+	}
+	res, err := bench.RunSubs(cfg)
+	if err != nil {
+		return err
+	}
+	bench.PrintSubs(os.Stdout, res)
+	if out == "" {
+		return nil
+	}
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		return err
+	}
+	var check bench.SubsResult
+	if err := json.Unmarshal(raw, &check); err != nil {
+		return fmt.Errorf("%s does not parse back: %w", out, err)
+	}
+	if check.PushedBytes <= 0 || check.PolledBytes <= 0 {
+		return fmt.Errorf("%s records no traffic (pushed %d, polled %d)", out, check.PushedBytes, check.PolledBytes)
+	}
+	if check.PushedBytes >= check.PolledBytes {
+		return fmt.Errorf("%s: pushed bytes %d not below polled bytes %d", out, check.PushedBytes, check.PolledBytes)
+	}
+	fmt.Printf("\nwrote %s (%d bytes, parses back OK)\n", out, len(raw))
+	return nil
 }
 
 func run(fig string, days float64, queries int, seed int64) error {
@@ -77,7 +137,7 @@ func run(fig string, days float64, queries int, seed int64) error {
 		fmt.Println()
 		return runAblations(d, queries, seed)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 6a, 6b, 7a, 7b, ablations, all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 6a, 6b, 7a, 7b, ablations, subs, all)", fig)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -47,8 +49,11 @@ commands:
   batch  -requests "t,x,y[,pollutant] …" [-processor K] [-radius R] [-concurrency N]
                                     one round trip, many (mixed-pollutant) requests,
                                     answered concurrently with per-request errors
-  route  -t T -points "x,y x,y …" [-pollutant P]
-                                    continuous query along a route (60 s per point)
+  route  -t T -points "x,y x,y …" [-pollutant P] [-follow]
+                                    continuous query along a route (60 s per point);
+                                    -follow subscribes instead: the server pushes the
+                                    initial vector and then deltas as ingests
+                                    invalidate the route's model covers
   models -t T [-pollutant P]        download the model cover valid at T
   pollutants                        list monitored pollutants
   stats                             server statistics`)
@@ -166,6 +171,7 @@ func runRoute(server string, args []string) error {
 	points := fs.String("points", "", `route points as "x,y x,y …"`)
 	interval := fs.Float64("interval", 60, "seconds between consecutive points")
 	pollutant := fs.String("pollutant", "", "pollutant (co2, co, pm; empty = server default)")
+	follow := fs.Bool("follow", false, "subscribe to server pushes instead of querying once")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -193,6 +199,13 @@ func runRoute(server string, args []string) error {
 		}
 		pts = append(pts, qt{T: *t + float64(i)*(*interval), X: x, Y: y})
 	}
+	if *follow {
+		specs := make([]string, len(pts))
+		for i, p := range pts {
+			specs[i] = fmt.Sprintf("%s,%s,%s", formatFloat(p.T), formatFloat(p.X), formatFloat(p.Y))
+		}
+		return followRoute(server, *pollutant, strings.Join(specs, ";"))
+	}
 	body, err := json.Marshal(map[string]interface{}{"points": pts})
 	if err != nil {
 		return err
@@ -217,6 +230,76 @@ func runModels(server string, args []string) error {
 		v.Set("pollutant", *pollutant)
 	}
 	return get(server + "/v1/models?" + v.Encode())
+}
+
+// followRoute consumes the GET /v1/subscribe SSE stream, printing one
+// line per pushed event. On a dropped connection it reconnects with
+// Last-Event-ID, so the server resumes the same subscription (sending a
+// resync first if pushes were missed) instead of starting over.
+func followRoute(server, pollutant, points string) error {
+	v := url.Values{}
+	v.Set("points", points)
+	if pollutant != "" {
+		v.Set("pollutant", pollutant)
+	}
+	u := server + "/v1/subscribe?" + v.Encode()
+	lastID := ""
+	for attempt := 0; ; attempt++ {
+		id, err := followOnce(u, lastID)
+		if id != "" {
+			lastID, attempt = id, 0 // progress: reset the retry budget
+		}
+		if err != nil {
+			return err
+		}
+		if attempt >= 5 {
+			return fmt.Errorf("follow: no events after %d reconnects; giving up", attempt)
+		}
+		fmt.Fprintln(os.Stderr, "envirometer-query: stream dropped; reconnecting")
+		time.Sleep(time.Second)
+	}
+}
+
+// followOnce runs one SSE connection until it drops, returning the last
+// event ID seen (for resume). A non-nil error is terminal (the server
+// rejected the subscription); a nil error asks the caller to reconnect.
+func followOnce(u, lastID string) (string, error) {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return lastID, err
+	}
+	if lastID != "" {
+		req.Header.Set("Last-Event-ID", lastID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return lastID, nil // transient: reconnect
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return lastID, fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data != "" {
+				fmt.Printf("%s\t%s\n", event, data)
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "id: "):
+			lastID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return lastID, nil
 }
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -87,6 +87,9 @@ func main() {
 		schedQueue  = flag.Int("sched-queue", 0, "background cover-build queue bound (0 = default)")
 		ckInterval  = flag.Duration("checkpoint-interval", 0, "periodic store checkpoint interval (0 = disabled)")
 		ckKeep      = flag.Int("checkpoint-keep", 0, "checkpoint-covered segments spared per compaction")
+		subQueue    = flag.Int("sub-queue", 0, "per-subscription push-queue depth; a slow consumer overflowing it gets a resync (0 = default 16)")
+		subMax      = flag.Int("sub-max", 0, "max concurrent push subscriptions (0 = default 1024)")
+		subPoints   = flag.Int("sub-points", 0, "max route points per subscription (0 = default 2048)")
 
 		clusterNodes  = flag.String("cluster-nodes", "", "comma-separated TCP wire addresses of every cluster node (empty = single node)")
 		nodeID        = flag.Int("node-id", 0, "this process's index in -cluster-nodes")
@@ -126,6 +129,7 @@ func main() {
 		queue:   repro.PipelineConfig{QueueDepth: *queueDepth, MaxBatchTuples: *maxBatch},
 		sched:   repro.SchedulerConfig{Workers: *schedWork, MaxQueue: *schedQueue},
 		ck:      repro.CheckpointConfig{Interval: *ckInterval, KeepSegments: *ckKeep},
+		subs:    repro.SubscriptionConfig{QueueDepth: *subQueue, MaxSubs: *subMax, MaxPoints: *subPoints},
 		cluster: cl,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "envirometer-server:", err)
@@ -156,6 +160,7 @@ type options struct {
 	queue                               repro.PipelineConfig
 	sched                               repro.SchedulerConfig
 	ck                                  repro.CheckpointConfig
+	subs                                repro.SubscriptionConfig
 	cluster                             repro.ClusterConfig
 }
 
@@ -172,6 +177,7 @@ func run(o options) error {
 		IngestQueue:   o.queue,
 		Maintenance:   o.sched,
 		Checkpoint:    o.ck,
+		Subscriptions: o.subs,
 		CoverSnapshot: o.covers,
 		Cluster:       o.cluster,
 	})

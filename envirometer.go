@@ -65,6 +65,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/store"
+	"repro/internal/subs"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
@@ -154,6 +155,31 @@ const (
 // SchedulerConfig tunes the background cover-maintenance scheduler.
 // Workers < 0 disables it, leaving every cover build on the query path.
 type SchedulerConfig = core.SchedulerConfig
+
+// SubscriptionConfig tunes the push-subscription registry behind
+// Platform.Subscribe and GET /v1/subscribe: per-subscription event
+// queue depth, re-evaluation workers, and subscription/point caps. The
+// zero value queues 16 events, runs 2 workers, and caps at 1024
+// subscriptions of 2048 points.
+type SubscriptionConfig = subs.Config
+
+// SubscriptionStats counts the push-subscription registry's work:
+// active subscriptions, invalidation matches, re-evaluations avoided,
+// and push/drop/resync totals.
+type SubscriptionStats = subs.Stats
+
+// Subscription is a live push subscription: a channel of events plus a
+// snapshot/close surface. Close it when done; the platform also closes
+// it (ending the event channel) at shutdown.
+type Subscription = subs.Handle
+
+// SubscriptionEvent is one pushed event: a delta of changed points, a
+// full resync of the whole vector, or a subscription-level error.
+type SubscriptionEvent = subs.Event
+
+// SubscriptionPoint is one point's value (or error) within a pushed
+// event, indexed into the subscribed point set.
+type SubscriptionPoint = subs.PointValue
 
 // CheckpointConfig tunes durability checkpoints: Interval > 0 enables
 // periodic checkpoints (and a final one at Close); KeepSegments spares
@@ -293,6 +319,10 @@ type Config struct {
 	// rebuilds invalidated covers off the query path. The zero value
 	// runs 2 build workers; Workers < 0 disables background builds.
 	Maintenance SchedulerConfig
+	// Subscriptions tunes the push-subscription registry (bounded
+	// per-subscription event queues with drop-oldest + resync overflow,
+	// re-evaluation workers, subscription caps).
+	Subscriptions SubscriptionConfig
 	// Checkpoint bounds recovery time and disk growth (used only with
 	// Dir): with Interval > 0 every store periodically — and at Close —
 	// persists its retained windows to a checkpoint file and deletes
@@ -413,6 +443,7 @@ func Open(cfg Config) (*Platform, error) {
 		Pipeline:   cfg.IngestQueue,
 		Scheduler:  cfg.Maintenance,
 		Checkpoint: cfg.Checkpoint,
+		Subs:       cfg.Subscriptions,
 	})
 	if err != nil {
 		closeAll()
@@ -420,7 +451,7 @@ func Open(cfg Config) (*Platform, error) {
 	}
 	p.engine = engine
 	if len(cfg.Cluster.Nodes) > 0 {
-		node, err := newClusterNode(cfg.Cluster, engine, pollutants[0])
+		node, err := newClusterNode(cfg.Cluster, engine, pollutants[0], cfg.Subscriptions.QueueDepth)
 		if err != nil {
 			engine.Close()
 			closeAll()
@@ -461,7 +492,7 @@ func Open(cfg Config) (*Platform, error) {
 // newClusterNode derives the shard ring from the cluster configuration
 // and wraps the engine in a routing node (a pure router when
 // cfg.Router). Peer links dial lazily over the binary TCP protocol.
-func newClusterNode(cfg ClusterConfig, engine *server.Engine, def Pollutant) (*cluster.Node, error) {
+func newClusterNode(cfg ClusterConfig, engine *server.Engine, def Pollutant, subQueue int) (*cluster.Node, error) {
 	region := cfg.Region
 	if !region.Valid() || region.Area() == 0 {
 		// Default: the simulated Lausanne corridor (x ∈ [-1.5, 4] km,
@@ -497,11 +528,18 @@ func newClusterNode(cfg ClusterConfig, engine *server.Engine, def Pollutant) (*c
 	dial := func(addr string) (cluster.Transport, error) {
 		return proto.Dial(addr, proto.ServerConfig{})
 	}
+	// Push streams ride a dedicated connection per routed subscription
+	// leg, separate from the pooled request/response transports.
+	streams := func(addr string, req wire.Message) (cluster.PushStream, error) {
+		return proto.DialStream(addr, proto.ServerConfig{}, req)
+	}
 	node, err := cluster.NewNode(cluster.NodeConfig{
 		Ring:       ring,
 		Self:       self,
 		Local:      local,
 		Transports: cluster.LazyTransports(ring, self, dial),
+		Streams:    streams,
+		SubQueue:   subQueue,
 		Default:    def,
 	})
 	if err != nil {
@@ -783,6 +821,29 @@ func applyOptions(opts []QueryOption) query.Options {
 		opt(&o)
 	}
 	return o
+}
+
+// Subscribe opens a push subscription over the route points pts for
+// pollutant pol: the returned handle's first event is a full resync
+// carrying the initial value vector, and afterwards the platform pushes
+// a delta of exactly the points whose model covers an ingest
+// invalidated — re-evaluated incrementally, never by polling. On a
+// clustered platform the subscription is routed: each shard owner
+// re-evaluates its own slice and the pushes merge onto one handle (an
+// owner dying surfaces as an error event naming it). Close the handle
+// to unsubscribe; a slow consumer's queue drops oldest events and the
+// next event becomes a full resync, so the stream is always coherent.
+func (p *Platform) Subscribe(ctx context.Context, pol Pollutant, pts []Request) (Subscription, error) {
+	if p.node != nil {
+		return p.node.Subscribe(ctx, pol, pts)
+	}
+	return p.engine.Subscribe(ctx, pol, pts)
+}
+
+// SubscriptionStats counts the push-subscription registry's work on the
+// local engine (routed legs count at their owner nodes).
+func (p *Platform) SubscriptionStats() SubscriptionStats {
+	return p.engine.Subscriptions().Stats()
 }
 
 // Cover returns pol's model cover valid at stream time t, building it on

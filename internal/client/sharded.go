@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/geo"
@@ -41,9 +42,19 @@ type ShardedTransport struct {
 	seed Transport
 	dial Dialer
 
-	mu    sync.Mutex
-	ring  *cluster.Ring
-	conns map[string]Transport // keyed by address: correct even under a stale ring
+	// ringTTL re-fetches the cached ring once it is older than the TTL
+	// (0 = never; the ring then refreshes only on a NotOwner bounce). A
+	// TTL lets clients converge on a resharded cluster even when their
+	// request mix never hits a moved shard — e.g. a client pinned to a
+	// shard whose owner silently left the ring would otherwise keep
+	// dialing it forever.
+	ringTTL time.Duration
+	now     func() time.Time // injectable clock for tests
+
+	mu        sync.Mutex
+	ring      *cluster.Ring
+	fetchedAt time.Time            // when ring was fetched (TTL basis)
+	conns     map[string]Transport // keyed by address: correct even under a stale ring
 
 	stats ShardedStats
 }
@@ -51,7 +62,18 @@ type ShardedTransport struct {
 // NewSharded builds a sharded transport over a seed node connection and
 // a dialer for the owner connections.
 func NewSharded(seed Transport, dial Dialer) *ShardedTransport {
-	return &ShardedTransport{seed: seed, dial: dial, conns: make(map[string]Transport)}
+	return &ShardedTransport{seed: seed, dial: dial, conns: make(map[string]Transport), now: time.Now}
+}
+
+// SetRingTTL bounds the cached ring's age: a positional exchange
+// finding the ring older than ttl re-fetches it from the seed node
+// first (keeping the stale ring if the fetch fails — a degraded seed
+// must not take down a working shard map). ttl <= 0 restores the
+// default: refresh only on NotOwner bounces.
+func (s *ShardedTransport) SetRingTTL(ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ringTTL = ttl
 }
 
 // Stats returns a snapshot of the routing counters.
@@ -70,6 +92,15 @@ func (s *ShardedTransport) Ring() (*cluster.Ring, error) {
 
 func (s *ShardedTransport) ringLocked() (*cluster.Ring, error) {
 	if s.ring != nil {
+		if s.ringTTL <= 0 || s.now().Sub(s.fetchedAt) < s.ringTTL {
+			return s.ring, nil
+		}
+		// TTL expired: re-fetch, but keep serving the stale ring if the
+		// seed is unreachable — shards that did not move still answer.
+		if ring, err := s.refreshLocked(); err == nil {
+			return ring, nil
+		}
+		s.fetchedAt = s.now() // back off a full TTL before the next try
 		return s.ring, nil
 	}
 	return s.refreshLocked()
@@ -93,6 +124,7 @@ func (s *ShardedTransport) refreshLocked() (*cluster.Ring, error) {
 		return nil, fmt.Errorf("client: fetch ring: %w", err)
 	}
 	s.ring = ring
+	s.fetchedAt = s.now()
 	return ring, nil
 }
 

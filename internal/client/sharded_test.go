@@ -1,0 +1,171 @@
+package client
+
+// Unit tests for the sharded transport's ring-TTL refresh: a configured
+// TTL re-fetches an aged ring before routing, a failed refresh keeps
+// serving the stale ring (and backs off a full TTL), and recovery
+// adopts the seed's new ring. Uses an injected clock — no sleeping.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/geo"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+func testRing(t *testing.T, nodes ...string) *cluster.Ring {
+	t.Helper()
+	cells, err := cluster.Cells(geo.Rect{Min: geo.Point{X: 0, Y: 0}, Max: geo.Point{X: 1000, Y: 1000}}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := cluster.NewRing(cluster.Desc{Nodes: nodes, Cells: cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ring
+}
+
+// ttlSeed answers ring requests from a swappable ring, with a kill
+// switch. The TTL tests drive it from one goroutine; no locking needed.
+type ttlSeed struct {
+	ring    *cluster.Ring
+	down    bool
+	fetches int
+}
+
+func (s *ttlSeed) Exchange(req wire.Message) (wire.Message, error) {
+	if _, ok := req.(wire.RingRequest); ok {
+		s.fetches++
+		if s.down {
+			return nil, errors.New("seed down")
+		}
+		return s.ring.Wire(), nil
+	}
+	return wire.ErrorResponse{Msg: "ttl seed answers only ring requests"}, nil
+}
+
+// echoOwner answers every query with a constant so Exchange succeeds
+// whichever owner the ring picks.
+type echoOwner struct{ addr string }
+
+func (o *echoOwner) Exchange(wire.Message) (wire.Message, error) {
+	return wire.QueryResponse{Value: 1}, nil
+}
+
+func TestShardedRingTTL(t *testing.T) {
+	seed := &ttlSeed{ring: testRing(t, "a:1", "b:1")}
+	var dialed []string
+	sc := NewSharded(seed, func(addr string) (Transport, error) {
+		dialed = append(dialed, addr)
+		return &echoOwner{addr: addr}, nil
+	})
+	cur := time.Unix(1000, 0)
+	sc.now = func() time.Time { return cur }
+
+	req := wire.QueryRequest{T: 100, X: 500, Y: 500, Pollutant: tuple.CO2}
+	exchange := func() {
+		t.Helper()
+		resp, err := sc.Exchange(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := resp.(wire.QueryResponse); !ok {
+			t.Fatalf("unexpected response %#v", resp)
+		}
+	}
+
+	// Without a TTL the ring is fetched once, ever.
+	exchange()
+	cur = cur.Add(10 * time.Hour)
+	exchange()
+	if seed.fetches != 1 {
+		t.Fatalf("TTL-less transport fetched the ring %d times, want 1", seed.fetches)
+	}
+
+	// With a TTL, an aged ring is re-fetched before routing; a fresh one
+	// is not.
+	sc.SetRingTTL(time.Minute)
+	exchange()
+	if seed.fetches != 2 {
+		t.Fatalf("aged ring not re-fetched: %d fetches, want 2", seed.fetches)
+	}
+	ringA, _ := sc.Ring()
+	exchange()
+	if seed.fetches != 2 {
+		t.Fatalf("fresh ring re-fetched: %d fetches, want 2", seed.fetches)
+	}
+
+	// A failed refresh keeps the stale ring working and backs off a full
+	// TTL before retrying the seed.
+	seed.down = true
+	cur = cur.Add(2 * time.Minute)
+	exchange()
+	if seed.fetches != 3 {
+		t.Fatalf("expired ring not re-fetched: %d fetches, want 3", seed.fetches)
+	}
+	if ring, _ := sc.Ring(); ring != ringA {
+		t.Fatal("failed refresh replaced the cached ring")
+	}
+	exchange() // immediately after the failure: inside the back-off
+	if seed.fetches != 3 {
+		t.Fatalf("failed refresh not backed off: %d fetches, want 3", seed.fetches)
+	}
+	cur = cur.Add(2 * time.Minute)
+	exchange()
+	if seed.fetches != 4 {
+		t.Fatalf("back-off never re-tried the seed: %d fetches, want 4", seed.fetches)
+	}
+
+	// Recovery: the next expiry adopts the seed's new ring, so clients
+	// converge on a resharded cluster without needing a NotOwner bounce.
+	seed.down = false
+	seed.ring = testRing(t, "c:1", "d:1")
+	cur = cur.Add(2 * time.Minute)
+	exchange()
+	ring, err := sc.Ring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring == ringA {
+		t.Fatal("recovered seed's new ring was not adopted")
+	}
+	owner := ring.Addr(ring.Owner(tuple.CO2, geo.Point{X: 500, Y: 500}))
+	if owner != "c:1" && owner != "d:1" {
+		t.Fatalf("post-recovery owner %q still on the old ring", owner)
+	}
+	if last := dialed[len(dialed)-1]; last != owner {
+		t.Fatalf("last exchange dialed %q, want new owner %q", last, owner)
+	}
+	if got := sc.Stats().Refreshes; got != 5 {
+		t.Fatalf("Refreshes counter is %d, want 5 (3 successful fetches + 2 failed attempts)", got)
+	}
+}
+
+// TestShardedRingTTLDisabled locks SetRingTTL(0) back to bounce-only
+// refresh semantics.
+func TestShardedRingTTLDisabled(t *testing.T) {
+	seed := &ttlSeed{ring: testRing(t, "a:1", "b:1")}
+	sc := NewSharded(seed, func(addr string) (Transport, error) {
+		return &echoOwner{addr: addr}, nil
+	})
+	cur := time.Unix(1000, 0)
+	sc.now = func() time.Time { return cur }
+	sc.SetRingTTL(time.Minute)
+
+	req := wire.QueryRequest{T: 100, X: 500, Y: 500, Pollutant: tuple.CO2}
+	if _, err := sc.Exchange(req); err != nil {
+		t.Fatal(err)
+	}
+	sc.SetRingTTL(0)
+	cur = cur.Add(10 * time.Hour)
+	if _, err := sc.Exchange(req); err != nil {
+		t.Fatal(err)
+	}
+	if seed.fetches != 1 {
+		t.Fatalf("disabled TTL still re-fetched: %d fetches, want 1", seed.fetches)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -64,6 +65,9 @@ type fixture struct {
 	nodes   []*cluster.Node
 	link    *netsim.Link
 	dead    []atomic.Bool
+
+	streamsMu sync.Mutex
+	streams   map[int][]*fakeStream // target node -> open push streams
 }
 
 // nodeTransport carries frames to fixture node `to` over the shared
@@ -127,7 +131,7 @@ func newFixture(t *testing.T) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := &fixture{ring: ring, link: link, dead: make([]atomic.Bool, 3)}
+	f := &fixture{ring: ring, link: link, dead: make([]atomic.Bool, 3), streams: make(map[int][]*fakeStream)}
 	for i := 0; i < 3; i++ {
 		f.engines = append(f.engines, newEngine(t))
 	}
@@ -144,6 +148,8 @@ func newFixture(t *testing.T) *fixture {
 			Local:      f.engines[i],
 			Transports: transports,
 			Default:    tuple.CO2,
+			Streams:    f.openStream,
+			SubQueue:   8,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -86,6 +86,12 @@ type NodeConfig struct {
 	// Default resolves legacy (untagged) frames to a pollutant for
 	// shard placement; it must match the engines' default pollutant.
 	Default tuple.Pollutant
+	// Streams opens push streams to peer nodes for routed subscriptions
+	// (nil: Subscribe fails for shards this node does not own).
+	Streams StreamOpener
+	// SubQueue is the event-queue depth of merged (routed)
+	// subscriptions; 0 uses the subs package default.
+	SubQueue int
 }
 
 // Stats counts a node's routing activity.
@@ -118,6 +124,10 @@ type Node struct {
 	local      Handler
 	transports []Transport
 	def        tuple.Pollutant
+	streams    StreamOpener
+	subQueue   int
+
+	nextSubID atomic.Uint64
 
 	nLocal     atomic.Int64
 	nForwarded atomic.Int64
@@ -154,6 +164,8 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		local:      cfg.Local,
 		transports: transports,
 		def:        cfg.Default,
+		streams:    cfg.Streams,
+		subQueue:   cfg.SubQueue,
 	}, nil
 }
 
@@ -223,6 +235,17 @@ func (n *Node) handle(ctx context.Context, req wire.Message) wire.Message {
 		return n.routeIngest(ctx, m)
 	case wire.HeatmapRequest:
 		return n.scatterHeatmap(ctx, m)
+	case wire.SubscribeRequest:
+		// Plain exchanges cannot carry pushes; the streaming path routes
+		// subscribe frames through HandleStream instead.
+		return wire.ErrorResponse{Msg: "cluster: subscriptions require a streaming transport"}
+	case wire.UnsubscribeRequest:
+		// Subscription IDs are node-local (a routed subscription dies
+		// with its stream), so unsubscribe never forwards.
+		if n.local == nil {
+			return wire.ErrorResponse{Msg: "cluster: router holds no subscriptions"}
+		}
+		return n.localHandle(ctx, m)
 	default:
 		return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: unsupported request type %T", req)}
 	}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/geo"
+	"repro/internal/query"
+	"repro/internal/subs"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// PushStream is the consumer side of one remote push stream
+// (proto.Stream over TCP in production, in-process fakes in the netsim
+// tests): the subscribe ack, the pushed frames, and the failure reason
+// once the frame channel closes.
+type PushStream interface {
+	Ack() wire.Message
+	C() <-chan wire.Message
+	Err() error
+	Close() error
+}
+
+// StreamOpener opens a push stream to a peer node's wire address by
+// sending req as the stream-opening frame (proto.DialStream adapted, in
+// production).
+type StreamOpener func(addr string, req wire.Message) (PushStream, error)
+
+// LocalSubscriber is the subscription surface of the local engine
+// (server.Engine implements it); the node type-asserts it so the
+// cluster package does not import the server.
+type LocalSubscriber interface {
+	Subscribe(ctx context.Context, pol tuple.Pollutant, pts []query.Request) (subs.Handle, error)
+}
+
+// subLeg is one owner's slice of a routed subscription: the point
+// indexes (into the merged point set) the owner serves, and either a
+// local handle or a remote stream.
+type subLeg struct {
+	owner  int
+	idxs   []int
+	handle subs.Handle // local leg (owner == self)
+	stream PushStream  // remote leg
+}
+
+// Subscribe opens a routed subscription: the point set is grouped by
+// shard owner, the node subscribes at each owner (locally for shards it
+// owns, over a push stream for the rest), and the per-owner pushes are
+// merged — indexes remapped into the caller's point order, sequence
+// numbers reassigned — onto one bounded feed. Subscribe fails fast if
+// any owner is unreachable; after that, an owner dying emits an error
+// event on the feed (naming the owner, its points possibly stale)
+// rather than going silently stale, while the other owners' points keep
+// updating.
+func (n *Node) Subscribe(ctx context.Context, pol tuple.Pollutant, pts []query.Request) (subs.Handle, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("cluster: empty point set")
+	}
+	groups := make(map[int][]int) // owner -> merged point indexes
+	for i, p := range pts {
+		owner := n.ring.Owner(pol, geo.Point{X: p.X, Y: p.Y})
+		groups[owner] = append(groups[owner], i)
+	}
+
+	var legs []*subLeg
+	abort := func() {
+		for _, l := range legs {
+			if l.handle != nil {
+				_ = l.handle.Close()
+			}
+			if l.stream != nil {
+				_ = l.stream.Close()
+			}
+		}
+	}
+	for owner, idxs := range groups {
+		subset := make([]query.Request, len(idxs))
+		for j, i := range idxs {
+			subset[j] = pts[i]
+			subset[j].Pollutant = pol
+		}
+		l := &subLeg{owner: owner, idxs: idxs}
+		if owner == n.self {
+			ls, ok := n.local.(LocalSubscriber)
+			if !ok {
+				abort()
+				return nil, errors.New("cluster: local handler does not support subscriptions")
+			}
+			h, err := ls.Subscribe(ctx, pol, subset)
+			if err != nil {
+				abort()
+				return nil, err
+			}
+			n.nLocal.Add(1)
+			l.handle = h
+		} else {
+			if n.streams == nil {
+				abort()
+				return nil, fmt.Errorf("cluster: no stream opener configured; cannot subscribe at node %d", owner)
+			}
+			// Forwarded, like every routed request: the owner answers from
+			// its local registry and never re-routes, so disagreeing rings
+			// cannot chain subscription hops.
+			st, err := n.streams(n.ring.Addr(owner), wire.Forwarded{Inner: subs.WireFromRequests(pol, subset)})
+			if err != nil {
+				n.nErrors.Add(1)
+				abort()
+				return nil, fmt.Errorf("%w: node %d (%s): %v", ErrNodeUnreachable, owner, n.ring.Addr(owner), err)
+			}
+			n.nForwarded.Add(1)
+			l.stream = st
+		}
+		legs = append(legs, l)
+	}
+
+	// closing marks an intentional teardown so the leg forwarders can
+	// tell "merged subscription closed" from "owner died".
+	var closing atomic.Bool
+	feed := subs.NewFeed(n.nextSubID.Add(1), len(pts), n.subQueue, func() {
+		closing.Store(true)
+		for _, l := range legs {
+			if l.handle != nil {
+				_ = l.handle.Close()
+			}
+			if l.stream != nil {
+				_ = l.stream.Close()
+			}
+		}
+	})
+	for _, l := range legs {
+		go n.runLeg(feed, l, &closing)
+	}
+	return feed, nil
+}
+
+// runLeg forwards one owner's pushes onto the merged feed, remapping
+// owner-local point indexes to merged indexes. When the leg ends
+// without the merged subscription closing, the owner died: an error
+// event is pushed instead of leaving the leg's points silently stale.
+func (n *Node) runLeg(feed *subs.Feed, l *subLeg, closing *atomic.Bool) {
+	apply := func(ev subs.Event) {
+		if ev.Err != "" {
+			feed.Fail(fmt.Sprintf("cluster: node %d: %s", l.owner, ev.Err))
+		}
+		if len(ev.Points) == 0 {
+			return
+		}
+		pts := make([]subs.PointValue, 0, len(ev.Points))
+		for _, p := range ev.Points {
+			if p.Index < 0 || p.Index >= len(l.idxs) {
+				continue
+			}
+			pts = append(pts, subs.PointValue{Index: l.idxs[p.Index], Value: p.Value, Err: p.Err})
+		}
+		feed.Apply(pts)
+	}
+	if l.handle != nil {
+		for ev := range l.handle.Events() {
+			apply(ev)
+		}
+	} else {
+		for m := range l.stream.C() {
+			p, ok := m.(wire.Push)
+			if !ok {
+				continue // stray non-push frame; ignore
+			}
+			apply(subs.EventFromPush(p))
+		}
+	}
+	if closing.Load() {
+		return
+	}
+	n.nErrors.Add(1)
+	reason := "subscription stream ended"
+	if l.stream != nil {
+		if err := l.stream.Err(); err != nil {
+			reason = err.Error()
+		}
+	}
+	addr := ""
+	if l.owner >= 0 && l.owner < n.ring.Nodes() {
+		addr = n.ring.Addr(l.owner)
+	}
+	feed.Fail(fmt.Sprintf("cluster: owner node %d (%s) unreachable: %s; its %d route points may be stale",
+		l.owner, addr, reason, len(l.idxs)))
+}
+
+// HandleStream implements proto.Streamer for a cluster node: a bare
+// SubscribeRequest opens a routed (merged) subscription, so one edge
+// connection to any node pushes for a route spanning every shard; a
+// Forwarded subscribe — sent by a peer that already resolved this node
+// as the owner — subscribes the local registry directly.
+func (n *Node) HandleStream(req wire.Message) (ack wire.Message, run func(emit func(wire.Message) error), stop func(), ok bool) {
+	var (
+		h   subs.Handle
+		err error
+		cnt int
+	)
+	switch m := req.(type) {
+	case wire.SubscribeRequest:
+		cnt = len(m.Points)
+		h, err = n.Subscribe(context.Background(), n.pollutant(m.Pollutant, false), subs.RequestFromWire(m))
+	case wire.Forwarded:
+		inner, isSub := m.Inner.(wire.SubscribeRequest)
+		if !isSub {
+			return nil, nil, nil, false
+		}
+		ls, isLS := n.local.(LocalSubscriber)
+		if !isLS {
+			return wire.ErrorResponse{Msg: "cluster: node holds no subscription registry"}, func(func(wire.Message) error) {}, func() {}, true
+		}
+		n.nFwdIn.Add(1)
+		cnt = len(inner.Points)
+		h, err = ls.Subscribe(context.Background(), n.pollutant(inner.Pollutant, false), subs.RequestFromWire(inner))
+	default:
+		return nil, nil, nil, false
+	}
+	if err != nil {
+		return wire.ErrorResponse{Msg: err.Error()}, func(func(wire.Message) error) {}, func() {}, true
+	}
+	run = func(emit func(wire.Message) error) {
+		for ev := range h.Events() {
+			if emit(subs.PushFromEvent(h.ID(), ev)) != nil {
+				return
+			}
+		}
+	}
+	stop = func() { _ = h.Close() }
+	return wire.SubscribeAck{ID: h.ID(), Points: uint16(cnt)}, run, stop, true
+}

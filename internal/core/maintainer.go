@@ -44,6 +44,14 @@ type Maintainer struct {
 	covers   map[int]*Cover
 	building map[int]*buildState
 
+	// gens counts, per window, how many times the window's cover has
+	// been dropped (invalidation or eviction). It only ever grows — at
+	// 8 bytes per window ever touched that is negligible next to the
+	// window data itself — so a (window, generation) pair identifies one
+	// cover lifetime for the whole process lifetime. The HTTP layer
+	// hashes generations into the ETag of continuous-query responses.
+	gens map[int]uint64
+
 	// invalHooks run after Invalidate drops a window, outside the
 	// maintainer lock, in registration order. The scheduler subscribes
 	// here to queue background rebuilds. Eviction does NOT fire these:
@@ -76,6 +84,7 @@ func NewMaintainer(st *store.Store, cfg Config) *Maintainer {
 		cfg:      cfg,
 		covers:   make(map[int]*Cover),
 		building: make(map[int]*buildState),
+		gens:     make(map[int]uint64),
 	}
 	m.unhook = st.OnEvict(m.dropWindows)
 	return m
@@ -201,6 +210,7 @@ func (m *Maintainer) dropWindows(evicted []int) {
 	}
 	for c, bs := range m.building {
 		if c <= horizon {
+			m.gens[c]++
 			bs.stale = true
 			delete(m.building, c)
 		}
@@ -213,11 +223,22 @@ func (m *Maintainer) dropWindows(evicted []int) {
 // flagging it) lets a CoverFor that arrives after the invalidation start
 // a fresh build immediately instead of joining the stale one.
 func (m *Maintainer) dropLocked(c int) {
+	m.gens[c]++
 	delete(m.covers, c)
 	if bs, ok := m.building[c]; ok {
 		bs.stale = true
 		delete(m.building, c)
 	}
+}
+
+// Generation returns how many times window c's cover has been dropped.
+// A changed generation means any previously served value for c may be
+// stale; an equal generation means the cover (built or not) is the same
+// lifetime. Windows never invalidated report 0.
+func (m *Maintainer) Generation(c int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gens[c]
 }
 
 // Snapshot returns the currently cached covers keyed by window index, for

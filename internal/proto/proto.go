@@ -144,14 +144,26 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	w := &frameWriter{conn: conn, timeout: s.cfg.IdleTimeout, codec: s.cfg.Codec}
+	var stops []func()
 	defer func() {
 		conn.Close()
+		for _, stop := range stops {
+			stop()
+		}
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	streamer, canStream := s.handler.(Streamer)
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+		// A connection carrying a push stream idles legitimately between
+		// pushes; only request/response connections get the idle timeout.
+		deadline := time.Now().Add(s.cfg.IdleTimeout)
+		if len(stops) > 0 {
+			deadline = time.Time{}
+		}
+		if err := conn.SetReadDeadline(deadline); err != nil {
 			return
 		}
 		payload, err := ReadFrame(conn)
@@ -163,16 +175,27 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			resp = wire.ErrorResponse{Msg: "malformed request: " + err.Error()}
 		} else {
+			if canStream {
+				if ack, run, stop, ok := streamer.HandleStream(req); ok {
+					stops = append(stops, stop)
+					if err := w.write(ack); err != nil {
+						return
+					}
+					s.wg.Add(1)
+					go func() {
+						defer s.wg.Done()
+						run(w.write)
+						// Stream over (server side ended it, or a push
+						// write failed): close the connection so the
+						// client sees EOF instead of silence.
+						conn.Close()
+					}()
+					continue
+				}
+			}
 			resp = s.handler.HandleMessage(req)
 		}
-		out, err := s.cfg.Codec.Encode(resp)
-		if err != nil {
-			out, _ = s.cfg.Codec.Encode(wire.ErrorResponse{Msg: "internal encode error"})
-		}
-		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
-			return
-		}
-		if err := WriteFrame(conn, out); err != nil {
+		if err := w.write(resp); err != nil {
 			return
 		}
 	}

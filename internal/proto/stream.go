@@ -1,0 +1,172 @@
+package proto
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Streamer is an optional Handler extension for server push. When the
+// handler implements it, every decoded request is offered to
+// HandleStream first; returning ok opens a push stream on the
+// connection: the server writes ack, then runs run on its own goroutine
+// with an emit function that frames push messages onto the connection
+// (safe to call concurrently with request/response traffic — frames
+// never interleave). run should return when the stream ends or emit
+// fails; the connection is closed when it does, and stop is called when
+// the connection goes away for any reason.
+type Streamer interface {
+	HandleStream(req wire.Message) (ack wire.Message, run func(emit func(wire.Message) error), stop func(), ok bool)
+}
+
+// frameWriter serializes frame writes on one connection so pushed
+// frames and request responses never interleave mid-frame.
+type frameWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+	codec   wire.Codec
+
+	mu sync.Mutex
+}
+
+func (w *frameWriter) write(m wire.Message) error {
+	out, err := w.codec.Encode(m)
+	if err != nil {
+		out, err = w.codec.Encode(wire.ErrorResponse{Msg: "internal encode error"})
+		if err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.conn.SetWriteDeadline(time.Now().Add(w.timeout)); err != nil {
+		return err
+	}
+	return WriteFrame(w.conn, out)
+}
+
+// Stream is the client side of a push stream: one dedicated connection
+// carrying the subscribe exchange followed by pushed frames. Dedicate a
+// connection per stream; Exchange traffic belongs on its own Client.
+type Stream struct {
+	cfg  ServerConfig
+	conn net.Conn
+	ack  wire.Message
+	ch   chan wire.Message
+	done chan struct{}
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// DialStream connects to addr, sends req, and — unless the server
+// answers with an ErrorResponse — returns the stream with the server's
+// ack. Pushed frames arrive on C until the stream fails or is closed.
+func DialStream(addr string, cfg ServerConfig, req wire.Message) (*Stream, error) {
+	cfg = cfg.withDefaults()
+	payload, err := cfg.Codec.Encode(req)
+	if err != nil {
+		return nil, fmt.Errorf("proto: encode request: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	if err := conn.SetDeadline(time.Now().Add(cfg.IdleTimeout)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := WriteFrame(conn, payload); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("proto: write: %w", err)
+	}
+	ackPayload, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("proto: read ack: %w", err)
+	}
+	ack, err := cfg.Codec.Decode(ackPayload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("proto: decode ack: %w", err)
+	}
+	if e, ok := ack.(wire.ErrorResponse); ok {
+		conn.Close()
+		return nil, fmt.Errorf("proto: stream refused: %s", e.Msg)
+	}
+	// Pushes arrive whenever covers change; no idle deadline from here.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	st := &Stream{
+		cfg:  cfg,
+		conn: conn,
+		ack:  ack,
+		ch:   make(chan wire.Message, 64),
+		done: make(chan struct{}),
+	}
+	go st.readLoop()
+	return st, nil
+}
+
+func (st *Stream) readLoop() {
+	defer close(st.ch)
+	for {
+		payload, err := ReadFrame(st.conn)
+		if err != nil {
+			st.fail(fmt.Errorf("proto: stream read: %w", err))
+			return
+		}
+		m, err := st.cfg.Codec.Decode(payload)
+		if err != nil {
+			st.fail(fmt.Errorf("proto: stream decode: %w", err))
+			return
+		}
+		select {
+		case st.ch <- m:
+		case <-st.done:
+			return
+		}
+	}
+}
+
+func (st *Stream) fail(err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.closed && st.err == nil {
+		st.err = err
+	}
+}
+
+// Ack returns the server's acknowledgment message.
+func (st *Stream) Ack() wire.Message { return st.ack }
+
+// C is the pushed-frame channel. It closes when the stream ends; Err
+// then reports why (nil after a local Close).
+func (st *Stream) C() <-chan wire.Message { return st.ch }
+
+// Err reports the stream failure, if any, once C is closed.
+func (st *Stream) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// Close tears the stream down. The server drops the subscription when
+// the connection closes.
+func (st *Stream) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	close(st.done)
+	st.mu.Unlock()
+	return st.conn.Close()
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/store"
+	"repro/internal/subs"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
@@ -57,6 +58,9 @@ type Options struct {
 	// uses Interval; KeepSegments is applied where the stores are
 	// opened).
 	Checkpoint CheckpointConfig
+	// Subs bounds the push-subscription registry (per-subscription queue
+	// depth, re-evaluation workers, subscription and point caps).
+	Subs subs.Config
 }
 
 // CheckpointStats aggregates checkpoint and recovery activity across
@@ -107,6 +111,7 @@ type Engine struct {
 
 	pipeline *ingest.Pipeline
 	sched    *core.Scheduler // nil when disabled
+	registry *subs.Registry
 	unwatch  []func()
 	closed   atomic.Bool
 
@@ -181,6 +186,18 @@ func (e *Engine) startAsync(opts Options) {
 		for _, sh := range e.shards {
 			e.unwatch = append(e.unwatch, e.sched.Watch(sh.maintainer))
 		}
+	}
+	// The subscription registry rides the same invalidation stream the
+	// scheduler drains: each dropped (pollutant, window) is offered to
+	// the overlap index, and only subscriptions bound to that window
+	// re-evaluate. The hook itself never evaluates, so the ingest sink
+	// stays decoupled from the push machinery.
+	e.registry = subs.NewRegistry(opts.Subs, e.subsEvaluate, e.subsWindowLen)
+	for pol, sh := range e.shards {
+		pol := pol
+		e.unwatch = append(e.unwatch, sh.maintainer.OnInvalidate(func(c int) {
+			e.registry.Invalidated(pol, c)
+		}))
 	}
 	// NewPipeline only fails on a nil sink.
 	e.pipeline, _ = ingest.NewPipeline(e.ingestSink, opts.Pipeline)
@@ -273,6 +290,7 @@ func (e *Engine) Close() error {
 	for _, u := range e.unwatch {
 		u()
 	}
+	e.registry.Close()
 	e.sched.Close()
 	for _, sh := range e.shards {
 		sh.maintainer.Close()
@@ -752,6 +770,13 @@ func (e *Engine) HandleMessageCtx(ctx context.Context, req wire.Message) wire.Me
 		// A bare engine is a single-node deployment; cluster nodes wrap
 		// the engine and answer from their ring before reaching here.
 		return wire.ErrorResponse{Msg: "server: not clustered"}
+	case wire.SubscribeRequest:
+		// Reaching here means the transport performed a plain exchange;
+		// push delivery needs a proto stream (or the SSE endpoint), which
+		// routes subscribe frames through HandleStream instead.
+		return wire.ErrorResponse{Msg: "server: subscriptions require a streaming transport (proto stream or GET /v1/subscribe)"}
+	case wire.UnsubscribeRequest:
+		return wire.UnsubscribeResponse{Removed: e.registry.Unsubscribe(m.ID)}
 	default:
 		return wire.ErrorResponse{Msg: fmt.Sprintf("unsupported request type %T", req)}
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/query"
 	"repro/internal/route"
+	"repro/internal/subs"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
@@ -38,15 +39,17 @@ type API struct {
 	engine *Engine
 	node   *cluster.Node // nil when single-node
 	mux    *http.ServeMux
+	sse    *subBroker // resume tokens for /v1/subscribe
 }
 
 // NewAPI builds the HTTP API around engine.
 func NewAPI(engine *Engine) *API {
-	a := &API{engine: engine, mux: http.NewServeMux()}
+	a := &API{engine: engine, mux: http.NewServeMux(), sse: newSubBroker(sseResumeTTL)}
 	a.mux.HandleFunc("/v1/query", a.handlePointQuery)
 	a.mux.HandleFunc("/v1/query/point", a.handlePointQuery) // legacy alias
 	a.mux.HandleFunc("/v1/query/batch", a.handleBatch)
 	a.mux.HandleFunc("/v1/query/continuous", a.handleContinuous)
+	a.mux.HandleFunc("/v1/subscribe", a.handleSubscribe)
 	a.mux.HandleFunc("/v1/models", a.handleModels)
 	a.mux.HandleFunc("/v1/heatmap", a.handleHeatmap)
 	a.mux.HandleFunc("/v1/heatmap.png", a.handleHeatmapPNG)
@@ -362,6 +365,21 @@ func (a *API) handleContinuous(w http.ResponseWriter, r *http.Request) {
 	for i, p := range req.Points {
 		reqs[i] = query.Request{T: p.T, X: p.X, Y: p.Y, Pollutant: pol}
 	}
+	// Single-node routes carry an ETag over the route's cover
+	// generations: a repeated poll whose covers were not invalidated
+	// since answers 304 with no evaluation at all. The tag is computed
+	// before evaluating, so a concurrent invalidation can only cost an
+	// extra 200 — never a stale 304.
+	var etag string
+	if a.node == nil {
+		if etag, err = a.continuousETag(pol, reqs); err == nil {
+			if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+				w.Header().Set("ETag", etag)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	}
 	rs, err := a.queryBatch(r.Context(), reqs, query.Options{})
 	if err != nil {
 		writeEngineError(w, err)
@@ -383,6 +401,9 @@ func (a *API) handleContinuous(w http.ResponseWriter, r *http.Request) {
 	avgBand := ClassifyFor(pol, resp.Average)
 	resp.Band = avgBand.String()
 	resp.Advice = avgBand.Advice()
+	if etag != "" {
+		w.Header().Set("ETag", etag)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -716,6 +737,10 @@ type statsResponse struct {
 	// Cluster carries the routing counters when this server is a member
 	// of a sharded cluster (see /v1/cluster for the full ring).
 	Cluster *clusterStatsJSON `json:"cluster,omitempty"`
+	// Subscriptions carries the push-subscription registry counters
+	// (active subs, invalidation matches, re-evals avoided, push/drop
+	// totals).
+	Subscriptions subs.Stats `json:"subscriptions"`
 }
 
 // handleStats serves GET /v1/stats.
@@ -748,9 +773,10 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp := statsResponse{
-		Cluster:      clusterSec,
-		Default:      a.engine.Default().String(),
-		PerPollutant: make(map[string]pollutantStats, len(a.engine.Pollutants())),
+		Cluster:       clusterSec,
+		Subscriptions: a.engine.Subscriptions().Stats(),
+		Default:       a.engine.Default().String(),
+		PerPollutant:  make(map[string]pollutantStats, len(a.engine.Pollutants())),
 		Ingest: ingestStatsJSON{
 			Submitted: ps.Submitted, Tuples: ps.Tuples, Appends: ps.Appends,
 			Coalesced: ps.Coalesced, Rejected: ps.Rejected, Errors: ps.Errors,

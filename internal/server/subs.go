@@ -1,0 +1,76 @@
+package server
+
+import (
+	"context"
+
+	"repro/internal/query"
+	"repro/internal/subs"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// subsEvaluate is the registry's evaluator: the engine's cover-backed
+// batch path. A re-evaluation triggered by an invalidation therefore
+// joins (or performs) the rebuild of the dropped cover — the value
+// pushed is always post-rebuild.
+func (e *Engine) subsEvaluate(ctx context.Context, _ tuple.Pollutant, reqs []query.Request) ([]query.BatchResult, error) {
+	return e.QueryBatchOpts(ctx, reqs, query.Options{})
+}
+
+// subsWindowLen binds subscription points to window indexes.
+func (e *Engine) subsWindowLen(pol tuple.Pollutant) (float64, error) {
+	st, err := e.StoreFor(pol)
+	if err != nil {
+		return 0, err
+	}
+	return st.WindowLength(), nil
+}
+
+// Subscribe registers a push subscription over pts for pollutant pol.
+// The returned handle's first event is a full resync (sequence 1) with
+// the initial value vector; afterwards the subscription re-evaluates
+// only when an ingest invalidates a window some point is bound to, and
+// pushes deltas of the changed points.
+func (e *Engine) Subscribe(ctx context.Context, pol tuple.Pollutant, pts []query.Request) (subs.Handle, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	if !e.Serves(pol) {
+		return nil, query.ErrUnknownPollutant
+	}
+	return e.registry.Subscribe(ctx, pol, pts)
+}
+
+// Subscriptions exposes the push-subscription registry (stats, explicit
+// unsubscribe, test quiescence).
+func (e *Engine) Subscriptions() *subs.Registry { return e.registry }
+
+// HandleStream implements proto.Streamer: a SubscribeRequest (bare, or
+// wrapped in Forwarded by a cluster router that already resolved the
+// owner) opens a push stream. Other messages fall back to the
+// request/response path.
+func (e *Engine) HandleStream(req wire.Message) (ack wire.Message, run func(emit func(wire.Message) error), stop func(), ok bool) {
+	m, isSub := req.(wire.SubscribeRequest)
+	if !isSub {
+		if fw, isFw := req.(wire.Forwarded); isFw {
+			m, isSub = fw.Inner.(wire.SubscribeRequest)
+		}
+	}
+	if !isSub {
+		return nil, nil, nil, false
+	}
+	noop := func(func(wire.Message) error) {}
+	h, err := e.Subscribe(context.Background(), e.wirePollutant(m.Pollutant, false), subs.RequestFromWire(m))
+	if err != nil {
+		return wire.ErrorResponse{Msg: err.Error()}, noop, func() {}, true
+	}
+	run = func(emit func(wire.Message) error) {
+		for ev := range h.Events() {
+			if emit(subs.PushFromEvent(h.ID(), ev)) != nil {
+				return
+			}
+		}
+	}
+	stop = func() { _ = h.Close() }
+	return wire.SubscribeAck{ID: h.ID(), Points: uint16(len(m.Points))}, run, stop, true
+}

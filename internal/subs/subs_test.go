@@ -1,0 +1,276 @@
+package subs
+
+// Subscription lifecycle under -race: exact-overlap delta pushes,
+// zero re-evaluation for non-overlapping invalidations (asserted via
+// registry stats), slow-consumer overflow converting to a resync, and
+// clean drains on unsubscribe and registry close.
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/tuple"
+)
+
+const testWindowLen = 100.0
+
+// testEval is a controllable evaluator: every point answers
+// base + T + X, so bumping base changes every re-evaluated point (a
+// delta then carries exactly the re-evaluated set).
+type testEval struct {
+	base  atomic.Int64
+	calls atomic.Int64
+}
+
+func (e *testEval) eval(_ context.Context, _ tuple.Pollutant, reqs []query.Request) ([]query.BatchResult, error) {
+	e.calls.Add(1)
+	res := make([]query.BatchResult, len(reqs))
+	for i, q := range reqs {
+		res[i] = query.BatchResult{Value: float64(e.base.Load()) + q.T + q.X}
+	}
+	return res, nil
+}
+
+func testWinOf(tuple.Pollutant) (float64, error) { return testWindowLen, nil }
+
+func recvEvent(t *testing.T, h Handle) Event {
+	t.Helper()
+	select {
+	case ev, ok := <-h.Events():
+		if !ok {
+			t.Fatal("event channel closed unexpectedly")
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a push event")
+	}
+	return Event{}
+}
+
+// TestSubscribeLifecycle walks the full local lifecycle: initial
+// resync, an invalidation overlapping half the points pushing a delta
+// of exactly those points, a non-overlapping invalidation evaluating
+// nothing, and a clean unsubscribe.
+func TestSubscribeLifecycle(t *testing.T) {
+	ev := &testEval{}
+	r := NewRegistry(Config{}, ev.eval, testWinOf)
+	defer r.Close()
+
+	// Points 0,1 in window 0; points 2,3 in window 1.
+	pts := []query.Request{
+		{T: 10, X: 1, Y: 1}, {T: 90, X: 2, Y: 2},
+		{T: 110, X: 3, Y: 3}, {T: 190, X: 4, Y: 4},
+	}
+	s, err := r.Subscribe(context.Background(), tuple.CO2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := recvEvent(t, s)
+	if !first.Resync || first.Seq != 1 || len(first.Points) != len(pts) {
+		t.Fatalf("initial event = %+v, want seq-1 resync with %d points", first, len(pts))
+	}
+	for i, p := range first.Points {
+		want := pts[i].T + pts[i].X
+		if p.Index != i || p.Value != want || p.Err != "" {
+			t.Fatalf("initial point %d = %+v, want value %v", i, p, want)
+		}
+	}
+
+	// Invalidate window 0: only points 0 and 1 re-evaluate and push.
+	ev.base.Store(1000)
+	evalsBefore := ev.calls.Load()
+	r.Invalidated(tuple.CO2, 0)
+	r.Wait()
+	delta := recvEvent(t, s)
+	if delta.Resync {
+		t.Fatalf("delta event = %+v, want a non-resync delta", delta)
+	}
+	got := map[int]float64{}
+	for _, p := range delta.Points {
+		got[p.Index] = p.Value
+	}
+	if len(got) != 2 || got[0] != 1000+10+1 || got[1] != 1000+90+2 {
+		t.Fatalf("delta points = %+v, want exactly window-0 points {0, 1}", delta.Points)
+	}
+	if calls := ev.calls.Load() - evalsBefore; calls != 1 {
+		t.Fatalf("evaluator ran %d times for one invalidation, want 1", calls)
+	}
+
+	// A non-overlapping invalidation costs no evaluation and no event.
+	st := r.Stats()
+	r.Invalidated(tuple.CO2, 7)
+	r.Wait()
+	after := r.Stats()
+	if after.ReEvals != st.ReEvals || after.PointReEvals != st.PointReEvals {
+		t.Fatalf("non-overlapping invalidation re-evaluated: %+v -> %+v", st, after)
+	}
+	if after.Avoided != st.Avoided+1 {
+		t.Fatalf("Avoided = %d, want %d", after.Avoided, st.Avoided+1)
+	}
+	select {
+	case e := <-s.Events():
+		t.Fatalf("unexpected event %+v after non-overlapping invalidation", e)
+	default:
+	}
+
+	if !r.Unsubscribe(s.ID()) {
+		t.Fatal("Unsubscribe reported the subscription missing")
+	}
+	if _, ok := <-s.Events(); ok {
+		t.Fatal("event channel still open after unsubscribe")
+	}
+	if r.Unsubscribe(s.ID()) {
+		t.Fatal("second Unsubscribe reported success")
+	}
+	if st := r.Stats(); st.Active != 0 || st.Closed != 1 {
+		t.Fatalf("Stats after unsubscribe = %+v", st)
+	}
+}
+
+// TestSlowConsumerResync fills a depth-1 queue without consuming: the
+// oldest event is dropped and the next delivery arrives as a full
+// resync, so the consumer never observes a silent gap.
+func TestSlowConsumerResync(t *testing.T) {
+	ev := &testEval{}
+	r := NewRegistry(Config{QueueDepth: 1}, ev.eval, testWinOf)
+	defer r.Close()
+
+	s, err := r.Subscribe(context.Background(), tuple.CO2,
+		[]query.Request{{T: 10, X: 1, Y: 1}, {T: 20, X: 2, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The initial resync occupies the single queue slot; two further
+	// pushes overflow it.
+	for round := int64(1); round <= 2; round++ {
+		ev.base.Store(round * 1000)
+		r.Invalidated(tuple.CO2, 0)
+		r.Wait()
+	}
+
+	got := recvEvent(t, s)
+	if !got.Resync {
+		t.Fatalf("after overflow got %+v, want a resync", got)
+	}
+	if len(got.Points) != 2 {
+		t.Fatalf("resync carries %d points, want the full vector of 2", len(got.Points))
+	}
+	for i, p := range got.Points {
+		want := 2000 + s.Points()[i].T + s.Points()[i].X
+		if p.Value != want {
+			t.Fatalf("resync point %d = %v, want the newest value %v", i, p.Value, want)
+		}
+	}
+	if st := r.Stats(); st.Dropped == 0 || st.Resyncs < 2 {
+		t.Fatalf("Stats = %+v, want dropped events and overflow resyncs counted", st)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for range s.Events() { // drains (at most the queued remainder), then closes
+	}
+}
+
+// TestRegistryClose closes live subscriptions' channels and survives
+// double close.
+func TestRegistryClose(t *testing.T) {
+	ev := &testEval{}
+	r := NewRegistry(Config{}, ev.eval, testWinOf)
+	a, err := r.Subscribe(context.Background(), tuple.CO2, []query.Request{{T: 10, X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Subscribe(context.Background(), tuple.CO, []query.Request{{T: 10, X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r.Close() // idempotent
+	for range a.Events() {
+	}
+	for range b.Events() {
+	}
+	if _, err := r.Subscribe(context.Background(), tuple.CO2, []query.Request{{T: 10, X: 1, Y: 1}}); err == nil {
+		t.Fatal("Subscribe after Close should fail")
+	}
+}
+
+// TestSubscribeValidation rejects empty and oversized point sets,
+// invalid points, and subscriptions beyond the registry bound.
+func TestSubscribeValidation(t *testing.T) {
+	ev := &testEval{}
+	r := NewRegistry(Config{MaxSubs: 1, MaxPoints: 2}, ev.eval, testWinOf)
+	defer r.Close()
+	ctx := context.Background()
+
+	if _, err := r.Subscribe(ctx, tuple.CO2, nil); err == nil {
+		t.Fatal("empty point set accepted")
+	}
+	if _, err := r.Subscribe(ctx, tuple.CO2, make([]query.Request, 3)); err == nil {
+		t.Fatal("oversized point set accepted")
+	}
+	if _, err := r.Subscribe(ctx, tuple.CO2, []query.Request{{T: math.NaN(), X: 1, Y: 1}}); err == nil {
+		t.Fatal("NaN point accepted")
+	}
+	s, err := r.Subscribe(ctx, tuple.CO2, []query.Request{{T: 10, X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := r.Subscribe(ctx, tuple.CO2, []query.Request{{T: 10, X: 1, Y: 1}}); err != ErrTooManySubs {
+		t.Fatalf("beyond MaxSubs: err = %v, want ErrTooManySubs", err)
+	}
+}
+
+// TestConcurrentInvalidations hammers the hook from several goroutines
+// while a consumer drains — the -race exercise for the hook/worker/feed
+// locking.
+func TestConcurrentInvalidations(t *testing.T) {
+	ev := &testEval{}
+	r := NewRegistry(Config{QueueDepth: 4}, ev.eval, testWinOf)
+	defer r.Close()
+
+	s, err := r.Subscribe(context.Background(), tuple.CO2,
+		[]query.Request{{T: 10, X: 1, Y: 1}, {T: 110, X: 2, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var consumed sync.WaitGroup
+	consumed.Add(1)
+	go func() {
+		defer consumed.Done()
+		for range s.Events() {
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ev.base.Add(1)
+				r.Invalidated(tuple.CO2, (g+i)%3) // windows 0,1 overlap; 2 does not
+			}
+		}()
+	}
+	wg.Wait()
+	r.Wait()
+	st := r.Stats()
+	if st.Matches == 0 || st.ReEvals == 0 {
+		t.Fatalf("Stats = %+v, want matched invalidations and re-evaluations", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	consumed.Wait()
+}

@@ -245,7 +245,7 @@ func encodeCluster(m Message) ([]byte, error) {
 		copy(buf[1:], inner)
 		return buf, nil
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrUnknown, m)
+		return encodeSubs(m)
 	}
 }
 
@@ -379,7 +379,7 @@ func decodeCluster(data []byte) (Message, error) {
 		}
 		return Forwarded{Inner: inner}, nil
 	default:
-		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, data[0])
+		return decodeSubs(data)
 	}
 }
 

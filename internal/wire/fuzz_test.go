@@ -44,6 +44,14 @@ func FuzzWireDecode(f *testing.F) {
 	add(HeatmapResponse{Cols: 1, Rows: 2, Values: []float64{1, 2}})
 	add(NotOwnerResponse{Owner: 1, Addr: "c:3"})
 	add(Forwarded{Inner: QueryRequest{T: 1, X: 2, Y: 3}})
+	// v1.3 subscription messages.
+	add(SubscribeRequest{Pollutant: 1, Points: []SubPoint{{T: 1, X: 2, Y: 3}, {T: 4, X: 5, Y: 6}}})
+	add(SubscribeAck{ID: 9, Points: 2})
+	add(Push{ID: 9, Seq: 3, Points: []PushPoint{{Index: 0, Value: 420}, {Index: 1, Err: "no cover"}}})
+	add(Push{ID: 9, Seq: 4, Resync: true, Err: "owner unreachable", Points: []PushPoint{{Index: 0, Value: 1}}})
+	add(UnsubscribeRequest{ID: 9})
+	add(UnsubscribeResponse{Removed: true})
+	add(Forwarded{Inner: SubscribeRequest{Pollutant: 2, Points: []SubPoint{{T: 1, X: 2, Y: 3}}}})
 	// Legacy untagged frames: 25-byte query, 9-byte model request.
 	legacyQuery, _ := Binary.Encode(QueryRequest{T: 9, X: 8, Y: 7})
 	f.Add(legacyQuery[:25])

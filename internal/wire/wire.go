@@ -616,6 +616,36 @@ func (jsonCodec) Decode(data []byte) (Message, error) {
 			return nil, err
 		}
 		target = Forwarded{Inner: m}
+	case TypeSubscribeRequest:
+		var v SubscribeRequest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeSubscribeAck:
+		var v SubscribeAck
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypePush:
+		var v Push
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeUnsubscribeRequest:
+		var v UnsubscribeRequest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeUnsubscribeResponse:
+		var v UnsubscribeResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
 	default:
 		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, env.Type)
 	}
