@@ -1,0 +1,24 @@
+package chanbound_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/chanbound"
+)
+
+func TestChanboundGolden(t *testing.T) {
+	diags := analyzertest.Run(t, chanbound.Analyzer, "testdata/src/chanfix")
+	// The fixture seeds PR 6's slow-consumer shape (unbuffered
+	// per-subscriber channel); make the guarantee explicit.
+	var sawUnbuffered bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unbuffered channel") {
+			sawUnbuffered = true
+		}
+	}
+	if !sawUnbuffered {
+		t.Error("slow-consumer unbuffered-channel regression shape not detected")
+	}
+}

@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/ctxcheck"
+)
+
+func TestCtxcheckGolden(t *testing.T) {
+	analyzertest.Run(t, ctxcheck.Analyzer, "testdata/src/ctxfix")
+}

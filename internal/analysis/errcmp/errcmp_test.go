@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/errcmp"
+)
+
+func TestErrcmpGolden(t *testing.T) {
+	analyzertest.Run(t, errcmp.Analyzer, "testdata/src/errfix")
+}

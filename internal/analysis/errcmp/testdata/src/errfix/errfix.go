@@ -1,0 +1,68 @@
+// Package errfix is the errcmp golden fixture.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrNoCover and ErrStopped are package-level sentinels.
+var (
+	ErrNoCover = errors.New("no cover")
+	ErrStopped = errors.New("stopped")
+)
+
+// notAnError is package-level but not an error: never flagged.
+var notAnError = 42
+
+func compare(err error) bool {
+	if err == ErrNoCover { // want `sentinel error ErrNoCover compared with ==`
+		return true
+	}
+	if err != ErrStopped { // want `sentinel error ErrStopped compared with !=`
+		return false
+	}
+	if err == io.EOF { // want `sentinel error EOF compared with ==`
+		return true
+	}
+	return errors.Is(err, ErrNoCover) // the idiomatic form: fine
+}
+
+func compareAllowed(err error) bool {
+	//errcmp:allow err comes straight from the decoder, never wrapped
+	return err == io.EOF
+}
+
+func bareDirective(err error) bool {
+	//errcmp:allow
+	return err == ErrStopped // want `sentinel error ErrStopped compared with ==`
+}
+
+func localErrIsNotASentinel() bool {
+	local := errors.New("local")
+	probe := func() error { return local }
+	return probe() == local // locals are identity-safe: fine
+}
+
+func nonErrorComparison(n int) bool {
+	return n == notAnError // not an error value: fine
+}
+
+func wrap(key string) error {
+	return fmt.Errorf("lookup %q: %w", key, ErrNoCover) // %w keeps Is working: fine
+}
+
+func wrapBadly(key string) error {
+	return fmt.Errorf("lookup %q: %v", key, ErrNoCover) // want `sentinel error ErrNoCover passed to fmt\.Errorf as %v`
+}
+
+func wrapString(key string) error {
+	return fmt.Errorf("lookup %s failed: %s", key, ErrStopped) // want `sentinel error ErrStopped passed to fmt\.Errorf as %s`
+}
+
+func wrapAllowed(key string) error {
+	return fmt.Errorf("log-only context: %v",
+		//errcmp:allow message is for logs; callers never Is-match it
+		ErrStopped)
+}

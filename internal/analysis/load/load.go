@@ -1,0 +1,282 @@
+// Package load type-checks Go packages for the analyzer suite using
+// only the standard library: package metadata comes from
+// `go list -deps -test -json`, and every package (stdlib included) is
+// type-checked from source. Dependencies are checked with
+// IgnoreFuncBodies, so the cost of a load is one `go list` subprocess
+// plus declaration-level type-checking of the import closure — a few
+// seconds for this repository, with no network and no module downloads.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package directory.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the package syntax. For in-module packages this
+	// includes in-package _test.go files (external _test packages are
+	// not loaded; the suite's invariants live in library and in-package
+	// test code).
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg mirrors the `go list -json` fields consumed here.
+type listPkg struct {
+	ImportPath  string
+	Dir         string
+	Name        string
+	GoFiles     []string
+	CgoFiles    []string
+	TestGoFiles []string
+	Imports     []string
+	TestImports []string
+	Module      *struct{ Path string }
+	ForTest     string
+	DepOnly     bool
+	Error       *struct{ Err string }
+}
+
+// loader resolves and memoizes dependency packages.
+type loader struct {
+	fset     *token.FileSet
+	universe map[string]*listPkg       // non-variant packages by import path
+	deps     map[string]*types.Package // memoized declaration-level checks
+	checking map[string]bool           // cycle guard
+}
+
+// Packages loads and type-checks the in-module packages matched by
+// patterns (for example "./..."), with dir as the working directory of
+// the `go list` subprocess.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-test", "-json"}, patterns...)
+	raw, err := goList(dir, args)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader()
+	var targets []*listPkg
+	for _, lp := range raw {
+		if lp.ForTest != "" || strings.HasSuffix(lp.ImportPath, ".test") ||
+			strings.Contains(lp.ImportPath, " ") {
+			// Synthetic test variants; their real dependencies (testing,
+			// etc.) appear as plain entries of their own.
+			continue
+		}
+		ld.universe[lp.ImportPath] = lp
+		if lp.Module != nil && !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	out := make([]*Package, 0, len(targets))
+	for _, lp := range targets {
+		pkg, err := ld.checkTarget(lp, lp.TestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Dir loads the single package rooted at dir (every .go file in it,
+// _test.go included, mirroring how Packages augments a target with its
+// in-package tests), resolving imports through `go list`. It exists for
+// analyzertest fixtures, which live under testdata/ where the go tool
+// does not look; fixtures may import the standard library only.
+func Dir(dir string) (*Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, m := range matches {
+		files = append(files, filepath.Base(m))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	ld := newLoader()
+	lp := &listPkg{ImportPath: dir, Dir: dir, GoFiles: files}
+	// Parse once to discover imports, resolve them via go list, then
+	// type-check for real.
+	syntax, err := ld.parse(lp, nil)
+	if err != nil {
+		return nil, err
+	}
+	imports := map[string]bool{}
+	for _, f := range syntax {
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(imports) > 0 {
+		args := []string{"list", "-deps", "-json"}
+		for imp := range imports {
+			if imp != "unsafe" {
+				args = append(args, imp)
+			}
+		}
+		sort.Strings(args[3:])
+		raw, err := goList(dir, args)
+		if err != nil {
+			return nil, err
+		}
+		for _, dep := range raw {
+			ld.universe[dep.ImportPath] = dep
+		}
+	}
+	return ld.checkTarget(lp, nil)
+}
+
+func newLoader() *loader {
+	return &loader{
+		fset:     token.NewFileSet(),
+		universe: map[string]*listPkg{},
+		deps:     map[string]*types.Package{},
+		checking: map[string]bool{},
+	}
+}
+
+// goList runs the go command and decodes its JSON package stream.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go %s: %v\n%s", strings.Join(args[:2], " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var out []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// parse parses the package's GoFiles plus extra file names from its Dir.
+func (ld *loader) parse(lp *listPkg, extra []string) ([]*ast.File, error) {
+	names := make([]string, 0, len(lp.GoFiles)+len(lp.CgoFiles)+len(extra))
+	names = append(names, lp.GoFiles...)
+	names = append(names, lp.CgoFiles...)
+	names = append(names, extra...)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(lp.Dir, name),
+			nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importDep type-checks the dependency package at path (declarations
+// only) and memoizes the result.
+func (ld *loader) importDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ld.deps[path]; ok {
+		return pkg, nil
+	}
+	if ld.checking[path] {
+		return nil, fmt.Errorf("load: import cycle through %s", path)
+	}
+	lp, ok := ld.universe[path]
+	if !ok {
+		// GOROOT-vendored dependencies (net → golang.org/x/net/...) are
+		// listed under a vendor/ prefix but imported by their plain path.
+		lp, ok = ld.universe["vendor/"+path]
+		if !ok {
+			return nil, fmt.Errorf("load: package %s not in the go list closure", path)
+		}
+	}
+	ld.checking[path] = true
+	defer delete(ld.checking, path)
+	files, err := ld.parse(lp, nil)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &types.Config{
+		Importer:         importerFunc(ld.importDep),
+		IgnoreFuncBodies: true,
+		FakeImportC:      true,
+	}
+	pkg, err := cfg.Check(path, ld.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	ld.deps[path] = pkg
+	return pkg, nil
+}
+
+// checkTarget fully type-checks one analysis target, including the
+// given extra (in-package test) files.
+func (ld *loader) checkTarget(lp *listPkg, testFiles []string) (*Package, error) {
+	files, err := ld.parse(lp, testFiles)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	cfg := &types.Config{Importer: importerFunc(ld.importDep)}
+	pkg, err := cfg.Check(lp.ImportPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Fset:  ld.fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,98 @@
+package load
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// repoRoot walks up from this file to the directory containing go.mod.
+func repoRoot(t *testing.T) string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(filepath.Dir(file))))
+}
+
+func TestPackagesLoadsModulePackageWithTests(t *testing.T) {
+	pkgs, err := Packages(repoRoot(t), "./internal/wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "repro/internal/wire" {
+		t.Fatalf("path = %q", p.Path)
+	}
+	var sawTest bool
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "fuzz_test.go") {
+			sawTest = true
+		}
+	}
+	if !sawTest {
+		t.Error("in-package test files not loaded")
+	}
+	// Type information must be populated for analyzer use.
+	if p.Info == nil || len(p.Info.Uses) == 0 {
+		t.Error("no type info recorded")
+	}
+	if obj := p.Types.Scope().Lookup("ErrMalformed"); obj == nil {
+		t.Error("package scope missing ErrMalformed")
+	}
+}
+
+func TestPackagesRejectsUnknownPattern(t *testing.T) {
+	if _, err := Packages(repoRoot(t), "./no/such/dir"); err == nil {
+		t.Fatal("want error for unknown pattern")
+	}
+}
+
+func TestDirLoadsTestdataPackage(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package fixture
+
+import "sync"
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return 1
+}
+`)
+	p, err := Dir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Types.Name() != "fixture" {
+		t.Fatalf("package name = %q", p.Types.Name())
+	}
+	if len(p.Info.Selections) == 0 {
+		t.Error("no selection info for method calls")
+	}
+	var found bool
+	p.Fset.Iterate(func(f *token.File) bool {
+		if strings.HasSuffix(f.Name(), "a.go") {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("fixture file not in fset")
+	}
+}

@@ -1,0 +1,24 @@
+package lockcheck_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/lockcheck"
+)
+
+func TestLockcheckGolden(t *testing.T) {
+	diags := analyzertest.Run(t, lockcheck.Analyzer, "testdata/src/lockfix")
+	// The fixture seeds PR 5's lazyTransport dial-under-mutex regression;
+	// make the guarantee explicit beyond the want comments.
+	var sawDial bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "lt.dial") {
+			sawDial = true
+		}
+	}
+	if !sawDial {
+		t.Error("dial-under-mutex regression shape not detected")
+	}
+}

@@ -1,0 +1,200 @@
+// Package lockfix is the lockcheck golden fixture: every "want"
+// comment is a diagnostic the analyzer must produce, and every
+// undecorated shape must stay silent.
+package lockfix
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Transport mirrors the cluster transport interface.
+type Transport interface {
+	Exchange(string) (string, error)
+}
+
+// lazyTransport reproduces PR 5's dial-under-mutex bug shape: the dial
+// callback runs while the mutex is held, serializing every concurrent
+// caller behind one dial timeout.
+type lazyTransport struct {
+	addr string
+	dial func(addr string) (Transport, error)
+
+	mu sync.Mutex
+	t  Transport
+}
+
+func (lt *lazyTransport) exchangeBuggy(req string) (string, error) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if lt.t == nil {
+		nt, err := lt.dial(lt.addr) // want `call of function value lt\.dial while lt\.mu is held`
+		if err != nil {
+			return "", err
+		}
+		lt.t = nt
+	}
+	return lt.t.Exchange(req)
+}
+
+func (lt *lazyTransport) exchangeFixed(req string) (string, error) {
+	lt.mu.Lock()
+	t := lt.t
+	lt.mu.Unlock()
+	if t == nil {
+		nt, err := lt.dial(lt.addr) // lock released: fine
+		if err != nil {
+			return "", err
+		}
+		lt.mu.Lock()
+		lt.t = nt
+		lt.mu.Unlock()
+		t = nt
+	}
+	return t.Exchange(req)
+}
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+	fn func()
+}
+
+func (q *queue) sendUnderLock(v int) {
+	q.mu.Lock()
+	q.ch <- v // want `channel send while q\.mu is held`
+	q.mu.Unlock()
+}
+
+func (q *queue) sendUnderDeferredUnlock(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want `channel send while q\.mu is held`
+}
+
+func (q *queue) sendAfterUnlock(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+func (q *queue) nonBlockingSend(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v: // non-blocking: select has a default
+	default:
+	}
+}
+
+func (q *queue) blockingSelectSend(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v: // want `channel send while q\.mu is held`
+	case <-time.After(time.Second):
+	}
+}
+
+func (q *queue) allowedSend(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//lockcheck:allow audited: the queue slot was freed above, send cannot block
+	q.ch <- v
+}
+
+func (q *queue) bareDirectiveDoesNotSuppress(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//lockcheck:allow
+	q.ch <- v // want `channel send while q\.mu is held`
+}
+
+func (q *queue) callbackUnderLock() {
+	q.mu.Lock()
+	q.fn() // want `call of function value q\.fn while q\.mu is held`
+	q.mu.Unlock()
+	q.fn() // released: fine
+}
+
+func (q *queue) goroutineEscapesLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	go func() {
+		q.ch <- 1 // runs outside the critical section
+	}()
+}
+
+// offerLocked mirrors subs.Feed.offerLocked: the *Locked suffix means
+// the caller holds the mutex, so the send is flagged even though no
+// Lock call appears in this body.
+func (q *queue) offerLocked(v int) {
+	select {
+	case q.ch <- v:
+		return
+	default:
+	}
+	q.ch <- v // want `channel send while the caller's mutex \(offerLocked follows the \*Locked contract\) is held`
+}
+
+// drainLocked only attempts non-blocking work; stays silent.
+func (q *queue) drainLocked() {
+	select {
+	case <-q.ch:
+	default:
+	}
+}
+
+type server struct {
+	mu   sync.RWMutex
+	path string
+}
+
+func (s *server) ioUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.Open(s.path) // want `call to os\.Open while s\.mu is held`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func (s *server) dialUnderRLock() (net.Conn, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return net.Dial("tcp", s.path) // want `call to net\.Dial while s\.mu is held`
+}
+
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) rlockReleasedBeforeDial() (net.Conn, error) {
+	s.mu.RLock()
+	path := s.path
+	s.mu.RUnlock()
+	return net.Dial("tcp", path)
+}
+
+func (s *server) branchUnlockKeepsOuterHeld(ready bool) {
+	s.mu.Lock()
+	if ready {
+		s.mu.Unlock()
+		return
+	}
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func staticCallsAreFine(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	helper()
+}
+
+func helper() {}

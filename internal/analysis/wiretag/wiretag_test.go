@@ -1,0 +1,17 @@
+package wiretag_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/wiretag"
+)
+
+func TestWiretagGolden(t *testing.T) {
+	diags := analyzertest.Run(t, wiretag.Analyzer, "testdata/src/wirefix")
+	// One diagnostic per missing pairing, no more: the fixture plants
+	// exactly five gaps.
+	if len(diags) != 5 {
+		t.Errorf("got %d diagnostics, want 5", len(diags))
+	}
+}

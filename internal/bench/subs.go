@@ -125,6 +125,8 @@ func (s *subscriber) fullVector(seq uint64) wire.Push {
 }
 
 // RunSubs executes the closed-loop subscription benchmark.
+//
+//ctxcheck:allow the closed loop is bounded by cfg.Rounds; the harness owns the run
 func RunSubs(cfg SubsConfig) (*SubsResult, error) {
 	if cfg.Subscribers <= 0 || cfg.RoutePoints <= 0 || cfg.Windows <= 0 || cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("bench: subs config %+v: counts must be > 0", cfg)
@@ -181,6 +183,7 @@ func RunSubs(cfg SubsConfig) (*SubsResult, error) {
 		return nil, err
 	}
 	defer eng.Close()
+	//ctxcheck:allow the benchmark run is its own root; bounded by cfg.Rounds
 	ctx := context.Background()
 
 	res := &SubsResult{Config: cfg}

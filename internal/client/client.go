@@ -198,6 +198,7 @@ func (m *ModelCache) Query(req query.Request) (Answer, error) {
 // mobile object transmitting query tuples at its uniform interval — and
 // returns the answers.
 func RunContinuous(s Strategy, reqs []query.Request) ([]Answer, error) {
+	//ctxcheck:allow compatibility wrapper; RunContinuousCtx is the ctx-aware form
 	return RunContinuousCtx(context.Background(), s, reqs)
 }
 

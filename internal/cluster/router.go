@@ -200,7 +200,15 @@ func (n *Node) pollutant(p tuple.Pollutant, legacy bool) tuple.Pollutant {
 // the local engine, foreign shards forward to (or name) their owner,
 // and cross-shard requests scatter-gather.
 func (n *Node) HandleMessage(req wire.Message) wire.Message {
-	return n.handle(context.Background(), req)
+	//ctxcheck:allow legacy ctx-less Handler entry; the serve loop prefers HandleMessageCtx
+	return n.HandleMessageCtx(context.Background(), req)
+}
+
+// HandleMessageCtx is HandleMessage with a caller-supplied context
+// (proto.CtxHandler), so scatter-gather fan-outs and forwarded
+// exchanges unwind when the serving process shuts down.
+func (n *Node) HandleMessageCtx(ctx context.Context, req wire.Message) wire.Message {
+	return n.handle(ctx, req)
 }
 
 // localHandle answers a request from the local engine, preserving the

@@ -194,6 +194,14 @@ func (n *Node) runLeg(feed *subs.Feed, l *subLeg, closing *atomic.Bool) {
 // Forwarded subscribe — sent by a peer that already resolved this node
 // as the owner — subscribes the local registry directly.
 func (n *Node) HandleStream(req wire.Message) (ack wire.Message, run func(emit func(wire.Message) error), stop func(), ok bool) {
+	//ctxcheck:allow legacy ctx-less Streamer entry; the serve loop prefers HandleStreamCtx
+	return n.HandleStreamCtx(context.Background(), req)
+}
+
+// HandleStreamCtx is HandleStream with a caller-supplied context
+// (proto.CtxStreamer): subscriptions opened for a connection are
+// cancelled when the serving process shuts down.
+func (n *Node) HandleStreamCtx(ctx context.Context, req wire.Message) (ack wire.Message, run func(emit func(wire.Message) error), stop func(), ok bool) {
 	var (
 		h   subs.Handle
 		err error
@@ -202,7 +210,7 @@ func (n *Node) HandleStream(req wire.Message) (ack wire.Message, run func(emit f
 	switch m := req.(type) {
 	case wire.SubscribeRequest:
 		cnt = len(m.Points)
-		h, err = n.Subscribe(context.Background(), n.pollutant(m.Pollutant, false), subs.RequestFromWire(m))
+		h, err = n.Subscribe(ctx, n.pollutant(m.Pollutant, false), subs.RequestFromWire(m))
 	case wire.Forwarded:
 		inner, isSub := m.Inner.(wire.SubscribeRequest)
 		if !isSub {
@@ -214,7 +222,7 @@ func (n *Node) HandleStream(req wire.Message) (ack wire.Message, run func(emit f
 		}
 		n.nFwdIn.Add(1)
 		cnt = len(inner.Points)
-		h, err = ls.Subscribe(context.Background(), n.pollutant(inner.Pollutant, false), subs.RequestFromWire(inner))
+		h, err = ls.Subscribe(ctx, n.pollutant(inner.Pollutant, false), subs.RequestFromWire(inner))
 	default:
 		return nil, nil, nil, false
 	}

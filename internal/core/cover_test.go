@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -191,7 +192,7 @@ func TestNearestRegionAndEmptyCover(t *testing.T) {
 	if empty.NearestRegion(geo.Point{}) != -1 {
 		t.Error("empty cover NearestRegion should be -1")
 	}
-	if _, err := empty.Interpolate(0, 0, 0); err != ErrEmptyCover {
+	if _, err := empty.Interpolate(0, 0, 0); !errors.Is(err, ErrEmptyCover) {
 		t.Errorf("want ErrEmptyCover, got %v", err)
 	}
 

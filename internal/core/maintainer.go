@@ -97,6 +97,8 @@ func NewMaintainer(st *store.Store, cfg Config) *Maintainer {
 func (m *Maintainer) Close() { m.unhook() }
 
 // CoverFor returns the model cover for window c, building it on first use.
+//
+//ctxcheck:allow the only wait is for a concurrent build of the same cover, which always closes done
 func (m *Maintainer) CoverFor(c int) (*Cover, error) {
 	m.mu.Lock()
 	if cv, ok := m.covers[c]; ok {
@@ -108,7 +110,7 @@ func (m *Maintainer) CoverFor(c int) (*Cover, error) {
 		<-bs.done
 		return bs.cover, bs.err
 	}
-	bs := &buildState{done: make(chan struct{})}
+	bs := &buildState{done: make(chan struct{})} //bounded: signal-only; the builder closes it, nothing sends
 	m.building[c] = bs
 	m.mu.Unlock()
 

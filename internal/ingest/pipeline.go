@@ -149,7 +149,7 @@ func (p *Pipeline) submit(ctx context.Context, pol tuple.Pollutant, b tuple.Batc
 	if err != nil {
 		return err
 	}
-	sub := submission{b: b, errc: make(chan error, 1)}
+	sub := submission{b: b, errc: make(chan error, 1)} //bounded: one-shot result; the worker sends exactly once
 
 	// The queued gauge rises before the send so it never undercounts (the
 	// worker may drain the submission before the send's caller resumes).
@@ -175,7 +175,7 @@ func (p *Pipeline) submit(ctx context.Context, pol tuple.Pollutant, b tuple.Batc
 		}
 	} else {
 		select {
-		case q <- sub:
+		case q <- sub: //lockcheck:allow audited: the read lock only serializes against Close; the worker drains until close, so the send completes
 		case <-ctx.Done():
 			p.mu.RUnlock()
 			p.queued.Add(-1)

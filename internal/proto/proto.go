@@ -15,6 +15,7 @@
 package proto
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -53,7 +54,7 @@ func WriteFrame(w io.Writer, payload []byte) error {
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("proto: truncated frame header: %w", err)
@@ -72,6 +73,15 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 // Handler answers protocol requests (implemented by server.Engine).
 type Handler interface {
 	HandleMessage(req wire.Message) wire.Message
+}
+
+// CtxHandler is an optional Handler extension. When the handler
+// implements it, the serve loop calls HandleMessageCtx with a context
+// bound to the server's lifetime, so long-running handlers (scatter-
+// gather in the cluster router, store waits) stop when the server shuts
+// down instead of finishing into a closed connection.
+type CtxHandler interface {
+	HandleMessageCtx(ctx context.Context, req wire.Message) wire.Message
 }
 
 // ServerConfig tunes the TCP server.
@@ -100,6 +110,11 @@ type Server struct {
 	handler Handler
 	ln      net.Listener
 
+	// baseCtx is the root context handed to ctx-aware handlers; Close
+	// cancels it so in-flight handlers unwind during shutdown.
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -108,11 +123,15 @@ type Server struct {
 
 // Serve starts a server on ln. It returns immediately; Close stops it.
 func Serve(ln net.Listener, h Handler, cfg ServerConfig) *Server {
+	//ctxcheck:allow the server owns the root context; Close cancels it
+	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		handler: h,
-		ln:      ln,
-		conns:   make(map[net.Conn]struct{}),
+		cfg:      cfg.withDefaults(),
+		handler:  h,
+		ln:       ln,
+		baseCtx:  ctx,
+		baseStop: cancel,
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -156,6 +175,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	streamer, canStream := s.handler.(Streamer)
+	ctxStreamer, canStreamCtx := s.handler.(CtxStreamer)
+	ctxHandler, canCtx := s.handler.(CtxHandler)
 	for {
 		// A connection carrying a push stream idles legitimately between
 		// pushes; only request/response connections get the idle timeout.
@@ -175,25 +196,38 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			resp = wire.ErrorResponse{Msg: "malformed request: " + err.Error()}
 		} else {
-			if canStream {
-				if ack, run, stop, ok := streamer.HandleStream(req); ok {
-					stops = append(stops, stop)
-					if err := w.write(ack); err != nil {
-						return
-					}
-					s.wg.Add(1)
-					go func() {
-						defer s.wg.Done()
-						run(w.write)
-						// Stream over (server side ended it, or a push
-						// write failed): close the connection so the
-						// client sees EOF instead of silence.
-						conn.Close()
-					}()
-					continue
-				}
+			var (
+				ack      wire.Message
+				run      func(emit func(wire.Message) error)
+				stop     func()
+				streamOK bool
+			)
+			if canStreamCtx {
+				ack, run, stop, streamOK = ctxStreamer.HandleStreamCtx(s.baseCtx, req)
+			} else if canStream {
+				ack, run, stop, streamOK = streamer.HandleStream(req)
 			}
-			resp = s.handler.HandleMessage(req)
+			if streamOK {
+				stops = append(stops, stop)
+				if err := w.write(ack); err != nil {
+					return
+				}
+				s.wg.Add(1)
+				go func() {
+					defer s.wg.Done()
+					run(w.write)
+					// Stream over (server side ended it, or a push
+					// write failed): close the connection so the
+					// client sees EOF instead of silence.
+					conn.Close()
+				}()
+				continue
+			}
+			if canCtx {
+				resp = ctxHandler.HandleMessageCtx(s.baseCtx, req)
+			} else {
+				resp = s.handler.HandleMessage(req)
+			}
 		}
 		if err := w.write(resp); err != nil {
 			return
@@ -214,6 +248,7 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	s.baseStop()
 	s.wg.Wait()
 	return err
 }

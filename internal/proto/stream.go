@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -21,6 +22,19 @@ import (
 type Streamer interface {
 	HandleStream(req wire.Message) (ack wire.Message, run func(emit func(wire.Message) error), stop func(), ok bool)
 }
+
+// CtxStreamer is the context-aware variant of Streamer. When the
+// handler implements it, the serve loop passes a context bound to the
+// server's lifetime, so subscriptions opened on behalf of a connection
+// are cancelled when the server shuts down.
+type CtxStreamer interface {
+	HandleStreamCtx(ctx context.Context, req wire.Message) (ack wire.Message, run func(emit func(wire.Message) error), stop func(), ok bool)
+}
+
+// streamQueueDepth buffers pushes decoded ahead of the consumer; beyond
+// it the read loop applies backpressure to the TCP connection rather
+// than queueing without bound.
+const streamQueueDepth = 64
 
 // frameWriter serializes frame writes on one connection so pushed
 // frames and request responses never interleave mid-frame.
@@ -107,8 +121,8 @@ func DialStream(addr string, cfg ServerConfig, req wire.Message) (*Stream, error
 		cfg:  cfg,
 		conn: conn,
 		ack:  ack,
-		ch:   make(chan wire.Message, 64),
-		done: make(chan struct{}),
+		ch:   make(chan wire.Message, streamQueueDepth),
+		done: make(chan struct{}), //bounded: signal-only; Close closes it, nothing sends
 	}
 	go st.readLoop()
 	return st, nil

@@ -220,6 +220,7 @@ type Result struct {
 // result per tuple (Query 1 semantics: each q_l yields one ŝ_l). It is
 // RunContinuousCtx with a background context.
 func RunContinuous(p Processor, qs []Q) []Result {
+	//ctxcheck:allow compatibility wrapper; RunContinuousCtx is the ctx-aware form
 	out, _ := RunContinuousCtx(context.Background(), p, qs)
 	return out
 }

@@ -202,7 +202,7 @@ func (e *Engine) startAsync(opts Options) {
 	// NewPipeline only fails on a nil sink.
 	e.pipeline, _ = ingest.NewPipeline(e.ingestSink, opts.Pipeline)
 	if opts.Checkpoint.Interval > 0 {
-		e.ckStop = make(chan struct{})
+		e.ckStop = make(chan struct{}) //bounded: stop latch; closed by Close, never sent on
 		e.ckWG.Add(1)
 		go func() {
 			defer e.ckWG.Done()
@@ -691,6 +691,7 @@ func (e *Engine) heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols
 // Server failures become ErrorResponse rather than Go errors, since they
 // must travel back over the link.
 func (e *Engine) HandleMessage(req wire.Message) wire.Message {
+	//ctxcheck:allow legacy ctx-less Handler entry; the serve loop prefers HandleMessageCtx
 	return e.HandleMessageCtx(context.Background(), req)
 }
 

@@ -50,6 +50,14 @@ func (e *Engine) Subscriptions() *subs.Registry { return e.registry }
 // owner) opens a push stream. Other messages fall back to the
 // request/response path.
 func (e *Engine) HandleStream(req wire.Message) (ack wire.Message, run func(emit func(wire.Message) error), stop func(), ok bool) {
+	//ctxcheck:allow legacy ctx-less Streamer entry; the serve loop prefers HandleStreamCtx
+	return e.HandleStreamCtx(context.Background(), req)
+}
+
+// HandleStreamCtx is HandleStream with a caller-supplied context
+// (proto.CtxStreamer): the serve loop passes its server-lifetime
+// context so subscriptions unwind on shutdown.
+func (e *Engine) HandleStreamCtx(ctx context.Context, req wire.Message) (ack wire.Message, run func(emit func(wire.Message) error), stop func(), ok bool) {
 	m, isSub := req.(wire.SubscribeRequest)
 	if !isSub {
 		if fw, isFw := req.(wire.Forwarded); isFw {
@@ -60,7 +68,7 @@ func (e *Engine) HandleStream(req wire.Message) (ack wire.Message, run func(emit
 		return nil, nil, nil, false
 	}
 	noop := func(func(wire.Message) error) {}
-	h, err := e.Subscribe(context.Background(), e.wirePollutant(m.Pollutant, false), subs.RequestFromWire(m))
+	h, err := e.Subscribe(ctx, e.wirePollutant(m.Pollutant, false), subs.RequestFromWire(m))
 	if err != nil {
 		return wire.ErrorResponse{Msg: err.Error()}, noop, func() {}, true
 	}

@@ -225,7 +225,7 @@ func readCheckpointFile(path string) (ckHeader, []tuple.Batch, error) {
 		total += len(b)
 		batches = append(batches, b)
 	}
-	if _, err := tuple.ReadBinary(r); err != io.EOF {
+	if _, err := tuple.ReadBinary(r); !errors.Is(err, io.EOF) {
 		return ckHeader{}, nil, fmt.Errorf("%w: trailing data after %d frames", ErrCorruptCheckpoint, hdr.frames)
 	}
 	if total != hdr.tuples {

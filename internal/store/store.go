@@ -487,7 +487,7 @@ func (s *Store) replaySegment(path string) (frames, maxWin, tuples int, err erro
 	var off int64 // start of the frame being read
 	for {
 		b, err := tuple.ReadBinary(f)
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return frames, maxWin, tuples, nil
 		}
 		if errors.Is(err, tuple.ErrCorrupt) {
@@ -549,6 +549,8 @@ func (s *Store) openSegment() error {
 // (the in-memory state keeps the batch; only its durability is in doubt).
 // Eviction hooks registered with OnEvict run after the append, outside
 // the store lock.
+//
+//ctxcheck:allow the group-commit wait is bounded by Sync.MaxDelay
 func (s *Store) Append(b tuple.Batch) error {
 	if len(b) == 0 {
 		return nil
@@ -627,7 +629,7 @@ func (s *Store) doSync(f *os.File) error {
 // holds mu.
 func (s *Store) joinGroupLocked() (g *commitGroup, seal bool) {
 	if s.group == nil {
-		g := &commitGroup{done: make(chan struct{})}
+		g := &commitGroup{done: make(chan struct{})} //bounded: signal-only latch; closed once after the group fsync
 		g.timer = time.AfterFunc(s.cfg.Sync.MaxDelay, func() { s.closeGroup(g) })
 		s.group = g
 	}
@@ -700,6 +702,7 @@ func (s *Store) persistLocked(b tuple.Batch) error {
 			return err
 		}
 	}
+	//lockcheck:allow writeFrame is the test crash-injection seam; segment writes must serialize under mu
 	if err := s.writeFrame(s.seg, b); err != nil {
 		werr := fmt.Errorf("store: persist batch: %w", err)
 		if terr := s.seg.Truncate(s.segOff); terr == nil {

@@ -234,6 +234,7 @@ func (f *Feed) offerLocked(ev Event) {
 	default:
 	}
 	f.ctr.Resyncs++
+	//lockcheck:allow audited drop-oldest: the slot freed above makes this send non-blocking
 	f.ch <- Event{Seq: ev.Seq, Resync: true, Err: ev.Err, Points: f.snapshotLocked()}
 }
 

@@ -160,6 +160,7 @@ type Registry struct {
 // NewRegistry builds a registry and starts its workers. eval answers
 // point batches; winOf binds points to window indexes.
 func NewRegistry(cfg Config, eval Evaluator, winOf WindowFunc) *Registry {
+	//ctxcheck:allow the registry owns its workers' lifetime; Close cancels this context
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Registry{
 		cfg:      cfg.withDefaults(),

@@ -7,6 +7,7 @@ package subs
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -225,7 +226,7 @@ func TestSubscribeValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if _, err := r.Subscribe(ctx, tuple.CO2, []query.Request{{T: 10, X: 1, Y: 1}}); err != ErrTooManySubs {
+	if _, err := r.Subscribe(ctx, tuple.CO2, []query.Request{{T: 10, X: 1, Y: 1}}); !errors.Is(err, ErrTooManySubs) {
 		t.Fatalf("beyond MaxSubs: err = %v, want ErrTooManySubs", err)
 	}
 }

@@ -62,7 +62,7 @@ func WriteBinary(w io.Writer, b Batch) error {
 func ReadBinary(r io.Reader) (Batch, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("%w: truncated header: %v", ErrCorrupt, err)

@@ -68,7 +68,7 @@ func TestBinaryMultipleFrames(t *testing.T) {
 	if err != nil || len(got2) != 2 {
 		t.Fatalf("frame 2: %v len=%d", err, len(got2))
 	}
-	if _, err := ReadBinary(&buf); err != io.EOF {
+	if _, err := ReadBinary(&buf); !errors.Is(err, io.EOF) {
 		t.Errorf("want io.EOF at stream end, got %v", err)
 	}
 }
