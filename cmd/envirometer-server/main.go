@@ -87,6 +87,8 @@ func main() {
 		schedQueue  = flag.Int("sched-queue", 0, "background cover-build queue bound (0 = default)")
 		ckInterval  = flag.Duration("checkpoint-interval", 0, "periodic store checkpoint interval (0 = disabled)")
 		ckKeep      = flag.Int("checkpoint-keep", 0, "checkpoint-covered segments spared per compaction")
+		columnar    = flag.Bool("columnar", false, "emit columnar sidecar blocks at checkpoint time and recover lazily from them")
+		colNoMmap   = flag.Bool("columnar-no-mmap", false, "force the columnar reader onto pread instead of mmap")
 		subQueue    = flag.Int("sub-queue", 0, "per-subscription push-queue depth; a slow consumer overflowing it gets a resync (0 = default 16)")
 		subMax      = flag.Int("sub-max", 0, "max concurrent push subscriptions (0 = default 1024)")
 		subPoints   = flag.Int("sub-points", 0, "max route points per subscription (0 = default 2048)")
@@ -129,6 +131,7 @@ func main() {
 		queue:   repro.PipelineConfig{QueueDepth: *queueDepth, MaxBatchTuples: *maxBatch},
 		sched:   repro.SchedulerConfig{Workers: *schedWork, MaxQueue: *schedQueue},
 		ck:      repro.CheckpointConfig{Interval: *ckInterval, KeepSegments: *ckKeep},
+		col:     repro.ColumnarConfig{Enabled: *columnar, DisableMmap: *colNoMmap},
 		subs:    repro.SubscriptionConfig{QueueDepth: *subQueue, MaxSubs: *subMax, MaxPoints: *subPoints},
 		cluster: cl,
 	}); err != nil {
@@ -160,6 +163,7 @@ type options struct {
 	queue                               repro.PipelineConfig
 	sched                               repro.SchedulerConfig
 	ck                                  repro.CheckpointConfig
+	col                                 repro.ColumnarConfig
 	subs                                repro.SubscriptionConfig
 	cluster                             repro.ClusterConfig
 }
@@ -177,6 +181,7 @@ func run(o options) error {
 		IngestQueue:   o.queue,
 		Maintenance:   o.sched,
 		Checkpoint:    o.ck,
+		Columnar:      o.col,
 		Subscriptions: o.subs,
 		CoverSnapshot: o.covers,
 		Cluster:       o.cluster,

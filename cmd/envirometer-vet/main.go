@@ -1,8 +1,8 @@
 // Command envirometer-vet is the project's consolidated static-analysis
 // gate: it runs the stock `go vet` passes plus the repository's own
-// invariant analyzers — lockcheck, ctxcheck, wiretag, errcmp, and
-// chanbound (see docs/DEVELOPMENT.md) — over the packages matched by
-// its arguments and exits non-zero on any diagnostic.
+// invariant analyzers — lockcheck, ctxcheck, wiretag, colfmt, errcmp,
+// and chanbound (see docs/DEVELOPMENT.md) — over the packages matched
+// by its arguments and exits non-zero on any diagnostic.
 //
 // Usage:
 //
@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/chanbound"
+	"repro/internal/analysis/colfmt"
 	"repro/internal/analysis/ctxcheck"
 	"repro/internal/analysis/errcmp"
 	"repro/internal/analysis/load"
@@ -33,6 +34,7 @@ import (
 // analyzers is the project suite, in reporting order.
 var analyzers = []*analysis.Analyzer{
 	chanbound.Analyzer,
+	colfmt.Analyzer,
 	ctxcheck.Analyzer,
 	errcmp.Analyzer,
 	lockcheck.Analyzer,

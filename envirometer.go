@@ -190,6 +190,17 @@ type CheckpointConfig = server.CheckpointConfig
 // last restart's recovery path across every pollutant's store.
 type CheckpointStats = server.CheckpointStats
 
+// ColumnarConfig tunes the columnar checkpoint sidecars: Enabled turns
+// them on, DisableMmap forces plain pread file access, BlockTuples caps
+// tuples per block (0 = default).
+type ColumnarConfig = store.ColumnarConfig
+
+// ColumnarStats counts the columnar scan path's work across every
+// pollutant's store: sidecars and blocks written, lazy recoveries and
+// materializations, zone-map prunes, mmap vs pread reads, and row
+// fallback replays.
+type ColumnarStats = store.ColumnarStats
+
 // PipelineStats counts the ingest pipeline's work.
 type PipelineStats = ingest.PipelineStats
 
@@ -331,6 +342,15 @@ type Config struct {
 	// segments per compaction. The zero value takes no automatic
 	// checkpoints; Platform.Checkpoint still works.
 	Checkpoint CheckpointConfig
+	// Columnar (used only with Dir) writes a columnar sidecar next to
+	// every checkpoint and turns restart recovery of checkpointed
+	// windows lazy: analytical scans — cover builds, heatmaps, window
+	// reads — decode sorted, zone-mapped blocks on demand (mmap where
+	// the platform supports it) instead of eagerly replaying row
+	// frames. Answers are bit-identical either way; the row checkpoint
+	// remains the durability source of truth and any sidecar damage
+	// falls back to it per window.
+	Columnar ColumnarConfig
 	// Retain bounds in-memory windows (0 = keep all).
 	Retain int
 	// AdKMN tunes the model cover construction; the zero value uses the
@@ -428,6 +448,7 @@ func Open(cfg Config) (*Platform, error) {
 			Dir:          cfg.storeDir(pol),
 			Sync:         cfg.Sync,
 			KeepSegments: cfg.Checkpoint.KeepSegments,
+			Columnar:     cfg.Columnar,
 		})
 		if err != nil {
 			closeAll()
@@ -579,6 +600,10 @@ func (p *Platform) Checkpoint() error {
 // CheckpointStats aggregates checkpoint, compaction, and recovery
 // counters across every pollutant's store.
 func (p *Platform) CheckpointStats() CheckpointStats { return p.engine.CheckpointStats() }
+
+// ColumnarStats aggregates the columnar scan path's counters across
+// every pollutant's store (zero-valued when Config.Columnar is off).
+func (p *Platform) ColumnarStats() ColumnarStats { return p.engine.ColumnarStats() }
 
 // Close shuts the write path down first — the ingest pipeline drains
 // every queued upload into the (still open) stores and the maintenance

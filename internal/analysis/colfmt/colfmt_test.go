@@ -1,0 +1,17 @@
+package colfmt_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/colfmt"
+)
+
+func TestColfmtGolden(t *testing.T) {
+	diags := analyzertest.Run(t, colfmt.Analyzer, "testdata/src/colfix")
+	// One diagnostic per half-wired constant, no more: the fixture
+	// plants exactly two gaps and suppresses a third.
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2", len(diags))
+	}
+}

@@ -1,0 +1,38 @@
+// Package colblock is the colfmt golden fixture: a miniature columnar
+// codec whose format constants are each missing exactly one side of the
+// encode/decode pairing, plus one fully wired and one suppressed.
+package colblock
+
+import "errors"
+
+const (
+	okMagic        = 0x11
+	okVersion      = 1
+	encOnlyMagic   = 0x22 // want `colblock format constant encOnlyMagic: not validated on the decode path`
+	decOnlyVersion = 2    // want `colblock format constant decOnlyVersion: not written on the Encode path`
+	//colfmt:allow reserved for the v2 layout; nothing emits it yet
+	reservedMagic = 0x33
+)
+
+var errBad = errors.New("colblock: bad header")
+
+// Encode stamps the three-byte header; encOnlyMagic is written here but
+// never checked by the reader, which the analyzer must flag.
+func Encode(buf []byte) []byte {
+	return append(buf, byte(okMagic), byte(okVersion), byte(encOnlyMagic))
+}
+
+// OpenBytes is a decode entry.
+func OpenBytes(data []byte) error { return verifyHeader(data) }
+
+// Verify is the other decode entry, reaching the same validation.
+func Verify(data []byte) error { return OpenBytes(data) }
+
+// verifyHeader checks decOnlyVersion, which no encoder ever writes —
+// the other half-wired constant the analyzer must flag.
+func verifyHeader(data []byte) error {
+	if len(data) < 3 || data[0] != okMagic || data[1] != okVersion || data[2] == byte(decOnlyVersion) {
+		return errBad
+	}
+	return nil
+}

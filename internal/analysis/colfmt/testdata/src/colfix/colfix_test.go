@@ -1,0 +1,12 @@
+package colblock
+
+import "testing"
+
+// FuzzColBlockDecode satisfies the pairing obligation: seeds built with
+// Encode, decoder driven through Verify.
+func FuzzColBlockDecode(f *testing.F) {
+	f.Add(Encode(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_ = Verify(data)
+	})
+}

@@ -1,0 +1,282 @@
+package colblock
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func genWindows(r *rand.Rand, nwin, perWin int) []WindowData {
+	out := make([]WindowData, 0, nwin)
+	for c := 0; c < nwin; c++ {
+		b := make(tuple.Batch, perWin)
+		for i := range b {
+			b[i] = tuple.Raw{
+				T: float64(c*600) + r.Float64()*600,
+				X: r.Float64()*4000 - 1000,
+				Y: r.Float64()*3000 - 500,
+				S: math.Round(r.Float64()*1000) / 10, // one decimal: fixed-point friendly
+			}
+			if i%7 == 0 {
+				b[i].S = r.NormFloat64() * 13.7 // irrational-ish: forces raw encoding
+			}
+		}
+		out = append(out, WindowData{Window: c + 3, Tuples: b})
+	}
+	return out
+}
+
+func encodeImage(t *testing.T, seq int, windows []WindowData, blockTuples int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	st, err := Encode(&buf, seq, windows, blockTuples)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if int64(buf.Len()) != st.Bytes {
+		t.Fatalf("EncodeStats.Bytes = %d, wrote %d", st.Bytes, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTrip proves the core invariant: WindowTuples reproduces every
+// window bit-for-bit in original append order, regardless of block size.
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	windows := genWindows(r, 5, 777)
+	for _, blockTuples := range []int{0, 1, 64, 100000} {
+		img := encodeImage(t, 42, windows, blockTuples)
+		rd, err := OpenBytes(img)
+		if err != nil {
+			t.Fatalf("OpenBytes(block=%d): %v", blockTuples, err)
+		}
+		if rd.Seq() != 42 {
+			t.Fatalf("Seq = %d, want 42", rd.Seq())
+		}
+		if rd.Tuples() != 5*777 {
+			t.Fatalf("Tuples = %d, want %d", rd.Tuples(), 5*777)
+		}
+		for _, wd := range windows {
+			got, err := rd.WindowTuples(wd.Window)
+			if err != nil {
+				t.Fatalf("WindowTuples(%d): %v", wd.Window, err)
+			}
+			if len(got) != len(wd.Tuples) {
+				t.Fatalf("window %d: %d tuples, want %d", wd.Window, len(got), len(wd.Tuples))
+			}
+			for i := range got {
+				if !bitEqual(got[i], wd.Tuples[i]) {
+					t.Fatalf("window %d tuple %d = %+v, want %+v (block=%d)", wd.Window, i, got[i], wd.Tuples[i], blockTuples)
+				}
+			}
+		}
+		rd.Close()
+	}
+}
+
+func bitEqual(a, b tuple.Raw) bool {
+	return math.Float64bits(a.T) == math.Float64bits(b.T) &&
+		math.Float64bits(a.X) == math.Float64bits(b.X) &&
+		math.Float64bits(a.Y) == math.Float64bits(b.Y) &&
+		math.Float64bits(a.S) == math.Float64bits(b.S)
+}
+
+// TestFixedPointEdgeValues hits values that must defeat the fixed-point
+// encoder (negative zero, subnormals, giant magnitudes) and still
+// round-trip exactly through the raw fallback.
+func TestFixedPointEdgeValues(t *testing.T) {
+	b := tuple.Batch{
+		{T: 0, X: math.Copysign(0, -1), Y: 5e-324, S: 1e300},
+		{T: 1, X: 0.1, Y: -2.5, S: math.Pi},
+		{T: 2, X: 1e17, Y: -1e17, S: 123.456},
+	}
+	img := encodeImage(t, 1, []WindowData{{Window: 0, Tuples: b}}, 0)
+	rd, err := OpenBytes(img)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer rd.Close()
+	got, err := rd.WindowTuples(0)
+	if err != nil {
+		t.Fatalf("WindowTuples: %v", err)
+	}
+	for i := range got {
+		if !bitEqual(got[i], b[i]) {
+			t.Fatalf("tuple %d = %+v (bits %x), want %+v (bits %x)", i, got[i], math.Float64bits(got[i].X), b[i], math.Float64bits(b[i].X))
+		}
+	}
+}
+
+// TestZoneMapPruning checks that a region scan skips blocks whose zone
+// maps exclude the region, and that the survivors yield exactly the
+// in-region tuples.
+func TestZoneMapPruning(t *testing.T) {
+	// Two spatial clusters far apart, so blocks are spatially pure.
+	var b tuple.Batch
+	for i := 0; i < 4000; i++ {
+		x, y := float64(i%50), float64((i/50)%40)
+		if i%2 == 1 {
+			x += 100000
+		}
+		b = append(b, tuple.Raw{T: float64(i), X: x, Y: y, S: 1})
+	}
+	img := encodeImage(t, 7, []WindowData{{Window: 1, Tuples: b}}, 256)
+	rd, err := OpenBytes(img)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer rd.Close()
+
+	want := 0
+	for _, r := range b {
+		if r.X <= 60 {
+			want++
+		}
+	}
+	got := 0
+	scanned, pruned, err := rd.ScanWindowRegion(1, -10, -10, 60, 60, func(r tuple.Raw) {
+		if r.X > 60 {
+			t.Fatalf("tuple outside region: %+v", r)
+		}
+		got++
+	})
+	if err != nil {
+		t.Fatalf("ScanWindowRegion: %v", err)
+	}
+	if got != want {
+		t.Fatalf("region yielded %d tuples, want %d", got, want)
+	}
+	if pruned == 0 {
+		t.Fatalf("no blocks pruned (scanned %d); far cluster should be zone-mapped out", scanned)
+	}
+	st := rd.Stats()
+	if st.BlocksPruned != int64(pruned) || st.BlocksScanned != int64(scanned) {
+		t.Fatalf("stats %+v disagree with scan result (%d scanned, %d pruned)", st, scanned, pruned)
+	}
+}
+
+// TestWindowZone checks the directory-only zone union matches a full scan.
+func TestWindowZone(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	windows := genWindows(r, 3, 500)
+	img := encodeImage(t, 3, windows, 128)
+	rd, err := OpenBytes(img)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer rd.Close()
+	for _, wd := range windows {
+		z, ok := rd.WindowZone(wd.Window)
+		if !ok {
+			t.Fatalf("window %d missing", wd.Window)
+		}
+		minX, maxX := wd.Tuples[0].X, wd.Tuples[0].X
+		minY, maxY := wd.Tuples[0].Y, wd.Tuples[0].Y
+		for _, tp := range wd.Tuples {
+			minX, maxX = min(minX, tp.X), max(maxX, tp.X)
+			minY, maxY = min(minY, tp.Y), max(maxY, tp.Y)
+		}
+		if z.MinX != minX || z.MaxX != maxX || z.MinY != minY || z.MaxY != maxY {
+			t.Fatalf("window %d zone [%v %v %v %v], want [%v %v %v %v]",
+				wd.Window, z.MinX, z.MaxX, z.MinY, z.MaxY, minX, maxX, minY, maxY)
+		}
+		if z.Count != len(wd.Tuples) {
+			t.Fatalf("window %d zone count %d, want %d", wd.Window, z.Count, len(wd.Tuples))
+		}
+	}
+	if _, ok := rd.WindowZone(999); ok {
+		t.Fatal("WindowZone(999) reported a missing window present")
+	}
+}
+
+// TestCorruption flips bytes across the image and requires every
+// corruption to surface as an error (open-time or scan-time), never as
+// silently wrong tuples.
+func TestCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	windows := genWindows(r, 2, 300)
+	img := encodeImage(t, 5, windows, 64)
+	orig := append([]byte(nil), img...)
+
+	for _, pos := range []int{0, 5, headerSize + 3, len(img) / 2, len(img) - trailerSize + 2, len(img) - 3} {
+		copy(img, orig)
+		img[pos] ^= 0x5a
+		if err := Verify(img); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", pos)
+		}
+	}
+	// Truncations.
+	for _, n := range []int{0, headerSize, len(img) - 1, len(img) - trailerSize} {
+		if err := Verify(orig[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+	copy(img, orig)
+	if err := Verify(img); err != nil {
+		t.Fatalf("pristine image failed verify: %v", err)
+	}
+}
+
+// TestOpenFileSources exercises both access paths against the same file
+// and requires identical answers and correctly attributed read counters.
+func TestOpenFileSources(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	windows := genWindows(r, 2, 400)
+	img := encodeImage(t, 9, windows, 128)
+	path := filepath.Join(t.TempDir(), "colblock-000009.emc")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, disable := range []bool{false, true} {
+		rd, err := OpenFile(path, Options{DisableMmap: disable})
+		if err != nil {
+			t.Fatalf("OpenFile(disableMmap=%v): %v", disable, err)
+		}
+		for _, wd := range windows {
+			got, err := rd.WindowTuples(wd.Window)
+			if err != nil {
+				t.Fatalf("WindowTuples: %v", err)
+			}
+			for i := range got {
+				if !bitEqual(got[i], wd.Tuples[i]) {
+					t.Fatalf("disableMmap=%v: window %d tuple %d mismatch", disable, wd.Window, i)
+				}
+			}
+		}
+		st := rd.Stats()
+		if disable && (st.ReadAtReads == 0 || st.MmapReads != 0) {
+			t.Fatalf("DisableMmap stats %+v: want only ReadAt reads", st)
+		}
+		if st.BytesRead == 0 {
+			t.Fatalf("stats %+v: no bytes accounted", st)
+		}
+		if err := rd.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if err := rd.Close(); err != nil {
+			t.Fatalf("second Close: %v", err)
+		}
+	}
+}
+
+// TestEmptyFile checks a sidecar with zero windows is valid and empty.
+func TestEmptyFile(t *testing.T) {
+	img := encodeImage(t, 2, nil, 0)
+	rd, err := OpenBytes(img)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer rd.Close()
+	if rd.Tuples() != 0 || rd.Blocks() != 0 || len(rd.Windows()) != 0 {
+		t.Fatalf("empty sidecar reports tuples=%d blocks=%d windows=%v", rd.Tuples(), rd.Blocks(), rd.Windows())
+	}
+	if got, err := rd.WindowTuples(0); err != nil || got != nil {
+		t.Fatalf("WindowTuples on empty = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,42 @@
+package colblock
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// FuzzColBlockDecode throws arbitrary bytes at the full decode path
+// (footer parse, directory validation, block checksums, column decode).
+// Seeds come from the real encoder, so mutations start from structurally
+// valid images; the invariant is simply that no input crashes or
+// over-allocates, and that encoder output always verifies.
+func FuzzColBlockDecode(f *testing.F) {
+	seed := func(seq int, windows []WindowData, blockTuples int) {
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, seq, windows, blockTuples); err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(1, nil, 0)
+	seed(7, []WindowData{{Window: 2, Tuples: tuple.Batch{
+		{T: 1200.5, X: 10, Y: 20, S: 42.5},
+		{T: 1201, X: -30.25, Y: 2000, S: math.Pi},
+		{T: 1199, X: 10, Y: 20, S: 0},
+	}}}, 2)
+	big := make(tuple.Batch, 300)
+	for i := range big {
+		big[i] = tuple.Raw{T: float64(i), X: float64(i % 17), Y: float64(i % 5), S: float64(i) / 8}
+	}
+	seed(12, []WindowData{{Window: 0, Tuples: big}, {Window: 1, Tuples: big[:7]}}, 64)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<22 {
+			return
+		}
+		_ = Verify(data)
+	})
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package colblock
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile reports mmap unsupported on this platform; OpenFile falls back
+// to the pread source.
+func mapFile(_ *os.File, _ int64) (Source, error) {
+	return nil, errors.New("colblock: mmap unsupported on this platform")
+}

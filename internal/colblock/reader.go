@@ -1,0 +1,374 @@
+package colblock
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/tuple"
+)
+
+// Source is the byte-access abstraction under a Reader: a memory map
+// where the platform supports it, pread otherwise. ReadSpan returns the
+// requested span; a mapped source returns a sub-slice of the mapping
+// (zero copy), a file-backed one allocates.
+type Source interface {
+	ReadSpan(off, n int64) ([]byte, error)
+	Size() int64
+	// Mapped reports whether ReadSpan is zero-copy (memory-mapped or
+	// in-memory); the reader's stats distinguish the two access paths.
+	Mapped() bool
+	Close() error
+}
+
+// Options configures how a Reader accesses the file.
+type Options struct {
+	// DisableMmap forces the pread path even where mmap is available —
+	// for platforms where a truncated file turns loads into SIGBUS, or
+	// to keep the page cache footprint explicit.
+	DisableMmap bool
+
+	// BlockTuples is accepted for symmetry with the writer config; the
+	// reader takes block sizes from the directory and ignores it.
+	BlockTuples int
+}
+
+// Stats counts a Reader's work. Zero value is ready; fields are summed
+// into the store's columnar stats.
+type Stats struct {
+	BlocksScanned int64
+	BlocksPruned  int64
+	MmapReads     int64
+	ReadAtReads   int64
+	BytesRead     int64
+}
+
+// Reader serves windows and region scans from one immutable sidecar
+// file. It is safe for concurrent use; Close invalidates it.
+type Reader struct {
+	src    Source
+	seq    int
+	tuples int
+	blocks []BlockMeta
+
+	// byWindow indexes blocks (directory order, which is time order
+	// within a cell run) per window.
+	byWindow map[int][]int
+	windows  []int // ascending
+
+	blocksScanned atomic.Int64
+	blocksPruned  atomic.Int64
+	mmapReads     atomic.Int64
+	readAtReads   atomic.Int64
+	bytesRead     atomic.Int64
+	closed        atomic.Bool
+}
+
+// OpenFile opens the sidecar at path, memory-mapping it where the
+// platform allows (and opts permit) and falling back to pread.
+func OpenFile(path string, opts Options) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := info.Size()
+	if !opts.DisableMmap {
+		if src, err := mapFile(f, size); err == nil {
+			// The mapping outlives the descriptor; drop it now.
+			f.Close()
+			r, err := newReader(src)
+			if err != nil {
+				src.Close()
+				return nil, err
+			}
+			return r, nil
+		}
+	}
+	r, err := newReader(&readAtSource{f: f, size: size})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// OpenBytes opens a sidecar image held in memory — the fuzz and test
+// entry point, sharing every validation step with OpenFile.
+func OpenBytes(data []byte) (*Reader, error) {
+	return newReader(byteSource(data))
+}
+
+// Verify structurally validates data as a sidecar image and decodes
+// every block, returning the first error found. It is the fuzz target's
+// workhorse: any input that passes must round-trip cleanly.
+func Verify(data []byte) error {
+	r, err := OpenBytes(data)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for _, c := range r.Windows() {
+		if _, err := r.WindowTuples(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func newReader(src Source) (*Reader, error) {
+	size := src.Size()
+	if size < headerSize+trailerSize {
+		return nil, fmt.Errorf("%w: %d bytes is below minimum framing", ErrCorrupt, size)
+	}
+	hdr, err := src.ReadSpan(0, headerSize)
+	if err != nil {
+		return nil, err
+	}
+	if le32(hdr[0:]) != colMagic {
+		return nil, fmt.Errorf("%w: bad header magic %#x", ErrCorrupt, le32(hdr[0:]))
+	}
+	if le32(hdr[4:]) != colVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, le32(hdr[4:]))
+	}
+	trailer, err := src.ReadSpan(size-trailerSize, trailerSize)
+	if err != nil {
+		return nil, err
+	}
+	if le32(trailer[28:]) != footMagic {
+		return nil, fmt.Errorf("%w: bad footer magic %#x", ErrCorrupt, le32(trailer[28:]))
+	}
+	if le32(trailer[20:]) != colVersion {
+		return nil, fmt.Errorf("%w: unsupported footer version %d", ErrCorrupt, le32(trailer[20:]))
+	}
+	nblocks := int(le32(trailer[16:]))
+	dirLen := int64(nblocks) * dirEntrySize
+	dirStart := size - trailerSize - dirLen
+	if nblocks < 0 || dirLen < 0 || dirStart < headerSize {
+		return nil, fmt.Errorf("%w: directory of %d blocks does not fit", ErrCorrupt, nblocks)
+	}
+	dir, err := src.ReadSpan(dirStart, dirLen)
+	if err != nil {
+		return nil, err
+	}
+	if footerCRC(dir, trailer) != le32(trailer[24:]) {
+		return nil, fmt.Errorf("%w: footer checksum mismatch", ErrCorrupt)
+	}
+
+	r := &Reader{
+		src:      src,
+		seq:      int(int64(le64(trailer[0:]))),
+		tuples:   int(int64(le64(trailer[8:]))),
+		blocks:   make([]BlockMeta, nblocks),
+		byWindow: make(map[int][]int),
+	}
+	if r.tuples < 0 {
+		return nil, fmt.Errorf("%w: negative tuple count", ErrCorrupt)
+	}
+	total := 0
+	for i := range r.blocks {
+		m := decodeDirEntry(dir[i*dirEntrySize:])
+		if m.Count <= 0 || m.Count > maxBlockTuples {
+			return nil, fmt.Errorf("%w: directory entry %d count %d", ErrCorrupt, i, m.Count)
+		}
+		if m.Offset < headerSize || m.Length < 8 || m.Offset+m.Length > dirStart {
+			return nil, fmt.Errorf("%w: directory entry %d span [%d,+%d) out of bounds", ErrCorrupt, i, m.Offset, m.Length)
+		}
+		if m.MinT > m.MaxT || m.MinX > m.MaxX || m.MinY > m.MaxY || m.MinS > m.MaxS {
+			return nil, fmt.Errorf("%w: directory entry %d inverted zone map", ErrCorrupt, i)
+		}
+		total += m.Count
+		r.blocks[i] = m
+		r.byWindow[m.Window] = append(r.byWindow[m.Window], i)
+	}
+	if total != r.tuples {
+		return nil, fmt.Errorf("%w: directory counts %d do not sum to trailer total %d", ErrCorrupt, total, r.tuples)
+	}
+	r.windows = make([]int, 0, len(r.byWindow))
+	for c := range r.byWindow {
+		r.windows = append(r.windows, c)
+	}
+	sort.Ints(r.windows)
+	return r, nil
+}
+
+func footerCRC(dir, trailer []byte) uint32 {
+	return crc32.Update(crc32.ChecksumIEEE(dir), crc32.IEEETable, trailer[:24])
+}
+
+// Seq returns the checkpoint sequence the sidecar belongs to.
+func (r *Reader) Seq() int { return r.seq }
+
+// Tuples returns the total tuple count across all windows.
+func (r *Reader) Tuples() int { return r.tuples }
+
+// Blocks returns the number of column blocks in the file.
+func (r *Reader) Blocks() int { return len(r.blocks) }
+
+// Windows returns the window indexes present, ascending.
+func (r *Reader) Windows() []int {
+	out := make([]int, len(r.windows))
+	copy(out, r.windows)
+	return out
+}
+
+// WindowCount returns the tuple count of window c (0 if absent), from
+// the directory alone.
+func (r *Reader) WindowCount(c int) int {
+	n := 0
+	for _, bi := range r.byWindow[c] {
+		n += r.blocks[bi].Count
+	}
+	return n
+}
+
+// WindowZone returns the union of window c's block zone maps — exact
+// min/max bounds for every column, with no block reads.
+func (r *Reader) WindowZone(c int) (z BlockMeta, ok bool) {
+	for i, bi := range r.byWindow[c] {
+		m := r.blocks[bi]
+		if i == 0 {
+			z = m
+			continue
+		}
+		z.Count += m.Count
+		z.MinT, z.MaxT = min(z.MinT, m.MinT), max(z.MaxT, m.MaxT)
+		z.MinX, z.MaxX = min(z.MinX, m.MinX), max(z.MaxX, m.MaxX)
+		z.MinY, z.MaxY = min(z.MinY, m.MinY), max(z.MaxY, m.MaxY)
+		z.MinS, z.MaxS = min(z.MinS, m.MinS), max(z.MaxS, m.MaxS)
+	}
+	return z, len(r.byWindow[c]) > 0
+}
+
+// WindowTuples materializes window c in its original append order —
+// byte-identical to the slice the row path would hold in memory. Every
+// original position must be covered exactly once, or the window is
+// reported corrupt.
+func (r *Reader) WindowTuples(c int) (tuple.Batch, error) {
+	bis := r.byWindow[c]
+	if len(bis) == 0 {
+		return nil, nil
+	}
+	total := 0
+	for _, bi := range bis {
+		total += r.blocks[bi].Count
+	}
+	out := make(tuple.Batch, total)
+	seen := make([]bool, total)
+	for _, bi := range bis {
+		ts, xs, ys, ss, seqs, err := r.readBlock(r.blocks[bi])
+		if err != nil {
+			return nil, err
+		}
+		for i, sq := range seqs {
+			if sq < 0 || sq >= int64(total) || seen[sq] {
+				return nil, fmt.Errorf("%w: window %d seq %d invalid or duplicated", ErrCorrupt, c, sq)
+			}
+			seen[sq] = true
+			out[sq] = tuple.Raw{T: ts[i], X: xs[i], Y: ys[i], S: ss[i]}
+		}
+	}
+	return out, nil
+}
+
+// ScanWindowRegion streams window c's tuples whose (X, Y) fall inside
+// the closed rectangle [minX,maxX]×[minY,maxY], pruning whole blocks by
+// zone map before touching their bytes. Tuples arrive in block order,
+// not append order. It returns how many blocks were scanned vs pruned.
+func (r *Reader) ScanWindowRegion(c int, minX, minY, maxX, maxY float64, fn func(tuple.Raw)) (scanned, pruned int, err error) {
+	for _, bi := range r.byWindow[c] {
+		m := r.blocks[bi]
+		if m.MinX > maxX || m.MaxX < minX || m.MinY > maxY || m.MaxY < minY {
+			pruned++
+			r.blocksPruned.Add(1)
+			continue
+		}
+		ts, xs, ys, ss, _, err := r.readBlock(m)
+		if err != nil {
+			return scanned, pruned, err
+		}
+		scanned++
+		for i := range xs {
+			if xs[i] < minX || xs[i] > maxX || ys[i] < minY || ys[i] > maxY {
+				continue
+			}
+			fn(tuple.Raw{T: ts[i], X: xs[i], Y: ys[i], S: ss[i]})
+		}
+	}
+	return scanned, pruned, nil
+}
+
+func (r *Reader) readBlock(m BlockMeta) (ts, xs, ys, ss []float64, seqs []int64, err error) {
+	data, err := r.src.ReadSpan(m.Offset, m.Length)
+	if err != nil {
+		return nil, nil, nil, nil, nil, err
+	}
+	if r.src.Mapped() {
+		r.mmapReads.Add(1)
+	} else {
+		r.readAtReads.Add(1)
+	}
+	r.bytesRead.Add(m.Length)
+	r.blocksScanned.Add(1)
+	return decodeBlock(data, m.Count)
+}
+
+// Stats returns a snapshot of the reader's counters.
+func (r *Reader) Stats() Stats {
+	return Stats{
+		BlocksScanned: r.blocksScanned.Load(),
+		BlocksPruned:  r.blocksPruned.Load(),
+		MmapReads:     r.mmapReads.Load(),
+		ReadAtReads:   r.readAtReads.Load(),
+		BytesRead:     r.bytesRead.Load(),
+	}
+}
+
+// Close releases the underlying source. Idempotent.
+func (r *Reader) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return r.src.Close()
+}
+
+// readAtSource is the portable pread fallback.
+type readAtSource struct {
+	f    *os.File
+	size int64
+}
+
+func (s *readAtSource) ReadSpan(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > s.size {
+		return nil, fmt.Errorf("%w: read span [%d,+%d) outside %d-byte file", ErrCorrupt, off, n, s.size)
+	}
+	buf := make([]byte, n)
+	if _, err := s.f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (s *readAtSource) Size() int64  { return s.size }
+func (s *readAtSource) Mapped() bool { return false }
+func (s *readAtSource) Close() error { return s.f.Close() }
+
+// byteSource serves an in-memory image (tests, fuzzing).
+type byteSource []byte
+
+func (s byteSource) ReadSpan(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > int64(len(s)) {
+		return nil, fmt.Errorf("%w: read span [%d,+%d) outside %d-byte image", ErrCorrupt, off, n, len(s))
+	}
+	return s[off : off+n], nil
+}
+
+func (s byteSource) Size() int64  { return int64(len(s)) }
+func (s byteSource) Mapped() bool { return true }
+func (s byteSource) Close() error { return nil }

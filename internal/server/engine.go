@@ -120,6 +120,14 @@ type Engine struct {
 	ckStop chan struct{}
 	ckWG   sync.WaitGroup
 
+	// ckMu/ckActive single-flight Checkpoint: a manual call that lands
+	// while the periodic ticker (or another manual call) is mid-flight
+	// joins the in-flight pass instead of queueing a redundant one behind
+	// it — every caller still returns only after a full pass that began
+	// at or after their call.
+	ckMu     sync.Mutex
+	ckActive *ckFlight
+
 	// ingestTestGate, when set (by tests in this package, before any
 	// ingest), runs inside the pipeline sink — the hook tests use to hold
 	// the ingest worker and saturate the queue deterministically.
@@ -222,18 +230,44 @@ func (e *Engine) startAsync(opts Options) {
 	}
 }
 
+// ckFlight is one in-flight engine checkpoint pass: joiners wait on
+// done and share err.
+type ckFlight struct {
+	done chan struct{}
+	err  error
+}
+
 // Checkpoint persists every shard's retained windows and compacts their
 // segment logs (see store.Checkpoint). Shard failures are joined; each
 // shard checkpoints independently, so one failing disk does not stop
-// the others.
+// the others. Concurrent calls — the periodic ticker overlapping a
+// manual trigger, or two manual triggers — are single-flighted: late
+// arrivals join the running pass and return its error instead of
+// stacking redundant checkpoint work behind it.
+//
+//ctxcheck:allow the only wait is for a concurrent checkpoint pass, which always closes done
 func (e *Engine) Checkpoint() error {
+	e.ckMu.Lock()
+	if f := e.ckActive; f != nil {
+		e.ckMu.Unlock()
+		<-f.done
+		return f.err
+	}
+	f := &ckFlight{done: make(chan struct{})} //bounded: signal-only completion latch; closed once, nothing sends
+	e.ckActive = f
+	e.ckMu.Unlock()
 	var errs []error
 	for _, pol := range e.Pollutants() {
 		if err := e.shards[pol].st.Checkpoint(); err != nil {
 			errs = append(errs, fmt.Errorf("server: checkpoint %v: %w", pol, err))
 		}
 	}
-	return errors.Join(errs...)
+	f.err = errors.Join(errs...)
+	e.ckMu.Lock()
+	e.ckActive = nil
+	e.ckMu.Unlock()
+	close(f.done)
+	return f.err
 }
 
 // CheckpointStats aggregates the shards' checkpoint and recovery
@@ -255,6 +289,17 @@ func (e *Engine) CheckpointStats() CheckpointStats {
 		out.SegmentsReplayed += rs.SegmentsReplayed
 		out.TuplesReplayed += rs.TuplesReplayed
 		out.SegmentsDeleted += int64(rs.SegmentsDeleted)
+	}
+	return out
+}
+
+// ColumnarStats aggregates the shards' columnar scan-path counters
+// (sidecar writes, lazy recoveries, zone-map prunes, mmap vs pread
+// reads, row-replay fallbacks).
+func (e *Engine) ColumnarStats() store.ColumnarStats {
+	var out store.ColumnarStats
+	for _, sh := range e.shards {
+		out.Add(sh.st.ColumnarStats())
 	}
 	return out
 }
@@ -674,8 +719,11 @@ func (e *Engine) heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols
 	if region != nil {
 		return heatmap.FromCover(cv, *region, cols, rows, t)
 	}
-	w, _ := sh.st.WindowAt(t)
-	bounds, ok := w.Bounds()
+	// WindowBounds answers from the columnar zone maps when the window is
+	// a lazy checkpointed base, so an implicit-bounds heatmap after a
+	// restart does not force a full window materialization.
+	c := tuple.WindowIndex(t, sh.st.WindowLength())
+	bounds, ok := sh.st.WindowBounds(c)
 	if !ok {
 		return nil, fmt.Errorf("%w: no data in window", query.ErrOutOfWindow)
 	}

@@ -718,6 +718,24 @@ type checkpointStatsJSON struct {
 	TuplesFromCheckpoint int   `json:"tuplesFromCheckpoint"`
 }
 
+// columnarStatsJSON mirrors the engine's aggregated ColumnarStats on
+// the wire: the columnar checkpoint sidecar write/scan counters.
+type columnarStatsJSON struct {
+	Enabled             bool  `json:"enabled"`
+	SidecarsWritten     int64 `json:"sidecarsWritten"`
+	BlocksWritten       int64 `json:"blocksWritten"`
+	WriteFailures       int64 `json:"writeFailures"`
+	LazyWindows         int64 `json:"lazyWindows"`
+	Materializations    int64 `json:"materializations"`
+	MaterializeFailures int64 `json:"materializeFailures"`
+	FallbackReplays     int64 `json:"fallbackReplays"`
+	BlocksScanned       int64 `json:"blocksScanned"`
+	BlocksPruned        int64 `json:"blocksPruned"`
+	MmapReads           int64 `json:"mmapReads"`
+	ReadAtReads         int64 `json:"readAtReads"`
+	BytesRead           int64 `json:"bytesRead"`
+}
+
 // statsResponse summarizes server state. The top-level fields describe
 // the default pollutant (legacy shape); PerPollutant breaks all shards
 // out, Ingest/Maintenance describe the write pipeline and the
@@ -734,6 +752,10 @@ type statsResponse struct {
 	Ingest       ingestStatsJSON           `json:"ingest"`
 	Maintenance  maintenanceStatsJSON      `json:"maintenance"`
 	Checkpoint   checkpointStatsJSON       `json:"checkpoint"`
+	// Columnar carries the columnar checkpoint-sidecar counters: blocks
+	// written and scanned, zone-map prunes, mmap vs pread reads, lazy
+	// recoveries and row fallback replays.
+	Columnar columnarStatsJSON `json:"columnar"`
 	// Cluster carries the routing counters when this server is a member
 	// of a sharded cluster (see /v1/cluster for the full ring).
 	Cluster *clusterStatsJSON `json:"cluster,omitempty"`
@@ -764,6 +786,7 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 	ps := a.engine.PipelineStats()
 	ss := a.engine.SchedulerStats()
 	cs := a.engine.CheckpointStats()
+	cols := a.engine.ColumnarStats()
 	var clusterSec *clusterStatsJSON
 	if a.node != nil {
 		st := a.node.Stats()
@@ -794,6 +817,17 @@ func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
 			RecoveredShards:  cs.RecoveredShards,
 			SegmentsReplayed: cs.SegmentsReplayed, TuplesReplayed: cs.TuplesReplayed,
 			TuplesFromCheckpoint: cs.TuplesFromCheckpoint,
+		},
+		Columnar: columnarStatsJSON{
+			Enabled:         cols.Enabled,
+			SidecarsWritten: cols.SidecarsWritten, BlocksWritten: cols.BlocksWritten,
+			WriteFailures: cols.WriteFailures,
+			LazyWindows:   cols.LazyWindows, Materializations: cols.Materializations,
+			MaterializeFailures: cols.MaterializeFailures,
+			FallbackReplays:     cols.FallbackReplays,
+			BlocksScanned:       cols.BlocksScanned, BlocksPruned: cols.BlocksPruned,
+			MmapReads: cols.MmapReads, ReadAtReads: cols.ReadAtReads,
+			BytesRead: cols.BytesRead,
 		},
 	}
 	for _, pol := range a.engine.Pollutants() {

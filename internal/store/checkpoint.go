@@ -95,6 +95,9 @@ type RecoveryStats struct {
 	// FromCheckpoint is true when the retained windows were loaded from
 	// a checkpoint file rather than rebuilt by full log replay.
 	FromCheckpoint bool
+	// Columnar is true when recovery went through the columnar sidecar:
+	// window bases stayed lazy instead of being decoded up front.
+	Columnar bool
 	// CheckpointSeq and CheckpointTuples identify the checkpoint used
 	// (meaningful only when FromCheckpoint).
 	CheckpointSeq    int
@@ -295,31 +298,50 @@ func (s *Store) Checkpoint() error {
 		s.mu.Unlock()
 		return errors.New("store: checkpoint after close")
 	}
-	// Handles retired by the previous checkpoint are safe to close now.
-	for _, f := range s.retired {
-		f.Close()
+	// Handles retired by the previous checkpoint are doomed now; any
+	// append still fsyncing one holds a reference that defers the close.
+	for _, h := range s.retired {
+		h.doom()
 	}
 	s.retired = nil
-	idxs := make([]int, 0, len(s.windows))
-	for c := range s.windows {
-		idxs = append(idxs, c)
-	}
-	sort.Ints(idxs)
+	idxs := s.unionIndexesLocked()
 	batches := make([]tuple.Batch, len(idxs))
+	var lazyIdx []int // positions in idxs whose base must come from the sidecar
 	for i, c := range idxs {
 		batches[i] = s.windows[c].Clone()
+		if s.col.lazy[c] != nil {
+			lazyIdx = append(lazyIdx, i)
+		}
 	}
-	tuples := s.total
+	var cr *colReader
+	if len(lazyIdx) > 0 && s.col.rd != nil {
+		cr = s.col.rd
+		cr.acquire()
+	} else if len(s.col.lazy) == 0 {
+		// Every lazy window has been materialized or evicted; no new ones
+		// can appear (they only come from Open), so the old sidecar's
+		// reader is done. Retiring it lets compaction reclaim the file on
+		// every platform.
+		s.retireReaderLocked()
+	}
+	prevCkSeq := s.recovery.CheckpointSeq
+	spareCol := -1
+	if s.col.rd != nil {
+		spareCol = s.col.rd.rd.Seq()
+	}
 	maxTime := s.maxTime
 	horizon := s.segSeq
-	var sealSync *os.File
+	var sealSync *segHandle
 	if s.seg != nil {
 		if s.group != nil || len(s.sealed) > 0 {
 			// Pending commit groups will be released by an fsync of
 			// whatever segment is current by then; sync their frames
 			// under the lock so rotation cannot ack them off a sync
 			// that missed their segment.
-			if err := s.doSync(s.seg); err != nil {
+			if err := s.doSync(s.seg.f); err != nil {
+				if cr != nil {
+					cr.release()
+				}
 				s.mu.Unlock()
 				s.failCheckpoint()
 				return fmt.Errorf("store: checkpoint: seal segment: %w", err)
@@ -331,6 +353,7 @@ func (s *Store) Checkpoint() error {
 			// will. Defer the seal fsync past the lock so queries never
 			// stall behind it.
 			sealSync = s.seg
+			sealSync.acquire()
 		}
 		s.retired = append(s.retired, s.seg)
 		s.seg = nil
@@ -346,17 +369,65 @@ func (s *Store) Checkpoint() error {
 	s.mu.Unlock()
 
 	if sealSync != nil {
-		if err := s.doSync(sealSync); err != nil {
+		err := s.doSync(sealSync.f)
+		sealSync.release()
+		if err != nil {
 			// The rotation stands (the segment keeps its frames and
 			// recovery replays it); only this checkpoint is abandoned.
+			if cr != nil {
+				cr.release()
+			}
 			s.failCheckpoint()
 			return fmt.Errorf("store: checkpoint: seal segment: %w", err)
 		}
 	}
 
+	// Assemble still-lazy windows outside the lock: their snapshot is the
+	// immutable sidecar base plus the suffix cloned above. A corrupt
+	// sidecar block falls back to the row checkpoint file it was derived
+	// from.
+	var asmErr error
+	for _, i := range lazyIdx {
+		c := idxs[i]
+		var base tuple.Batch
+		err := errors.New("store: columnar reader closed")
+		if cr != nil {
+			base, err = cr.rd.WindowTuples(c)
+		}
+		if err != nil {
+			s.col.fallbacks.Add(1)
+			base, err = s.readCheckpointWindow(prevCkSeq, c)
+		}
+		if err != nil {
+			asmErr = fmt.Errorf("store: checkpoint: assemble window %d: %w", c, err)
+			break
+		}
+		batches[i] = append(base, batches[i]...)
+	}
+	if cr != nil {
+		cr.release()
+	}
+	if asmErr != nil {
+		s.failCheckpoint()
+		return asmErr
+	}
+	// Count from the assembled batches, not the snapshot total: they are
+	// what the file will actually hold, and the header must agree with
+	// the frames even if lazy assembly returned a surprise.
+	tuples := 0
+	for _, b := range batches {
+		tuples += len(b)
+	}
+
 	if err := s.writeCheckpointFile(seq, horizon, batches, tuples, maxTime); err != nil {
 		s.failCheckpoint()
 		return err
+	}
+	if s.cfg.Columnar.Enabled {
+		// Sidecar before MANIFEST: a crash in between leaves a committed
+		// pair one rename away, and a sidecar write failure only costs
+		// the accelerator (the checkpoint still commits).
+		s.writeSidecar(seq, idxs, batches)
 	}
 	if err := s.writeManifest(seq, horizon); err != nil {
 		s.failCheckpoint()
@@ -369,7 +440,7 @@ func (s *Store) Checkpoint() error {
 	s.ckStats.LastTuples = int64(tuples)
 	s.ckStatsMu.Unlock()
 
-	deleted, err := s.compact(seq, horizon)
+	deleted, err := s.compact(seq, horizon, spareCol)
 	s.ckStatsMu.Lock()
 	s.ckStats.SegmentsDeleted += int64(deleted)
 	s.ckStatsMu.Unlock()
@@ -501,11 +572,14 @@ func (s *Store) syncDir() error {
 }
 
 // compact removes segment files fully covered by checkpoint ckSeq
-// (those at or below horizon, sparing the newest Config.KeepSegments)
-// and checkpoint files other than ckSeq. Deletion failures are joined
-// and reported but never undo the checkpoint — the files are retried by
-// the next compaction or at the next Open.
-func (s *Store) compact(ckSeq, horizon int) (deleted int, err error) {
+// (those at or below horizon, sparing the newest Config.KeepSegments),
+// checkpoint files other than ckSeq, and columnar sidecars other than
+// ckSeq's — except spareCol, the sidecar a live reader still serves
+// lazy windows from (deleted by a later compaction once the reader
+// retires). Deletion failures are joined and reported but never undo
+// the checkpoint — the files are retried by the next compaction or at
+// the next Open.
+func (s *Store) compact(ckSeq, horizon, spareCol int) (deleted int, err error) {
 	var errs []error
 	names, err := segmentNames(s.cfg.Dir)
 	if err != nil {
@@ -527,6 +601,14 @@ func (s *Store) compact(ckSeq, horizon int) (deleted int, err error) {
 			continue
 		}
 		if rerr := s.removeFile(filepath.Join(s.cfg.Dir, checkpointName(seq))); rerr != nil {
+			errs = append(errs, rerr)
+		}
+	}
+	for _, seq := range colblockSeqs(s.cfg.Dir) {
+		if seq == ckSeq || seq == spareCol {
+			continue
+		}
+		if rerr := s.removeFile(filepath.Join(s.cfg.Dir, colblockName(seq))); rerr != nil {
 			errs = append(errs, rerr)
 		}
 	}

@@ -1,0 +1,555 @@
+package store
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/tuple"
+)
+
+func colCfg(dir string) Config {
+	return Config{
+		WindowLength: 100,
+		Dir:          dir,
+		Sync:         SyncNever(),
+		Columnar:     ColumnarConfig{Enabled: true, BlockTuples: 32},
+	}
+}
+
+func randBatch(rng *rand.Rand, n int, tmin, tmax float64) tuple.Batch {
+	b := make(tuple.Batch, n)
+	for i := range b {
+		b[i] = tuple.Raw{
+			T: tmin + rng.Float64()*(tmax-tmin),
+			X: rng.Float64()*5000 - 1000,
+			Y: rng.Float64()*4000 - 800,
+			S: rng.NormFloat64() * 40,
+		}
+	}
+	return b
+}
+
+func batchBitEqual(a, b tuple.Batch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i].T) != math.Float64bits(b[i].T) ||
+			math.Float64bits(a[i].X) != math.Float64bits(b[i].X) ||
+			math.Float64bits(a[i].Y) != math.Float64bits(b[i].Y) ||
+			math.Float64bits(a[i].S) != math.Float64bits(b[i].S) {
+			return false
+		}
+	}
+	return true
+}
+
+func copyDirTo(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestColumnarLazyRecovery checks the headline behavior: a restart over a
+// checkpointed log with the sidecar present recovers lazily (no tuples
+// decoded), serves exact counts and bounds from the footer, and
+// materializes windows bit-identically on demand — including a window
+// that is lazy base + replayed segment suffix.
+func TestColumnarLazyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(colCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for c := 0; c < 5; c++ {
+		if err := s.Append(randBatch(rng, 120, float64(c*100), float64(c*100+100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Suffix after the checkpoint: window 4 gains tuples, window 5 is new.
+	suffix4 := randBatch(rng, 30, 400, 500)
+	suffix5 := randBatch(rng, 40, 500, 600)
+	if err := s.Append(suffix4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(suffix5); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]tuple.Batch{}
+	for c := 0; c <= 5; c++ {
+		want[c] = s.Window(c)
+	}
+	wantLen := s.Len()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(colCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs := r.RecoveryStats()
+	if !rs.FromCheckpoint || !rs.Columnar {
+		t.Fatalf("recovery %+v: want columnar checkpoint recovery", rs)
+	}
+	cs := r.ColumnarStats()
+	if cs.LazyWindows == 0 {
+		t.Fatalf("stats %+v: no lazy windows after columnar recovery", cs)
+	}
+	if cs.Materializations != 0 {
+		t.Fatalf("stats %+v: windows materialized before anything was read", cs)
+	}
+	if r.Len() != wantLen {
+		t.Fatalf("Len = %d, want %d", r.Len(), wantLen)
+	}
+	for c := 0; c <= 5; c++ {
+		if got := r.WindowLen(c); got != len(want[c]) {
+			t.Fatalf("WindowLen(%d) = %d, want %d", c, got, len(want[c]))
+		}
+		wb, wok := want[c].Bounds()
+		gb, gok := r.WindowBounds(c)
+		if wok != gok || gb != wb {
+			t.Fatalf("WindowBounds(%d) = %+v,%v want %+v,%v", c, gb, gok, wb, wok)
+		}
+	}
+	for c := 0; c <= 5; c++ {
+		if got := r.Window(c); !batchBitEqual(got, want[c]) {
+			t.Fatalf("window %d differs after columnar recovery", c)
+		}
+	}
+	cs = r.ColumnarStats()
+	if cs.Materializations == 0 || cs.LazyWindows != 0 {
+		t.Fatalf("stats %+v: want all windows materialized after reads", cs)
+	}
+	if cs.MmapReads+cs.ReadAtReads == 0 || cs.BytesRead == 0 {
+		t.Fatalf("stats %+v: no reads accounted", cs)
+	}
+	if cs.FallbackReplays != 0 || cs.MaterializeFailures != 0 {
+		t.Fatalf("stats %+v: unexpected fallbacks on a clean sidecar", cs)
+	}
+}
+
+// TestColumnarDisableMmap forces the pread path end to end.
+func TestColumnarDisableMmap(t *testing.T) {
+	dir := t.TempDir()
+	cfg := colCfg(dir)
+	cfg.Columnar.DisableMmap = true
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := s.Append(randBatch(rng, 200, 0, 300)); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]tuple.Batch{}
+	for _, c := range s.WindowIndexes() {
+		want[c] = s.Window(c)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for c, w := range want {
+		if got := r.Window(c); !batchBitEqual(got, w) {
+			t.Fatalf("window %d differs under DisableMmap", c)
+		}
+	}
+	cs := r.ColumnarStats()
+	if cs.MmapReads != 0 || cs.ReadAtReads == 0 {
+		t.Fatalf("stats %+v: DisableMmap must route every read through pread", cs)
+	}
+}
+
+// TestColumnarCorruptBlockFallsBack flips a byte inside a sidecar block
+// (leaving its footer intact) and requires materialization to fall back
+// to the row checkpoint with identical results.
+func TestColumnarCorruptBlockFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(colCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := s.Append(randBatch(rng, 300, 0, 200)); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]tuple.Batch{}
+	for _, c := range s.WindowIndexes() {
+		want[c] = s.Window(c)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs := colblockSeqs(dir)
+	if len(seqs) != 1 {
+		t.Fatalf("sidecars on disk: %v, want exactly one", seqs)
+	}
+	path := filepath.Join(dir, colblockName(seqs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xff // inside the first block, past the 8-byte header
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(colCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.RecoveryStats().Columnar {
+		t.Fatalf("recovery %+v: footer is intact, recovery should still be lazy", r.RecoveryStats())
+	}
+	for c, w := range want {
+		if got := r.Window(c); !batchBitEqual(got, w) {
+			t.Fatalf("window %d differs after block-corruption fallback", c)
+		}
+	}
+	cs := r.ColumnarStats()
+	if cs.FallbackReplays == 0 {
+		t.Fatalf("stats %+v: corrupt block must be counted as a fallback replay", cs)
+	}
+	if cs.MaterializeFailures != 0 {
+		t.Fatalf("stats %+v: fallback should have succeeded", cs)
+	}
+}
+
+// TestColumnarCheckpointOfLazyWindows checkpoints a store whose windows
+// were never materialized: the new checkpoint must carry the full data
+// (streamed from the old sidecar), proven by a third, clean restart.
+func TestColumnarCheckpointOfLazyWindows(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(colCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := s.Append(randBatch(rng, 250, 0, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mid, err := Open(colCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a suffix but read nothing: every checkpointed base stays lazy.
+	extra := randBatch(rng, 50, 300, 400)
+	if err := mid.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if mid.ColumnarStats().Materializations != 0 {
+		t.Fatal("append alone must not materialize windows")
+	}
+	if err := mid.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]tuple.Batch{}
+	for _, c := range mid.WindowIndexes() {
+		want[c] = mid.Window(c)
+	}
+	if err := mid.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(colCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got, wantN := len(r.WindowIndexes()), len(want); got != wantN {
+		t.Fatalf("windows after second checkpoint: %d, want %d", got, wantN)
+	}
+	for c, w := range want {
+		if got := r.Window(c); !batchBitEqual(got, w) {
+			t.Fatalf("window %d differs after checkpoint-of-lazy-windows", c)
+		}
+	}
+}
+
+// TestColumnarEquivalenceRandomHistories is the satellite property test
+// at the store layer: over randomized ingest histories — late arrivals,
+// interleaved checkpoints, torn segment tails — a columnar reopen and a
+// row-replay reopen of the same directory must agree bit-for-bit on
+// every observable.
+func TestColumnarEquivalenceRandomHistories(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		dir := t.TempDir()
+		cfg := colCfg(dir)
+		cfg.Retain = 8
+		s, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxWin := 3
+		ops := 30 + rng.Intn(40)
+		for i := 0; i < ops; i++ {
+			if rng.Intn(10) == 0 {
+				if err := s.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if rng.Intn(4) == 0 {
+				maxWin++
+			}
+			lo := maxWin - 3 - rng.Intn(2) // late arrivals into older windows
+			if lo < 0 {
+				lo = 0
+			}
+			b := randBatch(rng, 1+rng.Intn(25), float64(lo*100), float64(maxWin*100))
+			if err := s.Append(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Optionally tear the newest segment's tail, as a crash mid-write
+		// would: recovery must treat the damage identically on both paths.
+		if rng.Intn(2) == 0 {
+			names, err := segmentNames(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) > 0 {
+				p := filepath.Join(dir, names[len(names)-1])
+				f, err := os.OpenFile(p, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.Write([]byte{0x45, 0x4d, 0x54, 0x31, 0x13, 0x37, 0x00})
+				f.Close()
+			}
+		}
+
+		cfgA := cfg
+		cfgA.Dir = copyDirTo(t, dir)
+		cfgB := cfg
+		cfgB.Dir = copyDirTo(t, dir)
+		cfgB.Columnar = ColumnarConfig{}
+		sa, err := Open(cfgA)
+		if err != nil {
+			t.Fatalf("trial %d: columnar reopen: %v", trial, err)
+		}
+		sb, err := Open(cfgB)
+		if err != nil {
+			t.Fatalf("trial %d: row reopen: %v", trial, err)
+		}
+		if sa.Len() != sb.Len() {
+			t.Fatalf("trial %d: Len %d vs %d", trial, sa.Len(), sb.Len())
+		}
+		if math.Float64bits(sa.MaxTime()) != math.Float64bits(sb.MaxTime()) {
+			t.Fatalf("trial %d: MaxTime %v vs %v", trial, sa.MaxTime(), sb.MaxTime())
+		}
+		ia, ib := sa.WindowIndexes(), sb.WindowIndexes()
+		if len(ia) != len(ib) {
+			t.Fatalf("trial %d: indexes %v vs %v", trial, ia, ib)
+		}
+		for i := range ia {
+			if ia[i] != ib[i] {
+				t.Fatalf("trial %d: indexes %v vs %v", trial, ia, ib)
+			}
+		}
+		for _, c := range ia {
+			gb, gok := sa.WindowBounds(c)
+			wa, wb := sa.Window(c), sb.Window(c)
+			if !batchBitEqual(wa, wb) {
+				t.Fatalf("trial %d: window %d differs between scan paths", trial, c)
+			}
+			eb, eok := wb.Bounds()
+			if gok != eok || gb != eb {
+				t.Fatalf("trial %d: WindowBounds(%d) %+v,%v vs %+v,%v", trial, c, gb, gok, eb, eok)
+			}
+		}
+		sa.Close()
+		sb.Close()
+	}
+}
+
+// TestColumnarWindowRegion compares the merged two-source region scan
+// against filtering the materialized window, on clustered data so the
+// zone maps actually prune, with an unmaterialized suffix in play.
+func TestColumnarWindowRegion(t *testing.T) {
+	dir := t.TempDir()
+	cfg := colCfg(dir)
+	cfg.Columnar.BlockTuples = 16
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	// Two spatial clusters far apart inside one window, so blocks sort
+	// into disjoint cells and a query over one cluster prunes the other.
+	var b tuple.Batch
+	for i := 0; i < 200; i++ {
+		cx, cy := 0.0, 0.0
+		if i%2 == 1 {
+			cx, cy = 50000, 50000
+		}
+		b = append(b, tuple.Raw{
+			T: rng.Float64() * 100,
+			X: cx + rng.Float64()*100, Y: cy + rng.Float64()*100,
+			S: 400 + rng.NormFloat64(),
+		})
+	}
+	if err := s.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	suffix := randBatch(rng, 25, 0, 100)
+	if err := s.Append(suffix); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	region := geo.Rect{Min: geo.Point{X: -500, Y: -500}, Max: geo.Point{X: 1500, Y: 1200}}
+	got := r.WindowRegion(0, region)
+	if r.ColumnarStats().Materializations != 0 {
+		t.Fatal("WindowRegion must not materialize the window")
+	}
+	if cs := r.ColumnarStats(); cs.BlocksPruned == 0 {
+		t.Fatalf("stats %+v: clustered scan pruned nothing", cs)
+	}
+	var want tuple.Batch
+	for _, tp := range r.Window(0) {
+		if region.Contains(tp.Pos()) {
+			want = append(want, tp)
+		}
+	}
+	sortTuples := func(b tuple.Batch) {
+		sort.Slice(b, func(i, j int) bool {
+			if b[i].T != b[j].T {
+				return b[i].T < b[j].T
+			}
+			if b[i].X != b[j].X {
+				return b[i].X < b[j].X
+			}
+			if b[i].Y != b[j].Y {
+				return b[i].Y < b[j].Y
+			}
+			return b[i].S < b[j].S
+		})
+	}
+	sortTuples(got)
+	sortTuples(want)
+	if !batchBitEqual(got, want) {
+		t.Fatalf("WindowRegion: %d tuples vs filtered window's %d", len(got), len(want))
+	}
+}
+
+// TestCheckpointConcurrentManualCalls is the regression test for the
+// checkpoint/ticker race: concurrent Checkpoint calls (as the engine's
+// periodic ticker and a manual trigger produce) while every-batch
+// appends are fsyncing must never turn an acknowledged append into a
+// sync error against a closed handle.
+func TestCheckpointConcurrentManualCalls(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{WindowLength: 100, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Widen the race window: every fsync dawdles, so an append's
+	// out-of-lock sync reliably overlaps the next checkpoint's retire.
+	s.syncSeg = func(f *os.File) error {
+		for i := 0; i < 200; i++ {
+			_ = i
+		}
+		return f.Sync()
+	}
+	var wg sync.WaitGroup
+	appendErr := make(chan error, 64) //bounded: one slot per appender goroutine below
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if err := s.Append(mkBatch(float64(g*1000+i) / 10)); err != nil {
+					appendErr <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := s.Checkpoint(); err != nil {
+					appendErr <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(appendErr)
+	for err := range appendErr {
+		t.Errorf("concurrent checkpoint/append: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -141,6 +141,11 @@ type Config struct {
 	// even after a checkpoint supersedes it. 0 deletes every covered
 	// segment.
 	KeepSegments int
+	// Columnar configures the columnar checkpoint sidecar (see
+	// columnar.go): when Enabled, each checkpoint also emits a columnar
+	// copy of its windows and Open recovers lazily from it. Ignored when
+	// Dir is empty.
+	Columnar ColumnarConfig
 }
 
 // Store is a windowed, optionally durable raw-tuple store. It is safe for
@@ -152,17 +157,21 @@ type Store struct {
 	total   int                 // tuples currently held
 	maxTime float64             // largest timestamp ever appended
 
-	seg    *os.File // open segment file, nil when durability is off
+	seg    *segHandle // open segment, nil when durability is off
 	segSeq int
 	segOff int64 // end offset of the last intact frame in seg
 	closed bool  // Close was called; durable appends must fail
 
 	// retired holds segment handles sealed by a checkpoint but not yet
-	// closed: an every-batch Append that captured the handle before the
-	// seal can still fsync it instead of erroring on a closed file.
-	// The next checkpoint (or Close) closes them — by then any append
-	// that captured one has long finished.
-	retired []*os.File
+	// doomed: an every-batch Append (or a group-commit closer) that
+	// captured a handle before the seal still fsyncs it through its own
+	// reference. The next checkpoint (or Close) dooms them; the refcount
+	// defers the actual close past any fsync still in flight.
+	retired []*segHandle
+
+	// col is the columnar sidecar state (reader, lazy windows, counters);
+	// see columnar.go.
+	col columnarState
 
 	// group is the open commit group (SyncModeGrouped); appends join it
 	// and block on its done channel until one fsync covers them all.
@@ -202,6 +211,65 @@ type Store struct {
 	// os.Remove.
 	renameFile func(oldpath, newpath string) error
 	removeFile func(path string) error
+}
+
+// segHandle wraps an open segment file with a reference count so the
+// fsync-outside-the-lock paths (every-batch Append, group-commit close,
+// a checkpoint's deferred seal sync) never race the close issued by the
+// next checkpoint: each such path acquires a reference under the store
+// lock while the handle is current, and doom defers the close until the
+// last reference releases. Without this, a checkpoint closing the
+// previous checkpoint's retired handles while an append's fsync was
+// still in flight turned acknowledged-durable appends into EBADF sync
+// errors.
+type segHandle struct {
+	f      *os.File
+	refs   atomic.Int32
+	doomed atomic.Bool
+	closed atomic.Bool
+}
+
+// acquire takes a reference. Callers hold the store mutex, which orders
+// every acquire before the doom that could close the file.
+func (h *segHandle) acquire() { h.refs.Add(1) }
+
+// release drops a reference, closing a doomed handle when the last
+// reference goes.
+func (h *segHandle) release() {
+	if h.refs.Add(-1) == 0 && h.doomed.Load() {
+		h.closeOnce()
+	}
+}
+
+// doom marks the handle for close, closing immediately when no fsync is
+// in flight. Called with the store mutex held.
+func (h *segHandle) doom() {
+	h.doomed.Store(true)
+	if h.refs.Load() == 0 {
+		h.closeOnce()
+	}
+}
+
+// closeNow closes immediately when unreferenced (returning the close
+// error) and dooms otherwise. Called with the store mutex held; used by
+// Close, which wants the error when it can have one.
+func (h *segHandle) closeNow() error {
+	if h.refs.Load() == 0 {
+		if h.closed.CompareAndSwap(false, true) {
+			return h.f.Close()
+		}
+		return nil
+	}
+	h.doom()
+	return nil
+}
+
+// closeOnce closes the file exactly once, no matter how many of doom and
+// the racing releases reach it.
+func (h *segHandle) closeOnce() {
+	if h.closed.CompareAndSwap(false, true) {
+		h.f.Close()
+	}
 }
 
 // commitGroup is one group-commit unit: the appends that share a single
@@ -317,20 +385,34 @@ func (s *Store) recover() error {
 	}
 	horizon := -1
 	for _, seq := range candidates {
-		hdr, batches, err := readCheckpointFile(filepath.Join(s.cfg.Dir, checkpointName(seq)))
-		if err != nil {
-			s.recovery.CorruptCheckpoints++
-			continue
+		var hdr ckHeader
+		if s.cfg.Columnar.Enabled {
+			// Lazy columnar recovery: validate the row header, open the
+			// sidecar, and register every window as lazy — no tuple is
+			// decoded until something asks for its window. A missing or
+			// inconsistent sidecar falls through to the eager row read.
+			if h, ok := s.tryLazyRecover(seq); ok {
+				hdr = h
+				s.recovery.Columnar = true
+			}
 		}
-		for _, b := range batches {
-			s.addToWindows(b)
+		if !s.recovery.Columnar {
+			h, batches, err := readCheckpointFile(filepath.Join(s.cfg.Dir, checkpointName(seq)))
+			if err != nil {
+				s.recovery.CorruptCheckpoints++
+				continue
+			}
+			hdr = h
+			for _, b := range batches {
+				s.addToWindows(b)
+			}
 		}
 		// The recovered checkpoint IS the newest committed one: seed the
 		// checkpoint counters so LastSeq survives a restart (the window
 		// count is read before eviction — it is the checkpoint's, even
 		// if a lowered Retain trims it right after).
 		s.ckStats.LastSeq = int64(seq)
-		s.ckStats.LastWindows = int64(len(s.windows))
+		s.ckStats.LastWindows = int64(len(s.windows) + len(s.col.lazy))
 		s.ckStats.LastTuples = int64(hdr.tuples)
 		s.evictLocked()
 		// The header's maxTime can exceed every retained tuple's (the
@@ -414,14 +496,8 @@ func (s *Store) recover() error {
 	// again can never contribute data — reclaim it now instead of
 	// re-reading it on every restart. (A torn tail holds no
 	// acknowledged data, so it does not keep a segment alive.)
-	if s.cfg.Retain > 0 && len(s.windows) > 0 {
-		minRetained := 0
-		first := true
-		for c := range s.windows {
-			if first || c < minRetained {
-				minRetained, first = c, false
-			}
-		}
+	if retained := s.unionIndexesLocked(); s.cfg.Retain > 0 && len(retained) > 0 {
+		minRetained := retained[0]
 		for _, in := range infos {
 			if in.covered {
 				continue
@@ -535,7 +611,7 @@ func (s *Store) openSegment() error {
 		f.Close()
 		return fmt.Errorf("store: stat segment: %w", err)
 	}
-	s.seg = f
+	s.seg = &segHandle{f: f}
 	s.segOff = info.Size()
 	return nil
 }
@@ -582,11 +658,12 @@ func (s *Store) Append(b tuple.Batch) error {
 			hooks[i] = s.evictHooks[id]
 		}
 	}
-	var everySeg *os.File
+	var everySeg *segHandle
 	if s.cfg.Dir != "" && s.seg != nil {
 		switch s.cfg.Sync.Mode {
 		case SyncModeEveryBatch:
 			everySeg = s.seg
+			everySeg.acquire()
 		case SyncModeGrouped:
 			group, seal = s.joinGroupLocked()
 		}
@@ -595,10 +672,10 @@ func (s *Store) Append(b tuple.Batch) error {
 	if everySeg != nil {
 		// Fsync outside the lock: holding mu through an fsync would stall
 		// every reader (the whole query path) per append. The frame is
-		// already written; a concurrent rotation that closes this handle
-		// surfaces here as a sync error — conservative, and the rotation
-		// path itself syncs the abandoned segment first.
-		syncErr = s.doSync(everySeg)
+		// already written, and the acquired reference keeps the handle
+		// open past any concurrent checkpoint that retires and dooms it.
+		syncErr = s.doSync(everySeg.f)
+		everySeg.release()
 	}
 	if group != nil {
 		if seal {
@@ -665,6 +742,9 @@ func (s *Store) closeGroup(g *commitGroup) {
 		delete(s.sealed, g)
 		seg := s.seg
 		closed := s.closed
+		if seg != nil && !closed {
+			seg.acquire()
+		}
 		timer := g.timer
 		ferr := g.failErr
 		s.mu.Unlock()
@@ -674,8 +754,12 @@ func (s *Store) closeGroup(g *commitGroup) {
 		switch {
 		case ferr != nil:
 			g.err = ferr
+			if seg != nil && !closed {
+				seg.release()
+			}
 		case seg != nil && !closed:
-			g.err = s.doSync(seg)
+			g.err = s.doSync(seg.f)
+			seg.release()
 		}
 		close(g.done)
 	})
@@ -703,9 +787,9 @@ func (s *Store) persistLocked(b tuple.Batch) error {
 		}
 	}
 	//lockcheck:allow writeFrame is the test crash-injection seam; segment writes must serialize under mu
-	if err := s.writeFrame(s.seg, b); err != nil {
+	if err := s.writeFrame(s.seg.f, b); err != nil {
 		werr := fmt.Errorf("store: persist batch: %w", err)
-		if terr := s.seg.Truncate(s.segOff); terr == nil {
+		if terr := s.seg.f.Truncate(s.segOff); terr == nil {
 			return werr
 		}
 		// Truncate failed: the torn frame stays, so this segment must
@@ -715,7 +799,7 @@ func (s *Store) persistLocked(b tuple.Batch) error {
 		// lost with the handle. If even that sync fails, poison the group
 		// so its appends are NOT acknowledged as durable; its timer will
 		// complete it with the error.
-		if serr := s.doSync(s.seg); serr != nil {
+		if serr := s.doSync(s.seg.f); serr != nil {
 			if g := s.group; g != nil {
 				s.group = nil
 				g.failErr = serr
@@ -726,7 +810,7 @@ func (s *Store) persistLocked(b tuple.Batch) error {
 				}
 			}
 		}
-		s.seg.Close()
+		s.seg.doom()
 		s.seg = nil
 		s.segSeq++
 		if oerr := s.openSegment(); oerr != nil {
@@ -777,40 +861,79 @@ func (s *Store) addToWindows(b tuple.Batch) {
 	}
 }
 
-// evictLocked drops the oldest windows beyond the retention bound and
-// returns their indexes in ascending order (nil when nothing is evicted).
-func (s *Store) evictLocked() []int {
-	if s.cfg.Retain == 0 || len(s.windows) <= s.cfg.Retain {
-		return nil
-	}
-	idxs := make([]int, 0, len(s.windows))
+// unionIndexesLocked returns the distinct retained window indexes —
+// in-memory and lazy columnar — in ascending order. Caller holds mu.
+func (s *Store) unionIndexesLocked() []int {
+	idxs := make([]int, 0, len(s.windows)+len(s.col.lazy))
 	for c := range s.windows {
 		idxs = append(idxs, c)
 	}
+	for c := range s.col.lazy {
+		if _, ok := s.windows[c]; !ok {
+			idxs = append(idxs, c)
+		}
+	}
 	sort.Ints(idxs)
+	return idxs
+}
+
+// evictLocked drops the oldest windows beyond the retention bound and
+// returns their indexes in ascending order (nil when nothing is evicted).
+// A window counts once whether it lives in memory, lazily in the
+// columnar sidecar, or (base + suffix) in both; eviction drops both
+// halves.
+func (s *Store) evictLocked() []int {
+	if s.cfg.Retain == 0 {
+		return nil
+	}
+	idxs := s.unionIndexesLocked()
+	if len(idxs) <= s.cfg.Retain {
+		return nil
+	}
 	evicted := idxs[:len(idxs)-s.cfg.Retain]
 	for _, c := range evicted {
 		s.total -= len(s.windows[c])
 		delete(s.windows, c)
+		if lw := s.col.lazy[c]; lw != nil {
+			s.total -= lw.count
+			delete(s.col.lazy, c)
+		}
 	}
 	return evicted
 }
 
-// Window returns a copy of the tuples in window W_c, sorted by time.
+// Window returns a copy of the tuples in window W_c, sorted by time. A
+// window still lazy in the columnar sidecar is materialized first, so
+// callers see the full base + suffix contents either way.
 func (s *Store) Window(c int) tuple.Batch {
 	s.mu.RLock()
-	b := s.windows[c].Clone()
+	lazy := s.col.lazy[c] != nil
+	var b tuple.Batch
+	if !lazy {
+		b = s.windows[c].Clone()
+	}
 	s.mu.RUnlock()
+	if lazy {
+		s.materializeWindow(c)
+		s.mu.RLock()
+		b = s.windows[c].Clone()
+		s.mu.RUnlock()
+	}
 	b.SortByTime()
 	return b
 }
 
 // WindowLen returns the number of tuples in window W_c without copying
-// it — the cheap emptiness/size probe for query planning.
+// (or materializing) it — the cheap emptiness/size probe for query
+// planning.
 func (s *Store) WindowLen(c int) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.windows[c])
+	n := len(s.windows[c])
+	if lw := s.col.lazy[c]; lw != nil {
+		n += lw.count
+	}
+	return n
 }
 
 // WindowAt returns the window containing stream time t, along with its
@@ -825,9 +948,6 @@ func (s *Store) WindowAt(t float64) (tuple.Batch, int) {
 func (s *Store) LatestWindowIndex() (int, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(s.windows) == 0 {
-		return 0, false
-	}
 	best := 0
 	first := true
 	for c := range s.windows {
@@ -835,20 +955,20 @@ func (s *Store) LatestWindowIndex() (int, bool) {
 			best, first = c, false
 		}
 	}
-	return best, true
+	for c := range s.col.lazy {
+		if first || c > best {
+			best, first = c, false
+		}
+	}
+	return best, !first
 }
 
-// WindowIndexes returns the indexes of all retained windows in ascending
-// order.
+// WindowIndexes returns the indexes of all retained windows — in-memory
+// and lazy columnar — in ascending order.
 func (s *Store) WindowIndexes() []int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	idxs := make([]int, 0, len(s.windows))
-	for c := range s.windows {
-		idxs = append(idxs, c)
-	}
-	sort.Ints(idxs)
-	return idxs
+	return s.unionIndexesLocked()
 }
 
 // Len returns the total number of retained tuples.
@@ -876,7 +996,7 @@ func (s *Store) Sync() error {
 	if s.seg == nil {
 		return nil
 	}
-	return s.doSync(s.seg)
+	return s.doSync(s.seg.f)
 }
 
 // Close syncs and closes the segment file. A pending commit group is
@@ -891,10 +1011,10 @@ func (s *Store) Close() error {
 	if s.seg != nil {
 		// Sync under the lock: a concurrently-firing group timer must not
 		// release the group's waiters before this sync has covered them.
-		if err = s.doSync(s.seg); err != nil {
-			s.seg.Close()
+		if err = s.doSync(s.seg.f); err != nil {
+			s.seg.doom()
 		} else {
-			err = s.seg.Close()
+			err = s.seg.closeNow()
 		}
 		s.seg = nil
 	}
@@ -902,15 +1022,18 @@ func (s *Store) Close() error {
 	// sealed them; a final best-effort sync covers the rare seal whose
 	// deferred fsync failed (possible only under SyncNever, which
 	// promises nothing, but flushing here costs one no-op fsync).
-	for _, f := range s.retired {
-		if serr := s.doSync(f); serr != nil && err == nil {
+	for _, h := range s.retired {
+		if serr := s.doSync(h.f); serr != nil && err == nil {
 			err = serr
 		}
-		if cerr := f.Close(); cerr != nil && err == nil {
+		if cerr := h.closeNow(); cerr != nil && err == nil {
 			err = cerr
 		}
 	}
 	s.retired = nil
+	// Drop the sidecar reader; still-lazy windows fall back to the row
+	// checkpoint file if something reads them after Close.
+	s.retireReaderLocked()
 	if group != nil {
 		// Hand the group this sync's outcome under mu: whichever of
 		// Close and the group's timer wins the once reads it there, so a

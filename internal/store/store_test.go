@@ -383,7 +383,7 @@ func TestFailedAppendRotatesWhenTruncateFails(t *testing.T) {
 	// truncate rollback fails and the store must rotate.
 	s.writeFrame = func(w io.Writer, b tuple.Batch) error {
 		w.Write([]byte{0x45, 0x4d, 0x54, 0x31, 0xde, 0xad})
-		s.seg.Close()
+		s.seg.f.Close()
 		return errors.New("disk failure")
 	}
 	if err := s.Append(mkBatch(2)); err == nil {
