@@ -7,10 +7,15 @@ package repro
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"net"
 	"net/http/httptest"
+	"reflect"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/wire"
 )
 
@@ -150,6 +155,171 @@ func TestClusteredPlatformsOverTCP(t *testing.T) {
 
 	if st := p0.ClusterStats(); st.Forwarded == 0 && st.Scatters == 0 {
 		t.Error("node 0 never used the cluster")
+	}
+}
+
+// TestClusteredPlatformsReplicated: a real 3-node TCP cluster with
+// Replicas: 2. Ingests commit at their shard's owner and stream to its
+// ring successor's mirror engine; killing one node's server yields zero
+// query errors through the survivors — every answer comes back
+// byte-equal from a replica — and scatter-gather (heatmap) still
+// assembles the full grid. With a second node down, scatter-gather
+// degrades to a marked partial result instead of an all-or-nothing
+// error.
+func TestClusteredPlatformsReplicated(t *testing.T) {
+	addrs := reservePorts(t, 3)
+	ctx := context.Background()
+
+	servers := make([]io.Closer, 3)
+	plats := make([]*Platform, 3)
+	httpSrvs := make([]*httptest.Server, 3)
+	for id := 0; id < 3; id++ {
+		p, err := Open(Config{
+			WindowSeconds: 3600,
+			Pollutants:    []Pollutant{CO2},
+			Cluster: ClusterConfig{
+				Nodes:    addrs,
+				NodeID:   id,
+				Cells:    6,
+				Region:   Rect{Min: Point{X: -1500, Y: -1500}, Max: Point{X: 1500, Y: 1500}},
+				Replicas: 2,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		srv, _, err := p.ListenTCP(addrs[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		plats[id], servers[id] = p, srv
+		httpSrvs[id] = httptest.NewServer(p.Handler())
+		t.Cleanup(httpSrvs[id].Close)
+	}
+
+	var readings []Reading
+	for x := -1400.0; x <= 1400; x += 200 {
+		for y := -1400.0; y <= 1400; y += 200 {
+			readings = append(readings, Reading{T: 600, X: x, Y: y, S: clusterField(x, y)})
+		}
+	}
+	if err := plats[0].Ingest(ctx, CO2, readings); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the replication streams to drain: every streamed frame
+	// applied to a mirror, observed through GET /v1/cluster.
+	type clusterDoc struct {
+		Replication *struct {
+			Streamed int64 `json:"streamed"`
+			Applied  int64 `json:"applied"`
+			Mirrors  int   `json:"mirrors"`
+		} `json:"replication"`
+	}
+	readDoc := func(i int) clusterDoc {
+		resp, err := httpSrvs[i].Client().Get(httpSrvs[i].URL + "/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc clusterDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		streamed, applied, mirrors := int64(0), int64(0), 0
+		for i := 0; i < 3; i++ {
+			doc := readDoc(i)
+			if doc.Replication == nil {
+				t.Fatalf("node %d /v1/cluster has no replication section on a replicated ring", i)
+			}
+			streamed += doc.Replication.Streamed
+			applied += doc.Replication.Applied
+			mirrors += doc.Replication.Mirrors
+		}
+		if streamed > 0 && applied == streamed && mirrors > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication never drained: streamed %d, applied %d, mirrors %d", streamed, applied, mirrors)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Record every sample's answer (and the full heatmap) before the
+	// kill, then take node 2 off the network.
+	var samples []Request
+	for i := 0; i < len(readings); i += 7 {
+		samples = append(samples, Request{T: 600, X: readings[i].X, Y: readings[i].Y, Pollutant: CO2})
+	}
+	want := make([]float64, len(samples))
+	for i, req := range samples {
+		v, err := plats[0].Query(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	preGrid, err := plats[0].Heatmap(ctx, CO2, 600, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers[2].Close()
+
+	victimOwned := 0
+	for i, req := range samples {
+		if !plats[0].Owns(CO2, req.X, req.Y) && !plats[1].Owns(CO2, req.X, req.Y) {
+			victimOwned++
+		}
+		v, err := plats[0].Query(ctx, req)
+		if err != nil {
+			t.Fatalf("query at (%v,%v) failed after killing node 2: %v", req.X, req.Y, err)
+		}
+		if v != want[i] {
+			t.Fatalf("failover answer %v at (%v,%v), was %v", v, req.X, req.Y, want[i])
+		}
+	}
+	if victimOwned == 0 {
+		t.Fatal("no sample owned by the killed node")
+	}
+	if plats[0].ClusterStats().FailedOver == 0 {
+		t.Error("no request counted as failed over")
+	}
+
+	// Scatter-gather heals byte-equal from the mirrors.
+	postGrid, err := plats[0].Heatmap(ctx, CO2, 600, 16, 16)
+	if err != nil {
+		t.Fatalf("heatmap after node loss: %v", err)
+	}
+	if !reflect.DeepEqual(preGrid, postGrid) {
+		t.Fatal("post-kill heatmap differs from pre-kill")
+	}
+
+	// Two nodes down: scatter-gather answers what it can. Whether the
+	// survivor's mirrors cover everything depends on the ring layout, so
+	// the contract is: either a full grid, or a grid alongside
+	// ErrPartialResult — never a bare error.
+	servers[1].Close()
+	g, err := plats[0].Heatmap(ctx, CO2, 600, 16, 16)
+	if err != nil && !errors.Is(err, ErrPartialResult) {
+		t.Fatalf("heatmap with two nodes down: %v, want nil or ErrPartialResult", err)
+	}
+	if g == nil || len(g.Values) == 0 {
+		t.Fatal("heatmap with two nodes down carried no grid")
+	}
+	if err != nil {
+		var pe *cluster.PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("partial error %v does not unwrap to *cluster.PartialError", err)
+		}
+		if len(pe.Dead) == 0 {
+			t.Fatal("partial error names no dead node")
+		}
 	}
 }
 

@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	envirometer-bench [-fig 6a|6b|7a|7b|ablations|subs|all] [-days N] [-queries N] [-seed N]
+//	envirometer-bench [-fig 6a|6b|7a|7b|ablations|subs|colscan|failover|all]
+//	                  [-days N] [-queries N] [-seed N]
 //	                  [-subscribers N] [-rounds N] [-out FILE]
 //
 // By default it generates the full one-month synthetic lausanne-data
 // equivalent (172,800 scheduled samples) and runs everything; -days trims
 // the deployment for quick runs. -fig subs runs the closed-loop push
 // benchmark and, with -out, writes its JSON result (BENCH_6.json) after
-// re-parsing and sanity-checking the file.
+// re-parsing and sanity-checking the file. -fig failover runs the
+// replica-failover / hedged-read benchmark (BENCH_9.json) the same way.
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "which experiment: 6a, 6b, 7a, 7b, ablations, subs, colscan, all")
+		fig         = flag.String("fig", "all", "which experiment: 6a, 6b, 7a, 7b, ablations, subs, colscan, failover, all")
 		days        = flag.Float64("days", 30, "deployment duration to simulate, in days")
 		queries     = flag.Int("queries", 5000, "point queries per window size (Figure 6)")
 		seed        = flag.Int64("seed", 1, "deterministic seed for data, workloads, clustering")
@@ -45,6 +47,23 @@ func main() {
 	}
 	if *fig == "colscan" {
 		if err := runColscan(*windows, *seed, *minspeedup, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "envirometer-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "failover" {
+		queriesSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "queries" {
+				queriesSet = true
+			}
+		})
+		q := 0
+		if queriesSet {
+			q = *queries
+		}
+		if err := runFailover(q, *seed, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "envirometer-bench:", err)
 			os.Exit(1)
 		}
@@ -159,6 +178,63 @@ func runColscan(windows int, seed int64, minSpeedup float64, out string) error {
 	return nil
 }
 
+// runFailover drives the replica-failover / hedged-read benchmark and
+// optionally persists BENCH_9.json, verifying the written file parses
+// back and records a passing run: zero failed queries and byte-equal
+// replica answers after killing a node, and a hedged p99 no worse than
+// the unhedged one against a slow primary.
+func runFailover(queries int, seed int64, out string) error {
+	cfg := bench.DefaultFailoverConfig()
+	cfg.Seed = seed
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	res, err := bench.RunFailover(cfg)
+	if err != nil {
+		return err
+	}
+	bench.PrintFailover(os.Stdout, res)
+	if !res.ZeroErrorFailover {
+		return fmt.Errorf("failover was not error-free: %d/%d queries failed, %d ingest failures, %d failovers",
+			res.FailedAfterKill, res.QueriesAfterKill, res.IngestFailures, res.ClientFailovers)
+	}
+	if !res.ByteEqualReplicas {
+		return fmt.Errorf("%d replica answers diverged from the dead owner's", res.Mismatches)
+	}
+	if !res.HedgeP99Improved {
+		return fmt.Errorf("hedging did not hold p99: hedged %.3fms vs unhedged %.3fms (%d wins)",
+			res.HedgedP99Ms, res.UnhedgedP99Ms, res.HedgeWins)
+	}
+	if out == "" {
+		return nil
+	}
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		return err
+	}
+	var check bench.FailoverResult
+	if err := json.Unmarshal(raw, &check); err != nil {
+		return fmt.Errorf("%s does not parse back: %w", out, err)
+	}
+	if !check.ZeroErrorFailover || !check.ByteEqualReplicas || !check.HedgeP99Improved {
+		return fmt.Errorf("%s records a failing run (zero-error %v, byte-equal %v, hedge %v)",
+			out, check.ZeroErrorFailover, check.ByteEqualReplicas, check.HedgeP99Improved)
+	}
+	if check.VictimShardQueries <= 0 || check.HedgeWins <= 0 {
+		return fmt.Errorf("%s records no victim-shard reads (%d) or hedge wins (%d)",
+			out, check.VictimShardQueries, check.HedgeWins)
+	}
+	fmt.Printf("\nwrote %s (%d bytes, parses back OK)\n", out, len(raw))
+	return nil
+}
+
 func run(fig string, days float64, queries int, seed int64) error {
 	fmt.Printf("# generating synthetic lausanne-data: %.1f days, seed %d\n", days, seed)
 	d, err := bench.LoadDataset(seed, days*86400)
@@ -204,7 +280,7 @@ func run(fig string, days float64, queries int, seed int64) error {
 		fmt.Println()
 		return runAblations(d, queries, seed)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 6a, 6b, 7a, 7b, ablations, subs, all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 6a, 6b, 7a, 7b, ablations, subs, colscan, failover, all)", fig)
 	}
 	return nil
 }

@@ -98,6 +98,7 @@ func main() {
 		router        = flag.Bool("router", false, "run as a dedicated query router owning no shards")
 		clusterCells  = flag.Int("cluster-cells", 0, "geo cells partitioning the region (0 = default 16)")
 		clusterVNodes = flag.Int("cluster-vnodes", 0, "consistent-hash virtual nodes per node (0 = default 64)")
+		replicas      = flag.Int("replicas", 0, "replication factor R: each shard lives on its owner plus R-1 ring successors, which answer its reads when the owner dies (0 or 1 = unreplicated)")
 	)
 	flag.Parse()
 	sync, err := parseSyncPolicy(*syncMode, *syncBatches, *syncDelay)
@@ -112,13 +113,17 @@ func main() {
 			os.Exit(2)
 		}
 		cl = repro.ClusterConfig{
-			Nodes:  strings.Split(*clusterNodes, ","),
-			NodeID: *nodeID,
-			Router: *router,
-			Cells:  *clusterCells,
-			VNodes: *clusterVNodes,
-			Seed:   *seed,
+			Nodes:    strings.Split(*clusterNodes, ","),
+			NodeID:   *nodeID,
+			Router:   *router,
+			Cells:    *clusterCells,
+			VNodes:   *clusterVNodes,
+			Seed:     *seed,
+			Replicas: *replicas,
 		}
+	} else if *replicas > 1 {
+		fmt.Fprintln(os.Stderr, "envirometer-server: -replicas requires -cluster-nodes")
+		os.Exit(2)
 	} else if *router {
 		fmt.Fprintln(os.Stderr, "envirometer-server: -router requires -cluster-nodes")
 		os.Exit(2)

@@ -115,8 +115,17 @@ var (
 	// windows) with a shard another node owns (the HTTP API's 400).
 	ErrNotRoutable = server.ErrNotRoutable
 	// ErrNodeUnreachable: a shard's owner node is down; requests for its
-	// shards fail until it returns (the HTTP API's 502).
+	// shards fail until it returns (the HTTP API's 502). On a replicated
+	// cluster (ClusterConfig.Replicas > 1) reads fail over to replicas
+	// first, so this surfaces only when a shard's whole replica set is
+	// down.
 	ErrNodeUnreachable = cluster.ErrNodeUnreachable
+	// ErrPartialResult: a replicated cluster assembled a scatter-gather
+	// answer (heatmap, model cover) without some dead node's shards — no
+	// live replica could stand in. The value is returned alongside this
+	// error; errors.As against *cluster.PartialError recovers which
+	// nodes are dead and how many shards are stale.
+	ErrPartialResult = cluster.ErrPartialResult
 )
 
 // SyncPolicy selects when durable appends reach stable storage; build
@@ -300,6 +309,11 @@ type ClusterConfig struct {
 	Region Rect
 	// Seed makes the k-means cell partition deterministic (default 1).
 	Seed int64
+	// Replicas is the replication factor R: every shard lives on its
+	// owner plus the next R-1 distinct ring successors, which mirror the
+	// owner's committed ingests and answer its shards when it dies. 0
+	// and 1 both mean unreplicated (the pre-replication behavior).
+	Replicas int
 }
 
 // Config configures a Platform.
@@ -472,7 +486,7 @@ func Open(cfg Config) (*Platform, error) {
 	}
 	p.engine = engine
 	if len(cfg.Cluster.Nodes) > 0 {
-		node, err := newClusterNode(cfg.Cluster, engine, pollutants[0], cfg.Subscriptions.QueueDepth)
+		node, err := newClusterNode(cfg, engine, pollutants[0])
 		if err != nil {
 			engine.Close()
 			closeAll()
@@ -512,8 +526,13 @@ func Open(cfg Config) (*Platform, error) {
 
 // newClusterNode derives the shard ring from the cluster configuration
 // and wraps the engine in a routing node (a pure router when
-// cfg.Router). Peer links dial lazily over the binary TCP protocol.
-func newClusterNode(cfg ClusterConfig, engine *server.Engine, def Pollutant, subQueue int) (*cluster.Node, error) {
+// cfg.Cluster.Router). Peer links dial lazily over the binary TCP
+// protocol. With Replicas > 1 the node also replicates: it streams its
+// committed ingests to ring successors and holds mirrors for the
+// primaries it backs, each mirror a full in-memory engine built by the
+// factory below.
+func newClusterNode(full Config, engine *server.Engine, def Pollutant) (*cluster.Node, error) {
+	cfg := full.Cluster
 	region := cfg.Region
 	if !region.Valid() || region.Area() == 0 {
 		// Default: the simulated Lausanne corridor (x ∈ [-1.5, 4] km,
@@ -535,7 +554,7 @@ func newClusterNode(cfg ClusterConfig, engine *server.Engine, def Pollutant, sub
 	if err != nil {
 		return nil, fmt.Errorf("repro: cluster cells: %w", err)
 	}
-	ring, err := cluster.NewRing(cluster.Desc{Nodes: cfg.Nodes, Cells: cells, VNodes: cfg.VNodes})
+	ring, err := cluster.NewRing(cluster.Desc{Nodes: cfg.Nodes, Cells: cells, VNodes: cfg.VNodes, Replicas: cfg.Replicas})
 	if err != nil {
 		return nil, fmt.Errorf("repro: cluster ring: %w", err)
 	}
@@ -554,19 +573,73 @@ func newClusterNode(cfg ClusterConfig, engine *server.Engine, def Pollutant, sub
 	streams := func(addr string, req wire.Message) (cluster.PushStream, error) {
 		return proto.DialStream(addr, proto.ServerConfig{}, req)
 	}
-	node, err := cluster.NewNode(cluster.NodeConfig{
+	nc := cluster.NodeConfig{
 		Ring:       ring,
 		Self:       self,
 		Local:      local,
 		Transports: cluster.LazyTransports(ring, self, dial),
 		Streams:    streams,
-		SubQueue:   subQueue,
+		SubQueue:   full.Subscriptions.QueueDepth,
 		Default:    def,
-	})
+	}
+	if ring.Replicas() > 1 && self >= 0 {
+		nc.Replication = cluster.ReplicationConfig{NewMirror: mirrorFactory(full)}
+	}
+	node, err := cluster.NewNode(nc)
 	if err != nil {
 		return nil, fmt.Errorf("repro: cluster node: %w", err)
 	}
 	return node, nil
+}
+
+// mirrorFactory builds replica mirrors: each is a full in-memory engine
+// with the same window length, retention, and model configuration as
+// the primary it mirrors, so replaying the primary's committed ingests
+// converges to byte-equal query answers. Mirrors are volatile by design
+// — a restarted replica re-syncs from the primary's replication log (or
+// a fresh snapshot), so persisting them would only double the disk
+// writes. A factory failure yields a handler that answers every read
+// with a "replica:" miss, which the failover paths treat as "no mirror
+// here" and try the next replica.
+func mirrorFactory(cfg Config) func() cluster.Handler {
+	pollutants := cfg.pollutants()
+	return func() cluster.Handler {
+		stores := make(map[Pollutant]*store.Store, len(pollutants))
+		fail := func(err error) cluster.Handler {
+			for _, st := range stores {
+				st.Close()
+			}
+			return mirrorError{err: err}
+		}
+		for _, pol := range pollutants {
+			st, err := store.Open(store.Config{
+				WindowLength: cfg.WindowSeconds,
+				Retain:       cfg.Retain,
+			})
+			if err != nil {
+				return fail(err)
+			}
+			stores[pol] = st
+		}
+		adkmn := cfg.AdKMN
+		adkmn.Pollutant = pollutants[0]
+		eng, err := server.NewMultiEngineOpts(stores, adkmn, server.Options{
+			Subs: cfg.Subscriptions,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return eng
+	}
+}
+
+// mirrorError stands in for a mirror whose engine failed to build:
+// every message answers with a "replica:"-prefixed error, which reads
+// as a replica miss (not a data answer) to the failover paths.
+type mirrorError struct{ err error }
+
+func (m mirrorError) HandleMessage(wire.Message) wire.Message {
+	return wire.ErrorResponse{Msg: "replica: mirror engine: " + m.err.Error()}
 }
 
 // Checkpoint persists every pollutant's retained windows to its store's
@@ -613,6 +686,11 @@ func (p *Platform) ColumnarStats() ColumnarStats { return p.engine.ColumnarStats
 // All failures are reported, combined with errors.Join.
 func (p *Platform) Close() error {
 	var errs []error
+	if p.node != nil {
+		// Stop replication first: the stream workers and mirror engines
+		// must quiesce before the primary engine drains.
+		p.node.Close()
+	}
 	if err := p.engine.Close(); err != nil {
 		errs = append(errs, fmt.Errorf("repro: close engine: %w", err))
 	}
@@ -695,6 +773,17 @@ func (p *Platform) ListenTCP(addr string) (io.Closer, net.Addr, error) {
 func (p *Platform) Ingest(ctx context.Context, pol Pollutant, readings []Reading) error {
 	if p.node == nil {
 		return p.engine.Ingest(ctx, pol, tuple.Batch(readings))
+	}
+	if p.node.Ring().Replicas() > 1 {
+		// Replicated ring: every slice — including this node's own —
+		// must commit through the node, whose primary-side replication
+		// log streams it to the shard's replicas. The engine fast path
+		// below would commit invisibly to the mirrors. An empty batch is
+		// a no-op here just as it is on the split path below.
+		if len(readings) == 0 {
+			return nil
+		}
+		return p.node.Ingest(ctx, pol, tuple.Batch(readings))
 	}
 	ring, self := p.node.Ring(), p.node.Self()
 	var own, foreign tuple.Batch
@@ -878,10 +967,17 @@ func (p *Platform) SubscriptionStats() SubscriptionStats {
 func (p *Platform) Cover(ctx context.Context, pol Pollutant, t float64) (*Cover, error) {
 	if p.node != nil {
 		mr, err := p.node.Model(ctx, pol, t)
-		if err != nil {
+		if err != nil && !errors.Is(err, ErrPartialResult) {
 			return nil, err
 		}
-		return wire.CoverFromModelResponse(mr)
+		cv, convErr := wire.CoverFromModelResponse(mr)
+		if convErr != nil {
+			return nil, convErr
+		}
+		// A partial answer (some dead node's shards missing, no replica
+		// to stand in) returns the usable cover alongside the marker
+		// error; errors.As recovers the *cluster.PartialError detail.
+		return cv, err
 	}
 	return p.engine.CoverAt(ctx, pol, t)
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,6 +17,19 @@ import (
 
 // Dialer opens a transport to a cluster node's wire address.
 type Dialer func(addr string) (Transport, error)
+
+// Hedging tunables.
+const (
+	// hedgeSamples is the latency ring-buffer size the hedge delay
+	// derives from.
+	hedgeSamples = 128
+	// hedgeMinSamples gates the p99 estimate; with fewer samples the
+	// delay falls back to defaultHedgeDelay.
+	hedgeMinSamples = 16
+	// defaultHedgeDelay is the hedge delay before enough latency
+	// samples exist to estimate a p99.
+	defaultHedgeDelay = 2 * time.Millisecond
+)
 
 // ShardedStats counts a sharded transport's routing work.
 type ShardedStats struct {
@@ -28,6 +43,14 @@ type ShardedStats struct {
 	Bounced int64
 	// Refreshes counts ring fetches.
 	Refreshes int64
+	// Failovers counts exchanges answered by a replica or re-homed
+	// owner after the computed owner was unreachable.
+	Failovers int64
+	// Hedged counts hedge probes launched (primary slower than the
+	// hedge delay).
+	Hedged int64
+	// HedgeWins counts exchanges answered by the hedge probe.
+	HedgeWins int64
 }
 
 // ShardedTransport is a cluster-aware Transport: it fetches the shard
@@ -55,8 +78,14 @@ type ShardedTransport struct {
 	ring      *cluster.Ring
 	fetchedAt time.Time            // when ring was fetched (TTL basis)
 	conns     map[string]Transport // keyed by address: correct even under a stale ring
+	hedgeOn   bool
+	hedgeMin  time.Duration // floor under the p99-derived hedge delay
 
 	stats ShardedStats
+
+	latMu sync.Mutex
+	lats  [hedgeSamples]time.Duration // owner-exchange latency ring buffer
+	latN  int                         // total samples recorded
 }
 
 // NewSharded builds a sharded transport over a seed node connection and
@@ -76,11 +105,65 @@ func (s *ShardedTransport) SetRingTTL(ttl time.Duration) {
 	s.ringTTL = ttl
 }
 
+// SetHedging enables (or disables) hedged reads: on a replicated ring,
+// a single-shard query whose owner has not answered within the hedge
+// delay — the p99 of recent owner latencies, floored by SetHedgeFloor —
+// is also sent to the shard's first replica, and the first usable
+// answer wins. The loser's answer is discarded. Off by default: hedging
+// trades duplicate work for tail latency, which is an operator call.
+func (s *ShardedTransport) SetHedging(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hedgeOn = on
+}
+
+// SetHedgeFloor bounds the hedge delay from below, so a very fast p99
+// cannot turn hedging into "always query two nodes".
+func (s *ShardedTransport) SetHedgeFloor(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hedgeMin = d
+}
+
 // Stats returns a snapshot of the routing counters.
 func (s *ShardedTransport) Stats() ShardedStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// recordLatency feeds one successful owner-exchange latency into the
+// hedge-delay estimate.
+func (s *ShardedTransport) recordLatency(d time.Duration) {
+	s.latMu.Lock()
+	s.lats[s.latN%hedgeSamples] = d
+	s.latN++
+	s.latMu.Unlock()
+}
+
+// hedgeDelay derives the hedge delay: the p99 of the recorded owner
+// latencies (defaultHedgeDelay until enough samples exist), floored by
+// SetHedgeFloor.
+func (s *ShardedTransport) hedgeDelay() time.Duration {
+	s.latMu.Lock()
+	n := s.latN
+	if n > hedgeSamples {
+		n = hedgeSamples
+	}
+	buf := append([]time.Duration(nil), s.lats[:n]...)
+	s.latMu.Unlock()
+	d := defaultHedgeDelay
+	if n >= hedgeMinSamples {
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+		d = buf[n*99/100]
+	}
+	s.mu.Lock()
+	floor := s.hedgeMin
+	s.mu.Unlock()
+	if d < floor {
+		d = floor
+	}
+	return d
 }
 
 // Ring returns the cached shard ring (fetching it on first use).
@@ -192,18 +275,19 @@ func (s *ShardedTransport) Exchange(req wire.Message) (wire.Message, error) {
 		s.mu.Unlock()
 		return s.seed.Exchange(req)
 	}
-	addr := ring.Addr(ring.Owner(q.Pollutant, geo.Point{X: q.X, Y: q.Y}))
+	reps := ring.ReplicasFor(shardOf(ring, q))
+	addr := ring.Addr(reps[0])
 	s.stats.Direct++
+	hedge := s.hedgeOn && len(reps) > 1
 	s.mu.Unlock()
 
-	t, err := s.conn(addr)
+	resp, err := s.ownerExchange(ring, reps, addr, req, hedge)
 	if err != nil {
-		return nil, err
-	}
-	resp, err := t.Exchange(req)
-	if err != nil {
-		s.dropConn(addr)
-		return nil, err
+		// The owner is unreachable — a transport failure, not an answer.
+		// Treat it exactly like a NotOwner bounce: refresh the ring and
+		// retry at the re-homed owner or a replica, instead of failing
+		// the query on a node the cluster may already have healed around.
+		return s.failoverExchange(q, reps[0], err)
 	}
 	bounce, isBounce := resp.(wire.NotOwnerResponse)
 	if !isBounce {
@@ -221,7 +305,7 @@ func (s *ShardedTransport) Exchange(req wire.Message) (wire.Message, error) {
 	s.stats.Direct++
 	s.ring = nil
 	s.mu.Unlock()
-	t, err = s.conn(bounce.Addr)
+	t, err := s.conn(bounce.Addr)
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +317,178 @@ func (s *ShardedTransport) Exchange(req wire.Message) (wire.Message, error) {
 		return nil, fmt.Errorf("client: shard still owned elsewhere after retry (node %d %s)", b2.Owner, b2.Addr)
 	}
 	return resp, nil
+}
+
+// shardOf computes a positional query's shard key on a ring.
+func shardOf(ring *cluster.Ring, q wire.QueryRequest) cluster.ShardKey {
+	return cluster.ShardKey{Pollutant: q.Pollutant, Cell: ring.CellOf(geo.Point{X: q.X, Y: q.Y})}
+}
+
+// usableReplicaAnswer reports whether a replica's response answers the
+// query: a mirror miss ("replica:"-prefixed error) or an owner bounce
+// does not, and the caller keeps waiting on (or fails over past) it.
+func usableReplicaAnswer(m wire.Message) bool {
+	if m == nil {
+		return false
+	}
+	if _, isBounce := m.(wire.NotOwnerResponse); isBounce {
+		return false
+	}
+	if er, isErr := m.(wire.ErrorResponse); isErr && strings.HasPrefix(er.Msg, "replica:") {
+		return false
+	}
+	return true
+}
+
+// ownerExchange sends one query to its shard owner, optionally hedging
+// it at the shard's first replica once the owner exceeds the hedge
+// delay. The first usable answer wins; the loser's answer is discarded
+// (the Transport interface has no cancellation, so the losing exchange
+// drains in the background).
+func (s *ShardedTransport) ownerExchange(ring *cluster.Ring, reps []int, addr string, req wire.Message, hedge bool) (wire.Message, error) {
+	t, err := s.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	if !hedge {
+		start := s.now()
+		resp, err := t.Exchange(req)
+		if err != nil {
+			s.dropConn(addr)
+			return nil, err
+		}
+		s.recordLatency(s.now().Sub(start))
+		return resp, nil
+	}
+
+	type result struct {
+		resp wire.Message
+		err  error
+	}
+	prim := make(chan result, 1) //bounded: one-shot result; the exchange goroutine sends exactly once
+	start := s.now()
+	go func() { //bounded: one goroutine per hedged exchange, result channel buffered
+		r, e := t.Exchange(req)
+		prim <- result{r, e}
+	}()
+	timer := time.NewTimer(s.hedgeDelay())
+	defer timer.Stop()
+	select {
+	case r := <-prim:
+		if r.err != nil {
+			s.dropConn(addr)
+			return nil, r.err
+		}
+		s.recordLatency(s.now().Sub(start))
+		return r.resp, nil
+	case <-timer.C:
+	}
+
+	// Owner slower than the hedge delay: probe the first replica with a
+	// replica read for the owner's shards.
+	s.mu.Lock()
+	s.stats.Hedged++
+	s.mu.Unlock()
+	hch := make(chan result, 1) //bounded: one-shot result; the probe goroutine sends exactly once
+	repAddr := ring.Addr(reps[1])
+	go func() { //bounded: one goroutine per hedge probe, result channel buffered
+		rt, err := s.conn(repAddr)
+		if err != nil {
+			hch <- result{nil, err}
+			return
+		}
+		r, e := rt.Exchange(wire.ReplicaRead{Origin: uint16(reps[0]), Inner: req})
+		hch <- result{r, e}
+	}()
+	hedgeDone := false
+	for {
+		select {
+		case r := <-prim:
+			if r.err == nil {
+				s.recordLatency(s.now().Sub(start))
+				return r.resp, nil
+			}
+			s.dropConn(addr)
+			if !hedgeDone {
+				// The owner died mid-exchange; the in-flight hedge is now
+				// the cheapest failover, so give it a chance first.
+				if hr := <-hch; hr.err == nil && usableReplicaAnswer(hr.resp) {
+					s.mu.Lock()
+					s.stats.HedgeWins++
+					s.mu.Unlock()
+					return hr.resp, nil
+				}
+			}
+			return nil, r.err
+		case hr := <-hch:
+			if hr.err == nil && usableReplicaAnswer(hr.resp) {
+				s.mu.Lock()
+				s.stats.HedgeWins++
+				s.mu.Unlock()
+				return hr.resp, nil
+			}
+			// Hedge missed (dead replica, no mirror): the owner remains
+			// the only source; keep waiting on it.
+			hedgeDone = true
+			hch = nil
+		}
+	}
+}
+
+// failoverExchange heals a query whose owner was unreachable: refresh
+// the ring (the cluster may have resharded away from the dead node),
+// retry once at a re-homed owner, then walk the shard's replicas with
+// replica reads. Only when nobody answers does the owner's original
+// error surface.
+func (s *ShardedTransport) failoverExchange(q wire.QueryRequest, deadOwner int, origErr error) (wire.Message, error) {
+	s.mu.Lock()
+	ring, err := s.refreshLocked()
+	if err != nil {
+		// The seed is unreachable too; nothing to re-route with.
+		s.mu.Unlock()
+		return nil, origErr
+	}
+	reps := ring.ReplicasFor(shardOf(ring, q))
+	s.mu.Unlock()
+
+	countWin := func() {
+		s.mu.Lock()
+		s.stats.Failovers++
+		s.mu.Unlock()
+	}
+	if reps[0] != deadOwner {
+		// The refreshed ring re-homed the shard: retry at the new owner,
+		// exactly like a bounce retry.
+		if t, err := s.conn(ring.Addr(reps[0])); err == nil {
+			resp, err := t.Exchange(q)
+			switch {
+			case err != nil:
+				s.dropConn(ring.Addr(reps[0]))
+			case usableReplicaAnswer(resp):
+				countWin()
+				return resp, nil
+			}
+		}
+	}
+	for _, rep := range reps {
+		if rep == deadOwner {
+			continue
+		}
+		t, err := s.conn(ring.Addr(rep))
+		if err != nil {
+			continue
+		}
+		resp, err := t.Exchange(wire.ReplicaRead{Origin: uint16(deadOwner), Inner: q})
+		if err != nil {
+			s.dropConn(ring.Addr(rep))
+			continue
+		}
+		if usableReplicaAnswer(resp) {
+			countWin()
+			return resp, nil
+		}
+	}
+	return nil, fmt.Errorf("client: shard owner and replicas unreachable: %w", origErr)
 }
 
 // Close closes every owner connection (and the seed, if closable).

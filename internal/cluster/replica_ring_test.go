@@ -1,0 +1,186 @@
+package cluster
+
+// Property tests for successor-list replica placement: determinism
+// across independently-built rings, the distinct-owner-first shape,
+// the growth invariant (adding a node inserts it into replica sets but
+// never reorders surviving members — the replication analogue of PR 5's
+// shard-stability property), and peer-set consistency.
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+var allPollutants = []tuple.Pollutant{tuple.CO2, tuple.CO, tuple.PM}
+
+func replicatedDesc(nodes, replicas int) Desc {
+	d := testDesc(nodes)
+	d.Replicas = replicas
+	return d
+}
+
+func TestReplicasValidation(t *testing.T) {
+	if _, err := NewRing(replicatedDesc(3, -1)); err == nil {
+		t.Error("negative replicas accepted")
+	}
+	if _, err := NewRing(replicatedDesc(3, 4)); err == nil {
+		t.Error("more replicas than nodes accepted")
+	}
+	for _, r := range []int{0, 1} {
+		ring, err := NewRing(replicatedDesc(3, r))
+		if err != nil {
+			t.Fatalf("replicas=%d rejected: %v", r, err)
+		}
+		if ring.Replicas() != 1 {
+			t.Errorf("replicas=%d normalized to %d, want 1", r, ring.Replicas())
+		}
+	}
+}
+
+func TestReplicasForShape(t *testing.T) {
+	ring, err := NewRing(replicatedDesc(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range allPollutants {
+		for c := 0; c < ring.Cells(); c++ {
+			k := ShardKey{Pollutant: pol, Cell: c}
+			reps := ring.ReplicasFor(k)
+			if len(reps) != 3 {
+				t.Fatalf("shard %v: %d replicas, want 3", k, len(reps))
+			}
+			if reps[0] != ring.OwnerKey(k) {
+				t.Fatalf("shard %v: first replica %d is not the owner %d", k, reps[0], ring.OwnerKey(k))
+			}
+			seen := make(map[int]bool)
+			for _, n := range reps {
+				if n < 0 || n >= ring.Nodes() {
+					t.Fatalf("shard %v: replica %d outside ring", k, n)
+				}
+				if seen[n] {
+					t.Fatalf("shard %v: duplicate replica %d in %v", k, n, reps)
+				}
+				seen[n] = true
+			}
+		}
+	}
+}
+
+func TestReplicasForDeterministicAcrossParties(t *testing.T) {
+	a, err := NewRing(replicatedDesc(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RingFromWire(a.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Replicas() != 2 {
+		t.Fatalf("replication factor lost over the wire: %d", b.Replicas())
+	}
+	for _, pol := range allPollutants {
+		for c := 0; c < a.Cells(); c++ {
+			k := ShardKey{Pollutant: pol, Cell: c}
+			ra, rb := a.ReplicasFor(k), b.ReplicasFor(k)
+			if len(ra) != len(rb) {
+				t.Fatalf("shard %v: replica sets diverge: %v vs %v", k, ra, rb)
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("shard %v: replica sets diverge: %v vs %v", k, ra, rb)
+				}
+			}
+		}
+	}
+}
+
+// TestReplicasForGrowthInvariant is the successor-placement analogue of
+// TestRingStabilityOnGrowth: growing the cluster by one node may insert
+// the new node into a shard's replica list, but the surviving members
+// keep their relative order — filtering the new node out of the new list
+// yields a prefix-consistent subsequence of the old list.
+func TestReplicasForGrowthInvariant(t *testing.T) {
+	small, err := NewRing(replicatedDesc(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(replicatedDesc(5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const newNode = 4
+	changed := 0
+	for _, pol := range allPollutants {
+		for c := 0; c < small.Cells(); c++ {
+			k := ShardKey{Pollutant: pol, Cell: c}
+			oldReps, newReps := small.ReplicasFor(k), big.ReplicasFor(k)
+			survivors := newReps[:0:0]
+			for _, n := range newReps {
+				if n != newNode {
+					survivors = append(survivors, n)
+				}
+			}
+			if len(survivors) < len(newReps) {
+				changed++
+			}
+			// Survivors must be the old list's prefix of the same length:
+			// the new node only displaces the tail, never reorders.
+			for i, n := range survivors {
+				if oldReps[i] != n {
+					t.Fatalf("shard %v: growth reordered survivors: old %v, new %v", k, oldReps, newReps)
+				}
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("no replica set picked up the new node (suspicious placement)")
+	}
+}
+
+func TestReplicaPeersConsistent(t *testing.T) {
+	ring, err := NewRing(replicatedDesc(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range allPollutants {
+		for n := 0; n < ring.Nodes(); n++ {
+			peers := make(map[int]bool)
+			for _, p := range ring.ReplicaPeers(n, pol) {
+				if p == n {
+					t.Fatalf("node %d is its own replica peer", n)
+				}
+				peers[p] = true
+			}
+			// Every non-owner replica of every shard n owns must be a peer,
+			// and every peer must back at least one such shard.
+			backed := make(map[int]bool)
+			for c := 0; c < ring.Cells(); c++ {
+				k := ShardKey{Pollutant: pol, Cell: c}
+				reps := ring.ReplicasFor(k)
+				if reps[0] != n {
+					continue
+				}
+				for _, p := range reps[1:] {
+					backed[p] = true
+					if !peers[p] {
+						t.Fatalf("node %d shard %v replica %d missing from ReplicaPeers %v", n, k, p, ring.ReplicaPeers(n, pol))
+					}
+				}
+			}
+			for p := range peers {
+				if !backed[p] {
+					t.Fatalf("node %d peer %d backs no owned shard", n, p)
+				}
+			}
+		}
+	}
+	// Unreplicated rings have no peers.
+	solo, err := NewRing(replicatedDesc(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peers := solo.ReplicaPeers(0, tuple.CO2); len(peers) != 0 {
+		t.Fatalf("unreplicated ring has peers %v", peers)
+	}
+}

@@ -52,6 +52,10 @@ type Desc struct {
 	Cells []geo.Point
 	// VNodes is the virtual-node multiplier (0 = DefaultVNodes).
 	VNodes int
+	// Replicas is the replication factor R: each shard lives on its
+	// owner plus the next R-1 distinct nodes clockwise on the ring
+	// (successor placement). 0 and 1 both mean unreplicated.
+	Replicas int
 }
 
 // Cells builds a deterministic geo-cell partition of region: a uniform
@@ -122,6 +126,15 @@ func NewRing(desc Desc) (*Ring, error) {
 	if desc.VNodes < 1 {
 		return nil, fmt.Errorf("cluster: %d virtual nodes, want >= 1", desc.VNodes)
 	}
+	if desc.Replicas < 0 {
+		return nil, fmt.Errorf("cluster: %d replicas, want >= 0", desc.Replicas)
+	}
+	if desc.Replicas > len(desc.Nodes) {
+		return nil, fmt.Errorf("cluster: %d replicas for %d nodes", desc.Replicas, len(desc.Nodes))
+	}
+	if desc.Replicas == 0 {
+		desc.Replicas = 1
+	}
 	r := &Ring{desc: desc, points: make([]ringPoint, 0, len(desc.Nodes)*desc.VNodes)}
 	for n := range desc.Nodes {
 		for v := 0; v < desc.VNodes; v++ {
@@ -141,12 +154,21 @@ func NewRing(desc Desc) (*Ring, error) {
 
 // RingFromWire reconstructs a ring from a received ring-exchange frame.
 func RingFromWire(resp wire.RingResponse) (*Ring, error) {
-	return NewRing(Desc{Nodes: resp.Nodes, Cells: resp.Cells, VNodes: int(resp.VNodes)})
+	return NewRing(Desc{
+		Nodes: resp.Nodes, Cells: resp.Cells,
+		VNodes: int(resp.VNodes), Replicas: int(resp.Replicas),
+	})
 }
 
-// Wire returns the ring-exchange frame describing this ring.
+// Wire returns the ring-exchange frame describing this ring. An
+// unreplicated ring (R = 1) omits the replica field, so its frame is
+// byte-identical to the pre-replication layout.
 func (r *Ring) Wire() wire.RingResponse {
-	return wire.RingResponse{Nodes: r.desc.Nodes, Cells: r.desc.Cells, VNodes: uint16(r.desc.VNodes)}
+	w := wire.RingResponse{Nodes: r.desc.Nodes, Cells: r.desc.Cells, VNodes: uint16(r.desc.VNodes)}
+	if r.desc.Replicas > 1 {
+		w.Replicas = uint16(r.desc.Replicas)
+	}
+	return w
 }
 
 // Desc returns the cluster description the ring was built from (with
@@ -185,6 +207,63 @@ func (r *Ring) OwnerKey(k ShardKey) int {
 // Owner returns the node owning pollutant pol at position p.
 func (r *Ring) Owner(pol tuple.Pollutant, p geo.Point) int {
 	return r.OwnerKey(ShardKey{Pollutant: pol, Cell: r.CellOf(p)})
+}
+
+// Replicas returns the effective replication factor R (>= 1).
+func (r *Ring) Replicas() int { return r.desc.Replicas }
+
+// ReplicasFor returns the R nodes holding a shard key: the owner first,
+// then the next R-1 distinct nodes clockwise on the ring (successor
+// placement). Successors inherit the ring's growth stability: adding a
+// node inserts it into some replica sets but never reorders the
+// surviving members relative to each other.
+func (r *Ring) ReplicasFor(k ShardKey) []int {
+	R := r.desc.Replicas
+	out := make([]int, 0, R)
+	h := keyHash(k)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for step := 0; step < len(r.points) && len(out) < R; step++ {
+		n := r.points[(i+step)%len(r.points)].node
+		dup := false
+		for _, m := range out {
+			if m == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ReplicaPeers lists the nodes (ascending, excluding n itself) that hold
+// a replica of any shard of pollutant pol owned by node n — the peers a
+// primary streams its commits to. With R = 1 it is always empty.
+func (r *Ring) ReplicaPeers(n int, pol tuple.Pollutant) []int {
+	if r.desc.Replicas <= 1 {
+		return nil
+	}
+	seen := make(map[int]bool)
+	for c := range r.desc.Cells {
+		k := ShardKey{Pollutant: pol, Cell: c}
+		reps := r.ReplicasFor(k)
+		if len(reps) == 0 || reps[0] != n {
+			continue
+		}
+		for _, p := range reps[1:] {
+			if p != n {
+				seen[p] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // OwnedCells lists the cells of pollutant pol owned by node n, in

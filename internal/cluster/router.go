@@ -92,6 +92,10 @@ type NodeConfig struct {
 	// SubQueue is the event-queue depth of merged (routed)
 	// subscriptions; 0 uses the subs package default.
 	SubQueue int
+	// Replication configures the node's replication role. Required
+	// (NewMirror set) when the ring's replication factor exceeds 1 and
+	// this node owns shards; ignored on unreplicated rings and routers.
+	Replication ReplicationConfig
 }
 
 // Stats counts a node's routing activity.
@@ -108,6 +112,12 @@ type Stats struct {
 	NotOwner int64
 	// Errors counts transport failures talking to peers.
 	Errors int64
+	// FailedOver counts reads answered by a replica after the shard's
+	// owner was unreachable.
+	FailedOver int64
+	// Rehomed counts subscription legs re-subscribed at a replica after
+	// their owner died.
+	Rehomed int64
 }
 
 // Node is one member of a sharded EnviroMeter cluster: it answers
@@ -126,6 +136,7 @@ type Node struct {
 	def        tuple.Pollutant
 	streams    StreamOpener
 	subQueue   int
+	repl       *replicator
 
 	nextSubID atomic.Uint64
 
@@ -135,6 +146,8 @@ type Node struct {
 	nScatters  atomic.Int64
 	nNotOwner  atomic.Int64
 	nErrors    atomic.Int64
+	nFailover  atomic.Int64
+	nRehomed   atomic.Int64
 }
 
 // NewNode builds a cluster node.
@@ -158,7 +171,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if transports == nil {
 		transports = make([]Transport, cfg.Ring.Nodes())
 	}
-	return &Node{
+	n := &Node{
 		ring:       cfg.Ring,
 		self:       cfg.Self,
 		local:      cfg.Local,
@@ -166,7 +179,33 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		def:        cfg.Default,
 		streams:    cfg.Streams,
 		subQueue:   cfg.SubQueue,
-	}, nil
+	}
+	if cfg.Ring.Replicas() > 1 && cfg.Self >= 0 {
+		if cfg.Replication.NewMirror == nil {
+			return nil, errors.New("cluster: replicated ring needs a mirror factory (ReplicationConfig.NewMirror)")
+		}
+		n.repl = newReplicator(n, cfg.Replication)
+	}
+	return n, nil
+}
+
+// Close stops the node's background replication work (peer stream
+// workers, in-flight catch-up sessions). Routed subscriptions close
+// with their feeds; transports belong to the caller.
+func (n *Node) Close() error {
+	if n.repl != nil {
+		n.repl.close()
+	}
+	return nil
+}
+
+// ReplicationStats returns the node's replication counters; ok is
+// false on nodes that do not replicate (unreplicated ring, router).
+func (n *Node) ReplicationStats() (ReplicationStats, bool) {
+	if n.repl == nil {
+		return ReplicationStats{}, false
+	}
+	return n.repl.stats(), true
 }
 
 // Ring returns the node's shard ring.
@@ -184,6 +223,8 @@ func (n *Node) Stats() Stats {
 		Scatters:    n.nScatters.Load(),
 		NotOwner:    n.nNotOwner.Load(),
 		Errors:      n.nErrors.Load(),
+		FailedOver:  n.nFailover.Load(),
+		Rehomed:     n.nRehomed.Load(),
 	}
 }
 
@@ -231,18 +272,32 @@ func (n *Node) handle(ctx context.Context, req wire.Message) wire.Message {
 			return wire.ErrorResponse{Msg: "cluster: router holds no shards"}
 		}
 		n.nFwdIn.Add(1)
+		if ing, ok := m.Inner.(wire.IngestRequest); ok {
+			// A forwarded ingest is this primary's commit point: apply
+			// locally and stream the slice to the shard's replicas.
+			return n.localIngest(ctx, ing)
+		}
 		return n.localHandle(ctx, m.Inner)
 	case wire.QueryRequest:
 		pol := n.pollutant(m.Pollutant, m.Legacy)
-		return n.route(ctx, n.ring.Owner(pol, geo.Point{X: m.X, Y: m.Y}), m)
+		k := ShardKey{Pollutant: pol, Cell: n.ring.CellOf(geo.Point{X: m.X, Y: m.Y})}
+		return n.routeShard(ctx, k, m)
 	case wire.ModelRequest:
-		return n.scatterModel(ctx, m)
+		resp, _ := n.scatterModel(ctx, m)
+		return resp
 	case wire.BatchQueryRequest:
 		return n.routeBatch(ctx, m)
 	case wire.IngestRequest:
 		return n.routeIngest(ctx, m)
 	case wire.HeatmapRequest:
-		return n.scatterHeatmap(ctx, m)
+		resp, _ := n.scatterHeatmap(ctx, m)
+		return resp
+	case wire.ReplicaIngest:
+		return n.handleReplicaIngest(m)
+	case wire.ReplicaCatchupRequest:
+		return n.handleCatchup(m)
+	case wire.ReplicaRead:
+		return n.handleReplicaRead(m)
 	case wire.SubscribeRequest:
 		// Plain exchanges cannot carry pushes; the streaming path routes
 		// subscribe frames through HandleStream instead.
@@ -262,21 +317,55 @@ func (n *Node) handle(ctx context.Context, req wire.Message) wire.Message {
 // route sends a single-shard request to its owner: the local engine,
 // a peer transport, or — unreachable — a NotOwnerResponse naming it.
 func (n *Node) route(ctx context.Context, owner int, m wire.Message) wire.Message {
+	resp, _ := n.routeOwner(ctx, owner, m)
+	return resp
+}
+
+// routeOwner is route with an explicit owner-down signal: down is true
+// exactly when the owner's transport failed — the one failure replicas
+// can heal. An engine error is an authoritative answer and never fails
+// over.
+func (n *Node) routeOwner(ctx context.Context, owner int, m wire.Message) (resp wire.Message, down bool) {
 	if owner == n.self {
 		n.nLocal.Add(1)
-		return n.localHandle(ctx, m)
+		if ing, ok := m.(wire.IngestRequest); ok {
+			// A locally-owned ingest commits here: apply and stream the
+			// slice to the shard's replicas.
+			return n.localIngest(ctx, ing), false
+		}
+		return n.localHandle(ctx, m), false
 	}
 	if t := n.transports[owner]; t != nil {
 		n.nForwarded.Add(1)
 		resp, err := t.Exchange(wire.Forwarded{Inner: m})
 		if err != nil {
 			n.nErrors.Add(1)
-			return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: node %d (%s) unreachable: %v", owner, n.ring.Addr(owner), err)}
+			return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: node %d (%s) unreachable: %v", owner, n.ring.Addr(owner), err)}, true
 		}
-		return resp
+		return resp, false
 	}
 	n.nNotOwner.Add(1)
-	return wire.NotOwnerResponse{Owner: uint16(owner), Addr: n.ring.Addr(owner)}
+	return wire.NotOwnerResponse{Owner: uint16(owner), Addr: n.ring.Addr(owner)}, false
+}
+
+// routeShard routes a single-shard read to its owner, retrying at the
+// shard's replicas when the owner is unreachable instead of answering
+// 502. Only reads fail over — writes commit at the primary by design —
+// and when no replica answers either, the owner's original error
+// stands.
+func (n *Node) routeShard(ctx context.Context, k ShardKey, m wire.Message) wire.Message {
+	reps := n.ring.ReplicasFor(k)
+	resp, down := n.routeOwner(ctx, reps[0], m)
+	if !down || n.ring.Replicas() <= 1 {
+		return resp
+	}
+	for _, rep := range reps[1:] {
+		if ans, ok := n.readAtReplica(rep, reps[0], m); ok {
+			n.nFailover.Add(1)
+			return ans
+		}
+	}
+	return resp
 }
 
 // routeBatch splits a batch by shard owner, answers/forwards every
@@ -302,7 +391,7 @@ func (n *Node) routeBatch(ctx context.Context, m wire.BatchQueryRequest) wire.Me
 			for j, i := range idxs {
 				sub.Items[j] = m.Items[i]
 			}
-			resp := n.route(ctx, owner, sub)
+			resp, ownerDown := n.routeOwner(ctx, owner, sub)
 			fill := func(errMsg string) {
 				for _, i := range idxs {
 					out[i] = wire.BatchQueryItem{Err: errMsg}
@@ -318,6 +407,10 @@ func (n *Node) routeBatch(ctx context.Context, m wire.BatchQueryRequest) wire.Me
 					out[i] = r.Items[j]
 				}
 			case wire.ErrorResponse:
+				if ownerDown && n.ring.Replicas() > 1 {
+					n.batchFailover(owner, m, idxs, out, r.Msg)
+					return
+				}
 				fill(r.Msg)
 			case wire.NotOwnerResponse:
 				fill(notOwnerMsg(r))
@@ -328,6 +421,52 @@ func (n *Node) routeBatch(ctx context.Context, m wire.BatchQueryRequest) wire.Me
 	}
 	wg.Wait()
 	return wire.BatchQueryResponse{Items: out}
+}
+
+// batchFailover re-answers a dead owner's sub-batch at its replicas:
+// items regroup by their shard's first reachable replica and each
+// group crosses as one replica-read sub-batch. Items with no live
+// replica keep the owner's unreachable error.
+func (n *Node) batchFailover(owner int, m wire.BatchQueryRequest, idxs []int, out []wire.BatchQueryItem, errMsg string) {
+	regroup := make(map[int][]int) // replica -> original item indexes
+	for _, i := range idxs {
+		it := m.Items[i]
+		pol := n.pollutant(it.Pollutant, it.Legacy)
+		k := ShardKey{Pollutant: pol, Cell: n.ring.CellOf(geo.Point{X: it.X, Y: it.Y})}
+		rep := -1
+		for _, r := range n.ring.ReplicasFor(k)[1:] {
+			if (r == n.self && n.repl != nil) || (r != n.self && n.transports[r] != nil) {
+				rep = r
+				break
+			}
+		}
+		regroup[rep] = append(regroup[rep], i)
+	}
+	for rep, sub := range regroup {
+		fail := func() {
+			for _, i := range sub {
+				out[i] = wire.BatchQueryItem{Err: errMsg}
+			}
+		}
+		if rep < 0 {
+			fail()
+			continue
+		}
+		req := wire.BatchQueryRequest{Items: make([]wire.QueryRequest, len(sub))}
+		for j, i := range sub {
+			req.Items[j] = m.Items[i]
+		}
+		resp, ok := n.readAtReplica(rep, owner, req)
+		br, isBatch := resp.(wire.BatchQueryResponse)
+		if !ok || !isBatch || len(br.Items) != len(sub) {
+			fail()
+			continue
+		}
+		n.nFailover.Add(1)
+		for j, i := range sub {
+			out[i] = br.Items[j]
+		}
+	}
 }
 
 // routeIngest splits an upload by shard owner and applies every slice
@@ -407,10 +546,14 @@ func (n *Node) routeIngest(ctx context.Context, m wire.IngestRequest) wire.Messa
 // evaluation of the merged cover reproduces single-node semantics,
 // because every region model still wins exactly at its own shard's
 // positions. Nodes that fail (down, or no data for their shards in this
-// window) are skipped; the merge fails only when no node answers.
-func (n *Node) scatterModel(ctx context.Context, m wire.ModelRequest) wire.Message {
+// window) are skipped; the merge fails only when no node answers. On a
+// replicated ring, dead nodes' covers come from their replicas; when a
+// dead node has no live replica the merge proceeds without its shards
+// and the returned Partial names it (nil when the answer is complete).
+func (n *Node) scatterModel(ctx context.Context, m wire.ModelRequest) (wire.Message, *Partial) {
 	n.nScatters.Add(1)
-	resps, firstErr := n.scatter(ctx, m)
+	resps, nodeDown, firstErr := n.scatter(ctx, m)
+	part := n.scatterFailover(resps, nodeDown, m.Pollutant, m)
 	var merged wire.ModelResponse
 	var got bool
 	for _, resp := range resps {
@@ -423,7 +566,7 @@ func (n *Node) scatterModel(ctx context.Context, m wire.ModelRequest) wire.Messa
 			continue
 		}
 		if mr.Features != merged.Features {
-			return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: mixed model features %q vs %q", merged.Features, mr.Features)}
+			return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: mixed model features %q vs %q", merged.Features, mr.Features)}, nil
 		}
 		merged.ValidFrom = maxF(merged.ValidFrom, mr.ValidFrom)
 		merged.ValidUntil = minF(merged.ValidUntil, mr.ValidUntil)
@@ -433,9 +576,9 @@ func (n *Node) scatterModel(ctx context.Context, m wire.ModelRequest) wire.Messa
 		merged.Coefs = append(merged.Coefs, mr.Coefs...)
 	}
 	if !got {
-		return firstErr
+		return firstErr, nil
 	}
-	return merged
+	return merged, part
 }
 
 // scatterHeatmap rasterizes the whole cluster: every node renders its
@@ -444,19 +587,23 @@ func (n *Node) scatterModel(ctx context.Context, m wire.ModelRequest) wire.Messa
 // pixel's shard — so every shard's data is drawn by its owner and dead
 // nodes only blank their own shards (pixels of lost shards fall back to
 // the nearest surviving grid).
-func (n *Node) scatterHeatmap(ctx context.Context, m wire.HeatmapRequest) wire.Message {
+// On a replicated ring, dead nodes' grids come from their replicas;
+// unhealed legs blank their shards and the returned Partial names them
+// (nil when the raster is complete).
+func (n *Node) scatterHeatmap(ctx context.Context, m wire.HeatmapRequest) (wire.Message, *Partial) {
 	n.nScatters.Add(1)
 	if m.Cols < 1 || m.Rows < 1 {
-		return wire.ErrorResponse{Msg: fmt.Sprintf("heatmap: grid %dx%d, want >= 1x1", m.Cols, m.Rows)}
+		return wire.ErrorResponse{Msg: fmt.Sprintf("heatmap: grid %dx%d, want >= 1x1", m.Cols, m.Rows)}, nil
 	}
 	if int(m.Cols)*int(m.Rows) > maxHeatmapCells {
 		// A larger raster could not cross back from the peers in one
 		// frame; reject loudly instead of silently rendering foreign
 		// shards from fallback grids.
 		return wire.ErrorResponse{Msg: fmt.Sprintf("heatmap: grid %dx%d exceeds the cluster frame budget (%d cells)",
-			m.Cols, m.Rows, maxHeatmapCells)}
+			m.Cols, m.Rows, maxHeatmapCells)}, nil
 	}
-	resps, firstErr := n.scatter(ctx, m)
+	resps, nodeDown, firstErr := n.scatter(ctx, m)
+	part := n.scatterFailover(resps, nodeDown, m.Pollutant, m)
 	byNode := make([]*wire.HeatmapResponse, n.ring.Nodes())
 	var any bool
 	union := geo.Rect{}
@@ -473,7 +620,7 @@ func (n *Node) scatterHeatmap(ctx context.Context, m wire.HeatmapRequest) wire.M
 		}
 	}
 	if !any {
-		return firstErr
+		return firstErr, nil
 	}
 	if m.HasRegion {
 		union = m.Region
@@ -495,17 +642,20 @@ func (n *Node) scatterHeatmap(ctx context.Context, m wire.HeatmapRequest) wire.M
 			out.Values[j*int(m.Cols)+i] = sampleGrid(src, p)
 		}
 	}
-	return out
+	return out, part
 }
 
 // scatter fans a request out to every node (the local engine included)
-// and returns the per-node responses plus the first error response, to
-// report when nothing succeeds.
-func (n *Node) scatter(ctx context.Context, m wire.Message) ([]wire.Message, wire.ErrorResponse) {
+// and returns the per-node responses, a per-node owner-down flag (set
+// on transport failure or a missing transport), and the first error
+// response, to report when nothing succeeds.
+func (n *Node) scatter(ctx context.Context, m wire.Message) ([]wire.Message, []bool, wire.ErrorResponse) {
 	resps := make([]wire.Message, n.ring.Nodes())
+	nodeDown := make([]bool, n.ring.Nodes())
 	var wg sync.WaitGroup
 	for i := 0; i < n.ring.Nodes(); i++ {
 		if i != n.self && n.transports[i] == nil {
+			nodeDown[i] = true
 			continue
 		}
 		wg.Add(1)
@@ -520,6 +670,7 @@ func (n *Node) scatter(ctx context.Context, m wire.Message) ([]wire.Message, wir
 			resp, err := n.transports[i].Exchange(wire.Forwarded{Inner: m})
 			if err != nil {
 				n.nErrors.Add(1)
+				nodeDown[i] = true
 				resp = wire.ErrorResponse{Msg: fmt.Sprintf("cluster: node %d (%s) unreachable: %v", i, n.ring.Addr(i), err)}
 			}
 			resps[i] = resp
@@ -533,7 +684,47 @@ func (n *Node) scatter(ctx context.Context, m wire.Message) ([]wire.Message, wir
 			break
 		}
 	}
-	return resps, firstErr
+	return resps, nodeDown, firstErr
+}
+
+// scatterFailover re-asks a scatter's dead legs at their replicas,
+// patching healed answers into resps in place. Legs with no live
+// replica are recorded in the returned Partial — nil when every leg
+// answered or the ring is unreplicated, so unreplicated clusters keep
+// the all-or-nothing v1.2 contract byte for byte.
+func (n *Node) scatterFailover(resps []wire.Message, nodeDown []bool, pol tuple.Pollutant, m wire.Message) *Partial {
+	if n.ring.Replicas() <= 1 {
+		return nil
+	}
+	var part *Partial
+	for i := range resps {
+		if !nodeDown[i] {
+			continue
+		}
+		owned := len(n.ring.OwnedCells(i, pol))
+		if owned == 0 {
+			// The dead node holds no shard of this pollutant; its leg
+			// contributes nothing and its loss is not partial.
+			continue
+		}
+		healed := false
+		for _, rep := range n.ring.ReplicaPeers(i, pol) {
+			if ans, ok := n.readAtReplica(rep, i, m); ok {
+				resps[i] = ans
+				n.nFailover.Add(1)
+				healed = true
+				break
+			}
+		}
+		if !healed {
+			if part == nil {
+				part = &Partial{}
+			}
+			part.Dead = append(part.Dead, i)
+			part.StaleShards += owned
+		}
+	}
+	return part
 }
 
 // nearestGrid picks the available response whose region is closest to p.
@@ -698,6 +889,9 @@ func (n *Node) Ingest(ctx context.Context, pol tuple.Pollutant, b tuple.Batch) e
 }
 
 // Heatmap rasterizes the whole cluster's view of pollutant p at time t.
+// On a replicated ring the grid may come back alongside a *PartialError
+// (errors.Is(err, ErrPartialResult)) when a dead node had no live
+// replica: the grid is still usable, minus the named node's shards.
 func (n *Node) Heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols, rows int) (*heatmap.Grid, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -705,9 +899,12 @@ func (n *Node) Heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols, 
 	if cols < 1 || cols > int(^uint16(0)) || rows < 1 || rows > int(^uint16(0)) {
 		return nil, fmt.Errorf("cluster: heatmap grid %dx%d out of range", cols, rows)
 	}
-	resp := n.handle(ctx, wire.HeatmapRequest{T: t, Pollutant: p, Cols: uint16(cols), Rows: uint16(rows)})
+	resp, part := n.scatterHeatmap(ctx, wire.HeatmapRequest{T: t, Pollutant: p, Cols: uint16(cols), Rows: uint16(rows)})
 	switch r := resp.(type) {
 	case wire.HeatmapResponse:
+		if part != nil {
+			return r.Grid(), &PartialError{Partial: *part}
+		}
 		return r.Grid(), nil
 	case wire.ErrorResponse:
 		return nil, mapWireError(r.Msg)
@@ -717,13 +914,18 @@ func (n *Node) Heatmap(ctx context.Context, p tuple.Pollutant, t float64, cols, 
 }
 
 // Model returns the cluster-merged model cover of pollutant p at time t.
+// Like Heatmap, a replicated ring may return both a usable cover and a
+// *PartialError naming dead nodes whose shards are missing from it.
 func (n *Node) Model(ctx context.Context, p tuple.Pollutant, t float64) (wire.ModelResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return wire.ModelResponse{}, err
 	}
-	resp := n.handle(ctx, wire.ModelRequest{T: t, Pollutant: p})
+	resp, part := n.scatterModel(ctx, wire.ModelRequest{T: t, Pollutant: p})
 	switch r := resp.(type) {
 	case wire.ModelResponse:
+		if part != nil {
+			return r, &PartialError{Partial: *part}
+		}
 		return r, nil
 	case wire.ErrorResponse:
 		return wire.ModelResponse{}, mapWireError(r.Msg)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/geo"
@@ -38,12 +39,37 @@ type LocalSubscriber interface {
 
 // subLeg is one owner's slice of a routed subscription: the point
 // indexes (into the merged point set) the owner serves, and either a
-// local handle or a remote stream.
+// local handle or a remote stream. On a replicated ring the source can
+// be swapped — re-homed to a replica's mirror — when the owner dies,
+// so handle/stream are guarded by mu.
 type subLeg struct {
 	owner  int
+	pol    tuple.Pollutant
 	idxs   []int
-	handle subs.Handle // local leg (owner == self)
+	subset []query.Request // the leg's points, in leg-local index order
+
+	mu     sync.Mutex
+	handle subs.Handle // local leg (owner == self, or a local mirror)
 	stream PushStream  // remote leg
+}
+
+// sources snapshots the leg's current event sources.
+func (l *subLeg) sources() (subs.Handle, PushStream) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.handle, l.stream
+}
+
+// closeSources closes the leg's current event sources.
+func (l *subLeg) closeSources() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.handle != nil {
+		_ = l.handle.Close()
+	}
+	if l.stream != nil {
+		_ = l.stream.Close()
+	}
 }
 
 // Subscribe opens a routed subscription: the point set is grouped by
@@ -68,12 +94,7 @@ func (n *Node) Subscribe(ctx context.Context, pol tuple.Pollutant, pts []query.R
 	var legs []*subLeg
 	abort := func() {
 		for _, l := range legs {
-			if l.handle != nil {
-				_ = l.handle.Close()
-			}
-			if l.stream != nil {
-				_ = l.stream.Close()
-			}
+			l.closeSources()
 		}
 	}
 	for owner, idxs := range groups {
@@ -82,7 +103,7 @@ func (n *Node) Subscribe(ctx context.Context, pol tuple.Pollutant, pts []query.R
 			subset[j] = pts[i]
 			subset[j].Pollutant = pol
 		}
-		l := &subLeg{owner: owner, idxs: idxs}
+		l := &subLeg{owner: owner, pol: pol, idxs: idxs, subset: subset}
 		if owner == n.self {
 			ls, ok := n.local.(LocalSubscriber)
 			if !ok {
@@ -122,25 +143,23 @@ func (n *Node) Subscribe(ctx context.Context, pol tuple.Pollutant, pts []query.R
 	feed := subs.NewFeed(n.nextSubID.Add(1), len(pts), n.subQueue, func() {
 		closing.Store(true)
 		for _, l := range legs {
-			if l.handle != nil {
-				_ = l.handle.Close()
-			}
-			if l.stream != nil {
-				_ = l.stream.Close()
-			}
+			l.closeSources()
 		}
 	})
 	for _, l := range legs {
-		go n.runLeg(feed, l, &closing)
+		go n.runLeg(ctx, feed, l, &closing)
 	}
 	return feed, nil
 }
 
 // runLeg forwards one owner's pushes onto the merged feed, remapping
-// owner-local point indexes to merged indexes. When the leg ends
-// without the merged subscription closing, the owner died: an error
-// event is pushed instead of leaving the leg's points silently stale.
-func (n *Node) runLeg(feed *subs.Feed, l *subLeg, closing *atomic.Bool) {
+// owner-local point indexes to merged indexes. When the leg's source
+// ends without the merged subscription closing, the owner died: on a
+// replicated ring the leg re-homes to a replica's mirror (whose resync
+// event refreshes the points) and keeps going; only when no replica
+// accepts the leg does an error event name the owner and its possibly
+// stale points.
+func (n *Node) runLeg(ctx context.Context, feed *subs.Feed, l *subLeg, closing *atomic.Bool) {
 	apply := func(ev subs.Event) {
 		if ev.Err != "" {
 			feed.Fail(fmt.Sprintf("cluster: node %d: %s", l.owner, ev.Err))
@@ -157,35 +176,112 @@ func (n *Node) runLeg(feed *subs.Feed, l *subLeg, closing *atomic.Bool) {
 		}
 		feed.Apply(pts)
 	}
-	if l.handle != nil {
-		for ev := range l.handle.Events() {
-			apply(ev)
-		}
-	} else {
-		for m := range l.stream.C() {
-			p, ok := m.(wire.Push)
-			if !ok {
-				continue // stray non-push frame; ignore
+	for {
+		handle, stream := l.sources()
+		if handle != nil {
+			for ev := range handle.Events() {
+				apply(ev)
 			}
-			apply(subs.EventFromPush(p))
+		} else if stream != nil {
+			for m := range stream.C() {
+				p, ok := m.(wire.Push)
+				if !ok {
+					continue // stray non-push frame; ignore
+				}
+				apply(subs.EventFromPush(p))
+			}
 		}
-	}
-	if closing.Load() {
+		if closing.Load() {
+			return
+		}
+		if n.rehomeLeg(ctx, l, closing) {
+			continue
+		}
+		n.nErrors.Add(1)
+		reason := "subscription stream ended"
+		if stream != nil {
+			if err := stream.Err(); err != nil {
+				reason = err.Error()
+			}
+		}
+		addr := ""
+		if l.owner >= 0 && l.owner < n.ring.Nodes() {
+			addr = n.ring.Addr(l.owner)
+		}
+		feed.Fail(fmt.Sprintf("cluster: owner node %d (%s) unreachable: %s; its %d route points may be stale",
+			l.owner, addr, reason, len(l.idxs)))
 		return
 	}
-	n.nErrors.Add(1)
-	reason := "subscription stream ended"
-	if l.stream != nil {
-		if err := l.stream.Err(); err != nil {
-			reason = err.Error()
+}
+
+// rehomeLeg re-subscribes a dead owner's leg at the first replica that
+// accepts it: this node's own mirror when it backs the owner, or a
+// peer replica over a ReplicaRead-opened push stream. The mirror's
+// subscription registry emits its resync event on subscribe, so the
+// leg's points refresh as soon as the swap lands.
+func (n *Node) rehomeLeg(ctx context.Context, l *subLeg, closing *atomic.Bool) bool {
+	swap := func(h subs.Handle, st PushStream) bool {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if closing.Load() {
+			// The feed closed while we were re-subscribing: the close
+			// callback already ran, so this new source is ours to drop.
+			if h != nil {
+				_ = h.Close()
+			}
+			if st != nil {
+				_ = st.Close()
+			}
+			return false
 		}
+		l.handle, l.stream = h, st
+		return true
 	}
-	addr := ""
-	if l.owner >= 0 && l.owner < n.ring.Nodes() {
-		addr = n.ring.Addr(l.owner)
+	for _, rep := range n.ring.ReplicaPeers(l.owner, l.pol) {
+		if rep == n.self {
+			if n.repl == nil {
+				continue
+			}
+			mir := n.repl.lookupMirror(l.owner, l.pol)
+			if mir == nil {
+				continue
+			}
+			ls, ok := mir.handler().(LocalSubscriber)
+			if !ok {
+				continue
+			}
+			h, err := ls.Subscribe(ctx, l.pol, l.subset)
+			if err != nil {
+				continue
+			}
+			if !swap(h, nil) {
+				return false
+			}
+			n.nRehomed.Add(1)
+			return true
+		}
+		if n.streams == nil {
+			continue
+		}
+		st, err := n.streams(n.ring.Addr(rep), wire.ReplicaRead{
+			Origin: uint16(l.owner),
+			Inner:  subs.WireFromRequests(l.pol, l.subset),
+		})
+		if err != nil {
+			n.nErrors.Add(1)
+			continue
+		}
+		if _, isAck := st.Ack().(wire.SubscribeAck); !isAck {
+			_ = st.Close() // replica holds no mirror (or refused); try the next
+			continue
+		}
+		if !swap(nil, st) {
+			return false
+		}
+		n.nRehomed.Add(1)
+		return true
 	}
-	feed.Fail(fmt.Sprintf("cluster: owner node %d (%s) unreachable: %s; its %d route points may be stale",
-		l.owner, addr, reason, len(l.idxs)))
+	return false
 }
 
 // HandleStream implements proto.Streamer for a cluster node: a bare
@@ -223,6 +319,29 @@ func (n *Node) HandleStreamCtx(ctx context.Context, req wire.Message) (ack wire.
 		n.nFwdIn.Add(1)
 		cnt = len(inner.Points)
 		h, err = ls.Subscribe(ctx, n.pollutant(inner.Pollutant, false), subs.RequestFromWire(inner))
+	case wire.ReplicaRead:
+		// A peer re-homing a dead owner's subscription leg onto this
+		// node's mirror of that owner.
+		inner, isSub := m.Inner.(wire.SubscribeRequest)
+		if !isSub {
+			return nil, nil, nil, false
+		}
+		noop := func(func(wire.Message) error) {}
+		if n.repl == nil {
+			return wire.ErrorResponse{Msg: "replica: node does not replicate"}, noop, func() {}, true
+		}
+		pol := n.pollutant(inner.Pollutant, false)
+		mir := n.repl.lookupMirror(int(m.Origin), pol)
+		if mir == nil {
+			return wire.ErrorResponse{Msg: fmt.Sprintf("replica: no mirror of node %d", m.Origin)}, noop, func() {}, true
+		}
+		ls, isLS := mir.handler().(LocalSubscriber)
+		if !isLS {
+			return wire.ErrorResponse{Msg: "replica: mirror holds no subscription registry"}, noop, func() {}, true
+		}
+		n.nFwdIn.Add(1)
+		cnt = len(inner.Points)
+		h, err = ls.Subscribe(ctx, pol, subs.RequestFromWire(inner))
 	default:
 		return nil, nil, nil, false
 	}

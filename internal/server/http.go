@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -73,6 +74,35 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// asPartial recovers a partial-result marker (replicated cluster, dead
+// owner, no live replica) from an error chain. A partial answer is
+// still usable: the caller answers 200 with the partial scope marked
+// instead of failing the whole request.
+func asPartial(err error) (*cluster.PartialError, bool) {
+	var pe *cluster.PartialError
+	if err != nil && errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
+// partialHeaders marks a 200 response as partial: which nodes are dead
+// and how many of the pollutant's shards their absence leaves stale.
+func partialHeaders(w http.ResponseWriter, pe *cluster.PartialError) {
+	dead := make([]string, len(pe.Dead))
+	for i, n := range pe.Dead {
+		dead[i] = strconv.Itoa(n)
+	}
+	w.Header().Set("X-Envirometer-Partial-Dead", strings.Join(dead, ","))
+	w.Header().Set("X-Envirometer-Stale-Shards", strconv.Itoa(pe.StaleShards))
+}
+
+// partialJSON mirrors cluster.Partial in response bodies.
+type partialJSON struct {
+	Dead        []int `json:"dead"`
+	StaleShards int   `json:"staleShards"`
 }
 
 // writeEngineError maps the v1 error taxonomy onto HTTP statuses.
@@ -425,17 +455,25 @@ func (a *API) handleModels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp, err := a.modelResponse(r.Context(), pol, t)
-	if err != nil {
+	if pe, ok := asPartial(err); ok {
+		// Dead node without a live replica: the merged cover is still
+		// valid over the surviving shards, so serve it marked partial
+		// instead of the pre-replication all-or-nothing 502.
+		partialHeaders(w, pe)
+	} else if err != nil {
 		writeEngineError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// heatmapResponse carries the raster and the centroid markers.
+// heatmapResponse carries the raster and the centroid markers. Partial
+// is set when a dead node's shards are missing from the raster (see
+// partialJSON).
 type heatmapResponse struct {
 	Grid    *heatmap.Grid            `json:"grid"`
 	Markers []heatmap.CentroidMarker `json:"markers"`
+	Partial *partialJSON             `json:"partial,omitempty"`
 }
 
 // handleHeatmap serves GET /v1/heatmap?t=&cols=&rows=&pollutant= — the
@@ -451,7 +489,8 @@ func (a *API) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	grid, err := a.heatmapGrid(r.Context(), pol, t, cols, rows)
-	if err != nil {
+	pe, isPartial := asPartial(err)
+	if err != nil && !isPartial {
 		writeEngineError(w, err)
 		return
 	}
@@ -467,7 +506,11 @@ func (a *API) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		mr, err := a.modelResponse(r.Context(), pol, t)
-		if err != nil {
+		if mp, ok := asPartial(err); ok {
+			if pe == nil {
+				pe = mp
+			}
+		} else if err != nil {
 			writeEngineError(w, err)
 			return
 		}
@@ -481,7 +524,12 @@ func (a *API) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, heatmapResponse{Grid: grid, Markers: markers})
+	resp := heatmapResponse{Grid: grid, Markers: markers}
+	if pe != nil {
+		partialHeaders(w, pe)
+		resp.Partial = &partialJSON{Dead: pe.Dead, StaleShards: pe.StaleShards}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHeatmapPNG serves GET /v1/heatmap.png?t=&cols=&rows=&pollutant= —
@@ -497,7 +545,9 @@ func (a *API) handleHeatmapPNG(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	grid, err := a.heatmapGrid(r.Context(), pol, t, cols, rows)
-	if err != nil {
+	if pe, ok := asPartial(err); ok {
+		partialHeaders(w, pe)
+	} else if err != nil {
 		writeEngineError(w, err)
 		return
 	}

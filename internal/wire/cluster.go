@@ -56,6 +56,12 @@ type RingResponse struct {
 	Nodes  []string    `json:"nodes"`
 	Cells  []geo.Point `json:"cells"`
 	VNodes uint16      `json:"vnodes"`
+	// Replicas is the cluster's replication factor R: each shard lives
+	// on its owner plus R-1 ring successors. 0 or 1 both mean
+	// "unreplicated" and serialize identically (the binary layout only
+	// carries the field when R > 1, so pre-replication rings decode —
+	// and re-encode — byte-for-byte unchanged).
+	Replicas uint16 `json:"replicas,omitempty"`
 }
 
 // Type implements Message.
@@ -148,6 +154,9 @@ func encodeCluster(m Message) ([]byte, error) {
 			size += 2 + len(n)
 		}
 		size += 2 + 16*len(v.Cells) + 2
+		if v.Replicas > 1 {
+			size += 2
+		}
 		buf := make([]byte, size)
 		buf[0] = byte(TypeRingResponse)
 		binary.LittleEndian.PutUint16(buf[1:], uint16(len(v.Nodes)))
@@ -164,6 +173,9 @@ func encodeCluster(m Message) ([]byte, error) {
 			off += 16
 		}
 		binary.LittleEndian.PutUint16(buf[off:], v.VNodes)
+		if v.Replicas > 1 {
+			binary.LittleEndian.PutUint16(buf[off+2:], v.Replicas)
+		}
 		return buf, nil
 	case IngestRequest:
 		if len(v.Tuples) > math.MaxUint32 {
@@ -280,7 +292,10 @@ func decodeCluster(data []byte) (Message, error) {
 		}
 		nCells := int(binary.LittleEndian.Uint16(data[off:]))
 		off += 2
-		if len(data) != off+16*nCells+2 {
+		// The v1.4 layout appends a 2-byte replication factor; the v1.2
+		// layout ends at VNodes. Both decode; the suffix is canonical only
+		// for R > 1 (R <= 1 always serializes without it).
+		if len(data) != off+16*nCells+2 && len(data) != off+16*nCells+4 {
 			return nil, fmt.Errorf("%w: RingResponse length %d for %d cells", ErrMalformed, len(data), nCells)
 		}
 		m.Cells = make([]geo.Point, nCells)
@@ -289,6 +304,12 @@ func decodeCluster(data []byte) (Message, error) {
 			off += 16
 		}
 		m.VNodes = binary.LittleEndian.Uint16(data[off:])
+		if len(data) == off+4 {
+			m.Replicas = binary.LittleEndian.Uint16(data[off+2:])
+			if m.Replicas <= 1 {
+				return nil, fmt.Errorf("%w: RingResponse replica suffix %d", ErrMalformed, m.Replicas)
+			}
+		}
 		return m, nil
 	case TypeIngestRequest:
 		if len(data) < 6 {

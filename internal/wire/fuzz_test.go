@@ -52,6 +52,14 @@ func FuzzWireDecode(f *testing.F) {
 	add(UnsubscribeRequest{ID: 9})
 	add(UnsubscribeResponse{Removed: true})
 	add(Forwarded{Inner: SubscribeRequest{Pollutant: 2, Points: []SubPoint{{T: 1, X: 2, Y: 3}}}})
+	// v1.4 replication messages.
+	add(RingResponse{Nodes: []string{"a:1", "b:2", "c:3"}, Cells: []geo.Point{{X: 1, Y: 2}}, VNodes: 8, Replicas: 2})
+	add(ReplicaIngest{Origin: 1, Pollutant: 2, Seq: 41, Tuples: []tuple.Raw{{T: 1, X: 2, Y: 3, S: 4}}})
+	add(ReplicaCatchupRequest{Pollutant: 1, Have: 12})
+	add(ReplicaCatchupResponse{From: 12, Done: true, Tuples: []tuple.Raw{{T: 5, X: 6, Y: 7, S: 8}}})
+	add(ReplicaCatchupResponse{Snapshot: true, From: 0, Tuples: []tuple.Raw{{T: 1, X: 2, Y: 3, S: 4}}})
+	add(ReplicaRead{Origin: 2, Inner: QueryRequest{T: 1, X: 2, Y: 3, Pollutant: 1}})
+	add(ReplicaRead{Origin: 0, Inner: HeatmapRequest{T: 60, Cols: 2, Rows: 2}})
 	// Legacy untagged frames: 25-byte query, 9-byte model request.
 	legacyQuery, _ := Binary.Encode(QueryRequest{T: 9, X: 8, Y: 7})
 	f.Add(legacyQuery[:25])

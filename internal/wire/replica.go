@@ -1,0 +1,243 @@
+// Replication messages: the v1.4 additions that let shard owners stream
+// committed ingest slices to their replicas, let a replica that detects
+// a sequence gap pull itself back into sync ("I have seq N" → a
+// checkpoint-or-suffix chunk stream, the wire form of PR 4's
+// checkpoint + segment-suffix recovery), and let any party read a dead
+// owner's shards from a replica's mirror (ReplicaRead).
+//
+// Like the v1.2/v1.3 additions these are purely new tags: every
+// pre-replication frame decodes unchanged, and older peers answer the
+// unknown tags with an ErrorResponse, which replication-aware callers
+// treat as "peer does not replicate".
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tuple"
+)
+
+// Replication message type tags (v1.4).
+const (
+	// TypeReplicaIngest streams one committed ingest slice from a shard
+	// primary to a replica, carrying the slice's replication sequence.
+	TypeReplicaIngest MsgType = iota + 21
+	// TypeReplicaCatchupRequest is a replica telling a primary the
+	// replication sequence it holds, asking for what it is missing.
+	TypeReplicaCatchupRequest
+	// TypeReplicaCatchupResponse carries one catch-up chunk: a suffix of
+	// the primary's replication log, or (Snapshot) the start of a full
+	// retained-state reset when the replica is behind the log.
+	TypeReplicaCatchupResponse
+	// TypeReplicaRead asks a node to answer the inner request from its
+	// mirror of another node — the failover read path when that node
+	// (the shard's primary) is unreachable.
+	TypeReplicaRead
+)
+
+// ReplicaIngest is a primary streaming one committed ingest slice to a
+// replica. Seq is the replication sequence of the first tuple: the
+// replica applies the frame only if it continues its stream (Seq equal
+// to — or overlapping — the sequence it holds) and otherwise pulls a
+// catch-up instead of applying out of order.
+type ReplicaIngest struct {
+	// Origin is the primary's node ID; the replica applies the slice to
+	// its mirror of that node.
+	Origin    uint16          `json:"origin"`
+	Pollutant tuple.Pollutant `json:"pollutant"`
+	Seq       uint64          `json:"seq"`
+	Tuples    []tuple.Raw     `json:"tuples"`
+}
+
+// Type implements Message.
+func (ReplicaIngest) Type() MsgType { return TypeReplicaIngest }
+
+// ReplicaCatchupRequest is a replica asking the primary for everything
+// after the replication sequence it holds ("I have seq N").
+type ReplicaCatchupRequest struct {
+	Pollutant tuple.Pollutant `json:"pollutant"`
+	// Have is the next sequence the replica expects (the number of
+	// stream tuples it has applied).
+	Have uint64 `json:"have"`
+}
+
+// Type implements Message.
+func (ReplicaCatchupRequest) Type() MsgType { return TypeReplicaCatchupRequest }
+
+// ReplicaCatchupResponse is one catch-up chunk. With Snapshot unset the
+// tuples are the log suffix starting at From == the requested Have (the
+// segment-suffix case); with Snapshot set the replica was behind the
+// primary's replication log, must drop its mirror state for the stream,
+// and receives the primary's retained state from the log start (the
+// checkpoint case). Done reports that applying this chunk brings the
+// replica up to the primary's current sequence; until then the replica
+// keeps requesting with its advanced Have.
+type ReplicaCatchupResponse struct {
+	Snapshot bool        `json:"snapshot,omitempty"`
+	Done     bool        `json:"done,omitempty"`
+	From     uint64      `json:"from"`
+	Tuples   []tuple.Raw `json:"tuples"`
+}
+
+// Type implements Message.
+func (ReplicaCatchupResponse) Type() MsgType { return TypeReplicaCatchupResponse }
+
+// ReplicaRead asks the receiving node to answer Inner from its mirror
+// of node Origin — the read-failover frame sent when Origin (the
+// shard's primary) is unreachable. Like Forwarded it is terminal: the
+// receiver answers from local (mirror) state and never re-routes, and
+// routing wrappers do not nest.
+type ReplicaRead struct {
+	Origin uint16  `json:"origin"`
+	Inner  Message `json:"-"`
+}
+
+// Type implements Message.
+func (ReplicaRead) Type() MsgType { return TypeReplicaRead }
+
+// putRaws serializes tuples at buf (32 bytes each).
+func putRaws(buf []byte, tuples []tuple.Raw) {
+	off := 0
+	for _, r := range tuples {
+		putF64(buf[off:], r.T)
+		putF64(buf[off+8:], r.X)
+		putF64(buf[off+16:], r.Y)
+		putF64(buf[off+24:], r.S)
+		off += 32
+	}
+}
+
+// getRaws parses count tuples at buf.
+func getRaws(buf []byte, count int) []tuple.Raw {
+	out := make([]tuple.Raw, count)
+	off := 0
+	for i := range out {
+		out[i] = tuple.Raw{
+			T: getF64(buf[off:]), X: getF64(buf[off+8:]),
+			Y: getF64(buf[off+16:]), S: getF64(buf[off+24:]),
+		}
+		off += 32
+	}
+	return out
+}
+
+// encodeReplica serializes the v1.4 replication messages (binary codec).
+func encodeReplica(m Message) ([]byte, error) {
+	switch v := m.(type) {
+	case ReplicaIngest:
+		if len(v.Tuples) > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: replica ingest too large (%d tuples)", len(v.Tuples))
+		}
+		buf := make([]byte, 1+2+1+8+4+32*len(v.Tuples))
+		buf[0] = byte(TypeReplicaIngest)
+		binary.LittleEndian.PutUint16(buf[1:], v.Origin)
+		buf[3] = byte(v.Pollutant)
+		binary.LittleEndian.PutUint64(buf[4:], v.Seq)
+		binary.LittleEndian.PutUint32(buf[12:], uint32(len(v.Tuples)))
+		putRaws(buf[16:], v.Tuples)
+		return buf, nil
+	case ReplicaCatchupRequest:
+		buf := make([]byte, 1+1+8)
+		buf[0] = byte(TypeReplicaCatchupRequest)
+		buf[1] = byte(v.Pollutant)
+		binary.LittleEndian.PutUint64(buf[2:], v.Have)
+		return buf, nil
+	case ReplicaCatchupResponse:
+		if len(v.Tuples) > math.MaxUint32 {
+			return nil, fmt.Errorf("wire: catch-up chunk too large (%d tuples)", len(v.Tuples))
+		}
+		buf := make([]byte, 1+1+8+4+32*len(v.Tuples))
+		buf[0] = byte(TypeReplicaCatchupResponse)
+		if v.Snapshot {
+			buf[1] |= 1
+		}
+		if v.Done {
+			buf[1] |= 2
+		}
+		binary.LittleEndian.PutUint64(buf[2:], v.From)
+		binary.LittleEndian.PutUint32(buf[10:], uint32(len(v.Tuples)))
+		putRaws(buf[14:], v.Tuples)
+		return buf, nil
+	case ReplicaRead:
+		if v.Inner == nil {
+			return nil, fmt.Errorf("%w: replica read without inner message", ErrMalformed)
+		}
+		switch v.Inner.(type) {
+		case ReplicaRead, Forwarded:
+			return nil, fmt.Errorf("%w: routing wrapper nested in replica read", ErrMalformed)
+		}
+		inner, err := Binary.Encode(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 1+2+len(inner))
+		buf[0] = byte(TypeReplicaRead)
+		binary.LittleEndian.PutUint16(buf[1:], v.Origin)
+		copy(buf[3:], inner)
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknown, m)
+	}
+}
+
+// decodeReplica parses the v1.4 replication messages (binary codec).
+func decodeReplica(data []byte) (Message, error) {
+	switch MsgType(data[0]) {
+	case TypeReplicaIngest:
+		if len(data) < 16 {
+			return nil, fmt.Errorf("%w: ReplicaIngest header", ErrMalformed)
+		}
+		count := int(binary.LittleEndian.Uint32(data[12:]))
+		if len(data) != 16+32*count {
+			return nil, fmt.Errorf("%w: ReplicaIngest length %d for %d tuples", ErrMalformed, len(data), count)
+		}
+		return ReplicaIngest{
+			Origin:    binary.LittleEndian.Uint16(data[1:]),
+			Pollutant: tuple.Pollutant(data[3]),
+			Seq:       binary.LittleEndian.Uint64(data[4:]),
+			Tuples:    getRaws(data[16:], count),
+		}, nil
+	case TypeReplicaCatchupRequest:
+		if len(data) != 10 {
+			return nil, fmt.Errorf("%w: ReplicaCatchupRequest length %d", ErrMalformed, len(data))
+		}
+		return ReplicaCatchupRequest{
+			Pollutant: tuple.Pollutant(data[1]),
+			Have:      binary.LittleEndian.Uint64(data[2:]),
+		}, nil
+	case TypeReplicaCatchupResponse:
+		if len(data) < 14 {
+			return nil, fmt.Errorf("%w: ReplicaCatchupResponse header", ErrMalformed)
+		}
+		if data[1] > 3 {
+			return nil, fmt.Errorf("%w: ReplicaCatchupResponse flags %d", ErrMalformed, data[1])
+		}
+		count := int(binary.LittleEndian.Uint32(data[10:]))
+		if len(data) != 14+32*count {
+			return nil, fmt.Errorf("%w: ReplicaCatchupResponse length %d for %d tuples", ErrMalformed, len(data), count)
+		}
+		return ReplicaCatchupResponse{
+			Snapshot: data[1]&1 != 0,
+			Done:     data[1]&2 != 0,
+			From:     binary.LittleEndian.Uint64(data[2:]),
+			Tuples:   getRaws(data[14:], count),
+		}, nil
+	case TypeReplicaRead:
+		if len(data) < 4 {
+			return nil, fmt.Errorf("%w: replica read without inner message", ErrMalformed)
+		}
+		switch MsgType(data[3]) {
+		case TypeReplicaRead, TypeForwarded:
+			return nil, fmt.Errorf("%w: routing wrapper nested in replica read", ErrMalformed)
+		}
+		inner, err := Binary.Decode(data[3:])
+		if err != nil {
+			return nil, err
+		}
+		return ReplicaRead{Origin: binary.LittleEndian.Uint16(data[1:]), Inner: inner}, nil
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, data[0])
+	}
+}

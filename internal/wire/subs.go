@@ -145,7 +145,7 @@ func encodeSubs(m Message) ([]byte, error) {
 		}
 		return buf, nil
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrUnknown, m)
+		return encodeReplica(m)
 	}
 }
 
@@ -236,7 +236,7 @@ func decodeSubs(data []byte) (Message, error) {
 		}
 		return UnsubscribeResponse{Removed: data[1] == 1}, nil
 	default:
-		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, data[0])
+		return decodeReplica(data)
 	}
 }
 

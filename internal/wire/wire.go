@@ -484,6 +484,29 @@ func (jsonCodec) Encode(m Message) ([]byte, error) {
 		}
 		return json.Marshal(envelope{Type: TypeForwarded, Payload: payload})
 	}
+	// A replica read nests a full envelope alongside the origin node ID,
+	// for the same reason.
+	if rr, ok := m.(ReplicaRead); ok {
+		if rr.Inner == nil {
+			return nil, fmt.Errorf("%w: replica read without inner message", ErrMalformed)
+		}
+		switch rr.Inner.(type) {
+		case ReplicaRead, Forwarded:
+			return nil, fmt.Errorf("%w: routing wrapper nested in replica read", ErrMalformed)
+		}
+		inner, err := JSON.Encode(rr.Inner)
+		if err != nil {
+			return nil, err
+		}
+		payload, err := json.Marshal(struct {
+			Origin uint16          `json:"origin"`
+			Inner  json.RawMessage `json:"inner"`
+		}{Origin: rr.Origin, Inner: inner})
+		if err != nil {
+			return nil, fmt.Errorf("wire: marshal payload: %w", err)
+		}
+		return json.Marshal(envelope{Type: TypeReplicaRead, Payload: payload})
+	}
 	payload, err := json.Marshal(m)
 	if err != nil {
 		return nil, fmt.Errorf("wire: marshal payload: %w", err)
@@ -646,6 +669,44 @@ func (jsonCodec) Decode(data []byte) (Message, error) {
 			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
 		target = v
+	case TypeReplicaIngest:
+		var v ReplicaIngest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeReplicaCatchupRequest:
+		var v ReplicaCatchupRequest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeReplicaCatchupResponse:
+		var v ReplicaCatchupResponse
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeReplicaRead:
+		var v struct {
+			Origin uint16          `json:"origin"`
+			Inner  json.RawMessage `json:"inner"`
+		}
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		var inner envelope
+		if err := json.Unmarshal(v.Inner, &inner); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		if inner.Type == TypeReplicaRead || inner.Type == TypeForwarded {
+			return nil, fmt.Errorf("%w: routing wrapper nested in replica read", ErrMalformed)
+		}
+		m, err := JSON.Decode(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		target = ReplicaRead{Origin: v.Origin, Inner: m}
 	default:
 		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, env.Type)
 	}
