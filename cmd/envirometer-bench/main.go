@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	envirometer-bench [-fig 6a|6b|7a|7b|ablations|subs|colscan|failover|all]
+//	envirometer-bench [-fig 6a|6b|7a|7b|ablations|subs|colscan|failover|rebalance|all]
 //	                  [-days N] [-queries N] [-seed N]
 //	                  [-subscribers N] [-rounds N] [-out FILE]
 //
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "which experiment: 6a, 6b, 7a, 7b, ablations, subs, colscan, failover, all")
+		fig         = flag.String("fig", "all", "which experiment: 6a, 6b, 7a, 7b, ablations, subs, colscan, failover, rebalance, all")
 		days        = flag.Float64("days", 30, "deployment duration to simulate, in days")
 		queries     = flag.Int("queries", 5000, "point queries per window size (Figure 6)")
 		seed        = flag.Int64("seed", 1, "deterministic seed for data, workloads, clustering")
@@ -47,6 +47,23 @@ func main() {
 	}
 	if *fig == "colscan" {
 		if err := runColscan(*windows, *seed, *minspeedup, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "envirometer-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "rebalance" {
+		queriesSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "queries" {
+				queriesSet = true
+			}
+		})
+		q := 0
+		if queriesSet {
+			q = *queries
+		}
+		if err := runRebalance(q, *seed, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "envirometer-bench:", err)
 			os.Exit(1)
 		}
@@ -235,6 +252,67 @@ func runFailover(queries int, seed int64, out string) error {
 	return nil
 }
 
+// runRebalance drives the live-join rebalance benchmark and optionally
+// persists BENCH_10.json, verifying the written file parses back and
+// records a passing run: zero query errors while the fourth node
+// joined, the membership epoch advanced exactly once on every member,
+// the joiner owns shards, and every sampled answer after the rebalance
+// is byte-equal to the answer before it.
+func runRebalance(queries int, seed int64, out string) error {
+	cfg := bench.DefaultRebalanceConfig()
+	cfg.Seed = seed
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	res, err := bench.RunRebalance(cfg)
+	if err != nil {
+		return err
+	}
+	bench.PrintRebalance(os.Stdout, res)
+	if !res.ZeroErrorJoin {
+		return fmt.Errorf("join was not error-free: %d/%d queries failed during the join window",
+			res.JoinErrors, res.JoinQueries)
+	}
+	if !res.EpochAdvancedOnce {
+		return fmt.Errorf("epoch did not advance exactly once everywhere (%d -> %d)",
+			res.EpochBefore, res.EpochAfter)
+	}
+	if !res.JoinerOwnsShards {
+		return fmt.Errorf("joiner owns no shards after the commit")
+	}
+	if !res.AnswersPreserved {
+		return fmt.Errorf("%d answers changed across the rebalance", res.PostMismatches)
+	}
+	if out == "" {
+		return nil
+	}
+	doc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(doc, '\n'), 0o644); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		return err
+	}
+	var check bench.RebalanceResult
+	if err := json.Unmarshal(raw, &check); err != nil {
+		return fmt.Errorf("%s does not parse back: %w", out, err)
+	}
+	if !check.ZeroErrorJoin || !check.EpochAdvancedOnce || !check.JoinerOwnsShards || !check.AnswersPreserved {
+		return fmt.Errorf("%s records a failing run (zero-error %v, epoch %v, shards %v, answers %v)",
+			out, check.ZeroErrorJoin, check.EpochAdvancedOnce, check.JoinerOwnsShards, check.AnswersPreserved)
+	}
+	if check.JoinQueries <= 0 || check.JoinP99Ms <= 0 {
+		return fmt.Errorf("%s records no join-window latency sample (%d queries, p99 %.3fms)",
+			out, check.JoinQueries, check.JoinP99Ms)
+	}
+	fmt.Printf("\nwrote %s (%d bytes, parses back OK)\n", out, len(raw))
+	return nil
+}
+
 func run(fig string, days float64, queries int, seed int64) error {
 	fmt.Printf("# generating synthetic lausanne-data: %.1f days, seed %d\n", days, seed)
 	d, err := bench.LoadDataset(seed, days*86400)
@@ -280,7 +358,7 @@ func run(fig string, days float64, queries int, seed int64) error {
 		fmt.Println()
 		return runAblations(d, queries, seed)
 	default:
-		return fmt.Errorf("unknown -fig %q (want 6a, 6b, 7a, 7b, ablations, subs, colscan, failover, all)", fig)
+		return fmt.Errorf("unknown -fig %q (want 6a, 6b, 7a, 7b, ablations, subs, colscan, failover, rebalance, all)", fig)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@
 //	                   [-checkpoint-keep 1]
 //	                   [-cluster-nodes host:8081,host:8082] [-node-id 0]
 //	                   [-router] [-cluster-cells 16] [-cluster-vnodes 64]
+//	                   [-replicas 2] [-join host:8081] [-advertise host:8084]
 //
 // The -sync* flags pick the durability policy of -dir (grouped = group
 // commit: one fsync covers up to -sync-batches appends or -sync-delay of
@@ -39,6 +40,15 @@
 // scatter-gather across all of them. See docs/OPERATIONS.md for a
 // 3-node walkthrough.
 //
+// A running cluster grows and shrinks live: -join host:port starts this
+// process as a new member of the cluster that host:port belongs to —
+// it bootstraps the shards it gains from their current owners, then
+// commits the next membership epoch (no dataset flags needed; its data
+// arrives over the wire). -advertise overrides the address peers dial
+// (default: -tcp). On a clustered node SIGTERM drains before exiting:
+// peers pull this node's shards and the membership commits without it.
+// See docs/OPERATIONS.md "Growing and shrinking the cluster".
+//
 // With -data, raw tuples are loaded from a CSV file ("t,x,y,s" header);
 // since the CSV carries one pollutant, -data requires a single-entry
 // -pollutants. Otherwise a synthetic Lausanne deployment of -days days
@@ -56,7 +66,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -99,6 +111,8 @@ func main() {
 		clusterCells  = flag.Int("cluster-cells", 0, "geo cells partitioning the region (0 = default 16)")
 		clusterVNodes = flag.Int("cluster-vnodes", 0, "consistent-hash virtual nodes per node (0 = default 64)")
 		replicas      = flag.Int("replicas", 0, "replication factor R: each shard lives on its owner plus R-1 ring successors, which answer its reads when the owner dies (0 or 1 = unreplicated)")
+		join          = flag.String("join", "", "wire address of a live member of an existing cluster to join (instead of -cluster-nodes); shards rebalance onto this node before the membership epoch commits")
+		advertise     = flag.String("advertise", "", "this node's wire address exactly as peers should dial it (default: -tcp)")
 	)
 	flag.Parse()
 	sync, err := parseSyncPolicy(*syncMode, *syncBatches, *syncDelay)
@@ -107,7 +121,22 @@ func main() {
 		os.Exit(2)
 	}
 	var cl repro.ClusterConfig
-	if *clusterNodes != "" {
+	switch {
+	case *join != "":
+		if *clusterNodes != "" || *router {
+			fmt.Fprintln(os.Stderr, "envirometer-server: -join replaces -cluster-nodes (the ring comes from the seed) and cannot combine with -router")
+			os.Exit(2)
+		}
+		if *tcp == "" {
+			fmt.Fprintln(os.Stderr, "envirometer-server: -join requires -tcp (peers connect to it)")
+			os.Exit(2)
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = *tcp
+		}
+		cl = repro.ClusterConfig{Join: *join, Advertise: adv}
+	case *clusterNodes != "":
 		if *tcp == "" && !*router {
 			fmt.Fprintln(os.Stderr, "envirometer-server: cluster mode requires -tcp (peers connect to it)")
 			os.Exit(2)
@@ -121,10 +150,10 @@ func main() {
 			Seed:     *seed,
 			Replicas: *replicas,
 		}
-	} else if *replicas > 1 {
+	case *replicas > 1:
 		fmt.Fprintln(os.Stderr, "envirometer-server: -replicas requires -cluster-nodes")
 		os.Exit(2)
-	} else if *router {
+	case *router:
 		fmt.Fprintln(os.Stderr, "envirometer-server: -router requires -cluster-nodes")
 		os.Exit(2)
 	}
@@ -198,8 +227,10 @@ func run(o options) error {
 
 	ctx := context.Background()
 	datasets := map[repro.Pollutant][]repro.Reading{}
-	if !o.cluster.Router {
-		// A dedicated router holds no shards and loads nothing.
+	if !o.cluster.Router && o.cluster.Join == "" {
+		// A dedicated router holds no shards and loads nothing. A joining
+		// node loads nothing either: its shards arrive over the wire from
+		// their current owners when the join completes below.
 		if datasets, err = loadReadings(o, pollutants); err != nil {
 			return err
 		}
@@ -244,6 +275,15 @@ func run(o options) error {
 		defer srv.Close()
 		fmt.Printf("serving binary wire protocol on %s\n", tcpAddr)
 	}
+	if o.cluster.Join != "" {
+		// The wire listener is up, so peers can dial this node the moment
+		// the commit broadcast lands: bootstrap the gained shards and
+		// commit the next membership epoch.
+		if err := p.CompleteJoin(ctx); err != nil {
+			return err
+		}
+		fmt.Printf("joined cluster via %s at epoch %d\n", o.cluster.Join, p.ClusterEpoch())
+	}
 
 	fmt.Printf("serving EnviroMeter v1 API on %s (window H = %.0f s, pollutants %v)\n",
 		o.addr, o.window, pollutants)
@@ -257,8 +297,41 @@ func run(o options) error {
 	fmt.Println("  GET  /v1/pollutants")
 	if p.Clustered() {
 		fmt.Println("  GET  /v1/cluster")
+		fmt.Println("  POST /v1/cluster/join  /v1/cluster/drain")
 	}
-	return http.ListenAndServe(o.addr, p.Handler())
+	return serve(p, o.addr)
+}
+
+// serve runs the HTTP API until SIGINT/SIGTERM. On a clustered node,
+// SIGTERM first drains: peers pull this node's shards and the
+// membership commits without it, so a rolling shutdown loses no acked
+// tuples. SIGINT (and a second SIGTERM) skips the drain and stops hard
+// — replicas cover the shards until a promotion.
+func serve(p *repro.Platform, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: p.Handler()}
+	sigs := make(chan os.Signal, 2) //bounded: two pending signals at most matter (first drains, second aborts)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1) //bounded: one terminal server error
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigs:
+		if sig == syscall.SIGTERM && p.Clustered() {
+			fmt.Println("SIGTERM: draining shards to peers before shutdown (SIGINT aborts)")
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+			go func() { <-sigs; cancel() }()
+			if err := p.Drain(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "envirometer-server: drain failed (shutting down anyway):", err)
+			} else {
+				fmt.Printf("drained: cluster committed epoch %d without this node\n", p.ClusterEpoch())
+			}
+			cancel()
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutCtx)
+	}
 }
 
 func loadReadings(o options, pollutants []repro.Pollutant) (map[repro.Pollutant][]repro.Reading, error) {

@@ -314,6 +314,19 @@ type ClusterConfig struct {
 	// owner's committed ingests and answer its shards when it dies. 0
 	// and 1 both mean unreplicated (the pre-replication behavior).
 	Replicas int
+	// Join, when non-empty, is the wire address of any live member of
+	// an existing cluster. Instead of deriving the ring from Nodes/
+	// Cells/VNodes/Region/Seed (all ignored), the platform announces
+	// Advertise to that seed and builds its node on the returned
+	// next-epoch ring. The join is not visible to the rest of the
+	// cluster until Platform.CompleteJoin bootstraps the gained shards
+	// and commits the epoch — call it after ListenTCP so peers can
+	// reach this node the moment the commit lands.
+	Join string
+	// Advertise is this node's own wire address exactly as peers
+	// should dial it (required with Join; normally the ListenTCP
+	// address with a routable host).
+	Advertise string
 }
 
 // Config configures a Platform.
@@ -423,9 +436,12 @@ func (cfg Config) snapshotPath(p Pollutant) string {
 // storage, adaptive modeling, and query processing behind one handle. It
 // is safe for concurrent use.
 type Platform struct {
-	engine     *server.Engine
-	api        *server.API
-	node       *cluster.Node // nil when not clustered
+	engine *server.Engine
+	api    *server.API
+	node   *cluster.Node // nil when not clustered
+	// joining marks a node built from ClusterConfig.Join whose epoch
+	// has not been committed yet (CompleteJoin pending).
+	joining    bool
 	pollutants []Pollutant
 	stores     map[Pollutant]*store.Store
 	snapshots  map[Pollutant]string
@@ -485,7 +501,7 @@ func Open(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	p.engine = engine
-	if len(cfg.Cluster.Nodes) > 0 {
+	if len(cfg.Cluster.Nodes) > 0 || cfg.Cluster.Join != "" {
 		node, err := newClusterNode(cfg, engine, pollutants[0])
 		if err != nil {
 			engine.Close()
@@ -493,6 +509,7 @@ func Open(cfg Config) (*Platform, error) {
 			return nil, err
 		}
 		p.node = node
+		p.joining = cfg.Cluster.Join != ""
 		p.api = server.NewClusterAPI(engine, node)
 	} else {
 		p.api = server.NewAPI(engine)
@@ -533,40 +550,66 @@ func Open(cfg Config) (*Platform, error) {
 // factory below.
 func newClusterNode(full Config, engine *server.Engine, def Pollutant) (*cluster.Node, error) {
 	cfg := full.Cluster
-	region := cfg.Region
-	if !region.Valid() || region.Area() == 0 {
-		// Default: the simulated Lausanne corridor (x ∈ [-1.5, 4] km,
-		// y ∈ [-0.6, 2.9] km) with margin, so the default 16 cells are
-		// each ~1.5 km — several cells across the bus routes. Positions
-		// outside the region still shard (nearest cell), just coarsely;
-		// set Region explicitly for other deployments.
-		region = Rect{Min: Point{X: -2500, Y: -1500}, Max: Point{X: 5000, Y: 4000}}
-	}
-	nCells := cfg.Cells
-	if nCells <= 0 {
-		nCells = 16
-	}
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	cells, err := cluster.Cells(region, nCells, seed)
-	if err != nil {
-		return nil, fmt.Errorf("repro: cluster cells: %w", err)
-	}
-	ring, err := cluster.NewRing(cluster.Desc{Nodes: cfg.Nodes, Cells: cells, VNodes: cfg.VNodes, Replicas: cfg.Replicas})
-	if err != nil {
-		return nil, fmt.Errorf("repro: cluster ring: %w", err)
-	}
-	self := cfg.NodeID
-	var local cluster.Handler = engine
-	if cfg.Router {
-		self, local = -1, nil
-	} else if self < 0 || self >= len(cfg.Nodes) {
-		return nil, fmt.Errorf("repro: cluster node ID %d outside %d-node cluster", self, len(cfg.Nodes))
-	}
 	dial := func(addr string) (cluster.Transport, error) {
 		return proto.Dial(addr, proto.ServerConfig{})
+	}
+	var (
+		ring  *cluster.Ring
+		self  int
+		local cluster.Handler = engine
+	)
+	if cfg.Join != "" {
+		// Join an existing cluster: announce to the seed and build this
+		// node on the pending next-epoch ring it returns. Cells, vnode
+		// count, and replication factor all come from the cluster; the
+		// local static ring config is ignored.
+		if cfg.Router {
+			return nil, fmt.Errorf("repro: a dedicated router cannot join a cluster (it owns no shards); point it at the full node list instead")
+		}
+		if cfg.Advertise == "" {
+			return nil, fmt.Errorf("repro: cluster join needs Advertise (this node's wire address as peers dial it)")
+		}
+		seedT, err := dial(cfg.Join)
+		if err != nil {
+			return nil, fmt.Errorf("repro: dial join seed %s: %w", cfg.Join, err)
+		}
+		pending, err := cluster.JoinCluster(seedT, cfg.Advertise)
+		if err != nil {
+			return nil, fmt.Errorf("repro: join via %s: %w", cfg.Join, err)
+		}
+		ring, self = pending, pending.Nodes()-1
+	} else {
+		region := cfg.Region
+		if !region.Valid() || region.Area() == 0 {
+			// Default: the simulated Lausanne corridor (x ∈ [-1.5, 4] km,
+			// y ∈ [-0.6, 2.9] km) with margin, so the default 16 cells are
+			// each ~1.5 km — several cells across the bus routes. Positions
+			// outside the region still shard (nearest cell), just coarsely;
+			// set Region explicitly for other deployments.
+			region = Rect{Min: Point{X: -2500, Y: -1500}, Max: Point{X: 5000, Y: 4000}}
+		}
+		nCells := cfg.Cells
+		if nCells <= 0 {
+			nCells = 16
+		}
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		cells, err := cluster.Cells(region, nCells, seed)
+		if err != nil {
+			return nil, fmt.Errorf("repro: cluster cells: %w", err)
+		}
+		ring, err = cluster.NewRing(cluster.Desc{Nodes: cfg.Nodes, Cells: cells, VNodes: cfg.VNodes, Replicas: cfg.Replicas})
+		if err != nil {
+			return nil, fmt.Errorf("repro: cluster ring: %w", err)
+		}
+		self = cfg.NodeID
+		if cfg.Router {
+			self, local = -1, nil
+		} else if self < 0 || self >= len(cfg.Nodes) {
+			return nil, fmt.Errorf("repro: cluster node ID %d outside %d-node cluster", self, len(cfg.Nodes))
+		}
 	}
 	// Push streams ride a dedicated connection per routed subscription
 	// leg, separate from the pooled request/response transports.
@@ -578,11 +621,16 @@ func newClusterNode(full Config, engine *server.Engine, def Pollutant) (*cluster
 		Self:       self,
 		Local:      local,
 		Transports: cluster.LazyTransports(ring, self, dial),
+		Dial:       dial,
 		Streams:    streams,
 		SubQueue:   full.Subscriptions.QueueDepth,
 		Default:    def,
+		Pollutants: full.pollutants(),
 	}
-	if ring.Replicas() > 1 && self >= 0 {
+	if self >= 0 {
+		// Data nodes always carry a replication role: at R > 1 it mirrors
+		// peers, and even at R = 1 the replication logs feed membership
+		// handoffs (join bootstrap, drain pulls).
 		nc.Replication = cluster.ReplicationConfig{NewMirror: mirrorFactory(full)}
 	}
 	node, err := cluster.NewNode(nc)
@@ -820,6 +868,50 @@ func (p *Platform) Ingest(ctx context.Context, pol Pollutant, readings []Reading
 // Clustered reports whether the platform is a member of a sharded
 // cluster.
 func (p *Platform) Clustered() bool { return p.node != nil }
+
+// CompleteJoin finishes a join started with ClusterConfig.Join: it
+// bootstraps the shards this node gains from their current owners'
+// replication logs, then commits the next membership epoch to every
+// peer, after which the cluster routes the gained shards here. Call it
+// after ListenTCP (peers dial this node the moment the commit lands).
+// On error the cluster still runs at the old epoch and CompleteJoin
+// may be retried.
+func (p *Platform) CompleteJoin(ctx context.Context) error {
+	if p.node == nil || !p.joining {
+		return errors.New("repro: not joining a cluster (set ClusterConfig.Join)")
+	}
+	if err := p.node.CompleteJoin(ctx); err != nil {
+		return fmt.Errorf("repro: complete join: %w", err)
+	}
+	p.joining = false
+	return nil
+}
+
+// Drain removes this node from the cluster: peers pull its shards'
+// retained streams, the node fences itself, and the membership commits
+// at the next epoch — after which the process can exit without losing
+// acked tuples (within the replication-log retention contract). The
+// platform keeps serving reads during the drain; routed writes bounce
+// to the new owners once the fence is up.
+func (p *Platform) Drain(ctx context.Context) error {
+	if p.node == nil {
+		return errors.New("repro: not clustered")
+	}
+	if err := p.node.Drain(ctx); err != nil {
+		return fmt.Errorf("repro: drain: %w", err)
+	}
+	return nil
+}
+
+// ClusterEpoch returns the membership epoch of the ring this node
+// currently serves (0 on an unclustered platform and on clusters that
+// have never had a membership transition).
+func (p *Platform) ClusterEpoch() uint64 {
+	if p.node == nil {
+		return 0
+	}
+	return p.node.Ring().Epoch()
+}
 
 // Owns reports whether this node owns pollutant pol at position (x, y)
 // — true on a single-node platform. Bulk loaders use it to feed each

@@ -76,10 +76,16 @@ type ShardedTransport struct {
 
 	mu        sync.Mutex
 	ring      *cluster.Ring
-	fetchedAt time.Time            // when ring was fetched (TTL basis)
-	conns     map[string]Transport // keyed by address: correct even under a stale ring
-	hedgeOn   bool
-	hedgeMin  time.Duration // floor under the p99-derived hedge delay
+	fetchedAt time.Time // when ring was fetched (TTL basis)
+	// stale forces a refresh before the next positional exchange (set by
+	// a NotOwner bounce or an epoch-mismatch rejection). The cached ring
+	// is kept as the fallback: an unreachable seed must not take down a
+	// working shard map, and epoch monotonicity below guarantees the
+	// refresh never replaces it with something older.
+	stale    bool
+	conns    map[string]Transport // keyed by address: correct even under a stale ring
+	hedgeOn  bool
+	hedgeMin time.Duration // floor under the p99-derived hedge delay
 
 	stats ShardedStats
 
@@ -176,20 +182,27 @@ func (s *ShardedTransport) Ring() (*cluster.Ring, error) {
 func (s *ShardedTransport) ringLocked() (*cluster.Ring, error) {
 	if s.ring != nil {
 		//lockcheck:allow s.now is an injected clock (time.Now); it cannot block
-		if s.ringTTL <= 0 || s.now().Sub(s.fetchedAt) < s.ringTTL {
+		if !s.stale && (s.ringTTL <= 0 || s.now().Sub(s.fetchedAt) < s.ringTTL) {
 			return s.ring, nil
 		}
-		// TTL expired: re-fetch, but keep serving the stale ring if the
-		// seed is unreachable — shards that did not move still answer.
+		// Stale or TTL expired: re-fetch, but keep serving the cached
+		// ring if the seed is unreachable — shards that did not move
+		// still answer.
 		if ring, err := s.refreshLocked(); err == nil {
 			return ring, nil
 		}
+		s.stale = false
 		s.fetchedAt = s.now() //lockcheck:allow s.now is an injected clock (time.Now); it cannot block
 		return s.ring, nil
 	}
 	return s.refreshLocked()
 }
 
+// refreshLocked fetches the ring from the seed. Adoption is epoch-
+// monotonic: during a membership transition different nodes serve
+// different epochs for a moment, and a client that already routed at
+// epoch E must never fall back to E-1 — a refresh landing on a
+// behind node keeps the cached (newer) ring instead.
 func (s *ShardedTransport) refreshLocked() (*cluster.Ring, error) {
 	s.stats.Refreshes++
 	resp, err := s.seed.Exchange(wire.RingRequest{})
@@ -207,9 +220,23 @@ func (s *ShardedTransport) refreshLocked() (*cluster.Ring, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: fetch ring: %w", err)
 	}
-	s.ring = ring
+	if s.ring == nil || ring.Epoch() >= s.ring.Epoch() {
+		s.ring = ring
+	}
+	s.stale = false
 	s.fetchedAt = s.now() //lockcheck:allow s.now is an injected clock (time.Now); it cannot block
-	return ring, nil
+	return s.ring, nil
+}
+
+// RingEpoch returns the membership epoch of the cached ring (0 when no
+// ring is cached yet).
+func (s *ShardedTransport) RingEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ring == nil {
+		return 0
+	}
+	return s.ring.Epoch()
 }
 
 // conn returns (dialing if needed) the transport to addr. The dial
@@ -281,7 +308,7 @@ func (s *ShardedTransport) Exchange(req wire.Message) (wire.Message, error) {
 	hedge := s.hedgeOn && len(reps) > 1
 	s.mu.Unlock()
 
-	resp, err := s.ownerExchange(ring, reps, addr, req, hedge)
+	resp, err := s.ownerExchange(ring, reps, addr, q, hedge)
 	if err != nil {
 		// The owner is unreachable — a transport failure, not an answer.
 		// Treat it exactly like a NotOwner bounce: refresh the ring and
@@ -297,13 +324,14 @@ func (s *ShardedTransport) Exchange(req wire.Message) (wire.Message, error) {
 		return nil, fmt.Errorf("client: shard owned by unreachable node %d", bounce.Owner)
 	}
 
-	// Stale ring: drop it for the next exchange to refresh, and retry
-	// once at the address the bounce named — the bouncing node knows the
-	// current owner even when our refresh source is itself stale.
+	// Stale ring: mark it for the next exchange to refresh (the cached
+	// ring stays as the epoch floor and the fallback), and retry once at
+	// the address the bounce named — the bouncing node knows the current
+	// owner even when our refresh source is itself stale.
 	s.mu.Lock()
 	s.stats.Bounced++
 	s.stats.Direct++
-	s.ring = nil
+	s.stale = true
 	s.mu.Unlock()
 	t, err := s.conn(bounce.Addr)
 	if err != nil {
@@ -345,14 +373,14 @@ func usableReplicaAnswer(m wire.Message) bool {
 // delay. The first usable answer wins; the loser's answer is discarded
 // (the Transport interface has no cancellation, so the losing exchange
 // drains in the background).
-func (s *ShardedTransport) ownerExchange(ring *cluster.Ring, reps []int, addr string, req wire.Message, hedge bool) (wire.Message, error) {
+func (s *ShardedTransport) ownerExchange(ring *cluster.Ring, reps []int, addr string, q wire.QueryRequest, hedge bool) (wire.Message, error) {
 	t, err := s.conn(addr)
 	if err != nil {
 		return nil, err
 	}
 	if !hedge {
 		start := s.now()
-		resp, err := t.Exchange(req)
+		resp, err := t.Exchange(q)
 		if err != nil {
 			s.dropConn(addr)
 			return nil, err
@@ -368,7 +396,7 @@ func (s *ShardedTransport) ownerExchange(ring *cluster.Ring, reps []int, addr st
 	prim := make(chan result, 1) //bounded: one-shot result; the exchange goroutine sends exactly once
 	start := s.now()
 	go func() { //bounded: one goroutine per hedged exchange, result channel buffered
-		r, e := t.Exchange(req)
+		r, e := t.Exchange(q)
 		prim <- result{r, e}
 	}()
 	timer := time.NewTimer(s.hedgeDelay())
@@ -384,20 +412,41 @@ func (s *ShardedTransport) ownerExchange(ring *cluster.Ring, reps []int, addr st
 	case <-timer.C:
 	}
 
-	// Owner slower than the hedge delay: probe the first replica with a
-	// replica read for the owner's shards.
+	// Owner slower than the hedge delay: probe the shard's first replica
+	// with a replica read. The probe target is re-resolved from the ring
+	// cached NOW — not the snapshot the primary exchange routed with — so
+	// a membership transition that re-homed the shard while the owner was
+	// stalling hedges at the current epoch's replica instead of a node
+	// that may no longer mirror (or even hold) the shard.
 	s.mu.Lock()
 	s.stats.Hedged++
+	if s.ring != nil && s.ring.Epoch() >= ring.Epoch() {
+		ring = s.ring
+	}
 	s.mu.Unlock()
+	reps = ring.ReplicasFor(shardOf(ring, q))
+	if len(reps) < 2 {
+		// The current ring no longer replicates this shard (a promotion
+		// clamped R, or a transition un-replicated it): there is nowhere
+		// to hedge — wait out the owner.
+		r := <-prim
+		if r.err != nil {
+			s.dropConn(addr)
+			return nil, r.err
+		}
+		s.recordLatency(s.now().Sub(start))
+		return r.resp, nil
+	}
 	hch := make(chan result, 1) //bounded: one-shot result; the probe goroutine sends exactly once
 	repAddr := ring.Addr(reps[1])
+	origin := uint16(reps[0])
 	go func() { //bounded: one goroutine per hedge probe, result channel buffered
 		rt, err := s.conn(repAddr)
 		if err != nil {
 			hch <- result{nil, err}
 			return
 		}
-		r, e := rt.Exchange(wire.ReplicaRead{Origin: uint16(reps[0]), Inner: req})
+		r, e := rt.Exchange(wire.ReplicaRead{Origin: origin, Inner: q})
 		hch <- result{r, e}
 	}()
 	hedgeDone := false

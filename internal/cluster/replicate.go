@@ -125,12 +125,31 @@ type mirrorKey struct {
 }
 
 // mirror is one (origin, pollutant) mirror: the handler holding the
-// replayed state and the replication sequence it has applied.
+// replayed state and the replication sequence it has applied. The
+// mirror also keeps its own copy of the stream's log tail (sequence
+// space [logStart, have), pruned like a primary log): it is what lets
+// this replica serve a ShardTransfer for a dead origin during
+// promotion, and replay its mirror into its own primary state when it
+// is the one promoting.
 type mirror struct {
-	mu      sync.Mutex
-	h       Handler
-	have    uint64
-	pulling bool
+	mu       sync.Mutex
+	h        Handler
+	have     uint64
+	pulling  bool
+	logStart uint64
+	log      []tuple.Raw
+}
+
+// appendLogLocked extends the mirror's log tail with just-applied
+// tuples, pruned to the retention cap. Caller holds m.mu; the caller
+// has already advanced have, so logStart + len(log) == have holds on
+// return.
+func (m *mirror) appendLogLocked(tuples []tuple.Raw, retain int) {
+	m.log = append(m.log, tuples...)
+	if over := len(m.log) - retain; over > 0 {
+		m.logStart += uint64(over)
+		m.log = append(m.log[:0:0], m.log[over:]...)
+	}
 }
 
 // replLog is one pollutant's replication log on a primary: the
@@ -274,7 +293,7 @@ func (n *Node) localIngest(ctx context.Context, m wire.IngestRequest) wire.Messa
 // replica heals through catch-up.
 func (r *replicator) fanout(pol tuple.Pollutant, seq uint64, tuples []tuple.Raw) {
 	frame := wire.ReplicaIngest{Origin: uint16(r.n.self), Pollutant: pol, Seq: seq, Tuples: tuples}
-	for _, peer := range r.n.ring.ReplicaPeers(r.n.self, pol) {
+	for _, peer := range r.n.Ring().ReplicaPeers(r.n.self, pol) {
 		q := r.peerQueue(peer)
 		if q == nil {
 			continue // shutting down
@@ -311,7 +330,7 @@ func (r *replicator) peerQueue(peer int) chan wire.ReplicaIngest {
 func (r *replicator) streamTo(peer int, q chan wire.ReplicaIngest) {
 	defer r.wg.Done()
 	for f := range q {
-		t := r.n.transports[peer]
+		t := r.n.transport(peer)
 		if t == nil {
 			r.streamErrs.Add(1)
 			continue
@@ -421,7 +440,7 @@ func (n *Node) handleReplicaIngest(m wire.ReplicaIngest) wire.Message {
 		return wire.ErrorResponse{Msg: "replica: node does not replicate"}
 	}
 	origin := int(m.Origin)
-	if origin == n.self || origin >= n.ring.Nodes() {
+	if origin == n.self || origin >= n.Ring().Nodes() {
 		return wire.ErrorResponse{Msg: fmt.Sprintf("replica: bad origin node %d", m.Origin)}
 	}
 	mir := r.getMirror(origin, m.Pollutant)
@@ -445,6 +464,7 @@ func (n *Node) handleReplicaIngest(m wire.ReplicaIngest) wire.Message {
 		return wire.ErrorResponse{Msg: fmt.Sprintf("replica: mirror apply: unexpected %T", resp)}
 	}
 	mir.have = end
+	mir.appendLogLocked(tuples, r.retain)
 	r.applied.Add(1)
 	return wire.IngestResponse{Ingested: uint32(len(tuples))}
 }
@@ -475,7 +495,7 @@ func (r *replicator) pull(origin int, pol tuple.Pollutant, mir *mirror) {
 		if r.closed.Load() {
 			return
 		}
-		t := r.n.transports[origin]
+		t := r.n.transport(origin)
 		if t == nil {
 			return
 		}
@@ -503,6 +523,8 @@ func (r *replicator) pull(origin int, pol tuple.Pollutant, mir *mirror) {
 			old = mir.h
 			mir.h = fresh
 			mir.have = cr.From
+			mir.logStart = cr.From
+			mir.log = nil
 			r.snapshots.Add(1)
 		}
 		done := r.applyChunkLocked(mir, pol, cr)
@@ -531,6 +553,7 @@ func (r *replicator) applyChunkLocked(mir *mirror, pol tuple.Pollutant, cr wire.
 			return true // mirror refused (e.g. saturated); next gap retries
 		}
 		mir.have = end
+		mir.appendLogLocked(tuples, r.retain)
 	}
 	return cr.Done
 }
@@ -623,7 +646,7 @@ func (n *Node) readAtReplica(rep, origin int, m wire.Message) (wire.Message, boo
 		}
 		resp = n.handleReplicaRead(wire.ReplicaRead{Origin: uint16(origin), Inner: m})
 	} else {
-		t := n.transports[rep]
+		t := n.transport(rep)
 		if t == nil {
 			return nil, false
 		}

@@ -45,7 +45,10 @@ type ShardKey struct {
 // the ring-exchange protocol distributes.
 type Desc struct {
 	// Nodes are the wire-protocol addresses of the cluster nodes; a
-	// node's index in this slice is its stable node ID.
+	// node's index in this slice is its stable node ID. An empty
+	// address is a tombstone: the slot of a drained or dead node, kept
+	// so surviving IDs — and therefore their ring positions — never
+	// shift. Tombstoned nodes own nothing and hold no replicas.
 	Nodes []string
 	// Cells are the geo-cell centroids; a point belongs to the nearest
 	// centroid (the same nearest-centroid rule Ad-KMN covers use).
@@ -56,6 +59,11 @@ type Desc struct {
 	// owner plus the next R-1 distinct nodes clockwise on the ring
 	// (successor placement). 0 and 1 both mean unreplicated.
 	Replicas int
+	// Epoch is the membership epoch: 0 for a fixed boot-time ring,
+	// incremented by every join, drain, or promotion. Parties holding
+	// different epochs hold different membership and must reconcile
+	// before routing to each other.
+	Epoch uint64
 }
 
 // Cells builds a deterministic geo-cell partition of region: a uniform
@@ -109,6 +117,7 @@ type ringPoint struct {
 // immutable after construction and safe for concurrent use.
 type Ring struct {
 	desc   Desc
+	live   int
 	points []ringPoint
 }
 
@@ -116,6 +125,15 @@ type Ring struct {
 func NewRing(desc Desc) (*Ring, error) {
 	if len(desc.Nodes) == 0 {
 		return nil, errors.New("cluster: ring needs at least one node")
+	}
+	live := 0
+	for _, addr := range desc.Nodes {
+		if addr != "" {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil, errors.New("cluster: ring needs at least one live node")
 	}
 	if len(desc.Cells) == 0 {
 		return nil, errors.New("cluster: ring needs at least one cell")
@@ -129,14 +147,20 @@ func NewRing(desc Desc) (*Ring, error) {
 	if desc.Replicas < 0 {
 		return nil, fmt.Errorf("cluster: %d replicas, want >= 0", desc.Replicas)
 	}
-	if desc.Replicas > len(desc.Nodes) {
-		return nil, fmt.Errorf("cluster: %d replicas for %d nodes", desc.Replicas, len(desc.Nodes))
+	if desc.Replicas > live {
+		return nil, fmt.Errorf("cluster: %d replicas for %d live nodes", desc.Replicas, live)
 	}
 	if desc.Replicas == 0 {
 		desc.Replicas = 1
 	}
-	r := &Ring{desc: desc, points: make([]ringPoint, 0, len(desc.Nodes)*desc.VNodes)}
+	r := &Ring{desc: desc, live: live, points: make([]ringPoint, 0, live*desc.VNodes)}
 	for n := range desc.Nodes {
+		if desc.Nodes[n] == "" {
+			// Tombstoned: the slot keeps its ID but places no virtual
+			// nodes, so its former shards fall to their ring successors
+			// while every survivor's placement is untouched.
+			continue
+		}
 		for v := 0; v < desc.VNodes; v++ {
 			r.points = append(r.points, ringPoint{hash: vnodeHash(n, v), node: n})
 		}
@@ -157,14 +181,19 @@ func RingFromWire(resp wire.RingResponse) (*Ring, error) {
 	return NewRing(Desc{
 		Nodes: resp.Nodes, Cells: resp.Cells,
 		VNodes: int(resp.VNodes), Replicas: int(resp.Replicas),
+		Epoch: resp.Epoch,
 	})
 }
 
 // Wire returns the ring-exchange frame describing this ring. An
-// unreplicated ring (R = 1) omits the replica field, so its frame is
+// unreplicated ring (R = 1) omits the replica field and an epoch-0 ring
+// omits the epoch field, so a pre-membership ring's frame is
 // byte-identical to the pre-replication layout.
 func (r *Ring) Wire() wire.RingResponse {
-	w := wire.RingResponse{Nodes: r.desc.Nodes, Cells: r.desc.Cells, VNodes: uint16(r.desc.VNodes)}
+	w := wire.RingResponse{
+		Nodes: r.desc.Nodes, Cells: r.desc.Cells,
+		VNodes: uint16(r.desc.VNodes), Epoch: r.desc.Epoch,
+	}
 	if r.desc.Replicas > 1 {
 		w.Replicas = uint16(r.desc.Replicas)
 	}
@@ -175,8 +204,21 @@ func (r *Ring) Wire() wire.RingResponse {
 // defaults applied).
 func (r *Ring) Desc() Desc { return r.desc }
 
-// Nodes returns the number of physical nodes.
+// Nodes returns the number of node slots, tombstones included (node IDs
+// range over [0, Nodes())).
 func (r *Ring) Nodes() int { return len(r.desc.Nodes) }
+
+// Live returns the number of live (non-tombstoned) nodes.
+func (r *Ring) Live() int { return r.live }
+
+// IsLive reports whether node n is a live member (in range and not
+// tombstoned).
+func (r *Ring) IsLive(n int) bool {
+	return n >= 0 && n < len(r.desc.Nodes) && r.desc.Nodes[n] != ""
+}
+
+// Epoch returns the ring's membership epoch.
+func (r *Ring) Epoch() uint64 { return r.desc.Epoch }
 
 // Cells returns the number of geo cells.
 func (r *Ring) Cells() int { return len(r.desc.Cells) }
@@ -276,6 +318,49 @@ func (r *Ring) OwnedCells(n int, pol tuple.Pollutant) []int {
 		}
 	}
 	return out
+}
+
+// JoinDesc returns the next-epoch description with addr appended as a
+// new node (ID = Nodes()). Because placement hashes node indexes, every
+// surviving shard either stays put or moves onto the new node — never
+// between survivors.
+func (r *Ring) JoinDesc(addr string) (Desc, error) {
+	if addr == "" {
+		return Desc{}, errors.New("cluster: join needs a node address")
+	}
+	for n, a := range r.desc.Nodes {
+		if a == addr {
+			return Desc{}, fmt.Errorf("cluster: %s is already node %d", addr, n)
+		}
+	}
+	d := r.desc
+	d.Nodes = append(append([]string(nil), r.desc.Nodes...), addr)
+	d.Epoch++
+	return d, nil
+}
+
+// TombstoneDesc returns the next-epoch description with node n
+// tombstoned — the ring shape of both a drain and a dead-primary
+// promotion. The slot keeps its ID so no survivor's placement shifts;
+// n's shards fall to their ring successors (its replicas, when R > 1).
+// If removing n leaves fewer live nodes than the replication factor, R
+// is clamped down: availability over a replica count the membership can
+// no longer satisfy.
+func (r *Ring) TombstoneDesc(n int) (Desc, error) {
+	if !r.IsLive(n) {
+		return Desc{}, fmt.Errorf("cluster: node %d is not a live member", n)
+	}
+	if r.live == 1 {
+		return Desc{}, errors.New("cluster: cannot remove the last live node")
+	}
+	d := r.desc
+	d.Nodes = append([]string(nil), r.desc.Nodes...)
+	d.Nodes[n] = ""
+	if d.Replicas > r.live-1 {
+		d.Replicas = r.live - 1
+	}
+	d.Epoch++
+	return d, nil
 }
 
 // vnodeHash positions virtual node v of node n on the circle. Placement

@@ -50,6 +50,13 @@ var ErrPartialIngest = errors.New("cluster: partial ingest; retrying would dupli
 // scatter-gathered heatmap). The HTTP layer maps it to 400.
 var ErrTooLarge = errors.New("cluster: request exceeds the wire frame budget")
 
+// ErrStaleEpoch marks a request that was fenced because it was routed
+// under a ring epoch older than the receiving node's, and one ring
+// refresh did not resolve the disagreement. It is safe to retry: the
+// fence rejects before any state changes. The HTTP layer maps it to
+// 503 (the cluster is mid-transition).
+var ErrStaleEpoch = errors.New("cluster: routed under a stale ring epoch")
+
 // Handler answers protocol requests (implemented by server.Engine and by
 // Node itself, so nodes compose behind routers).
 type Handler interface {
@@ -72,7 +79,9 @@ type Transport interface {
 
 // NodeConfig configures a cluster node or router.
 type NodeConfig struct {
-	// Ring is the cluster's shard ring (required).
+	// Ring is the cluster's shard ring (required). The node adopts
+	// newer-epoch rings pushed by membership transitions; Ring is only
+	// the starting version.
 	Ring *Ring
 	// Self is this process's node ID — the index of its address in the
 	// ring — or -1 for a dedicated router that owns no shards.
@@ -83,19 +92,33 @@ type NodeConfig struct {
 	// entry is ignored; a nil entry makes the node bounce that peer's
 	// shards with NotOwnerResponse instead of forwarding.
 	Transports []Transport
+	// Dial opens transports to nodes that join after boot (nil: the
+	// node cannot reach post-boot members and bounces their shards).
+	Dial Dialer
 	// Default resolves legacy (untagged) frames to a pollutant for
 	// shard placement; it must match the engines' default pollutant.
 	Default tuple.Pollutant
+	// Pollutants lists every pollutant the local engine serves — the
+	// streams membership handoffs must move. Empty defaults to
+	// [Default].
+	Pollutants []tuple.Pollutant
 	// Streams opens push streams to peer nodes for routed subscriptions
 	// (nil: Subscribe fails for shards this node does not own).
 	Streams StreamOpener
 	// SubQueue is the event-queue depth of merged (routed)
 	// subscriptions; 0 uses the subs package default.
 	SubQueue int
-	// Replication configures the node's replication role. Required
-	// (NewMirror set) when the ring's replication factor exceeds 1 and
-	// this node owns shards; ignored on unreplicated rings and routers.
+	// Replication configures the node's replication role. NewMirror is
+	// required when the ring's replication factor exceeds 1 and this
+	// node owns shards; data nodes on unreplicated rings still keep
+	// replication logs (they feed membership handoffs) but never build
+	// mirrors.
 	Replication ReplicationConfig
+	// HandoffHook, if set, is called at every membership phase boundary
+	// with a label like "join:bootstrapped" or "drain:fenced". The
+	// rebalance fault-injection suite uses it to kill a party at an
+	// exact boundary; production leaves it nil.
+	HandoffHook func(phase string)
 }
 
 // Stats counts a node's routing activity.
@@ -118,6 +141,9 @@ type Stats struct {
 	// Rehomed counts subscription legs re-subscribed at a replica after
 	// their owner died.
 	Rehomed int64
+	// EpochMismatches counts routed frames this node fenced because they
+	// carried a ring epoch older than its own.
+	EpochMismatches int64
 }
 
 // Node is one member of a sharded EnviroMeter cluster: it answers
@@ -129,14 +155,30 @@ type Stats struct {
 // client transports, and the HTTP API compose with it unchanged. It is
 // safe for concurrent use.
 type Node struct {
-	ring       *Ring
-	self       int
-	local      Handler
+	ring     atomic.Pointer[Ring]
+	self     int
+	local    Handler
+	def      tuple.Pollutant
+	pols     []tuple.Pollutant
+	streams  StreamOpener
+	subQueue int
+	repl     *replicator
+	dial     Dialer
+	hook     func(phase string)
+
+	// tmu guards the transport table, which grows when newer rings add
+	// members. Indexes are stable: a slot is never removed, only
+	// appended, so node IDs index it for the node's whole life.
+	tmu        sync.RWMutex
 	transports []Transport
-	def        tuple.Pollutant
-	streams    StreamOpener
-	subQueue   int
-	repl       *replicator
+
+	// memMu serializes membership transitions this node coordinates or
+	// participates in (join bootstrap, drain prepare, promotion), and
+	// guards pulled — per-stream handoff progress that must survive the
+	// prepare→commit boundary so the commit-time final pull resumes
+	// instead of re-applying.
+	memMu  sync.Mutex
+	pulled map[transferKey]uint64
 
 	nextSubID atomic.Uint64
 
@@ -148,6 +190,7 @@ type Node struct {
 	nErrors    atomic.Int64
 	nFailover  atomic.Int64
 	nRehomed   atomic.Int64
+	nEpochRej  atomic.Int64
 }
 
 // NewNode builds a cluster node.
@@ -171,17 +214,29 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if transports == nil {
 		transports = make([]Transport, cfg.Ring.Nodes())
 	}
+	pols := cfg.Pollutants
+	if len(pols) == 0 {
+		pols = []tuple.Pollutant{cfg.Default}
+	}
 	n := &Node{
-		ring:       cfg.Ring,
 		self:       cfg.Self,
 		local:      cfg.Local,
 		transports: transports,
 		def:        cfg.Default,
+		pols:       pols,
 		streams:    cfg.Streams,
 		subQueue:   cfg.SubQueue,
+		dial:       cfg.Dial,
+		hook:       cfg.HandoffHook,
+		pulled:     make(map[transferKey]uint64),
 	}
-	if cfg.Ring.Replicas() > 1 && cfg.Self >= 0 {
-		if cfg.Replication.NewMirror == nil {
+	n.ring.Store(cfg.Ring)
+	if cfg.Self >= 0 {
+		// Data nodes always run the replicator: even on an unreplicated
+		// ring its per-shard logs are what membership handoffs stream.
+		// Mirrors — and therefore the factory — are only needed when the
+		// ring actually replicates.
+		if cfg.Ring.Replicas() > 1 && cfg.Replication.NewMirror == nil {
 			return nil, errors.New("cluster: replicated ring needs a mirror factory (ReplicationConfig.NewMirror)")
 		}
 		n.repl = newReplicator(n, cfg.Replication)
@@ -200,16 +255,60 @@ func (n *Node) Close() error {
 }
 
 // ReplicationStats returns the node's replication counters; ok is
-// false on nodes that do not replicate (unreplicated ring, router).
+// false on nodes that do not replicate (unreplicated ring, router) —
+// the handoff-only replicator a data node runs on an unreplicated ring
+// does not count.
 func (n *Node) ReplicationStats() (ReplicationStats, bool) {
-	if n.repl == nil {
+	if n.repl == nil || n.Ring().Replicas() <= 1 {
 		return ReplicationStats{}, false
 	}
 	return n.repl.stats(), true
 }
 
-// Ring returns the node's shard ring.
-func (n *Node) Ring() *Ring { return n.ring }
+// Ring returns the node's current shard ring. The ring is immutable;
+// membership transitions swap in whole new versions, so callers that
+// need a consistent view across several lookups snapshot it once.
+func (n *Node) Ring() *Ring { return n.ring.Load() }
+
+// transport returns the transport to node i (nil when out of range,
+// self, or the peer is unreachable by construction).
+func (n *Node) transport(i int) Transport {
+	n.tmu.RLock()
+	defer n.tmu.RUnlock()
+	if i < 0 || i >= len(n.transports) {
+		return nil
+	}
+	return n.transports[i]
+}
+
+// adoptRing installs r when its epoch exceeds the current ring's,
+// growing the transport table to cover members r added. It keeps the
+// transports of slots r tombstoned — a draining node must stay
+// reachable for the commit-time final pull. Returns whether r was
+// installed.
+func (n *Node) adoptRing(r *Ring) bool {
+	for {
+		cur := n.ring.Load()
+		if r.Epoch() <= cur.Epoch() {
+			return false
+		}
+		if n.ring.CompareAndSwap(cur, r) {
+			break
+		}
+	}
+	n.tmu.Lock()
+	defer n.tmu.Unlock()
+	for len(n.transports) < r.Nodes() {
+		i := len(n.transports)
+		var t Transport
+		if i != n.self && r.IsLive(i) && n.dial != nil {
+			// Lazy: no connection is opened here, so holding tmu is safe.
+			t = NewLazyTransport(r.Addr(i), n.dial)
+		}
+		n.transports = append(n.transports, t)
+	}
+	return true
+}
 
 // Self returns the node's ID (-1 for a router).
 func (n *Node) Self() int { return n.self }
@@ -217,14 +316,15 @@ func (n *Node) Self() int { return n.self }
 // Stats returns a snapshot of the routing counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		Local:       n.nLocal.Load(),
-		Forwarded:   n.nForwarded.Load(),
-		ForwardedIn: n.nFwdIn.Load(),
-		Scatters:    n.nScatters.Load(),
-		NotOwner:    n.nNotOwner.Load(),
-		Errors:      n.nErrors.Load(),
-		FailedOver:  n.nFailover.Load(),
-		Rehomed:     n.nRehomed.Load(),
+		Local:           n.nLocal.Load(),
+		Forwarded:       n.nForwarded.Load(),
+		ForwardedIn:     n.nFwdIn.Load(),
+		Scatters:        n.nScatters.Load(),
+		NotOwner:        n.nNotOwner.Load(),
+		Errors:          n.nErrors.Load(),
+		FailedOver:      n.nFailover.Load(),
+		Rehomed:         n.nRehomed.Load(),
+		EpochMismatches: n.nEpochRej.Load(),
 	}
 }
 
@@ -264,12 +364,21 @@ func (n *Node) localHandle(ctx context.Context, req wire.Message) wire.Message {
 func (n *Node) handle(ctx context.Context, req wire.Message) wire.Message {
 	switch m := req.(type) {
 	case wire.RingRequest:
-		return n.ring.Wire()
+		return n.Ring().Wire()
 	case wire.Forwarded:
 		// Pre-routed by a peer: answer locally, never re-forward, so a
 		// stale peer ring cannot create a forwarding loop.
 		if n.local == nil {
 			return wire.ErrorResponse{Msg: "cluster: router holds no shards"}
+		}
+		// Epoch fence: a frame routed under an older ring than ours may
+		// name the wrong owner — reject it so the sender refreshes and
+		// re-routes. A frame from a NEWER ring is served: the newer
+		// placement chose this node, we just have not adopted it yet.
+		// Epoch 0 is a legacy (or deliberately epoch-agnostic) frame.
+		if own := n.Ring().Epoch(); m.Epoch != 0 && m.Epoch < own {
+			n.nEpochRej.Add(1)
+			return epochMismatch(m.Epoch, own)
 		}
 		n.nFwdIn.Add(1)
 		if ing, ok := m.Inner.(wire.IngestRequest); ok {
@@ -279,9 +388,10 @@ func (n *Node) handle(ctx context.Context, req wire.Message) wire.Message {
 		}
 		return n.localHandle(ctx, m.Inner)
 	case wire.QueryRequest:
+		ring := n.Ring()
 		pol := n.pollutant(m.Pollutant, m.Legacy)
-		k := ShardKey{Pollutant: pol, Cell: n.ring.CellOf(geo.Point{X: m.X, Y: m.Y})}
-		return n.routeShard(ctx, k, m)
+		k := ShardKey{Pollutant: pol, Cell: ring.CellOf(geo.Point{X: m.X, Y: m.Y})}
+		return n.routeShard(ctx, ring, k, m, true)
 	case wire.ModelRequest:
 		resp, _ := n.scatterModel(ctx, m)
 		return resp
@@ -298,6 +408,14 @@ func (n *Node) handle(ctx context.Context, req wire.Message) wire.Message {
 		return n.handleCatchup(m)
 	case wire.ReplicaRead:
 		return n.handleReplicaRead(m)
+	case wire.JoinRequest:
+		return n.handleJoin(m)
+	case wire.RingUpdate:
+		return n.handleRingUpdate(ctx, m)
+	case wire.ShardTransfer:
+		return n.handleShardTransfer(m)
+	case wire.Promote:
+		return n.handlePromote(ctx, m)
 	case wire.SubscribeRequest:
 		// Plain exchanges cannot carry pushes; the streaming path routes
 		// subscribe frames through HandleStream instead.
@@ -314,18 +432,14 @@ func (n *Node) handle(ctx context.Context, req wire.Message) wire.Message {
 	}
 }
 
-// route sends a single-shard request to its owner: the local engine,
-// a peer transport, or — unreachable — a NotOwnerResponse naming it.
-func (n *Node) route(ctx context.Context, owner int, m wire.Message) wire.Message {
-	resp, _ := n.routeOwner(ctx, owner, m)
-	return resp
-}
-
-// routeOwner is route with an explicit owner-down signal: down is true
-// exactly when the owner's transport failed — the one failure replicas
-// can heal. An engine error is an authoritative answer and never fails
-// over.
-func (n *Node) routeOwner(ctx context.Context, owner int, m wire.Message) (resp wire.Message, down bool) {
+// routeOwner sends a single-shard request to its owner under ring: the
+// local engine, a peer transport, or — unreachable — a
+// NotOwnerResponse naming it. down is true exactly when the owner's
+// transport failed — the one failure replicas can heal. An engine
+// error is an authoritative answer and never fails over. Forwarded
+// frames carry ring's epoch so a peer on a different ring version
+// fences the disagreement instead of serving the wrong shard.
+func (n *Node) routeOwner(ctx context.Context, ring *Ring, owner int, m wire.Message) (resp wire.Message, down bool) {
 	if owner == n.self {
 		n.nLocal.Add(1)
 		if ing, ok := m.(wire.IngestRequest); ok {
@@ -335,28 +449,64 @@ func (n *Node) routeOwner(ctx context.Context, owner int, m wire.Message) (resp 
 		}
 		return n.localHandle(ctx, m), false
 	}
-	if t := n.transports[owner]; t != nil {
+	if t := n.transport(owner); t != nil {
 		n.nForwarded.Add(1)
-		resp, err := t.Exchange(wire.Forwarded{Inner: m})
+		resp, err := t.Exchange(wire.Forwarded{Inner: m, Epoch: ring.Epoch()})
 		if err != nil {
 			n.nErrors.Add(1)
-			return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: node %d (%s) unreachable: %v", owner, n.ring.Addr(owner), err)}, true
+			return wire.ErrorResponse{Msg: fmt.Sprintf("cluster: node %d (%s) unreachable: %v", owner, ring.Addr(owner), err)}, true
 		}
 		return resp, false
 	}
 	n.nNotOwner.Add(1)
-	return wire.NotOwnerResponse{Owner: uint16(owner), Addr: n.ring.Addr(owner)}, false
+	return wire.NotOwnerResponse{Owner: uint16(owner), Addr: ring.Addr(owner)}, false
+}
+
+// refreshRingFrom pulls peer's current ring — after peer fenced a
+// frame with an epoch mismatch — and adopts it if newer. Returns the
+// node's refreshed ring when it now carries a newer epoch than old
+// (re-routing under it can change the outcome), nil otherwise.
+func (n *Node) refreshRingFrom(peer int, old *Ring) *Ring {
+	t := n.transport(peer)
+	if t == nil {
+		return nil
+	}
+	resp, err := t.Exchange(wire.RingRequest{})
+	if err != nil {
+		n.nErrors.Add(1)
+		return nil
+	}
+	rr, ok := resp.(wire.RingResponse)
+	if !ok {
+		return nil
+	}
+	r, err := RingFromWire(rr)
+	if err != nil {
+		return nil
+	}
+	n.adoptRing(r)
+	if cur := n.Ring(); cur.Epoch() > old.Epoch() {
+		return cur
+	}
+	return nil
 }
 
 // routeShard routes a single-shard read to its owner, retrying at the
 // shard's replicas when the owner is unreachable instead of answering
 // 502. Only reads fail over — writes commit at the primary by design —
 // and when no replica answers either, the owner's original error
-// stands.
-func (n *Node) routeShard(ctx context.Context, k ShardKey, m wire.Message) wire.Message {
-	reps := n.ring.ReplicasFor(k)
-	resp, down := n.routeOwner(ctx, reps[0], m)
-	if !down || n.ring.Replicas() <= 1 {
+// stands. An epoch-mismatch fence triggers one ring refresh and one
+// re-route under the refreshed ring (refresh guards the recursion:
+// retrying without a newer ring cannot change the outcome).
+func (n *Node) routeShard(ctx context.Context, ring *Ring, k ShardKey, m wire.Message, retry bool) wire.Message {
+	reps := ring.ReplicasFor(k)
+	resp, down := n.routeOwner(ctx, ring, reps[0], m)
+	if retry && isEpochMismatch(resp) {
+		if fresh := n.refreshRingFrom(reps[0], ring); fresh != nil {
+			return n.routeShard(ctx, fresh, k, m, false)
+		}
+	}
+	if !down || ring.Replicas() <= 1 {
 		return resp
 	}
 	for _, rep := range reps[1:] {
@@ -375,13 +525,27 @@ func (n *Node) routeBatch(ctx context.Context, m wire.BatchQueryRequest) wire.Me
 	if len(m.Items) == 0 {
 		return wire.ErrorResponse{Msg: "empty query batch"}
 	}
-	groups := make(map[int][]int) // owner -> original indexes
-	for i, it := range m.Items {
-		pol := n.pollutant(it.Pollutant, it.Legacy)
-		owner := n.ring.Owner(pol, geo.Point{X: it.X, Y: it.Y})
-		groups[owner] = append(groups[owner], i)
+	all := make([]int, len(m.Items))
+	for i := range all {
+		all[i] = i
 	}
 	out := make([]wire.BatchQueryItem, len(m.Items))
+	n.batchInto(ctx, n.Ring(), m, all, out, true)
+	return wire.BatchQueryResponse{Items: out}
+}
+
+// batchInto answers the m.Items named by idxs into out, grouped by
+// shard owner under ring. retry allows each fenced sub-batch one
+// re-split under a refreshed ring (an epoch mismatch rejects the whole
+// sub-batch, so re-splitting repeats no item).
+func (n *Node) batchInto(ctx context.Context, ring *Ring, m wire.BatchQueryRequest, idxs []int, out []wire.BatchQueryItem, retry bool) {
+	groups := make(map[int][]int) // owner -> original indexes
+	for _, i := range idxs {
+		it := m.Items[i]
+		pol := n.pollutant(it.Pollutant, it.Legacy)
+		owner := ring.Owner(pol, geo.Point{X: it.X, Y: it.Y})
+		groups[owner] = append(groups[owner], i)
+	}
 	var wg sync.WaitGroup
 	for owner, idxs := range groups {
 		wg.Add(1)
@@ -391,7 +555,7 @@ func (n *Node) routeBatch(ctx context.Context, m wire.BatchQueryRequest) wire.Me
 			for j, i := range idxs {
 				sub.Items[j] = m.Items[i]
 			}
-			resp, ownerDown := n.routeOwner(ctx, owner, sub)
+			resp, ownerDown := n.routeOwner(ctx, ring, owner, sub)
 			fill := func(errMsg string) {
 				for _, i := range idxs {
 					out[i] = wire.BatchQueryItem{Err: errMsg}
@@ -407,8 +571,14 @@ func (n *Node) routeBatch(ctx context.Context, m wire.BatchQueryRequest) wire.Me
 					out[i] = r.Items[j]
 				}
 			case wire.ErrorResponse:
-				if ownerDown && n.ring.Replicas() > 1 {
-					n.batchFailover(owner, m, idxs, out, r.Msg)
+				if retry && isEpochMismatch(resp) {
+					if fresh := n.refreshRingFrom(owner, ring); fresh != nil {
+						n.batchInto(ctx, fresh, m, idxs, out, false)
+						return
+					}
+				}
+				if ownerDown && ring.Replicas() > 1 {
+					n.batchFailover(ring, owner, m, idxs, out, r.Msg)
 					return
 				}
 				fill(r.Msg)
@@ -420,22 +590,21 @@ func (n *Node) routeBatch(ctx context.Context, m wire.BatchQueryRequest) wire.Me
 		}(owner, idxs)
 	}
 	wg.Wait()
-	return wire.BatchQueryResponse{Items: out}
 }
 
 // batchFailover re-answers a dead owner's sub-batch at its replicas:
 // items regroup by their shard's first reachable replica and each
 // group crosses as one replica-read sub-batch. Items with no live
 // replica keep the owner's unreachable error.
-func (n *Node) batchFailover(owner int, m wire.BatchQueryRequest, idxs []int, out []wire.BatchQueryItem, errMsg string) {
+func (n *Node) batchFailover(ring *Ring, owner int, m wire.BatchQueryRequest, idxs []int, out []wire.BatchQueryItem, errMsg string) {
 	regroup := make(map[int][]int) // replica -> original item indexes
 	for _, i := range idxs {
 		it := m.Items[i]
 		pol := n.pollutant(it.Pollutant, it.Legacy)
-		k := ShardKey{Pollutant: pol, Cell: n.ring.CellOf(geo.Point{X: it.X, Y: it.Y})}
+		k := ShardKey{Pollutant: pol, Cell: ring.CellOf(geo.Point{X: it.X, Y: it.Y})}
 		rep := -1
-		for _, r := range n.ring.ReplicasFor(k)[1:] {
-			if (r == n.self && n.repl != nil) || (r != n.self && n.transports[r] != nil) {
+		for _, r := range ring.ReplicasFor(k)[1:] {
+			if (r == n.self && n.repl != nil) || (r != n.self && n.transport(r) != nil) {
 				rep = r
 				break
 			}
@@ -476,52 +645,12 @@ func (n *Node) routeIngest(ctx context.Context, m wire.IngestRequest) wire.Messa
 	if len(m.Tuples) == 0 {
 		return wire.ErrorResponse{Msg: ingest.ErrInvalidBatch.Error() + ": empty upload"}
 	}
-	groups := make(map[int][]tuple.Raw)
-	for _, r := range m.Tuples {
-		owner := n.ring.Owner(m.Pollutant, r.Pos())
-		groups[owner] = append(groups[owner], r)
-	}
 	var (
-		wg    sync.WaitGroup
 		mu    sync.Mutex
 		total uint32
 		errs  []string
 	)
-	for owner, slice := range groups {
-		wg.Add(1)
-		go func(owner int, slice []tuple.Raw) {
-			defer wg.Done()
-			// Chunk the slice so every forwarded frame fits the wire;
-			// stop at the first failed chunk (the rest would only widen
-			// the partial window).
-			for start := 0; start < len(slice); start += maxIngestChunk {
-				end := start + maxIngestChunk
-				if end > len(slice) {
-					end = len(slice)
-				}
-				chunk := slice[start:end]
-				resp := n.route(ctx, owner, wire.IngestRequest{Pollutant: m.Pollutant, Tuples: chunk})
-				mu.Lock()
-				failed := true
-				switch r := resp.(type) {
-				case wire.IngestResponse:
-					total += r.Ingested
-					failed = false
-				case wire.NotOwnerResponse:
-					errs = append(errs, fmt.Sprintf("%d tuples: %s", len(slice)-start, notOwnerMsg(r)))
-				case wire.ErrorResponse:
-					errs = append(errs, fmt.Sprintf("%d tuples: %s", len(slice)-start, r.Msg))
-				default:
-					errs = append(errs, fmt.Sprintf("%d tuples: unexpected response %T", len(slice)-start, resp))
-				}
-				mu.Unlock()
-				if failed {
-					return
-				}
-			}
-		}(owner, slice)
-	}
-	wg.Wait()
+	n.ingestInto(ctx, n.Ring(), m.Pollutant, m.Tuples, &mu, &total, &errs, true)
 	switch {
 	case len(errs) == 0:
 		return wire.IngestResponse{Ingested: total}
@@ -540,6 +669,62 @@ func (n *Node) routeIngest(ctx context.Context, m wire.IngestRequest) wire.Messa
 	}
 }
 
+// ingestInto splits tuples by shard owner under ring and applies every
+// slice on its owner concurrently, accumulating applied counts and
+// slice errors under mu. retry allows each fenced chunk one re-split
+// of the slice's unapplied remainder under a refreshed ring — the
+// fence rejected the whole chunk without applying it, so the re-split
+// duplicates nothing.
+func (n *Node) ingestInto(ctx context.Context, ring *Ring, pol tuple.Pollutant, tuples []tuple.Raw, mu *sync.Mutex, total *uint32, errs *[]string, retry bool) {
+	groups := make(map[int][]tuple.Raw)
+	for _, r := range tuples {
+		owner := ring.Owner(pol, r.Pos())
+		groups[owner] = append(groups[owner], r)
+	}
+	var wg sync.WaitGroup
+	for owner, slice := range groups {
+		wg.Add(1)
+		go func(owner int, slice []tuple.Raw) {
+			defer wg.Done()
+			// Chunk the slice so every forwarded frame fits the wire;
+			// stop at the first failed chunk (the rest would only widen
+			// the partial window).
+			for start := 0; start < len(slice); start += maxIngestChunk {
+				end := start + maxIngestChunk
+				if end > len(slice) {
+					end = len(slice)
+				}
+				chunk := slice[start:end]
+				resp, _ := n.routeOwner(ctx, ring, owner, wire.IngestRequest{Pollutant: pol, Tuples: chunk})
+				if retry && isEpochMismatch(resp) {
+					if fresh := n.refreshRingFrom(owner, ring); fresh != nil {
+						n.ingestInto(ctx, fresh, pol, slice[start:], mu, total, errs, false)
+						return
+					}
+				}
+				mu.Lock()
+				failed := true
+				switch r := resp.(type) {
+				case wire.IngestResponse:
+					*total += r.Ingested
+					failed = false
+				case wire.NotOwnerResponse:
+					*errs = append(*errs, fmt.Sprintf("%d tuples: %s", len(slice)-start, notOwnerMsg(r)))
+				case wire.ErrorResponse:
+					*errs = append(*errs, fmt.Sprintf("%d tuples: %s", len(slice)-start, r.Msg))
+				default:
+					*errs = append(*errs, fmt.Sprintf("%d tuples: unexpected response %T", len(slice)-start, resp))
+				}
+				mu.Unlock()
+				if failed {
+					return
+				}
+			}
+		}(owner, slice)
+	}
+	wg.Wait()
+}
+
 // scatterModel gathers every node's model cover for the window and
 // merges them into one response: the union of all region models, valid
 // over the intersection of the nodes' validity windows. Nearest-centroid
@@ -552,8 +737,9 @@ func (n *Node) routeIngest(ctx context.Context, m wire.IngestRequest) wire.Messa
 // and the returned Partial names it (nil when the answer is complete).
 func (n *Node) scatterModel(ctx context.Context, m wire.ModelRequest) (wire.Message, *Partial) {
 	n.nScatters.Add(1)
-	resps, nodeDown, firstErr := n.scatter(ctx, m)
-	part := n.scatterFailover(resps, nodeDown, m.Pollutant, m)
+	ring := n.Ring()
+	resps, nodeDown, firstErr := n.scatter(ctx, ring, m)
+	part := n.scatterFailover(ring, resps, nodeDown, m.Pollutant, m)
 	var merged wire.ModelResponse
 	var got bool
 	for _, resp := range resps {
@@ -602,9 +788,10 @@ func (n *Node) scatterHeatmap(ctx context.Context, m wire.HeatmapRequest) (wire.
 		return wire.ErrorResponse{Msg: fmt.Sprintf("heatmap: grid %dx%d exceeds the cluster frame budget (%d cells)",
 			m.Cols, m.Rows, maxHeatmapCells)}, nil
 	}
-	resps, nodeDown, firstErr := n.scatter(ctx, m)
-	part := n.scatterFailover(resps, nodeDown, m.Pollutant, m)
-	byNode := make([]*wire.HeatmapResponse, n.ring.Nodes())
+	ring := n.Ring()
+	resps, nodeDown, firstErr := n.scatter(ctx, ring, m)
+	part := n.scatterFailover(ring, resps, nodeDown, m.Pollutant, m)
+	byNode := make([]*wire.HeatmapResponse, ring.Nodes())
 	var any bool
 	union := geo.Rect{}
 	for i, resp := range resps {
@@ -635,7 +822,7 @@ func (n *Node) scatterHeatmap(ctx context.Context, m wire.HeatmapRequest) (wire.
 		y := union.Min.Y + (float64(j)+0.5)*dy
 		for i := 0; i < int(m.Cols); i++ {
 			p := geo.Point{X: union.Min.X + (float64(i)+0.5)*dx, Y: y}
-			src := byNode[n.ring.Owner(m.Pollutant, p)]
+			src := byNode[ring.Owner(m.Pollutant, p)]
 			if src == nil {
 				src = nearestGrid(byNode, p)
 			}
@@ -645,16 +832,24 @@ func (n *Node) scatterHeatmap(ctx context.Context, m wire.HeatmapRequest) (wire.
 	return out, part
 }
 
-// scatter fans a request out to every node (the local engine included)
-// and returns the per-node responses, a per-node owner-down flag (set
-// on transport failure or a missing transport), and the first error
-// response, to report when nothing succeeds.
-func (n *Node) scatter(ctx context.Context, m wire.Message) ([]wire.Message, []bool, wire.ErrorResponse) {
-	resps := make([]wire.Message, n.ring.Nodes())
-	nodeDown := make([]bool, n.ring.Nodes())
+// scatter fans a request out to every live node (the local engine
+// included) and returns the per-node responses, a per-node owner-down
+// flag (set on transport failure or a missing transport), and the
+// first error response, to report when nothing succeeds. Tombstoned
+// slots are skipped — they own no shards. Scatter legs are sent
+// epoch-agnostic (Epoch 0): the merge samples by ownership, so a peer
+// one epoch away answering from its own view is at worst briefly
+// stale, and fencing every leg would fail whole rasters during each
+// transition for no correctness gain.
+func (n *Node) scatter(ctx context.Context, ring *Ring, m wire.Message) ([]wire.Message, []bool, wire.ErrorResponse) {
+	resps := make([]wire.Message, ring.Nodes())
+	nodeDown := make([]bool, ring.Nodes())
 	var wg sync.WaitGroup
-	for i := 0; i < n.ring.Nodes(); i++ {
-		if i != n.self && n.transports[i] == nil {
+	for i := 0; i < ring.Nodes(); i++ {
+		if !ring.IsLive(i) {
+			continue
+		}
+		if i != n.self && n.transport(i) == nil {
 			nodeDown[i] = true
 			continue
 		}
@@ -667,11 +862,11 @@ func (n *Node) scatter(ctx context.Context, m wire.Message) ([]wire.Message, []b
 				return
 			}
 			n.nForwarded.Add(1)
-			resp, err := n.transports[i].Exchange(wire.Forwarded{Inner: m})
+			resp, err := n.transport(i).Exchange(wire.Forwarded{Inner: m})
 			if err != nil {
 				n.nErrors.Add(1)
 				nodeDown[i] = true
-				resp = wire.ErrorResponse{Msg: fmt.Sprintf("cluster: node %d (%s) unreachable: %v", i, n.ring.Addr(i), err)}
+				resp = wire.ErrorResponse{Msg: fmt.Sprintf("cluster: node %d (%s) unreachable: %v", i, ring.Addr(i), err)}
 			}
 			resps[i] = resp
 		}(i)
@@ -692,8 +887,8 @@ func (n *Node) scatter(ctx context.Context, m wire.Message) ([]wire.Message, []b
 // replica are recorded in the returned Partial — nil when every leg
 // answered or the ring is unreplicated, so unreplicated clusters keep
 // the all-or-nothing v1.2 contract byte for byte.
-func (n *Node) scatterFailover(resps []wire.Message, nodeDown []bool, pol tuple.Pollutant, m wire.Message) *Partial {
-	if n.ring.Replicas() <= 1 {
+func (n *Node) scatterFailover(ring *Ring, resps []wire.Message, nodeDown []bool, pol tuple.Pollutant, m wire.Message) *Partial {
+	if ring.Replicas() <= 1 {
 		return nil
 	}
 	var part *Partial
@@ -701,14 +896,14 @@ func (n *Node) scatterFailover(resps []wire.Message, nodeDown []bool, pol tuple.
 		if !nodeDown[i] {
 			continue
 		}
-		owned := len(n.ring.OwnedCells(i, pol))
+		owned := len(ring.OwnedCells(i, pol))
 		if owned == 0 {
 			// The dead node holds no shard of this pollutant; its leg
 			// contributes nothing and its loss is not partial.
 			continue
 		}
 		healed := false
-		for _, rep := range n.ring.ReplicaPeers(i, pol) {
+		for _, rep := range ring.ReplicaPeers(i, pol) {
 			if ans, ok := n.readAtReplica(rep, i, m); ok {
 				resps[i] = ans
 				n.nFailover.Add(1)
@@ -800,6 +995,9 @@ func mapWireError(msg string) error {
 	}
 	if strings.Contains(msg, "frame budget") {
 		return fmt.Errorf("%w: %s", ErrTooLarge, msg)
+	}
+	if strings.Contains(msg, epochMismatchMarker) {
+		return fmt.Errorf("%w: %s", ErrStaleEpoch, msg)
 	}
 	for _, sentinel := range []error{
 		query.ErrOutOfWindow,

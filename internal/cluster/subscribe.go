@@ -85,9 +85,10 @@ func (n *Node) Subscribe(ctx context.Context, pol tuple.Pollutant, pts []query.R
 	if len(pts) == 0 {
 		return nil, errors.New("cluster: empty point set")
 	}
+	ring := n.Ring()
 	groups := make(map[int][]int) // owner -> merged point indexes
 	for i, p := range pts {
-		owner := n.ring.Owner(pol, geo.Point{X: p.X, Y: p.Y})
+		owner := ring.Owner(pol, geo.Point{X: p.X, Y: p.Y})
 		groups[owner] = append(groups[owner], i)
 	}
 
@@ -125,11 +126,11 @@ func (n *Node) Subscribe(ctx context.Context, pol tuple.Pollutant, pts []query.R
 			// Forwarded, like every routed request: the owner answers from
 			// its local registry and never re-routes, so disagreeing rings
 			// cannot chain subscription hops.
-			st, err := n.streams(n.ring.Addr(owner), wire.Forwarded{Inner: subs.WireFromRequests(pol, subset)})
+			st, err := n.streams(ring.Addr(owner), wire.Forwarded{Inner: subs.WireFromRequests(pol, subset)})
 			if err != nil {
 				n.nErrors.Add(1)
 				abort()
-				return nil, fmt.Errorf("%w: node %d (%s): %v", ErrNodeUnreachable, owner, n.ring.Addr(owner), err)
+				return nil, fmt.Errorf("%w: node %d (%s): %v", ErrNodeUnreachable, owner, ring.Addr(owner), err)
 			}
 			n.nForwarded.Add(1)
 			l.stream = st
@@ -204,9 +205,10 @@ func (n *Node) runLeg(ctx context.Context, feed *subs.Feed, l *subLeg, closing *
 				reason = err.Error()
 			}
 		}
+		ring := n.Ring()
 		addr := ""
-		if l.owner >= 0 && l.owner < n.ring.Nodes() {
-			addr = n.ring.Addr(l.owner)
+		if l.owner >= 0 && l.owner < ring.Nodes() {
+			addr = ring.Addr(l.owner)
 		}
 		feed.Fail(fmt.Sprintf("cluster: owner node %d (%s) unreachable: %s; its %d route points may be stale",
 			l.owner, addr, reason, len(l.idxs)))
@@ -237,7 +239,8 @@ func (n *Node) rehomeLeg(ctx context.Context, l *subLeg, closing *atomic.Bool) b
 		l.handle, l.stream = h, st
 		return true
 	}
-	for _, rep := range n.ring.ReplicaPeers(l.owner, l.pol) {
+	ring := n.Ring()
+	for _, rep := range ring.ReplicaPeers(l.owner, l.pol) {
 		if rep == n.self {
 			if n.repl == nil {
 				continue
@@ -263,7 +266,7 @@ func (n *Node) rehomeLeg(ctx context.Context, l *subLeg, closing *atomic.Bool) b
 		if n.streams == nil {
 			continue
 		}
-		st, err := n.streams(n.ring.Addr(rep), wire.ReplicaRead{
+		st, err := n.streams(ring.Addr(rep), wire.ReplicaRead{
 			Origin: uint16(l.owner),
 			Inner:  subs.WireFromRequests(l.pol, l.subset),
 		})

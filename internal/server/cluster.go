@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -27,6 +28,8 @@ func NewClusterAPI(engine *Engine, node *cluster.Node) *API {
 	a := NewAPI(engine)
 	a.node = node
 	a.mux.HandleFunc("/v1/cluster", a.handleCluster)
+	a.mux.HandleFunc("/v1/cluster/join", a.handleClusterJoin)
+	a.mux.HandleFunc("/v1/cluster/drain", a.handleClusterDrain)
 	return a
 }
 
@@ -124,14 +127,15 @@ type clusterShards map[string]map[string][]int
 
 // clusterStatsJSON mirrors cluster.Stats on the wire.
 type clusterStatsJSON struct {
-	Local       int64 `json:"local"`
-	Forwarded   int64 `json:"forwarded"`
-	ForwardedIn int64 `json:"forwardedIn"`
-	Scatters    int64 `json:"scatters"`
-	NotOwner    int64 `json:"notOwner"`
-	Errors      int64 `json:"errors"`
-	FailedOver  int64 `json:"failedOver"`
-	Rehomed     int64 `json:"rehomed"`
+	Local           int64 `json:"local"`
+	Forwarded       int64 `json:"forwarded"`
+	ForwardedIn     int64 `json:"forwardedIn"`
+	Scatters        int64 `json:"scatters"`
+	NotOwner        int64 `json:"notOwner"`
+	Errors          int64 `json:"errors"`
+	FailedOver      int64 `json:"failedOver"`
+	Rehomed         int64 `json:"rehomed"`
+	EpochMismatches int64 `json:"epochMismatches"`
 }
 
 // replicationStatsJSON mirrors cluster.ReplicationStats on the wire.
@@ -154,6 +158,7 @@ type replicationStatsJSON struct {
 // present only on nodes of a replicated ring.
 type clusterResponse struct {
 	Self        int                   `json:"self"`
+	Epoch       uint64                `json:"epoch"`
 	Ring        wire.RingResponse     `json:"ring"`
 	Shards      clusterShards         `json:"shards"`
 	Routing     clusterStatsJSON      `json:"routing"`
@@ -180,12 +185,14 @@ func (a *API) handleCluster(w http.ResponseWriter, r *http.Request) {
 	st := a.node.Stats()
 	resp := clusterResponse{
 		Self:   a.node.Self(),
+		Epoch:  ring.Epoch(),
 		Ring:   ring.Wire(),
 		Shards: shards,
 		Routing: clusterStatsJSON{
 			Local: st.Local, Forwarded: st.Forwarded, ForwardedIn: st.ForwardedIn,
 			Scatters: st.Scatters, NotOwner: st.NotOwner, Errors: st.Errors,
 			FailedOver: st.FailedOver, Rehomed: st.Rehomed,
+			EpochMismatches: st.EpochMismatches,
 		},
 	}
 	if rs, ok := a.node.ReplicationStats(); ok {
@@ -196,4 +203,55 @@ func (a *API) handleCluster(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterJoin serves POST /v1/cluster/join {"addr": "host:port"}
+// — the HTTP form of the wire JoinRequest announce. It returns the
+// pending next-epoch ring that includes addr as its last member; the
+// membership does not change until the joiner bootstraps its shards
+// and broadcasts the commit (Platform.CompleteJoin on the joiner).
+func (a *API) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var body struct {
+		Addr string `json:"addr"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode join body: %w", err))
+		return
+	}
+	if body.Addr == "" {
+		writeError(w, http.StatusBadRequest, errors.New("join body needs addr"))
+		return
+	}
+	switch resp := a.node.HandleMessage(wire.JoinRequest{Addr: body.Addr}).(type) {
+	case wire.RingResponse:
+		writeJSON(w, http.StatusOK, resp)
+	case wire.ErrorResponse:
+		writeError(w, http.StatusConflict, errors.New(resp.Msg))
+	default:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("unexpected join reply %T", resp))
+	}
+}
+
+// handleClusterDrain serves POST /v1/cluster/drain: it removes this
+// node from the cluster — peers bootstrap its shards from the retained
+// replication streams before the new epoch commits — and reports the
+// committed epoch. The process keeps serving (reads and the final
+// handoff pulls) until the operator stops it.
+func (a *API) handleClusterDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	if err := a.node.Drain(r.Context()); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"drained": true,
+		"epoch":   a.node.Ring().Epoch(),
+	})
 }

@@ -62,6 +62,12 @@ type RingResponse struct {
 	// carries the field when R > 1, so pre-replication rings decode —
 	// and re-encode — byte-for-byte unchanged).
 	Replicas uint16 `json:"replicas,omitempty"`
+	// Epoch is the membership epoch (v1.5): it increments on every join,
+	// drain, or promotion, so two parties can order ring versions and
+	// detect mid-transition disagreement. 0 means "pre-epoch" (a fixed
+	// ring from before live membership) and serializes identically to
+	// one: the binary layout only appends the field when Epoch > 0.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Type implements Message.
@@ -121,6 +127,10 @@ func (HeatmapResponse) Type() MsgType { return TypeHeatmapResponse }
 type NotOwnerResponse struct {
 	Owner uint16 `json:"owner"`
 	Addr  string `json:"addr"`
+	// Epoch is the bouncing node's membership epoch (0 when pre-epoch).
+	// A client holding a ring with a lower epoch knows its placement is
+	// stale — not merely disagreeing — and must refresh before retrying.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Type implements Message.
@@ -132,6 +142,11 @@ func (NotOwnerResponse) Type() MsgType { return TypeNotOwner }
 // never nest.
 type Forwarded struct {
 	Inner Message `json:"-"`
+	// Epoch is the sender's membership epoch, 0 when unknown (a
+	// pre-epoch router). A receiver whose own epoch disagrees answers
+	// with an epoch-mismatch error instead of serving a possibly-moved
+	// shard; the sender then reconciles rings and re-routes.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Type implements Message.
@@ -157,6 +172,9 @@ func encodeCluster(m Message) ([]byte, error) {
 		if v.Replicas > 1 {
 			size += 2
 		}
+		if v.Epoch > 0 {
+			size += 8
+		}
 		buf := make([]byte, size)
 		buf[0] = byte(TypeRingResponse)
 		binary.LittleEndian.PutUint16(buf[1:], uint16(len(v.Nodes)))
@@ -173,8 +191,13 @@ func encodeCluster(m Message) ([]byte, error) {
 			off += 16
 		}
 		binary.LittleEndian.PutUint16(buf[off:], v.VNodes)
+		off += 2
 		if v.Replicas > 1 {
-			binary.LittleEndian.PutUint16(buf[off+2:], v.Replicas)
+			binary.LittleEndian.PutUint16(buf[off:], v.Replicas)
+			off += 2
+		}
+		if v.Epoch > 0 {
+			binary.LittleEndian.PutUint64(buf[off:], v.Epoch)
 		}
 		return buf, nil
 	case IngestRequest:
@@ -235,11 +258,18 @@ func encodeCluster(m Message) ([]byte, error) {
 		if len(v.Addr) > math.MaxUint16 {
 			return nil, fmt.Errorf("wire: owner address too long (%d bytes)", len(v.Addr))
 		}
-		buf := make([]byte, 1+2+2+len(v.Addr))
+		size := 1 + 2 + 2 + len(v.Addr)
+		if v.Epoch > 0 {
+			size += 8
+		}
+		buf := make([]byte, size)
 		buf[0] = byte(TypeNotOwner)
 		binary.LittleEndian.PutUint16(buf[1:], v.Owner)
 		binary.LittleEndian.PutUint16(buf[3:], uint16(len(v.Addr)))
 		copy(buf[5:], v.Addr)
+		if v.Epoch > 0 {
+			binary.LittleEndian.PutUint64(buf[5+len(v.Addr):], v.Epoch)
+		}
 		return buf, nil
 	case Forwarded:
 		if v.Inner == nil {
@@ -251,6 +281,17 @@ func encodeCluster(m Message) ([]byte, error) {
 		inner, err := Binary.Encode(v.Inner)
 		if err != nil {
 			return nil, err
+		}
+		if v.Epoch > 0 {
+			// The epoch variant marks itself with 0xFF — reserved, never a
+			// message tag — where the inner tag would sit, so pre-epoch
+			// frames decode byte-for-byte unchanged.
+			buf := make([]byte, 1+1+8+len(inner))
+			buf[0] = byte(TypeForwarded)
+			buf[1] = 0xFF
+			binary.LittleEndian.PutUint64(buf[2:], v.Epoch)
+			copy(buf[10:], inner)
+			return buf, nil
 		}
 		buf := make([]byte, 1+len(inner))
 		buf[0] = byte(TypeForwarded)
@@ -292,10 +333,13 @@ func decodeCluster(data []byte) (Message, error) {
 		}
 		nCells := int(binary.LittleEndian.Uint16(data[off:]))
 		off += 2
-		// The v1.4 layout appends a 2-byte replication factor; the v1.2
-		// layout ends at VNodes. Both decode; the suffix is canonical only
-		// for R > 1 (R <= 1 always serializes without it).
-		if len(data) != off+16*nCells+2 && len(data) != off+16*nCells+4 {
+		// The suffix after the cells discriminates the layout version:
+		// v1.2 ends at VNodes (2 bytes), v1.4 appends a 2-byte replication
+		// factor, and v1.5 appends an 8-byte epoch after either. All four
+		// decode; each optional field is canonical only when non-default
+		// (R <= 1 and epoch 0 always serialize without their suffix).
+		tail := len(data) - off - 16*nCells
+		if tail != 2 && tail != 4 && tail != 10 && tail != 12 {
 			return nil, fmt.Errorf("%w: RingResponse length %d for %d cells", ErrMalformed, len(data), nCells)
 		}
 		m.Cells = make([]geo.Point, nCells)
@@ -304,10 +348,18 @@ func decodeCluster(data []byte) (Message, error) {
 			off += 16
 		}
 		m.VNodes = binary.LittleEndian.Uint16(data[off:])
-		if len(data) == off+4 {
-			m.Replicas = binary.LittleEndian.Uint16(data[off+2:])
+		off += 2
+		if tail == 4 || tail == 12 {
+			m.Replicas = binary.LittleEndian.Uint16(data[off:])
+			off += 2
 			if m.Replicas <= 1 {
 				return nil, fmt.Errorf("%w: RingResponse replica suffix %d", ErrMalformed, m.Replicas)
+			}
+		}
+		if tail >= 10 {
+			m.Epoch = binary.LittleEndian.Uint64(data[off:])
+			if m.Epoch == 0 {
+				return nil, fmt.Errorf("%w: RingResponse zero epoch suffix", ErrMalformed)
 			}
 		}
 		return m, nil
@@ -380,25 +432,48 @@ func decodeCluster(data []byte) (Message, error) {
 			return nil, fmt.Errorf("%w: NotOwnerResponse header", ErrMalformed)
 		}
 		n := int(binary.LittleEndian.Uint16(data[3:]))
-		if len(data) != 5+n {
+		// The v1.5 layout appends an 8-byte epoch after the address; the
+		// address length field keeps both forms unambiguous.
+		if len(data) != 5+n && len(data) != 13+n {
 			return nil, fmt.Errorf("%w: NotOwnerResponse length", ErrMalformed)
 		}
-		return NotOwnerResponse{
+		m := NotOwnerResponse{
 			Owner: binary.LittleEndian.Uint16(data[1:]),
-			Addr:  string(data[5:]),
-		}, nil
+			Addr:  string(data[5 : 5+n]),
+		}
+		if len(data) == 13+n {
+			m.Epoch = binary.LittleEndian.Uint64(data[5+n:])
+			if m.Epoch == 0 {
+				return nil, fmt.Errorf("%w: NotOwnerResponse zero epoch suffix", ErrMalformed)
+			}
+		}
+		return m, nil
 	case TypeForwarded:
 		if len(data) < 2 {
 			return nil, fmt.Errorf("%w: forwarded frame without inner message", ErrMalformed)
 		}
-		if MsgType(data[1]) == TypeForwarded {
+		body := data[1:]
+		var epoch uint64
+		if data[1] == 0xFF {
+			// Epoch variant: 0xFF marker + 8-byte epoch precede the inner
+			// frame (0xFF is reserved and never a message tag).
+			if len(data) < 11 {
+				return nil, fmt.Errorf("%w: forwarded epoch header", ErrMalformed)
+			}
+			epoch = binary.LittleEndian.Uint64(data[2:])
+			if epoch == 0 {
+				return nil, fmt.Errorf("%w: forwarded zero epoch", ErrMalformed)
+			}
+			body = data[10:]
+		}
+		if MsgType(body[0]) == TypeForwarded {
 			return nil, fmt.Errorf("%w: nested forwarded frame", ErrMalformed)
 		}
-		inner, err := Binary.Decode(data[1:])
+		inner, err := Binary.Decode(body)
 		if err != nil {
 			return nil, err
 		}
-		return Forwarded{Inner: inner}, nil
+		return Forwarded{Inner: inner, Epoch: epoch}, nil
 	default:
 		return decodeSubs(data)
 	}

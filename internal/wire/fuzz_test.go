@@ -60,6 +60,15 @@ func FuzzWireDecode(f *testing.F) {
 	add(ReplicaCatchupResponse{Snapshot: true, From: 0, Tuples: []tuple.Raw{{T: 1, X: 2, Y: 3, S: 4}}})
 	add(ReplicaRead{Origin: 2, Inner: QueryRequest{T: 1, X: 2, Y: 3, Pollutant: 1}})
 	add(ReplicaRead{Origin: 0, Inner: HeatmapRequest{T: 60, Cols: 2, Rows: 2}})
+	// v1.5 membership messages and epoch-bearing frame variants.
+	add(JoinRequest{Addr: "joiner:8081"})
+	add(RingUpdate{Ring: RingResponse{Nodes: []string{"a:1", "b:2"}, Cells: []geo.Point{{X: 1, Y: 2}}, VNodes: 8, Epoch: 3}})
+	add(RingUpdate{Ring: RingResponse{Nodes: []string{"a:1", ""}, Cells: []geo.Point{{X: 1, Y: 2}}, VNodes: 8, Epoch: 4}, Commit: true})
+	add(ShardTransfer{Origin: 1, Pollutant: 2, Have: 99})
+	add(Promote{Node: 1, Epoch: 7})
+	add(RingResponse{Nodes: []string{"a:1", "b:2"}, Cells: []geo.Point{{X: 1, Y: 2}}, VNodes: 8, Epoch: 5})
+	add(NotOwnerResponse{Owner: 1, Addr: "c:3", Epoch: 2})
+	add(Forwarded{Inner: QueryRequest{T: 1, X: 2, Y: 3}, Epoch: 4})
 	// Legacy untagged frames: 25-byte query, 9-byte model request.
 	legacyQuery, _ := Binary.Encode(QueryRequest{T: 9, X: 8, Y: 7})
 	f.Add(legacyQuery[:25])

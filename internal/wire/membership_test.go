@@ -1,0 +1,154 @@
+package wire
+
+// Round-trip and robustness tests for the v1.5 membership messages
+// (JoinRequest, RingUpdate, ShardTransfer, Promote) and the epoch field
+// the revision appends to RingResponse, NotOwnerResponse, and Forwarded
+// frames — including the compatibility guarantee that an epoch of zero
+// reproduces the pre-epoch byte layout exactly, so pre-membership peers
+// interoperate unchanged.
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/tuple"
+)
+
+func membershipMessages() []Message {
+	ring := RingResponse{
+		Nodes:    []string{"10.0.0.1:8081", "", "10.0.0.3:8081"}, // slot 1 tombstoned
+		Cells:    []geo.Point{{X: -500, Y: 250}, {X: 900, Y: -1200}},
+		VNodes:   64,
+		Replicas: 2,
+		Epoch:    3,
+	}
+	return []Message{
+		JoinRequest{Addr: "joiner.example:9000"},
+		JoinRequest{Addr: "j:1"},
+		RingUpdate{Ring: ring},
+		RingUpdate{Ring: ring, Commit: true},
+		ShardTransfer{Origin: 2, Pollutant: tuple.PM, Have: 4096},
+		ShardTransfer{Origin: 0, Pollutant: tuple.CO2, Have: 0},
+		Promote{Node: 1, Epoch: 7},
+		Promote{Node: 0, Epoch: 1},
+		// Epoch-bearing variants of the pre-existing frames.
+		RingResponse{Nodes: []string{"a:1", "b:2"}, Cells: []geo.Point{{X: 1, Y: 2}}, VNodes: 8, Epoch: 9},
+		NotOwnerResponse{Owner: 2, Addr: "10.0.0.3:8081", Epoch: 5},
+		Forwarded{Inner: QueryRequest{T: 5, X: 6, Y: 7, Pollutant: tuple.PM}, Epoch: 4},
+		Forwarded{Inner: IngestRequest{Pollutant: tuple.CO2, Tuples: []tuple.Raw{{T: 1, X: 2, Y: 3, S: 4}}}, Epoch: 12},
+	}
+}
+
+func TestMembershipMessageRoundTrip(t *testing.T) {
+	for _, codec := range []Codec{Binary, JSON} {
+		for _, m := range membershipMessages() {
+			enc, err := codec.Encode(m)
+			if err != nil {
+				t.Fatalf("%s encode %T: %v", codec.Name(), m, err)
+			}
+			dec, err := codec.Decode(enc)
+			if err != nil {
+				t.Fatalf("%s decode %T: %v", codec.Name(), m, err)
+			}
+			if !reflect.DeepEqual(m, dec) {
+				t.Fatalf("%s round trip of %T:\n got %#v\nwant %#v", codec.Name(), m, dec, m)
+			}
+		}
+	}
+}
+
+// TestEpochZeroKeepsPreEpochLayout locks the interop guarantee: frames
+// at epoch zero encode byte-identically to their pre-membership layout,
+// and pre-membership frames decode with Epoch == 0 — a v1.4 peer and a
+// v1.5 peer exchange them unchanged.
+func TestEpochZeroKeepsPreEpochLayout(t *testing.T) {
+	ring := RingResponse{Nodes: []string{"a:1", "b:2"}, Cells: []geo.Point{{X: 1, Y: 2}}, VNodes: 8}
+	enc, err := Binary.Encode(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withEpoch, err := Binary.Encode(RingResponse{Nodes: ring.Nodes, Cells: ring.Cells, VNodes: 8, Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withEpoch) != len(enc)+8 {
+		t.Fatalf("epoch field appends %d bytes, want 8", len(withEpoch)-len(enc))
+	}
+	if !bytes.Equal(withEpoch[:len(enc)], enc) {
+		t.Fatal("epoch-bearing ring frame does not extend the pre-epoch layout")
+	}
+	dec, err := Binary.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.(RingResponse).Epoch != 0 {
+		t.Fatalf("pre-epoch ring frame decoded with epoch %d", dec.(RingResponse).Epoch)
+	}
+
+	no := NotOwnerResponse{Owner: 1, Addr: "c:3"}
+	encNo, err := Binary.Encode(no)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encNo) != 5+len(no.Addr) {
+		t.Fatalf("epoch-zero NotOwner frame is %d bytes, want pre-epoch %d", len(encNo), 5+len(no.Addr))
+	}
+
+	// The Forwarded epoch variant marks itself with 0xFF (reserved,
+	// never a tag) where the inner tag sits; the epoch-zero encoding is
+	// the bare pre-epoch wrapper.
+	fw := Forwarded{Inner: QueryRequest{T: 1, X: 2, Y: 3}}
+	encFw, err := Binary.Encode(fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	innerB, err := Binary.Encode(fw.Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(encFw) != 1+len(innerB) || encFw[1] == 0xFF {
+		t.Fatalf("epoch-zero forwarded frame % x is not the bare wrapper", encFw[:2])
+	}
+	encFwE, err := Binary.Encode(Forwarded{Inner: fw.Inner, Epoch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if encFwE[1] != 0xFF {
+		t.Fatalf("epoch-bearing forwarded frame marker is %#x, want 0xFF", encFwE[1])
+	}
+}
+
+// TestRingUpdateRejectsNonRingPayload: the RingUpdate wrapper carries
+// exactly one message shape; anything else is malformed, not recursed.
+func TestRingUpdateRejectsNonRingPayload(t *testing.T) {
+	inner, err := Binary.Encode(QueryRequest{T: 1, X: 2, Y: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte{byte(TypeRingUpdate), 0}, inner...)
+	if _, err := Binary.Decode(frame); !errors.Is(err, ErrMalformed) {
+		t.Errorf("RingUpdate wrapping a query decoded: %v", err)
+	}
+}
+
+func TestMembershipDecodeRobustness(t *testing.T) {
+	cases := [][]byte{
+		{byte(TypeJoinRequest)},                                       // no length
+		{byte(TypeJoinRequest), 5, 0, 'a'},                            // claims 5 bytes, has 1
+		{byte(TypeRingUpdate)},                                        // no commit flag
+		{byte(TypeRingUpdate), 2, byte(TypeRingResponse)},             // commit flag out of range
+		{byte(TypeRingUpdate), 1},                                     // no ring payload
+		{byte(TypeShardTransfer), 0, 0, 1},                            // short
+		{byte(TypeShardTransfer), 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // long
+		{byte(TypePromote), 0, 0},                                     // short
+		{byte(TypePromote), 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9},          // long
+	}
+	for _, data := range cases {
+		if _, err := Binary.Decode(data); err == nil {
+			t.Errorf("malformed membership frame % x decoded", data)
+		}
+	}
+}

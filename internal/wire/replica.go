@@ -178,7 +178,7 @@ func encodeReplica(m Message) ([]byte, error) {
 		copy(buf[3:], inner)
 		return buf, nil
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrUnknown, m)
+		return encodeMembership(m)
 	}
 }
 
@@ -238,6 +238,6 @@ func decodeReplica(data []byte) (Message, error) {
 		}
 		return ReplicaRead{Origin: binary.LittleEndian.Uint16(data[1:]), Inner: inner}, nil
 	default:
-		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, data[0])
+		return decodeMembership(data)
 	}
 }

@@ -462,9 +462,12 @@ type jsonCodec struct{}
 
 func (jsonCodec) Name() string { return "json" }
 
-// envelope wraps messages with a type tag for JSON transport.
+// envelope wraps messages with a type tag for JSON transport. Epoch is
+// carried only on Forwarded envelopes (the sender's membership epoch);
+// pre-epoch decoders ignore the extra field.
 type envelope struct {
 	Type    MsgType         `json:"type"`
+	Epoch   uint64          `json:"epoch,omitempty"`
 	Payload json.RawMessage `json:"payload"`
 }
 
@@ -482,7 +485,7 @@ func (jsonCodec) Encode(m Message) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return json.Marshal(envelope{Type: TypeForwarded, Payload: payload})
+		return json.Marshal(envelope{Type: TypeForwarded, Epoch: fw.Epoch, Payload: payload})
 	}
 	// A replica read nests a full envelope alongside the origin node ID,
 	// for the same reason.
@@ -638,7 +641,7 @@ func (jsonCodec) Decode(data []byte) (Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		target = Forwarded{Inner: m}
+		target = Forwarded{Inner: m, Epoch: env.Epoch}
 	case TypeSubscribeRequest:
 		var v SubscribeRequest
 		if err := json.Unmarshal(env.Payload, &v); err != nil {
@@ -707,6 +710,30 @@ func (jsonCodec) Decode(data []byte) (Message, error) {
 			return nil, err
 		}
 		target = ReplicaRead{Origin: v.Origin, Inner: m}
+	case TypeJoinRequest:
+		var v JoinRequest
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeRingUpdate:
+		var v RingUpdate
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypeShardTransfer:
+		var v ShardTransfer
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
+	case TypePromote:
+		var v Promote
+		if err := json.Unmarshal(env.Payload, &v); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		target = v
 	default:
 		return nil, fmt.Errorf("%w: tag %d", ErrUnknown, env.Type)
 	}
